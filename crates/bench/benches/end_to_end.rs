@@ -1,0 +1,48 @@
+//! End-to-end Criterion benches: a miniature video session per scheme
+//! over emulated dual paths — the whole stack (handshake, AEAD, streams,
+//! scheduler, player) exercised per iteration.
+
+use criterion::{criterion_group, criterion_main, Criterion};
+use xlink_clock::Duration;
+use xlink_harness::{run_session, Scheme, SessionConfig};
+use xlink_netsim::{LinkConfig, Path};
+use xlink_video::Video;
+
+fn paths() -> Vec<Path> {
+    vec![
+        Path::symmetric(LinkConfig::constant_rate(20.0, Duration::from_millis(10))),
+        Path::symmetric(LinkConfig::constant_rate(15.0, Duration::from_millis(27))),
+    ]
+}
+
+fn session(scheme: Scheme, seed: u64) -> SessionConfig {
+    let mut cfg = SessionConfig::short_video(scheme, seed);
+    cfg.video = Video::synth(2, 25, 600_000, 8.0);
+    cfg.deadline = Duration::from_secs(30);
+    cfg
+}
+
+fn bench_sessions(c: &mut Criterion) {
+    let mut g = c.benchmark_group("video_session_2s");
+    g.sample_size(10);
+    for (name, scheme) in [
+        ("sp", Scheme::Sp { path: 0 }),
+        ("vanilla_mp", Scheme::VanillaMp),
+        ("xlink", Scheme::Xlink),
+    ] {
+        g.bench_function(name, |b| {
+            let mut seed = 0u64;
+            b.iter(|| {
+                seed += 1;
+                let cfg = session(scheme, seed);
+                let r = run_session(&cfg, paths());
+                assert!(r.completed, "{name} session must complete");
+                r.chunk_rct.len()
+            })
+        });
+    }
+    g.finish();
+}
+
+criterion_group!(benches, bench_sessions);
+criterion_main!(benches);

@@ -1,0 +1,6 @@
+//! Ablation: the three re-injection queue-position modes of Fig. 4.
+fn main() {
+    let scale = xlink_bench::scale_from_args();
+    let rows = xlink_harness::experiments::ablation::run(4 * scale);
+    xlink_harness::experiments::ablation::print(&rows);
+}

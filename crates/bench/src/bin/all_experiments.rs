@@ -1,0 +1,29 @@
+//! Run every experiment in sequence (the full EXPERIMENTS.md regeneration).
+fn main() {
+    use xlink_harness::experiments as e;
+    println!("# XLINK reproduction — full experiment sweep\n");
+    let r = e::fig01::run(7);
+    e::fig01::print(&r);
+    let rows = e::delays::run(16);
+    e::delays::print(&rows);
+    let r = e::ab_tables::run_vanilla_ab(7, 12);
+    e::ab_tables::print(&r);
+    let series = e::fig06::run(3);
+    e::fig06::print(&series);
+    let rows = e::fig07::run(11);
+    e::fig07::print(&rows);
+    let rows = e::fig08::run(5);
+    e::fig08::print(&rows);
+    let rows = e::fig10::run(6);
+    e::fig10::print(&rows);
+    let r = e::ab_tables::run_xlink_ab(14, 12);
+    e::ab_tables::print(&r);
+    let r = e::fig12::run(20);
+    e::fig12::print(&r);
+    let rows = e::fig13::run(10);
+    e::fig13::print(&rows);
+    let points = e::fig14::run(9);
+    e::fig14::print(&points);
+    let r = e::fig15::run(5);
+    let _ = e::fig15::print(&r);
+}

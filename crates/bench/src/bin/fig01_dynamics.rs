@@ -1,0 +1,5 @@
+//! Fig. 1a/1b: vanilla-MP in-flight/CWND dynamics on walking Wi-Fi + LTE.
+fn main() {
+    let r = xlink_harness::experiments::fig01::run(7);
+    xlink_harness::experiments::fig01::print(&r);
+}

@@ -1,0 +1,6 @@
+//! Fig. 1c + Table 1: A/B test of vanilla-MP vs SP over 7 days.
+fn main() {
+    let scale = xlink_bench::scale_from_args();
+    let r = xlink_harness::experiments::ab_tables::run_vanilla_ab(7, 12 * scale);
+    xlink_harness::experiments::ab_tables::print(&r);
+}

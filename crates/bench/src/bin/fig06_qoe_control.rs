@@ -1,0 +1,5 @@
+//! Fig. 6: buffer level + re-injected bytes under the three control modes.
+fn main() {
+    let series = xlink_harness::experiments::fig06::run(3);
+    xlink_harness::experiments::fig06::print(&series);
+}

@@ -1,0 +1,5 @@
+//! Fig. 7: first-frame delivery time vs frame size, Wi-Fi vs 5G primary.
+fn main() {
+    let rows = xlink_harness::experiments::fig07::run(11);
+    xlink_harness::experiments::fig07::print(&rows);
+}

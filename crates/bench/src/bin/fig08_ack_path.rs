@@ -1,0 +1,5 @@
+//! Fig. 8: ACK_MP path policy vs RTT ratio (4 MB load, Cubic).
+fn main() {
+    let rows = xlink_harness::experiments::fig08::run(5);
+    xlink_harness::experiments::fig08::print(&rows);
+}

@@ -1,0 +1,6 @@
+//! Fig. 10 + Table 2: buffer level & cost vs double-threshold settings.
+fn main() {
+    let scale = xlink_bench::scale_from_args();
+    let rows = xlink_harness::experiments::fig10::run(6 * scale);
+    xlink_harness::experiments::fig10::print(&rows);
+}

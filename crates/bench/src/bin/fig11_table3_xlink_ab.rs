@@ -1,0 +1,6 @@
+//! Fig. 11 + Table 3: A/B test of XLINK vs SP over 14 days.
+fn main() {
+    let scale = xlink_bench::scale_from_args();
+    let r = xlink_harness::experiments::ab_tables::run_xlink_ab(14, 12 * scale);
+    xlink_harness::experiments::ab_tables::print(&r);
+}

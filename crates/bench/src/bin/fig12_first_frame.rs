@@ -1,0 +1,7 @@
+//! Fig. 12: first-frame latency improvement percentiles, w/ and w/o
+//! first-video-frame acceleration.
+fn main() {
+    let scale = xlink_bench::scale_from_args();
+    let r = xlink_harness::experiments::fig12::run(20 * scale);
+    xlink_harness::experiments::fig12::print(&r);
+}

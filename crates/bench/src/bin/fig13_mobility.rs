@@ -1,0 +1,5 @@
+//! Fig. 13: extreme mobility — SP/vanilla-MP/MPTCP/CM/XLINK on ten traces.
+fn main() {
+    let rows = xlink_harness::experiments::fig13::run(10);
+    xlink_harness::experiments::fig13::print(&rows);
+}

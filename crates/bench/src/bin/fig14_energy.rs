@@ -1,0 +1,5 @@
+//! Fig. 14: normalized energy/bit vs throughput across radio configs.
+fn main() {
+    let points = xlink_harness::experiments::fig14::run(9);
+    xlink_harness::experiments::fig14::print(&points);
+}

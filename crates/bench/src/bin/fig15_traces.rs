@@ -1,0 +1,9 @@
+//! Fig. 15: example HSR traces + Mahimahi export.
+fn main() {
+    let r = xlink_harness::experiments::fig15::run(5);
+    let (cell, wifi) = xlink_harness::experiments::fig15::print(&r);
+    std::fs::create_dir_all("traces-out").ok();
+    std::fs::write("traces-out/hsr-cellular.trace", cell).expect("write trace");
+    std::fs::write("traces-out/hsr-onboard-wifi.trace", wifi).expect("write trace");
+    println!("\nMahimahi traces written to traces-out/");
+}

@@ -1,0 +1,6 @@
+//! §3.2 path delays by technology + Table 4 cross-ISP delay matrix.
+fn main() {
+    let scale = xlink_bench::scale_from_args();
+    let rows = xlink_harness::experiments::delays::run(16 * scale);
+    xlink_harness::experiments::delays::print(&rows);
+}

@@ -1,0 +1,16 @@
+//! Benchmark harness crate.
+//!
+//! Binaries (run with `cargo run --release -p xlink-bench --bin <name>`):
+//! one per table/figure of the paper — see DESIGN.md §4 for the index.
+//! Criterion benches cover the hot paths (codec, AEAD, ack ranges,
+//! scheduler decisions, reassembly) and a miniature end-to-end session.
+
+/// Shared CLI helper: scale factor from argv (e.g. `--scale 2` doubles
+/// user counts; defaults to 1 for quick runs).
+pub fn scale_from_args() -> u64 {
+    let args: Vec<String> = std::env::args().collect();
+    args.windows(2)
+        .find(|w| w[0] == "--scale")
+        .and_then(|w| w[1].parse().ok())
+        .unwrap_or(1)
+}

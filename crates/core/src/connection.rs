@@ -1,0 +1,1907 @@
+//! The multipath QUIC connection with XLINK's QoE-driven scheduling.
+//!
+//! One state machine, policy-parameterized, covers every multipath scheme
+//! in the paper's evaluation:
+//!
+//! * **vanilla-MP** — min-RTT scheduler, no re-injection, original-path
+//!   ACKs (the MPQUIC default, §3).
+//! * **re-injection w/o QoE** — re-injection always on (Fig. 6c).
+//! * **XLINK** — min-RTT + stream/frame priority-based re-injection under
+//!   double-thresholding QoE control + fastest-path ACK_MP (§5).
+//!
+//! Path identity follows the multipath draft: each path is bound to the
+//! connection ID with the matching sequence number, per-path packet number
+//! spaces are acknowledged with ACK_MP (carrying the QoE field as deployed
+//! in the paper), paths are validated with PATH_CHALLENGE/PATH_RESPONSE
+//! and managed with PATH_STATUS.
+
+use crate::qoe::{reinjection_decision, QoeControl, QoeSignal};
+use crate::sched::{
+    ecf_choice, max_deliver_time, min_rtt_choice, AckPathPolicy, ReinjectKey, ReinjectLedger,
+    ReinjectMode, RoundRobinState, SchedulerKind,
+};
+use crate::wireless::{PrimaryPathPolicy, WirelessTech};
+use xlink_clock::{Duration, Instant};
+use xlink_quic::ackranges::AckRanges;
+use xlink_quic::cc::{CcAlgorithm, CongestionController, MAX_DATAGRAM_SIZE};
+use xlink_quic::cid::{CidManager, ConnectionId};
+use xlink_quic::crypto::{derive_keys, KeyPair};
+use xlink_quic::error::{ConnectionError, TransportError};
+use xlink_quic::frame::{AckFrame, Frame, PathStatusKind};
+use xlink_quic::handshake::{Handshake, Hello};
+use xlink_quic::packet::{pn_decode, pn_encode_len, pn_truncate, Header, PacketType};
+use xlink_quic::params::TransportParams;
+use xlink_quic::recovery::{Recovery, SentPacket, TimeoutOutcome};
+use xlink_quic::rtt::RttEstimator;
+use xlink_quic::stream::{SendRange, Side, StreamMap};
+use xlink_quic::varint::Writer;
+
+/// Multipath endpoint configuration.
+#[derive(Debug, Clone)]
+pub struct MpConfig {
+    /// Client or server.
+    pub side: Side,
+    /// Pre-shared secret (stands in for certificates; see DESIGN.md).
+    pub psk: Vec<u8>,
+    /// Transport parameters; `enable_multipath` is set automatically.
+    pub params: TransportParams,
+    /// Congestion control algorithm per path.
+    pub cc: CcAlgorithm,
+    /// New-data path selection policy.
+    pub scheduler: SchedulerKind,
+    /// Re-injection queue-position policy.
+    pub reinject_mode: ReinjectMode,
+    /// Re-injection on/off controller.
+    pub qoe_control: QoeControl,
+    /// ACK_MP return-path policy.
+    pub ack_policy: AckPathPolicy,
+    /// Wireless technology of each network path (index-aligned with the
+    /// simulator's path table). Drives primary path selection.
+    pub path_techs: Vec<WirelessTech>,
+    /// Primary-path selection policy.
+    pub primary_policy: PrimaryPathPolicy,
+    /// Negotiate multipath at all (false → single-path fallback test).
+    pub enable_multipath: bool,
+    /// RNG/CID seed.
+    pub seed: u64,
+    /// Couple congestion control across paths (LIA; §9).
+    pub coupled_cc: bool,
+    /// Send QoE feedback as the draft's standalone QOE_CONTROL_SIGNALS
+    /// frame (decoupled from ACK cadence) instead of the ACK_MP field the
+    /// paper's experiments used (§6: "the current XLINK implementation
+    /// sends QoE feedback as an additional field in ACK_MP frame").
+    pub standalone_qoe_frames: bool,
+}
+
+impl MpConfig {
+    /// XLINK client defaults over the given wireless paths.
+    pub fn xlink_client(seed: u64, path_techs: Vec<WirelessTech>) -> Self {
+        MpConfig {
+            side: Side::Client,
+            psk: b"xlink-demo-psk".to_vec(),
+            params: TransportParams::default(),
+            cc: CcAlgorithm::Cubic,
+            scheduler: SchedulerKind::MinRtt,
+            reinject_mode: ReinjectMode::FramePriority,
+            qoe_control: QoeControl::double_threshold_ms(300, 1500),
+            ack_policy: AckPathPolicy::FastestPath,
+            path_techs,
+            primary_policy: PrimaryPathPolicy::default(),
+            enable_multipath: true,
+            seed,
+            coupled_cc: false,
+            standalone_qoe_frames: false,
+        }
+    }
+
+    /// XLINK server defaults.
+    pub fn xlink_server(seed: u64, num_paths: usize) -> Self {
+        MpConfig {
+            side: Side::Server,
+            ..MpConfig::xlink_client(seed, vec![WirelessTech::Wifi; num_paths])
+        }
+    }
+
+    /// vanilla-MP policy set (min-RTT, no re-injection, original-path ACK).
+    pub fn vanilla(mut self) -> Self {
+        self.scheduler = SchedulerKind::MinRtt;
+        self.qoe_control = QoeControl::AlwaysOff;
+        self.ack_policy = AckPathPolicy::OriginalPath;
+        self.reinject_mode = ReinjectMode::Appending;
+        self
+    }
+}
+
+/// Lifecycle of one path.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum PathState {
+    /// PATH_CHALLENGE sent/awaited; not yet usable for data.
+    Validating,
+    /// Usable for transmission.
+    Active,
+    /// Alive but not preferred (PATH_STATUS Standby).
+    Standby,
+    /// Closed; resources released (PATH_STATUS Abandon).
+    Abandoned,
+}
+
+/// What a transmitted packet carried (per-path recovery metadata).
+#[derive(Debug, Clone)]
+enum FrameInfo {
+    Stream { id: u64, range: SendRange, fin: bool, reinjected: bool },
+    Crypto,
+    Ack { path_id: u64, largest: u64 },
+    HandshakeDone,
+    Control(Frame),
+    Challenge([u8; 8]),
+    Ping,
+}
+
+#[derive(Debug, Clone, Default)]
+struct PacketContent {
+    frames: Vec<FrameInfo>,
+}
+
+/// Per-path transport state.
+pub struct MpPath {
+    /// Path index == CID sequence number bound to this path.
+    pub id: usize,
+    /// Lifecycle state.
+    pub state: PathState,
+    /// Wireless technology tag.
+    pub tech: WirelessTech,
+    recovery: Recovery<PacketContent>,
+    /// RTT estimator for this path.
+    pub rtt: RttEstimator,
+    cc: Box<dyn CongestionController>,
+    /// Packet numbers received on this path.
+    recv_ranges: AckRanges,
+    ack_pending: bool,
+    last_recv_time: Instant,
+    /// Destination CID bound to this path.
+    dcid: ConnectionId,
+    probe_pending: bool,
+    /// Outstanding local challenge payload.
+    challenge: Option<[u8; 8]>,
+    /// PATH_STATUS sequence number we last sent.
+    status_seq: u64,
+    /// Bytes sent on this path (wire level).
+    pub bytes_sent: u64,
+    /// Bytes received on this path (wire level).
+    pub bytes_received: u64,
+}
+
+impl std::fmt::Debug for MpPath {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        f.debug_struct("MpPath")
+            .field("id", &self.id)
+            .field("state", &self.state)
+            .field("tech", &self.tech)
+            .finish_non_exhaustive()
+    }
+}
+
+impl MpPath {
+    fn new(id: usize, tech: WirelessTech, cc: Box<dyn CongestionController>, dcid: ConnectionId, now: Instant) -> Self {
+        MpPath {
+            id,
+            state: PathState::Validating,
+            tech,
+            recovery: Recovery::new(),
+            rtt: RttEstimator::new(),
+            cc,
+            recv_ranges: AckRanges::new(),
+            ack_pending: false,
+            last_recv_time: now,
+            dcid,
+            probe_pending: false,
+            challenge: None,
+            status_seq: 0,
+            bytes_sent: 0,
+            bytes_received: 0,
+        }
+    }
+
+    /// Congestion window of this path.
+    pub fn cwnd(&self) -> u64 {
+        self.cc.window()
+    }
+
+    /// Bytes currently in flight on this path.
+    pub fn bytes_in_flight(&self) -> u64 {
+        self.recovery.bytes_in_flight()
+    }
+
+    /// Spare congestion budget.
+    fn budget(&self) -> u64 {
+        self.cc.window().saturating_sub(self.recovery.bytes_in_flight())
+    }
+
+    fn usable_for_data(&self) -> bool {
+        self.state == PathState::Active
+    }
+}
+
+/// Experiment counters.
+#[derive(Debug, Clone, Copy, Default)]
+pub struct MpStats {
+    /// Datagrams sent across all paths.
+    pub packets_sent: u64,
+    /// Datagrams received and decrypted.
+    pub packets_received: u64,
+    /// Packets declared lost.
+    pub packets_lost: u64,
+    /// Stream payload bytes sent for the first time.
+    pub stream_bytes_sent: u64,
+    /// Loss-triggered retransmitted payload bytes.
+    pub stream_bytes_retransmitted: u64,
+    /// Re-injected (proactively duplicated) payload bytes — the paper's
+    /// cost metric numerator.
+    pub reinjected_bytes: u64,
+    /// Number of re-injection events.
+    pub reinjections: u64,
+    /// Wire bytes sent.
+    pub bytes_sent: u64,
+    /// Wire bytes received.
+    pub bytes_received: u64,
+    /// Undecryptable/unparseable datagrams.
+    pub packets_dropped: u64,
+    /// ACK_MP frames sent.
+    pub acks_sent: u64,
+}
+
+impl MpStats {
+    /// The paper's redundancy ratio: re-injected bytes over total stream
+    /// payload bytes sent (first-time + retransmit + re-injected).
+    pub fn redundancy_ratio(&self) -> f64 {
+        let total =
+            self.stream_bytes_sent + self.stream_bytes_retransmitted + self.reinjected_bytes;
+        if total == 0 {
+            0.0
+        } else {
+            self.reinjected_bytes as f64 / total as f64
+        }
+    }
+}
+
+/// Connection lifecycle.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub enum MpState {
+    /// Handshaking on the primary path.
+    Handshaking,
+    /// Established (single- or multi-path).
+    Established,
+    /// Closed.
+    Closed(ConnectionError),
+}
+
+/// The multipath connection.
+pub struct MpConnection {
+    cfg: MpConfig,
+    state: MpState,
+    handshake: Handshake,
+    handshake_sent: bool,
+    handshake_done_sent: bool,
+    keys: Option<KeyPair>,
+    initial_keys: KeyPair,
+    cids: CidManager,
+    /// CID we address the peer with on the primary path before extra CIDs
+    /// are exchanged.
+    remote_cid0: ConnectionId,
+    local_cid0: ConnectionId,
+    /// Paths indexed by path id (== network path index == CID seq).
+    paths: Vec<MpPath>,
+    /// The wireless-aware primary path (handshake path).
+    primary: usize,
+    streams: StreamMap,
+    /// True once both sides advertised enable_multipath.
+    multipath: bool,
+    /// Client: next path to initiate.
+    cids_advertised: bool,
+    /// Latest QoE snapshot from the local video player (client side).
+    local_qoe: Option<QoeSignal>,
+    /// Latest QoE snapshot received from the peer (server side).
+    peer_qoe: Option<QoeSignal>,
+    /// Re-injection dedup ledger.
+    ledger: ReinjectLedger,
+    rr: RoundRobinState,
+    control_queue: Vec<Frame>,
+    close_frame_pending: Option<(TransportError, String)>,
+    last_activity: Instant,
+    idle_timeout: Duration,
+    stats: MpStats,
+    /// Time-series probe: (time, path, cwnd, bytes_in_flight) recorded on
+    /// each send when enabled (Fig. 1 dynamics experiment).
+    pub probe_cwnd: Option<Vec<(Instant, usize, u64, u64)>>,
+}
+
+impl std::fmt::Debug for MpConnection {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        f.debug_struct("MpConnection")
+            .field("side", &self.cfg.side)
+            .field("state", &self.state)
+            .field("paths", &self.paths.len())
+            .finish_non_exhaustive()
+    }
+}
+
+fn seed_random(seed: u64, salt: u64) -> [u8; 16] {
+    let a = ConnectionId::derive(seed, salt).0;
+    let b = ConnectionId::derive(seed ^ 0x5a5a, salt.wrapping_add(7)).0;
+    let mut r = [0u8; 16];
+    r[..8].copy_from_slice(&a);
+    r[8..].copy_from_slice(&b);
+    r
+}
+
+impl MpConnection {
+    /// Create an endpoint. `cfg.path_techs.len()` network paths exist;
+    /// the client starts the handshake on the wireless-aware primary.
+    pub fn new(mut cfg: MpConfig, now: Instant) -> Self {
+        cfg.params.enable_multipath = cfg.enable_multipath;
+        let is_client = cfg.side == Side::Client;
+        let handshake = Handshake::new(
+            is_client,
+            &cfg.psk,
+            seed_random(cfg.seed, 0x4d50),
+            cfg.params.clone(),
+        );
+        let initial_keys = derive_keys(&cfg.psk, &[0x33; 16], &[0x44; 16]);
+        let mut cids = CidManager::new(cfg.seed);
+        let local0 = cids.issue_local();
+        let remote_cid0 = ConnectionId::derive(0x1318, 0);
+        let candidates: Vec<(usize, WirelessTech)> =
+            cfg.path_techs.iter().copied().enumerate().collect();
+        let primary = cfg.primary_policy.select_primary(&candidates);
+        let p = &cfg.params;
+        let streams = StreamMap::new(
+            cfg.side,
+            p.initial_max_data,
+            p.initial_max_stream_data,
+            p.initial_max_data,
+            p.initial_max_stream_data,
+            p.initial_max_streams_bidi,
+        );
+        let mut paths = Vec::new();
+        for (i, &tech) in cfg.path_techs.iter().enumerate() {
+            let mut path = MpPath::new(i, tech, cfg.cc.build(), remote_cid0, now);
+            // The primary path is implicitly validated by the handshake.
+            path.state = if i == primary { PathState::Active } else { PathState::Validating };
+            paths.push(path);
+        }
+        let idle_timeout = cfg.params.max_idle_timeout;
+        MpConnection {
+            state: MpState::Handshaking,
+            handshake,
+            handshake_sent: false,
+            handshake_done_sent: false,
+            keys: None,
+            initial_keys,
+            cids,
+            remote_cid0,
+            local_cid0: local0.cid,
+            paths,
+            primary,
+            streams,
+            multipath: false,
+            cids_advertised: false,
+            local_qoe: None,
+            peer_qoe: None,
+            ledger: ReinjectLedger::default(),
+            rr: RoundRobinState::default(),
+            control_queue: Vec::new(),
+            close_frame_pending: None,
+            last_activity: now,
+            idle_timeout,
+            stats: MpStats::default(),
+            probe_cwnd: None,
+            cfg,
+        }
+    }
+
+    // ---------------------------------------------------------------
+    // Introspection
+    // ---------------------------------------------------------------
+
+    /// Current lifecycle state.
+    pub fn state(&self) -> &MpState {
+        &self.state
+    }
+
+    /// True once established.
+    pub fn is_established(&self) -> bool {
+        self.state == MpState::Established
+    }
+
+    /// True when closed.
+    pub fn is_closed(&self) -> bool {
+        matches!(self.state, MpState::Closed(_))
+    }
+
+    /// True once multipath was negotiated (vs single-path fallback).
+    pub fn multipath_negotiated(&self) -> bool {
+        self.multipath
+    }
+
+    /// Index of the primary (handshake) path.
+    pub fn primary_path(&self) -> usize {
+        self.primary
+    }
+
+    /// Per-path view.
+    pub fn paths(&self) -> &[MpPath] {
+        &self.paths
+    }
+
+    /// Statistics snapshot.
+    pub fn stats(&self) -> MpStats {
+        self.stats
+    }
+
+    /// Latest peer QoE feedback (server side).
+    pub fn peer_qoe(&self) -> Option<&QoeSignal> {
+        self.peer_qoe.as_ref()
+    }
+
+    /// Access streams.
+    pub fn streams(&self) -> &StreamMap {
+        &self.streams
+    }
+
+    /// Mutable access to streams.
+    pub fn streams_mut(&mut self) -> &mut StreamMap {
+        &mut self.streams
+    }
+
+    /// Whether re-injection is currently enabled (Alg. 1 output; exposed
+    /// for the Fig. 6 dynamics probe).
+    pub fn reinjection_enabled(&self) -> bool {
+        let mdt = max_deliver_time(
+            self.paths
+                .iter()
+                .map(|p| (&p.rtt, p.recovery.has_ack_eliciting_in_flight())),
+        );
+        reinjection_decision(self.cfg.qoe_control, self.peer_qoe.as_ref(), mdt)
+    }
+
+    // ---------------------------------------------------------------
+    // Application API
+    // ---------------------------------------------------------------
+
+    /// Open a bidirectional stream with a scheduling priority (lower =
+    /// earlier video portion = more urgent).
+    pub fn open_stream(&mut self, priority: u8) -> u64 {
+        self.streams.open(priority)
+    }
+
+    /// Plain stream write (the standard QUIC API).
+    pub fn stream_send(&mut self, id: u64, data: &[u8], fin: bool) {
+        let s = self.streams.get_mut(id).expect("unknown stream");
+        if !data.is_empty() {
+            s.send.write(data);
+        }
+        if fin {
+            s.send.finish();
+        }
+    }
+
+    /// The paper's `stream_send` API with video-frame priority: tags the
+    /// byte span so frame-priority re-injection can accelerate it (§5.1,
+    /// "position and size parameters that indicate the video frame's
+    /// relative location").
+    pub fn stream_send_with_frame_priority(
+        &mut self,
+        id: u64,
+        data: &[u8],
+        frame_priority: u8,
+        fin: bool,
+    ) {
+        let s = self.streams.get_mut(id).expect("unknown stream");
+        if !data.is_empty() {
+            s.send.write_with_priority(data, frame_priority);
+        }
+        if fin {
+            s.send.finish();
+        }
+    }
+
+    /// Read available data from a stream.
+    pub fn stream_recv(&mut self, id: u64, max: usize) -> Vec<u8> {
+        let Some(s) = self.streams.get_mut(id) else {
+            return Vec::new();
+        };
+        let data = s.recv.read(max);
+        if let Some(new_max) = s.recv.wants_max_data_update() {
+            self.control_queue.push(Frame::MaxStreamData { stream_id: id, max: new_max });
+        }
+        if let Some(new_max) = self.streams.wants_conn_max_data_update() {
+            self.control_queue.push(Frame::MaxData(new_max));
+        }
+        data
+    }
+
+    /// Feed the latest player QoE snapshot (client side). By default it
+    /// rides on the next ACK_MP (paper Fig. 16); with
+    /// `standalone_qoe_frames` it is sent immediately in its own
+    /// QOE_CONTROL_SIGNALS frame whenever the snapshot changes — the
+    /// draft's variant that is "not restricted by ACK frequency" (§6).
+    pub fn set_qoe(&mut self, q: QoeSignal) {
+        let changed = self.local_qoe != Some(q);
+        self.local_qoe = Some(q);
+        if self.cfg.standalone_qoe_frames && changed && self.multipath && self.is_established() {
+            self.control_queue.push(Frame::QoeControlSignals(q));
+        }
+    }
+
+    /// Mark a path standby/available (sends PATH_STATUS).
+    pub fn set_path_status(&mut self, path: usize, status: PathStatusKind) {
+        let Some(p) = self.paths.get_mut(path) else {
+            return;
+        };
+        p.status_seq += 1;
+        match status {
+            PathStatusKind::Abandon => p.state = PathState::Abandoned,
+            PathStatusKind::Standby => p.state = PathState::Standby,
+            PathStatusKind::Available => {
+                if p.state != PathState::Abandoned {
+                    p.state = PathState::Active;
+                }
+            }
+        }
+        let seq = p.status_seq;
+        self.control_queue.push(Frame::PathStatus { path_id: path as u64, seq, status });
+        if status == PathStatusKind::Abandon {
+            self.requeue_path_inflight(path);
+        }
+    }
+
+    /// Close the connection.
+    pub fn close(&mut self, error: TransportError, reason: &str) {
+        if !self.is_closed() {
+            self.close_frame_pending = Some((error, reason.to_string()));
+            self.state = MpState::Closed(ConnectionError::LocallyClosed(error));
+        }
+    }
+
+    /// When a path dies, its in-flight stream data must be requeued so
+    /// other paths can carry it.
+    fn requeue_path_inflight(&mut self, path: usize) {
+        let drained = self.paths[path].recovery.drain_all();
+        for pkt in drained {
+            for info in pkt.content.frames {
+                if let FrameInfo::Stream { id, range, fin, .. } = info {
+                    if let Some(s) = self.streams.get_mut(id) {
+                        s.send.on_range_lost(range, fin);
+                    }
+                }
+            }
+        }
+    }
+
+    // ---------------------------------------------------------------
+    // Receive path
+    // ---------------------------------------------------------------
+
+    /// Ingest a datagram that arrived on network path `path`.
+    pub fn handle_datagram(&mut self, now: Instant, path: usize, datagram: &[u8]) {
+        if path >= self.paths.len() {
+            self.stats.packets_dropped += 1;
+            return;
+        }
+        self.stats.bytes_received += datagram.len() as u64;
+        self.paths[path].bytes_received += datagram.len() as u64;
+        let Ok((header, payload_off)) = Header::decode(datagram) else {
+            self.stats.packets_dropped += 1;
+            return;
+        };
+        let is_initial = header.ty.is_long();
+        let largest = self.paths[path].recv_ranges.largest();
+        let pn = pn_decode(header.pn, header.pn_len, largest);
+        let aad = &datagram[..payload_off];
+        let sealed = &datagram[payload_off..];
+        let recv_is_client_data = self.cfg.side == Side::Server;
+        let key = if is_initial {
+            if recv_is_client_data {
+                self.initial_keys.client.clone()
+            } else {
+                self.initial_keys.server.clone()
+            }
+        } else {
+            match &self.keys {
+                Some(kp) => {
+                    if recv_is_client_data {
+                        kp.client.clone()
+                    } else {
+                        kp.server.clone()
+                    }
+                }
+                None => {
+                    self.stats.packets_dropped += 1;
+                    return;
+                }
+            }
+        };
+        // Multipath nonce: CID sequence number = path id (§6).
+        let plain = match key.open(path as u32, pn, aad, sealed) {
+            Ok(p) => p,
+            Err(_) => {
+                self.stats.packets_dropped += 1;
+                return;
+            }
+        };
+        if !self.paths[path].recv_ranges.insert(pn) {
+            return; // duplicate
+        }
+        self.stats.packets_received += 1;
+        self.last_activity = now;
+        if is_initial {
+            self.remote_cid0 = header.scid;
+            // The primary path's DCID is the peer's handshake CID.
+            let primary = self.primary;
+            self.paths[primary].dcid = header.scid;
+        }
+        // Receiving anything valid on a validating path activates it for
+        // the server side (the client waits for PATH_RESPONSE).
+        if self.paths[path].state == PathState::Validating && self.cfg.side == Side::Server {
+            self.paths[path].state = PathState::Active;
+        }
+        let frames = match Frame::decode_all(&plain) {
+            Ok(f) => f,
+            Err(_) => {
+                self.close(TransportError::FrameEncodingError, "bad frame");
+                return;
+            }
+        };
+        let mut ack_eliciting = false;
+        for frame in frames {
+            if frame.is_ack_eliciting() {
+                ack_eliciting = true;
+            }
+            self.on_frame(now, path, frame);
+            if self.is_closed() && self.close_frame_pending.is_none() {
+                return;
+            }
+        }
+        if ack_eliciting {
+            self.paths[path].ack_pending = true;
+            self.paths[path].last_recv_time = now;
+        }
+    }
+
+    fn on_frame(&mut self, now: Instant, _path_hint: usize, frame: Frame) {
+        match frame {
+            Frame::Padding(_) | Frame::Ping => {}
+            Frame::Crypto { data, .. } => {
+                if self.handshake.is_complete() {
+                    return;
+                }
+                let Ok(hello) = Hello::decode(&data) else {
+                    self.close(TransportError::TransportParameterError, "bad hello");
+                    return;
+                };
+                match self.handshake.on_peer_hello(hello) {
+                    Ok(kp) => {
+                        self.keys = Some(kp);
+                        self.multipath = self.handshake.multipath_negotiated();
+                        if let Some(p) = self.handshake.peer_params() {
+                            self.streams.on_max_data(p.initial_max_data);
+                        }
+                        self.state = MpState::Established;
+                    }
+                    Err(_) => {
+                        self.close(TransportError::TransportParameterError, "hello rejected")
+                    }
+                }
+            }
+            Frame::Ack(ack) => {
+                // Plain ACK: only valid pre-multipath on the primary path.
+                self.on_ack(now, self.primary, ack);
+            }
+            Frame::AckMp(ack) => {
+                if !self.multipath && self.is_established() {
+                    self.close(TransportError::ProtocolViolation, "ACK_MP without negotiation");
+                    return;
+                }
+                let space = ack.path_id as usize;
+                if space >= self.paths.len() {
+                    self.close(TransportError::MultipathError, "unknown path in ACK_MP");
+                    return;
+                }
+                if let Some(q) = ack.qoe {
+                    self.peer_qoe = Some(q);
+                }
+                self.on_ack(now, space, ack);
+            }
+            Frame::Stream { stream_id, offset, data, fin } => {
+                let prev_high;
+                {
+                    let Ok(s) = self.streams.get_or_open_peer(stream_id) else {
+                        self.close(TransportError::StreamStateError, "bad stream");
+                        return;
+                    };
+                    prev_high = s.recv.highest_recv();
+                    if let Err(e) = s.recv.on_data(offset, &data, fin) {
+                        self.close(e, "stream data");
+                        return;
+                    }
+                }
+                let new_high = self
+                    .streams
+                    .get(stream_id)
+                    .map(|s| s.recv.highest_recv())
+                    .unwrap_or(prev_high);
+                if new_high > prev_high {
+                    if let Err(e) = self.streams.on_conn_data_received(new_high - prev_high) {
+                        self.close(e, "conn flow control");
+                    }
+                }
+            }
+            Frame::MaxData(v) => self.streams.on_max_data(v),
+            Frame::MaxStreamData { stream_id, max } => {
+                if let Some(s) = self.streams.get_mut(stream_id) {
+                    s.send.set_max_data(max);
+                }
+            }
+            Frame::MaxStreams(_) | Frame::DataBlocked(_) | Frame::StreamDataBlocked { .. } => {}
+            Frame::ResetStream { stream_id, final_size, .. } => {
+                if let Ok(s) = self.streams.get_or_open_peer(stream_id) {
+                    let _ = s.recv.on_reset(final_size);
+                }
+            }
+            Frame::StopSending { stream_id, .. } => {
+                if let Some(s) = self.streams.get_mut(stream_id) {
+                    let final_size = s.send.reset();
+                    self.control_queue.push(Frame::ResetStream {
+                        stream_id,
+                        error_code: 0,
+                        final_size,
+                    });
+                }
+            }
+            Frame::NewConnectionId(ic) => {
+                self.cids.store_remote(ic);
+                // Bind the CID with seq == path id to that path.
+                let seq = ic.seq as usize;
+                if seq < self.paths.len() {
+                    self.paths[seq].dcid = ic.cid;
+                }
+            }
+            Frame::RetireConnectionId { .. } => {}
+            Frame::PathChallenge(data) => {
+                // Respond on the same path (challenges validate a path).
+                self.control_queue.push(Frame::PathResponse(data));
+            }
+            Frame::PathResponse(data) => {
+                // A PATH_RESPONSE may return on a different path than the
+                // challenged one (especially with fastest-path ACK
+                // strategies on the peer); match by payload.
+                for p in &mut self.paths {
+                    if p.challenge == Some(data) {
+                        p.challenge = None;
+                        if p.state == PathState::Validating {
+                            p.state = PathState::Active;
+                        }
+                    }
+                }
+            }
+            Frame::HandshakeDone => {}
+            Frame::ConnectionClose { error_code, .. } => {
+                self.state = MpState::Closed(ConnectionError::PeerClosed(
+                    TransportError::from_code(error_code),
+                ));
+            }
+            Frame::PathStatus { path_id, seq: _, status } => {
+                let pid = path_id as usize;
+                if pid >= self.paths.len() {
+                    return;
+                }
+                match status {
+                    PathStatusKind::Abandon => {
+                        self.paths[pid].state = PathState::Abandoned;
+                        self.requeue_path_inflight(pid);
+                    }
+                    PathStatusKind::Standby => {
+                        if self.paths[pid].state == PathState::Active {
+                            self.paths[pid].state = PathState::Standby;
+                        }
+                    }
+                    PathStatusKind::Available => {
+                        if self.paths[pid].state == PathState::Standby {
+                            self.paths[pid].state = PathState::Active;
+                        }
+                    }
+                }
+            }
+            Frame::QoeControlSignals(q) => {
+                self.peer_qoe = Some(q);
+            }
+        }
+    }
+
+    fn on_ack(&mut self, now: Instant, space: usize, ack: AckFrame) {
+        if space >= self.paths.len() {
+            return;
+        }
+        let rtt_before = self.paths[space].rtt.clone();
+        let outcome = {
+            let p = &mut self.paths[space];
+            p.recovery.on_ack_received(
+                now,
+                ack.ranges_ascending().map(|r| (r.start, r.end)),
+                &mut p.rtt,
+                ack.ack_delay,
+            )
+        };
+        let _ = rtt_before;
+        for pkt in &outcome.acked {
+            if pkt.ack_eliciting {
+                let rtt = self.paths[space].rtt.smoothed();
+                self.paths[space].cc.on_ack(now, pkt.time_sent, pkt.size, rtt);
+            }
+            let frames = pkt.content.frames.clone();
+            for info in frames {
+                match info {
+                    FrameInfo::Stream { id, range, fin, .. } => {
+                        if let Some(s) = self.streams.get_mut(id) {
+                            s.send.on_range_acked(range, fin);
+                        }
+                    }
+                    FrameInfo::Ack { path_id, largest } => {
+                        let pid = path_id as usize;
+                        if pid < self.paths.len() && largest > 512 {
+                            self.paths[pid].recv_ranges.forget_below(largest - 512);
+                        }
+                    }
+                    FrameInfo::HandshakeDone => {
+                        self.handshake_done_sent = true;
+                    }
+                    _ => {}
+                }
+            }
+        }
+        if !outcome.lost.is_empty() {
+            self.on_packets_lost(now, space, &outcome.lost);
+        }
+        if self.cfg.coupled_cc {
+            self.recompute_coupling();
+        }
+    }
+
+    fn recompute_coupling(&mut self) {
+        let snapshot: Vec<(u64, Duration)> = self
+            .paths
+            .iter()
+            .filter(|p| p.usable_for_data())
+            .map(|p| (p.cc.window(), p.rtt.smoothed()))
+            .collect();
+        let alpha = xlink_quic::cc::CoupledLia::compute_alpha(&snapshot);
+        for p in &mut self.paths {
+            p.cc.set_coupling(alpha);
+        }
+    }
+
+    fn on_packets_lost(&mut self, now: Instant, space: usize, lost: &[SentPacket<PacketContent>]) {
+        self.stats.packets_lost += lost.len() as u64;
+        let mut newest: Option<Instant> = None;
+        for pkt in lost {
+            if pkt.in_flight {
+                newest = Some(newest.map_or(pkt.time_sent, |t| t.max(pkt.time_sent)));
+            }
+            for info in pkt.content.frames.clone() {
+                match info {
+                    FrameInfo::Stream { id, range, fin, reinjected } => {
+                        if let Some(s) = self.streams.get_mut(id) {
+                            // A lost re-injected copy is not retransmitted
+                            // on its own — the original (or another copy)
+                            // still covers it; only requeue originals.
+                            if !reinjected {
+                                s.send.on_range_lost(range, fin);
+                                self.stats.stream_bytes_retransmitted += range.len();
+                            }
+                        }
+                    }
+                    FrameInfo::Crypto => self.handshake_sent = false,
+                    FrameInfo::HandshakeDone => self.handshake_done_sent = false,
+                    FrameInfo::Control(f) => self.control_queue.push(f),
+                    FrameInfo::Challenge(data) => {
+                        // Re-arm the challenge for this path.
+                        if self.paths[space].state == PathState::Validating {
+                            self.paths[space].challenge = Some(data);
+                            self.control_queue.push(Frame::PathChallenge(data));
+                        }
+                    }
+                    FrameInfo::Ack { .. } | FrameInfo::Ping => {}
+                }
+            }
+        }
+        if let Some(t) = newest {
+            self.paths[space].cc.on_congestion_event(now, t);
+        }
+    }
+
+    // ---------------------------------------------------------------
+    // Transmit path
+    // ---------------------------------------------------------------
+
+    /// Produce the next (network path, datagram) to transmit.
+    pub fn poll_transmit(&mut self, now: Instant) -> Option<(usize, Vec<u8>)> {
+        if let Some((err, reason)) = self.close_frame_pending.take() {
+            let frame =
+                Frame::ConnectionClose { error_code: err.code(), reason: reason.into_bytes() };
+            let path = self.primary;
+            let initial = self.keys.is_none();
+            return Some((path, self.build_packet(now, path, initial, vec![frame], vec![], false)));
+        }
+        if self.is_closed() {
+            return None;
+        }
+        // 1. Handshake on the primary path.
+        if !self.handshake_sent
+            && (self.cfg.side == Side::Client || self.handshake.is_complete())
+        {
+            self.handshake_sent = true;
+            let hello = self.handshake.local_hello().encode();
+            let path = self.primary;
+            let frames = vec![Frame::Crypto { offset: 0, data: hello }];
+            let infos = vec![FrameInfo::Crypto];
+            return Some((path, self.build_packet(now, path, true, frames, infos, true)));
+        }
+        if !self.is_established() {
+            // Still ack initial packets.
+            return self.poll_ack(now, true);
+        }
+        // 2. Server HANDSHAKE_DONE.
+        if self.cfg.side == Side::Server && !self.handshake_done_sent {
+            self.handshake_done_sent = true;
+            let path = self.primary;
+            return Some((
+                path,
+                self.build_packet(
+                    now,
+                    path,
+                    false,
+                    vec![Frame::HandshakeDone],
+                    vec![FrameInfo::HandshakeDone],
+                    true,
+                ),
+            ));
+        }
+        // 3. Advertise CIDs for the extra paths (both sides, once).
+        if self.multipath && !self.cids_advertised {
+            self.cids_advertised = true;
+            for _ in 1..self.paths.len() {
+                let issued = self.cids.issue_local();
+                self.control_queue.push(Frame::NewConnectionId(issued));
+            }
+        }
+        // 4. Client: initiate validation of extra paths once the peer has
+        // provided CIDs for them.
+        if self.multipath && self.cfg.side == Side::Client {
+            if let Some(tx) = self.poll_path_validation(now) {
+                return Some(tx);
+            }
+        }
+        // 5. ACKs.
+        if let Some(tx) = self.poll_ack(now, false) {
+            return Some(tx);
+        }
+        // 6. PTO probes.
+        for i in 0..self.paths.len() {
+            if self.paths[i].probe_pending && self.paths[i].state != PathState::Abandoned {
+                self.paths[i].probe_pending = false;
+                return Some((
+                    i,
+                    self.build_packet(now, i, false, vec![Frame::Ping], vec![FrameInfo::Ping], true),
+                ));
+            }
+        }
+        // 7. Data (new data or re-injection) via the scheduler.
+        self.poll_data(now)
+    }
+
+    /// Pending-ACK transmission, honoring the ACK path policy.
+    fn poll_ack(&mut self, now: Instant, initial_space: bool) -> Option<(usize, Vec<u8>)> {
+        let space = (0..self.paths.len()).find(|&i| self.paths[i].ack_pending)?;
+        self.paths[space].ack_pending = false;
+        let delay = now - self.paths[space].last_recv_time;
+        let mut ack = AckFrame::from_ranges(space as u64, &self.paths[space].recv_ranges, delay)?;
+        // Before multipath negotiation (or on single-path fallback), use
+        // plain ACK on the primary path.
+        let (frame, info, send_path) = if !self.multipath || initial_space {
+            ack.path_id = 0;
+            let largest = ack.largest;
+            (Frame::Ack(ack), FrameInfo::Ack { path_id: space as u64, largest }, space)
+        } else {
+            // Attach the freshest QoE snapshot (client side) unless the
+            // standalone-frame mode carries it separately.
+            if !self.cfg.standalone_qoe_frames {
+                ack.qoe = self.local_qoe;
+            }
+            let largest = ack.largest;
+            let send_path = match self.cfg.ack_policy {
+                AckPathPolicy::OriginalPath => space,
+                AckPathPolicy::FastestPath => self.fastest_active_path().unwrap_or(space),
+            };
+            (Frame::AckMp(ack), FrameInfo::Ack { path_id: space as u64, largest }, send_path)
+        };
+        self.stats.acks_sent += 1;
+        Some((
+            send_path,
+            self.build_packet(now, send_path, initial_space, vec![frame], vec![info], false),
+        ))
+    }
+
+    fn fastest_active_path(&self) -> Option<usize> {
+        self.paths
+            .iter()
+            .filter(|p| p.usable_for_data())
+            .min_by_key(|p| (p.rtt.smoothed(), p.id))
+            .map(|p| p.id)
+    }
+
+    /// Client-side extra-path validation: send PATH_CHALLENGE on each
+    /// validating path that has a bound CID and no outstanding challenge.
+    fn poll_path_validation(&mut self, now: Instant) -> Option<(usize, Vec<u8>)> {
+        // Need an unused remote CID per extra path; they are bound by seq
+        // on arrival (see NewConnectionId handling).
+        for i in 0..self.paths.len() {
+            if i == self.primary {
+                continue;
+            }
+            let needs_challenge = {
+                let p = &self.paths[i];
+                p.state == PathState::Validating
+                    && p.challenge.is_none()
+                    && p.dcid != self.remote_cid0
+            };
+            if needs_challenge {
+                let mut data = [0u8; 8];
+                data.copy_from_slice(&ConnectionId::derive(self.cfg.seed ^ 0xc4a1, i as u64).0);
+                self.paths[i].challenge = Some(data);
+                return Some((
+                    i,
+                    self.build_packet(
+                        now,
+                        i,
+                        false,
+                        vec![Frame::PathChallenge(data)],
+                        vec![FrameInfo::Challenge(data)],
+                        true,
+                    ),
+                ));
+            }
+        }
+        None
+    }
+
+    /// New-data / re-injection transmission.
+    fn poll_data(&mut self, now: Instant) -> Option<(usize, Vec<u8>)> {
+        self.ledger.expire(now, Duration::from_secs(10));
+        // Redundant scheduler: send each fresh chunk on every path.
+        if self.cfg.scheduler == SchedulerKind::Redundant {
+            return self.poll_data_redundant(now);
+        }
+        let candidates: Vec<(usize, Duration, bool)> = self
+            .paths
+            .iter()
+            .map(|p| {
+                (
+                    p.id,
+                    p.rtt.smoothed(),
+                    p.usable_for_data() && p.budget() >= MAX_DATAGRAM_SIZE,
+                )
+            })
+            .collect();
+        let path = match self.cfg.scheduler {
+            SchedulerKind::MinRtt => min_rtt_choice(&candidates),
+            SchedulerKind::RoundRobin => self.rr.choose(&candidates),
+            SchedulerKind::Ecf => ecf_choice(&candidates),
+            SchedulerKind::Redundant => unreachable!(),
+        }?;
+        // Priority preemption (Fig. 4b/4c): a re-injection candidate whose
+        // (stream, frame) priority beats the best *unsent* data jumps the
+        // queue — this is what lets a stranded first-video-frame packet
+        // overtake later frames of its own stream.
+        let reinjection_on = self.reinjection_enabled();
+        if reinjection_on && self.reinject_preempts_new_data(path) {
+            if let Some(tx) = self.try_reinject(now, path) {
+                return Some(tx);
+            }
+        }
+        // New data on this path.
+        if let Some(tx) = self.try_send_new_data(now, path) {
+            return Some(tx);
+        }
+        // No new data eligible: consider re-injection (XLINK §5.1-5.2).
+        if reinjection_on {
+            if let Some(tx) = self.try_reinject(now, path) {
+                return Some(tx);
+            }
+        }
+        // Other paths may still have new-data room (e.g. the min-RTT path
+        // was flow-control-limited for its streams — rare, but cover it).
+        for &(i, _, ok) in &candidates {
+            if ok && i != path {
+                if let Some(tx) = self.try_send_new_data(now, i) {
+                    return Some(tx);
+                }
+            }
+        }
+        None
+    }
+
+    /// Build a datagram of fresh stream data + control frames for `path`.
+    fn try_send_new_data(&mut self, now: Instant, path: usize) -> Option<(usize, Vec<u8>)> {
+        let budget = self.paths[path].budget();
+        if budget < MAX_DATAGRAM_SIZE / 2 {
+            return None;
+        }
+        let mut frames = Vec::new();
+        let mut infos = Vec::new();
+        let mut remaining = MAX_DATAGRAM_SIZE as usize - 64;
+        while let Some(f) = self.control_queue.pop() {
+            let mut w = Writer::new();
+            f.encode(&mut w);
+            if w.len() > remaining {
+                self.control_queue.push(f);
+                break;
+            }
+            remaining -= w.len();
+            infos.push(FrameInfo::Control(f.clone()));
+            frames.push(f);
+        }
+        for id in self.streams.sendable_ids() {
+            if remaining < 48 {
+                break;
+            }
+            let conn_credit = self.streams.conn_send_credit();
+            let stream = self.streams.get_mut(id).expect("sendable");
+            let max_payload = remaining.saturating_sub(24);
+            let before_largest = stream.send.largest_sent();
+            let Some((offset, data, fin)) = stream.send.take_chunk(max_payload) else {
+                // A data-less FIN is only legal once every byte has been
+                // sent; a flow-control-blocked stream must wait.
+                if stream.send.fin_pending() && stream.send.data_fully_sent() {
+                    let offset = stream.send.len();
+                    frames.push(Frame::Stream {
+                        stream_id: id,
+                        offset,
+                        data: Vec::new(),
+                        fin: true,
+                    });
+                    infos.push(FrameInfo::Stream {
+                        id,
+                        range: SendRange { start: offset, end: offset },
+                        fin: true,
+                        reinjected: false,
+                    });
+                    stream.send.mark_fin_sent();
+                }
+                continue;
+            };
+            let end = offset + data.len() as u64;
+            let new_bytes = end.saturating_sub(before_largest.max(offset));
+            if new_bytes > conn_credit {
+                stream.send.queue_range(SendRange { start: offset, end });
+                break;
+            }
+            if new_bytes > 0 {
+                self.streams.consume_conn_credit(new_bytes);
+                self.stats.stream_bytes_sent += new_bytes;
+            }
+            remaining = remaining.saturating_sub(data.len() + 24);
+            infos.push(FrameInfo::Stream {
+                id,
+                range: SendRange { start: offset, end },
+                fin,
+                reinjected: false,
+            });
+            frames.push(Frame::Stream { stream_id: id, offset, data, fin });
+        }
+        if frames.is_empty() {
+            return None;
+        }
+        Some((path, self.build_packet(now, path, false, frames, infos, true)))
+    }
+
+    /// Candidate unacked ranges for re-injection onto `target`: stream
+    /// ranges in flight on *other* paths, not yet copied to `target`.
+    fn reinject_candidates(&self, target: usize) -> Vec<(u64, SendRange, bool, u8)> {
+        let mut out = Vec::new();
+        for p in &self.paths {
+            if p.id == target || p.state == PathState::Abandoned {
+                continue;
+            }
+            for pkt in p.recovery.unacked() {
+                for info in &pkt.content.frames {
+                    let FrameInfo::Stream { id, range, fin, .. } = info else {
+                        continue;
+                    };
+                    if range.is_empty() && !fin {
+                        continue;
+                    }
+                    let Some(stream) = self.streams.get(*id) else {
+                        continue;
+                    };
+                    // Skip if fully acked at the stream level already.
+                    let unacked = stream.send.unacked_in_flight();
+                    let still_needed = unacked
+                        .iter()
+                        .any(|u| u.start < range.end && range.start < u.end)
+                        || (*fin && stream.send.fin_pending());
+                    if !still_needed && !range.is_empty() {
+                        continue;
+                    }
+                    let key = ReinjectKey { stream_id: *id, start: range.start, path: target };
+                    if self.ledger.contains(&key) {
+                        continue;
+                    }
+                    // Also skip if target already carries this range.
+                    let dup_on_target = self.paths[target].recovery.unacked().any(|tp| {
+                        tp.content.frames.iter().any(|ti| {
+                            matches!(ti, FrameInfo::Stream { id: tid, range: tr, .. }
+                                if tid == id && tr.start < range.end && range.start < tr.end)
+                        })
+                    });
+                    if dup_on_target {
+                        continue;
+                    }
+                    let prio = stream.send.priority_of(range.start);
+                    out.push((*id, *range, *fin, prio));
+                }
+            }
+        }
+        out
+    }
+
+    /// True when the best re-injection candidate outranks the best unsent
+    /// data under the configured mode (the preemption rules of Fig. 4):
+    /// appending never preempts; stream-priority preempts strictly
+    /// lower-priority streams; frame-priority also preempts lower-priority
+    /// frames of the same stream.
+    fn reinject_preempts_new_data(&self, path: usize) -> bool {
+        if self.cfg.reinject_mode == ReinjectMode::Appending {
+            return false;
+        }
+        let cands = self.reinject_candidates(path);
+        if cands.is_empty() {
+            return false;
+        }
+        let stream_prio = |id: u64| {
+            self.streams.get(id).map(|st| st.priority).unwrap_or(u8::MAX)
+        };
+        let best_pending: Option<(u8, u8)> = self
+            .streams
+            .iter()
+            .filter(|st| st.send.has_pending())
+            .map(|st| (st.priority, st.send.next_pending_priority().unwrap_or(u8::MAX)))
+            .min();
+        let Some((pend_sp, pend_fp)) = best_pending else {
+            return true; // nothing unsent: re-injection trivially first
+        };
+        let best_cand = cands
+            .iter()
+            .map(|&(id, _, _, fprio)| (stream_prio(id), fprio))
+            .min()
+            .expect("non-empty");
+        match self.cfg.reinject_mode {
+            ReinjectMode::Appending => false,
+            // Fig. 4b: only a strictly higher-priority *stream* jumps.
+            ReinjectMode::StreamPriority => best_cand.0 < pend_sp,
+            // Fig. 4c: frame priority breaks ties within the stream.
+            ReinjectMode::FramePriority => best_cand < (pend_sp, pend_fp),
+        }
+    }
+
+    /// Re-inject unacked data from other paths onto `path`, ordered by the
+    /// configured mode (paper Fig. 4).
+    fn try_reinject(&mut self, now: Instant, path: usize) -> Option<(usize, Vec<u8>)> {
+        let mut cands = self.reinject_candidates(path);
+        if cands.is_empty() {
+            return None;
+        }
+        match self.cfg.reinject_mode {
+            ReinjectMode::Appending => {
+                // Appending mode: re-injection only allowed when no stream
+                // has unsent data at all (it sits at the queue tail).
+                if self.streams.iter().any(|s| s.send.has_pending()) {
+                    return None;
+                }
+                // FIFO by stream then offset.
+                cands.sort_by_key(|&(id, r, _, _)| (id, r.start));
+            }
+            ReinjectMode::StreamPriority => {
+                // Re-injected data of stream S may overtake unsent data of
+                // strictly lower-priority streams, but not unsent data of
+                // same-or-higher priority streams.
+                let stream_prio: std::collections::HashMap<u64, u8> =
+                    self.streams.iter().map(|s| (s.id, s.priority)).collect();
+                let highest_pending = self
+                    .streams
+                    .iter()
+                    .filter(|s| s.send.has_pending())
+                    .map(|s| s.priority)
+                    .min();
+                cands.retain(|&(id, _, _, _)| match highest_pending {
+                    Some(hp) => stream_prio.get(&id).copied().unwrap_or(u8::MAX) <= hp,
+                    None => true,
+                });
+                cands.sort_by_key(|&(id, r, _, _)| {
+                    (stream_prio.get(&id).copied().unwrap_or(u8::MAX), id, r.start)
+                });
+            }
+            ReinjectMode::FramePriority => {
+                // Frame-priority: a high-priority frame range (e.g. the
+                // first video frame) may overtake anything with a lower
+                // frame priority — including unsent data of its own
+                // stream (Fig. 4c).
+                let stream_prio: std::collections::HashMap<u64, u8> =
+                    self.streams.iter().map(|s| (s.id, s.priority)).collect();
+                let best_pending: Option<(u8, u8)> = self
+                    .streams
+                    .iter()
+                    .filter(|s| s.send.has_pending())
+                    .map(|s| {
+                        (
+                            s.priority,
+                            s.send.next_pending_priority().unwrap_or(u8::MAX),
+                        )
+                    })
+                    .min();
+                cands.retain(|&(id, _, _, fprio)| match best_pending {
+                    Some((sp, fp)) => {
+                        let this_sp = stream_prio.get(&id).copied().unwrap_or(u8::MAX);
+                        (this_sp, fprio) <= (sp, fp)
+                    }
+                    None => true,
+                });
+                cands.sort_by_key(|&(id, r, _, fprio)| {
+                    (stream_prio.get(&id).copied().unwrap_or(u8::MAX), fprio, id, r.start)
+                });
+            }
+        }
+        if cands.is_empty() {
+            return None;
+        }
+        // Pack candidates into one datagram.
+        let mut frames = Vec::new();
+        let mut infos = Vec::new();
+        let mut remaining = (MAX_DATAGRAM_SIZE as usize - 64).min(self.paths[path].budget() as usize);
+        for (id, range, fin, _) in cands {
+            if remaining < 48 {
+                break;
+            }
+            let max_payload = (remaining - 24) as u64;
+            let end = range.end.min(range.start + max_payload);
+            let sub = SendRange { start: range.start, end };
+            let data = {
+                let stream = self.streams.get(id).expect("stream exists");
+                stream.send.copy_range(sub)
+            };
+            self.ledger
+                .record(ReinjectKey { stream_id: id, start: sub.start, path }, now);
+            self.stats.reinjected_bytes += sub.len();
+            self.stats.reinjections += 1;
+            remaining = remaining.saturating_sub(data.len() + 24);
+            let fin_here = fin && end == range.end;
+            infos.push(FrameInfo::Stream { id, range: sub, fin: fin_here, reinjected: true });
+            frames.push(Frame::Stream { stream_id: id, offset: sub.start, data, fin: fin_here });
+        }
+        if frames.is_empty() {
+            return None;
+        }
+        Some((path, self.build_packet(now, path, false, frames, infos, true)))
+    }
+
+    /// Redundant baseline: duplicate fresh data on all paths.
+    fn poll_data_redundant(&mut self, now: Instant) -> Option<(usize, Vec<u8>)> {
+        // Send new data on the fastest path; copies on the others follow
+        // through the re-injection machinery (which, with AlwaysOn
+        // control, will clone everything).
+        let candidates: Vec<(usize, Duration, bool)> = self
+            .paths
+            .iter()
+            .map(|p| (p.id, p.rtt.smoothed(), p.usable_for_data() && p.budget() >= MAX_DATAGRAM_SIZE))
+            .collect();
+        let path = min_rtt_choice(&candidates)?;
+        if let Some(tx) = self.try_send_new_data(now, path) {
+            return Some(tx);
+        }
+        for &(i, _, ok) in &candidates {
+            if ok {
+                if let Some(tx) = self.try_reinject(now, i) {
+                    return Some(tx);
+                }
+            }
+        }
+        None
+    }
+
+    fn build_packet(
+        &mut self,
+        now: Instant,
+        path: usize,
+        initial: bool,
+        frames: Vec<Frame>,
+        mut infos: Vec<FrameInfo>,
+        ack_eliciting: bool,
+    ) -> Vec<u8> {
+        if infos.is_empty() {
+            infos = frames
+                .iter()
+                .map(|f| match f {
+                    Frame::Crypto { .. } => FrameInfo::Crypto,
+                    Frame::Ack(a) | Frame::AckMp(a) => {
+                        FrameInfo::Ack { path_id: a.path_id, largest: a.largest }
+                    }
+                    Frame::HandshakeDone => FrameInfo::HandshakeDone,
+                    Frame::Ping => FrameInfo::Ping,
+                    other => FrameInfo::Control(other.clone()),
+                })
+                .collect();
+        }
+        let p = &mut self.paths[path];
+        let pn = p.recovery.peek_pn();
+        let pn_len = pn_encode_len(pn, p.recovery.largest_acked());
+        let header = Header {
+            ty: if initial { PacketType::Initial } else { PacketType::OneRtt },
+            dcid: p.dcid,
+            scid: self.local_cid0,
+            pn: pn_truncate(pn, pn_len),
+            pn_len,
+        };
+        let hdr = header.encode();
+        let mut payload = Writer::new();
+        for f in &frames {
+            f.encode(&mut payload);
+        }
+        let send_is_client = self.cfg.side == Side::Client;
+        let key = if initial {
+            if send_is_client {
+                self.initial_keys.client.clone()
+            } else {
+                self.initial_keys.server.clone()
+            }
+        } else {
+            let kp = self.keys.as_ref().expect("keys");
+            if send_is_client {
+                kp.client.clone()
+            } else {
+                kp.server.clone()
+            }
+        };
+        let sealed = key.seal(path as u32, pn, &hdr, payload.as_slice());
+        let mut datagram = hdr;
+        datagram.extend_from_slice(&sealed);
+        let size = datagram.len() as u64;
+        p.recovery.on_packet_sent(now, size, ack_eliciting, PacketContent { frames: infos });
+        p.bytes_sent += size;
+        self.stats.packets_sent += 1;
+        self.stats.bytes_sent += size;
+        self.last_activity = now;
+        if let Some(probe) = &mut self.probe_cwnd {
+            let p = &self.paths[path];
+            probe.push((now, path, p.cc.window(), p.recovery.bytes_in_flight()));
+        }
+        datagram
+    }
+
+    // ---------------------------------------------------------------
+    // Timers
+    // ---------------------------------------------------------------
+
+    /// Earliest timer deadline.
+    pub fn poll_timeout(&self) -> Option<Instant> {
+        if self.is_closed() {
+            return None;
+        }
+        let mad = self.cfg.params.max_ack_delay;
+        let mut t = self.last_activity + self.idle_timeout;
+        for p in &self.paths {
+            if let Some(lt) = p.recovery.next_timeout(&p.rtt, mad) {
+                t = t.min(lt);
+            }
+        }
+        Some(t)
+    }
+
+    /// Handle a timer firing.
+    pub fn on_timeout(&mut self, now: Instant) {
+        if self.is_closed() {
+            return;
+        }
+        if now >= self.last_activity + self.idle_timeout {
+            self.state = MpState::Closed(ConnectionError::TimedOut);
+            return;
+        }
+        let mad = self.cfg.params.max_ack_delay;
+        for i in 0..self.paths.len() {
+            let deadline = {
+                let p = &self.paths[i];
+                p.recovery.next_timeout(&p.rtt, mad)
+            };
+            let Some(deadline) = deadline else { continue };
+            if now < deadline {
+                continue;
+            }
+            let outcome = {
+                let p = &mut self.paths[i];
+                let rtt = p.rtt.clone();
+                p.recovery.on_timeout(now, &rtt)
+            };
+            match outcome {
+                TimeoutOutcome::Lost(lost) => self.on_packets_lost(now, i, &lost),
+                TimeoutOutcome::SendProbe => {
+                    if self.keys.is_none() {
+                        self.handshake_sent = false;
+                    } else {
+                        self.paths[i].probe_pending = true;
+                    }
+                }
+            }
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn client_cfg(seed: u64) -> MpConfig {
+        MpConfig::xlink_client(seed, vec![WirelessTech::Wifi, WirelessTech::Lte])
+    }
+
+    fn server_cfg(seed: u64) -> MpConfig {
+        MpConfig::xlink_server(seed, 2)
+    }
+
+    /// Shuttle datagrams directly between two MpConnections over perfect
+    /// zero-latency paths (state machine tests only; real link dynamics
+    /// are exercised through xlink-netsim in the harness tests).
+    fn pump(now: &mut Instant, a: &mut MpConnection, b: &mut MpConnection) {
+        for _ in 0..4000 {
+            let mut any = false;
+            while let Some((path, d)) = a.poll_transmit(*now) {
+                b.handle_datagram(*now, path, &d);
+                any = true;
+            }
+            while let Some((path, d)) = b.poll_transmit(*now) {
+                a.handle_datagram(*now, path, &d);
+                any = true;
+            }
+            if !any {
+                let next = [a.poll_timeout(), b.poll_timeout()].into_iter().flatten().min();
+                match next {
+                    Some(t) if t <= *now + Duration::from_millis(200) => {
+                        *now = t;
+                        a.on_timeout(*now);
+                        b.on_timeout(*now);
+                    }
+                    _ => break,
+                }
+            } else {
+                *now += Duration::from_micros(200);
+            }
+        }
+    }
+
+    fn pair() -> (MpConnection, MpConnection, Instant) {
+        let now = Instant::ZERO;
+        (
+            MpConnection::new(client_cfg(1), now),
+            MpConnection::new(server_cfg(2), now),
+            now,
+        )
+    }
+
+    #[test]
+    fn multipath_handshake_and_negotiation() {
+        let (mut c, mut s, mut now) = pair();
+        pump(&mut now, &mut c, &mut s);
+        assert!(c.is_established());
+        assert!(s.is_established());
+        assert!(c.multipath_negotiated());
+        assert!(s.multipath_negotiated());
+    }
+
+    #[test]
+    fn extra_paths_validate() {
+        let (mut c, mut s, mut now) = pair();
+        pump(&mut now, &mut c, &mut s);
+        assert_eq!(c.paths()[0].state, PathState::Active);
+        assert_eq!(c.paths()[1].state, PathState::Active, "client path 1 should validate");
+        assert_eq!(s.paths()[1].state, PathState::Active, "server path 1 should activate");
+    }
+
+    #[test]
+    fn fallback_to_single_path_when_peer_refuses() {
+        let now = Instant::ZERO;
+        let mut c = MpConnection::new(client_cfg(1), now);
+        let mut srv_cfg = server_cfg(2);
+        srv_cfg.enable_multipath = false;
+        let mut s = MpConnection::new(srv_cfg, now);
+        let mut now = now;
+        pump(&mut now, &mut c, &mut s);
+        assert!(c.is_established());
+        assert!(!c.multipath_negotiated());
+        // Extra path never validates.
+        assert_eq!(c.paths()[1].state, PathState::Validating);
+        // Data still flows on the primary.
+        let id = c.open_stream(0);
+        c.stream_send(id, b"hello", true);
+        pump(&mut now, &mut c, &mut s);
+        assert_eq!(s.stream_recv(id, 100), b"hello");
+    }
+
+    #[test]
+    fn bidirectional_transfer_over_multipath() {
+        let (mut c, mut s, mut now) = pair();
+        pump(&mut now, &mut c, &mut s);
+        let id = c.open_stream(0);
+        c.stream_send(id, b"GET /chunk", true);
+        pump(&mut now, &mut c, &mut s);
+        assert_eq!(s.stream_recv(id, 100), b"GET /chunk");
+        let body = vec![7u8; 100_000];
+        s.stream_send(id, &body, true);
+        let mut got = Vec::new();
+        for _ in 0..200 {
+            pump(&mut now, &mut c, &mut s);
+            got.extend(c.stream_recv(id, usize::MAX));
+            if got.len() == body.len() {
+                break;
+            }
+            now += Duration::from_millis(2);
+        }
+        assert_eq!(got, body);
+        // Both paths carried traffic (min-RTT will spill over with equal
+        // zero-delay paths as cwnd fills).
+        assert!(s.paths()[0].bytes_sent > 0);
+    }
+
+    #[test]
+    fn qoe_feedback_reaches_server() {
+        let (mut c, mut s, mut now) = pair();
+        pump(&mut now, &mut c, &mut s);
+        c.set_qoe(QoeSignal { cached_bytes: 5000, cached_frames: 10, bps: 1_000_000, fps: 30 });
+        // Trigger traffic so ACK_MPs flow.
+        let id = c.open_stream(0);
+        c.stream_send(id, b"req", true);
+        pump(&mut now, &mut c, &mut s);
+        s.stream_send(id, &vec![0u8; 5000], true);
+        pump(&mut now, &mut c, &mut s);
+        let q = s.peer_qoe().expect("server should have QoE feedback");
+        assert_eq!(q.cached_frames, 10);
+        assert_eq!(q.fps, 30);
+    }
+
+    #[test]
+    fn reinjection_decision_follows_controller() {
+        let (mut c, mut s, mut now) = pair();
+        pump(&mut now, &mut c, &mut s);
+        // High buffer → off.
+        s.peer_qoe = Some(QoeSignal { cached_bytes: 0, cached_frames: 300, bps: 0, fps: 30 });
+        assert!(!s.reinjection_enabled());
+        // Low buffer → on.
+        s.peer_qoe = Some(QoeSignal { cached_bytes: 0, cached_frames: 1, bps: 0, fps: 30 });
+        assert!(s.reinjection_enabled());
+    }
+
+    #[test]
+    fn vanilla_never_reinjects() {
+        let now = Instant::ZERO;
+        let mut c = MpConnection::new(client_cfg(1).vanilla(), now);
+        let mut s = MpConnection::new(server_cfg(2).vanilla(), now);
+        let mut now = now;
+        pump(&mut now, &mut c, &mut s);
+        let id = c.open_stream(0);
+        c.stream_send(id, b"r", true);
+        pump(&mut now, &mut c, &mut s);
+        s.stream_send(id, &vec![1u8; 200_000], true);
+        for _ in 0..100 {
+            pump(&mut now, &mut c, &mut s);
+            c.stream_recv(id, usize::MAX);
+            now += Duration::from_millis(2);
+        }
+        assert_eq!(s.stats().reinjected_bytes, 0);
+        assert_eq!(s.stats().redundancy_ratio(), 0.0);
+    }
+
+    #[test]
+    fn always_on_reinjects_under_idle_capacity() {
+        let now = Instant::ZERO;
+        let mut ccfg = client_cfg(1);
+        ccfg.qoe_control = QoeControl::AlwaysOn;
+        let mut scfg = server_cfg(2);
+        scfg.qoe_control = QoeControl::AlwaysOn;
+        let mut c = MpConnection::new(ccfg, now);
+        let mut s = MpConnection::new(scfg, now);
+        let mut now = now;
+        pump(&mut now, &mut c, &mut s);
+        let id = c.open_stream(0);
+        c.stream_send(id, b"r", true);
+        pump(&mut now, &mut c, &mut s);
+        // Server sends a modest object; with AlwaysOn and two idle paths,
+        // some bytes should be proactively duplicated before acks return.
+        s.stream_send(id, &vec![2u8; 20_000], true);
+        // Drain server sends without acks so unacked_q is non-empty.
+        let mut sent = Vec::new();
+        while let Some((path, d)) = s.poll_transmit(now) {
+            sent.push((path, d));
+        }
+        assert!(s.stats().reinjected_bytes > 0, "expected proactive duplication");
+        // Deliver everything (duplicates included) — client must see
+        // exactly the original bytes.
+        for (path, d) in sent {
+            c.handle_datagram(now, path, &d);
+        }
+        let got = c.stream_recv(id, usize::MAX);
+        assert_eq!(got, vec![2u8; 20_000]);
+        // Receiver counted duplicate bytes.
+        let dup: u64 = c.streams().iter().map(|st| st.recv.duplicate_bytes()).sum();
+        assert!(dup > 0, "receiver should observe duplicates");
+    }
+
+    #[test]
+    fn path_status_standby_excludes_from_scheduling() {
+        let (mut c, mut s, mut now) = pair();
+        pump(&mut now, &mut c, &mut s);
+        c.set_path_status(1, PathStatusKind::Standby);
+        pump(&mut now, &mut c, &mut s);
+        assert_eq!(s.paths()[1].state, PathState::Standby);
+        assert_eq!(c.paths()[1].state, PathState::Standby);
+        // All new data goes to path 0 now.
+        let before = c.paths()[1].bytes_sent;
+        let id = c.open_stream(0);
+        c.stream_send(id, &vec![0u8; 50_000], true);
+        pump(&mut now, &mut c, &mut s);
+        // Path 1 may still carry ACKs; but no significant data growth.
+        let after = c.paths()[1].bytes_sent;
+        assert!(after - before < 5_000, "standby path carried data: {}", after - before);
+    }
+
+    #[test]
+    fn abandon_requeues_inflight_data() {
+        let (mut c, mut s, mut now) = pair();
+        pump(&mut now, &mut c, &mut s);
+        let id = c.open_stream(0);
+        c.stream_send(id, b"r", true);
+        pump(&mut now, &mut c, &mut s);
+        s.stream_send(id, &vec![3u8; 100_000], true);
+        // Let the server push some packets out (unacked on both paths).
+        for _ in 0..10 {
+            if s.poll_transmit(now).is_none() {
+                break;
+            }
+        }
+        // Abandon path 1: its in-flight data must be requeued and the
+        // transfer must still complete over path 0.
+        s.set_path_status(1, PathStatusKind::Abandon);
+        let mut got = Vec::new();
+        for _ in 0..300 {
+            pump(&mut now, &mut c, &mut s);
+            got.extend(c.stream_recv(id, usize::MAX));
+            if got.len() == 100_000 {
+                break;
+            }
+            now += Duration::from_millis(5);
+        }
+        assert_eq!(got.len(), 100_000);
+        assert!(got.iter().all(|&b| b == 3));
+    }
+
+    #[test]
+    fn frame_priority_tagging_flows_through() {
+        let (mut c, mut s, mut now) = pair();
+        pump(&mut now, &mut c, &mut s);
+        let id = s.open_stream(0);
+        // Server-initiated push with a tagged first frame.
+        s.stream_send_with_frame_priority(id, &vec![9u8; 3000], 0, false);
+        s.stream_send(id, &vec![8u8; 3000], true);
+        pump(&mut now, &mut c, &mut s);
+        let got = c.stream_recv(id, usize::MAX);
+        assert_eq!(got.len(), 6000);
+        assert!(got[..3000].iter().all(|&b| b == 9));
+    }
+
+    #[test]
+    fn idle_timeout_closes_connection() {
+        let (mut c, mut s, mut now) = pair();
+        pump(&mut now, &mut c, &mut s);
+        now = c.poll_timeout().unwrap() + Duration::from_millis(1);
+        c.on_timeout(now);
+        assert!(c.is_closed());
+        let _ = s;
+    }
+
+    #[test]
+    fn close_propagates() {
+        let (mut c, mut s, mut now) = pair();
+        pump(&mut now, &mut c, &mut s);
+        c.close(TransportError::NoError, "bye");
+        pump(&mut now, &mut c, &mut s);
+        assert!(s.is_closed());
+    }
+
+    #[test]
+    fn corrupted_datagrams_counted_dropped() {
+        let (mut c, mut s, mut now) = pair();
+        pump(&mut now, &mut c, &mut s);
+        let id = c.open_stream(0);
+        c.stream_send(id, b"x", false);
+        let (path, mut d) = c.poll_transmit(now).unwrap();
+        let n = d.len();
+        d[n - 1] ^= 1;
+        let before = s.stats().packets_dropped;
+        s.handle_datagram(now, path, &d);
+        assert_eq!(s.stats().packets_dropped, before + 1);
+        assert!(!s.is_closed());
+    }
+
+    #[test]
+    fn standalone_qoe_frames_reach_server() {
+        let now = Instant::ZERO;
+        let mut ccfg = client_cfg(1);
+        ccfg.standalone_qoe_frames = true;
+        let mut c = MpConnection::new(ccfg, now);
+        let mut s = MpConnection::new(server_cfg(2), now);
+        let mut now = now;
+        pump(&mut now, &mut c, &mut s);
+        assert!(c.is_established());
+        c.set_qoe(QoeSignal { cached_bytes: 9, cached_frames: 8, bps: 7, fps: 6 });
+        pump(&mut now, &mut c, &mut s);
+        let q = s.peer_qoe().expect("standalone frame should deliver QoE");
+        assert_eq!((q.cached_bytes, q.cached_frames, q.bps, q.fps), (9, 8, 7, 6));
+        // Unchanged snapshots are not re-sent (no frame spam).
+        let frames_before = c.stats().packets_sent;
+        c.set_qoe(QoeSignal { cached_bytes: 9, cached_frames: 8, bps: 7, fps: 6 });
+        pump(&mut now, &mut c, &mut s);
+        assert!(c.stats().packets_sent <= frames_before + 1);
+    }
+
+    #[test]
+    fn ecf_scheduler_completes_transfers() {
+        let now = Instant::ZERO;
+        let mut ccfg = client_cfg(1);
+        ccfg.scheduler = SchedulerKind::Ecf;
+        let mut scfg = server_cfg(2);
+        scfg.scheduler = SchedulerKind::Ecf;
+        let mut c = MpConnection::new(ccfg, now);
+        let mut s = MpConnection::new(scfg, now);
+        let mut now = now;
+        pump(&mut now, &mut c, &mut s);
+        let id = c.open_stream(0);
+        c.stream_send(id, b"req", true);
+        pump(&mut now, &mut c, &mut s);
+        s.stream_recv(id, 10);
+        s.stream_send(id, &vec![4u8; 60_000], true);
+        let mut got = Vec::new();
+        for _ in 0..200 {
+            pump(&mut now, &mut c, &mut s);
+            got.extend(c.stream_recv(id, usize::MAX));
+            if got.len() == 60_000 {
+                break;
+            }
+            now += Duration::from_millis(2);
+        }
+        assert_eq!(got.len(), 60_000);
+    }
+
+    #[test]
+    fn stats_account_reinjection_cost() {
+        let (mut c, mut s, mut now) = pair();
+        pump(&mut now, &mut c, &mut s);
+        let id = c.open_stream(0);
+        c.stream_send(id, b"r", true);
+        pump(&mut now, &mut c, &mut s);
+        // Starve the buffer signal → controller on (no feedback = startup).
+        s.stream_send(id, &vec![1u8; 50_000], true);
+        while s.poll_transmit(now).is_some() {}
+        let st = s.stats();
+        assert!(st.redundancy_ratio() >= 0.0 && st.redundancy_ratio() <= 1.0);
+        assert_eq!(
+            st.reinjections > 0,
+            st.reinjected_bytes > 0,
+            "counters must agree"
+        );
+    }
+}

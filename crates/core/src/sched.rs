@@ -1,0 +1,274 @@
+//! Scheduler and re-injection configuration.
+//!
+//! The multipath connection is policy-parameterized: the same state
+//! machine runs vanilla-MP (min-RTT, no re-injection), the redundant
+//! baseline, and XLINK (min-RTT + priority-based re-injection under QoE
+//! control). Which policy is active is an experiment knob.
+
+use xlink_clock::{Duration, Instant};
+use xlink_quic::rtt::RttEstimator;
+
+/// Path selection policy for *new* data.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum SchedulerKind {
+    /// Pick the available path with the lowest smoothed RTT — the
+    /// MPQUIC/MPTCP default the paper calls "vanilla-MP" (§3 footnote 4).
+    MinRtt,
+    /// Rotate across available paths (diagnostic baseline).
+    RoundRobin,
+    /// Duplicate every packet on every path (the costly low-latency
+    /// baseline the paper contrasts in §8 — "a large amount of
+    /// redundancy").
+    Redundant,
+    /// Earliest-completion-first in the style of ECF (Lim et al.,
+    /// CoNEXT'17 — reference [18] of the paper): when the fastest path's
+    /// window is full, use a slower path only if sending there is
+    /// expected to finish before waiting a fast-path round trip.
+    Ecf,
+}
+
+/// Re-injection queue-position policy (paper Fig. 4).
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum ReinjectMode {
+    /// Traditional appending mode: re-injected data goes behind all
+    /// unsent data (Fig. 4a) — suffers stream blocking.
+    Appending,
+    /// Stream priority-based: re-injected data of stream S goes before
+    /// unsent data of lower-priority (later) streams (Fig. 4b).
+    StreamPriority,
+    /// Video-frame priority-based: additionally orders by frame priority
+    /// *within* a stream, so a first-video-frame packet overtakes other
+    /// frames of its own stream (Fig. 4c) — first-frame acceleration.
+    FramePriority,
+}
+
+/// ACK_MP return-path policy (paper §5.3 and Fig. 8).
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum AckPathPolicy {
+    /// Send ACK_MP on the current minimum-RTT path (XLINK's choice).
+    FastestPath,
+    /// Send ACK_MP on the path whose packets it acknowledges (MPTCP-like).
+    OriginalPath,
+}
+
+/// ECF-style choice over `(path_index, rtt, has_cwnd)` candidates: the
+/// fastest path when it has window; otherwise the fastest *available*
+/// path, but only if its RTT beats waiting roughly one fast-path RTT for
+/// the window to reopen (with a small hysteresis factor).
+pub fn ecf_choice(candidates: &[(usize, Duration, bool)]) -> Option<usize> {
+    let fastest = candidates.iter().min_by_key(|&&(i, rtt, _)| (rtt, i))?;
+    if fastest.2 {
+        return Some(fastest.0);
+    }
+    let best_avail = candidates
+        .iter()
+        .filter(|&&(_, _, c)| c)
+        .min_by_key(|&&(i, rtt, _)| (rtt, i))?;
+    // Waiting for the fast path costs ~1 fast RTT before the data can even
+    // leave; the slow path is worth it when it completes within that
+    // budget (hysteresis 1/4 guards against flapping).
+    let wait_budget = fastest.1 * 2 + fastest.1 / 4;
+    if best_avail.1 <= wait_budget {
+        Some(best_avail.0)
+    } else {
+        None // better to wait for the fast path
+    }
+}
+
+/// Pick the min-RTT path among candidates `(path_index, rtt, has_cwnd)`.
+/// Paths without congestion window space are skipped; validated paths
+/// without RTT samples use the initial estimate (so fresh paths are
+/// probed). Returns None when every path is blocked.
+pub fn min_rtt_choice(candidates: &[(usize, Duration, bool)]) -> Option<usize> {
+    candidates
+        .iter()
+        .filter(|&&(_, _, has_cwnd)| has_cwnd)
+        .min_by_key(|&&(i, rtt, _)| (rtt, i))
+        .map(|&(i, _, _)| i)
+}
+
+/// Round-robin choice state.
+#[derive(Debug, Default, Clone)]
+pub struct RoundRobinState {
+    next: usize,
+}
+
+impl RoundRobinState {
+    /// Pick the next available path after the previously chosen one.
+    pub fn choose(&mut self, candidates: &[(usize, Duration, bool)]) -> Option<usize> {
+        let avail: Vec<usize> = candidates
+            .iter()
+            .filter(|&&(_, _, c)| c)
+            .map(|&(i, _, _)| i)
+            .collect();
+        if avail.is_empty() {
+            return None;
+        }
+        let pick = avail
+            .iter()
+            .copied()
+            .find(|&i| i >= self.next)
+            .unwrap_or(avail[0]);
+        self.next = pick + 1;
+        Some(pick)
+    }
+}
+
+/// The paper's Eq. 1: worst-case delivery time over paths that still have
+/// unacknowledged packets.
+pub fn max_deliver_time<'a>(
+    paths: impl Iterator<Item = (&'a RttEstimator, bool /*has unacked*/)>,
+) -> Option<Duration> {
+    paths
+        .filter(|&(_, has_unacked)| has_unacked)
+        .map(|(rtt, _)| rtt.deliver_time())
+        .max()
+}
+
+/// Bookkeeping for one re-injected range so the same bytes are not
+/// re-injected onto the same path twice while still in flight.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub struct ReinjectKey {
+    /// Stream carrying the bytes.
+    pub stream_id: u64,
+    /// Start offset of the re-injected range.
+    pub start: u64,
+    /// Path the copy was sent on.
+    pub path: usize,
+}
+
+/// Tracks outstanding re-injections with expiry (entries are dropped once
+/// older than a few RTTs so state stays bounded).
+#[derive(Debug, Default)]
+pub struct ReinjectLedger {
+    entries: Vec<(ReinjectKey, Instant)>,
+}
+
+impl ReinjectLedger {
+    /// Record a re-injection at `now`.
+    pub fn record(&mut self, key: ReinjectKey, now: Instant) {
+        self.entries.push((key, now));
+    }
+
+    /// True if this (stream, start, path) was already re-injected.
+    pub fn contains(&self, key: &ReinjectKey) -> bool {
+        self.entries.iter().any(|(k, _)| k == key)
+    }
+
+    /// Drop entries older than `ttl`.
+    pub fn expire(&mut self, now: Instant, ttl: Duration) {
+        self.entries.retain(|&(_, t)| now.saturating_duration_since(t) < ttl);
+    }
+
+    /// Number of live entries.
+    pub fn len(&self) -> usize {
+        self.entries.len()
+    }
+
+    /// True when no re-injections are outstanding.
+    pub fn is_empty(&self) -> bool {
+        self.entries.is_empty()
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn ms(v: u64) -> Duration {
+        Duration::from_millis(v)
+    }
+
+    #[test]
+    fn min_rtt_prefers_fastest_available() {
+        let c = [(0, ms(50), true), (1, ms(20), true), (2, ms(5), false)];
+        assert_eq!(min_rtt_choice(&c), Some(1));
+    }
+
+    #[test]
+    fn min_rtt_none_when_all_blocked() {
+        let c = [(0, ms(50), false), (1, ms(20), false)];
+        assert_eq!(min_rtt_choice(&c), None);
+    }
+
+    #[test]
+    fn min_rtt_tie_breaks_low_index() {
+        let c = [(1, ms(20), true), (0, ms(20), true)];
+        assert_eq!(min_rtt_choice(&c), Some(0));
+    }
+
+    #[test]
+    fn round_robin_rotates() {
+        let mut rr = RoundRobinState::default();
+        let c = [(0, ms(1), true), (1, ms(1), true), (2, ms(1), true)];
+        assert_eq!(rr.choose(&c), Some(0));
+        assert_eq!(rr.choose(&c), Some(1));
+        assert_eq!(rr.choose(&c), Some(2));
+        assert_eq!(rr.choose(&c), Some(0));
+    }
+
+    #[test]
+    fn round_robin_skips_blocked() {
+        let mut rr = RoundRobinState::default();
+        let c = [(0, ms(1), true), (1, ms(1), false), (2, ms(1), true)];
+        assert_eq!(rr.choose(&c), Some(0));
+        assert_eq!(rr.choose(&c), Some(2));
+        assert_eq!(rr.choose(&c), Some(0));
+    }
+
+    #[test]
+    fn ecf_uses_fast_path_when_available() {
+        let c = [(0, ms(20), true), (1, ms(100), true)];
+        assert_eq!(ecf_choice(&c), Some(0));
+    }
+
+    #[test]
+    fn ecf_spills_to_moderately_slower_path() {
+        // Fast path blocked; slow path within ~2.25× fast RTT → use it.
+        let c = [(0, ms(20), false), (1, ms(40), true)];
+        assert_eq!(ecf_choice(&c), Some(1));
+    }
+
+    #[test]
+    fn ecf_waits_rather_than_use_a_terrible_path() {
+        // Slow path is 10× the fast RTT: waiting wins.
+        let c = [(0, ms(20), false), (1, ms(200), true)];
+        assert_eq!(ecf_choice(&c), None);
+    }
+
+    #[test]
+    fn ecf_none_when_everything_blocked() {
+        let c = [(0, ms(20), false), (1, ms(40), false)];
+        assert_eq!(ecf_choice(&c), None);
+    }
+
+    #[test]
+    fn max_deliver_time_ignores_idle_paths() {
+        let mut fast = RttEstimator::new();
+        fast.update(ms(20), Duration::ZERO);
+        let mut slow = RttEstimator::new();
+        slow.update(ms(200), Duration::ZERO);
+        // Slow path has nothing unacked → only fast counts.
+        let d = max_deliver_time([(&fast, true), (&slow, false)].into_iter()).unwrap();
+        assert_eq!(d, fast.deliver_time());
+        // Both have unacked → slow dominates.
+        let d = max_deliver_time([(&fast, true), (&slow, true)].into_iter()).unwrap();
+        assert_eq!(d, slow.deliver_time());
+        // Nothing unacked anywhere.
+        assert!(max_deliver_time([(&fast, false)].into_iter()).is_none());
+    }
+
+    #[test]
+    fn ledger_dedups_and_expires() {
+        let mut l = ReinjectLedger::default();
+        let k = ReinjectKey { stream_id: 0, start: 100, path: 1 };
+        assert!(!l.contains(&k));
+        l.record(k, Instant::from_millis(10));
+        assert!(l.contains(&k));
+        // Same range on another path is a different key.
+        assert!(!l.contains(&ReinjectKey { path: 2, ..k }));
+        l.expire(Instant::from_millis(1000), ms(500));
+        assert!(!l.contains(&k));
+        assert!(l.is_empty());
+    }
+}

@@ -1,0 +1,174 @@
+//! Radio energy model for the Fig. 14 study.
+//!
+//! The paper measured normalized communication energy-per-bit vs
+//! throughput on 5G-NSA Android phones (BatteryManager logging, airplane
+//! mode isolation, links capped at 30 Mbps). We substitute a standard
+//! radio power-state model: each active radio draws a base (signalling +
+//! RF chain) power plus a throughput-proportional term, and a dual-radio
+//! transfer pays both radios' base power while finishing sooner. That
+//! reproduces the published trade-off shape: Wi-Fi is the most
+//! energy-efficient per bit, dual-radio configurations deliver the
+//! highest throughput at an energy-per-bit between the two single radios
+//! (and below the cellular-only runs, because energy = power × time and
+//! the time shrinks).
+//!
+//! Power constants are representative of published smartphone
+//! measurements (order: hundreds of mW base, tens of mW per Mbps) — the
+//! figure is about *relative* positions, which are insensitive to the
+//! absolute values.
+
+use xlink_clock::Duration;
+
+/// A radio interface's power profile.
+#[derive(Debug, Clone, Copy, PartialEq)]
+pub struct RadioProfile {
+    /// Power while the radio is active regardless of rate (mW).
+    pub base_mw: f64,
+    /// Incremental power per Mbps of goodput (mW/Mbps).
+    pub per_mbps_mw: f64,
+    /// Tail time the radio stays in the high-power state after the last
+    /// packet (cellular radios have long tails).
+    pub tail: Duration,
+}
+
+/// Radio profiles for the technologies in Fig. 14.
+pub mod profiles {
+    use super::RadioProfile;
+    use xlink_clock::Duration;
+
+    /// Wi-Fi (802.11ac-class): low base, cheap per bit, short tail.
+    pub const WIFI: RadioProfile = RadioProfile {
+        base_mw: 280.0,
+        per_mbps_mw: 9.0,
+        tail: Duration::from_millis(200),
+    };
+
+    /// LTE: higher base, expensive per bit, long tail.
+    pub const LTE: RadioProfile = RadioProfile {
+        base_mw: 1100.0,
+        per_mbps_mw: 25.0,
+        tail: Duration::from_millis(1500),
+    };
+
+    /// 5G NR (NSA): highest base, mid per-bit cost, long tail.
+    pub const NR: RadioProfile = RadioProfile {
+        base_mw: 1700.0,
+        per_mbps_mw: 16.0,
+        tail: Duration::from_millis(1200),
+    };
+}
+
+/// Result of one transfer's energy accounting.
+#[derive(Debug, Clone, Copy)]
+pub struct EnergyReport {
+    /// Total energy consumed across radios (millijoules).
+    pub energy_mj: f64,
+    /// Transfer goodput (Mbps).
+    pub throughput_mbps: f64,
+    /// Energy per delivered bit (nanojoules/bit).
+    pub nj_per_bit: f64,
+}
+
+/// Account one radio's energy for a transfer where it carried
+/// `bytes_carried` of the total over `duration`.
+pub fn radio_energy_mj(profile: &RadioProfile, bytes_carried: u64, duration: Duration) -> f64 {
+    if bytes_carried == 0 {
+        return 0.0;
+    }
+    let secs = duration.as_secs_f64();
+    let mbps = bytes_carried as f64 * 8.0 / 1e6 / secs.max(1e-9);
+    let active_power_mw = profile.base_mw + profile.per_mbps_mw * mbps;
+    active_power_mw * secs + profile.base_mw * profile.tail.as_secs_f64()
+}
+
+/// Account a (possibly multi-radio) transfer: each entry is
+/// `(profile, bytes carried on that radio)`; `total_bytes` is the
+/// delivered payload and `duration` the wall-clock transfer time.
+pub fn transfer_energy(
+    radios: &[(RadioProfile, u64)],
+    total_bytes: u64,
+    duration: Duration,
+) -> EnergyReport {
+    let energy_mj: f64 = radios
+        .iter()
+        .map(|(p, b)| radio_energy_mj(p, *b, duration))
+        .sum();
+    let secs = duration.as_secs_f64().max(1e-9);
+    let throughput_mbps = total_bytes as f64 * 8.0 / 1e6 / secs;
+    let bits = (total_bytes as f64 * 8.0).max(1.0);
+    EnergyReport {
+        energy_mj,
+        throughput_mbps,
+        nj_per_bit: energy_mj * 1e6 / bits,
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use profiles::*;
+
+    fn secs(v: u64) -> Duration {
+        Duration::from_secs(v)
+    }
+
+    #[test]
+    fn idle_radio_costs_nothing() {
+        assert_eq!(radio_energy_mj(&WIFI, 0, secs(10)), 0.0);
+    }
+
+    #[test]
+    fn energy_grows_with_time() {
+        let slow = radio_energy_mj(&LTE, 10_000_000, secs(10));
+        let fast = radio_energy_mj(&LTE, 10_000_000, secs(2));
+        // Same bytes, less time → less total energy (base power dominates).
+        assert!(fast < slow, "fast {fast} vs slow {slow}");
+    }
+
+    #[test]
+    fn wifi_is_most_efficient_per_bit() {
+        // 20 MB at 30 Mbps on each technology.
+        let bytes = 20_000_000u64;
+        let dur = Duration::from_secs_f64(bytes as f64 * 8.0 / 30e6);
+        let wifi = transfer_energy(&[(WIFI, bytes)], bytes, dur).nj_per_bit;
+        let lte = transfer_energy(&[(LTE, bytes)], bytes, dur).nj_per_bit;
+        let nr = transfer_energy(&[(NR, bytes)], bytes, dur).nj_per_bit;
+        assert!(wifi < lte && wifi < nr, "wifi {wifi}, lte {lte}, nr {nr}");
+    }
+
+    #[test]
+    fn dual_radio_doubles_throughput_at_intermediate_cost() {
+        // Single: 20 MB at 30 Mbps on LTE alone.
+        let bytes = 20_000_000u64;
+        let dur_single = Duration::from_secs_f64(bytes as f64 * 8.0 / 30e6);
+        let lte_only = transfer_energy(&[(LTE, bytes)], bytes, dur_single);
+        let wifi_only = transfer_energy(&[(WIFI, bytes)], bytes, dur_single);
+        // Dual: both radios at 30 Mbps → half the time, bytes split.
+        let dur_dual = Duration::from_secs_f64(bytes as f64 * 8.0 / 60e6);
+        let dual = transfer_energy(&[(WIFI, bytes / 2), (LTE, bytes / 2)], bytes, dur_dual);
+        assert!(dual.throughput_mbps > 1.9 * lte_only.throughput_mbps);
+        // Fig. 14: Wi-Fi-LTE improves energy/bit over LTE alone but not
+        // over Wi-Fi alone.
+        assert!(
+            dual.nj_per_bit < lte_only.nj_per_bit,
+            "dual {} vs lte {}",
+            dual.nj_per_bit,
+            lte_only.nj_per_bit
+        );
+        assert!(dual.nj_per_bit > wifi_only.nj_per_bit);
+    }
+
+    #[test]
+    fn throughput_computed_from_duration() {
+        let r = transfer_energy(&[(WIFI, 1_250_000)], 1_250_000, secs(1));
+        assert!((r.throughput_mbps - 10.0).abs() < 0.01);
+    }
+
+    #[test]
+    fn tail_energy_matters_for_short_transfers() {
+        // A tiny transfer on LTE pays the tail; per-bit cost explodes.
+        let small = transfer_energy(&[(LTE, 10_000)], 10_000, Duration::from_millis(50));
+        let large = transfer_energy(&[(LTE, 50_000_000)], 50_000_000, secs(13));
+        assert!(small.nj_per_bit > 5.0 * large.nj_per_bit);
+    }
+}

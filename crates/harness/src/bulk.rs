@@ -1,0 +1,414 @@
+//! Bulk-download sessions: fetch one object of a given size and measure
+//! the request download time. Used by the primary-path study (Fig. 7),
+//! the ACK-path study (Fig. 8), the extreme-mobility comparison (Fig. 13
+//! — which also needs the MPTCP baseline), and the energy study (Fig. 14).
+
+use crate::transport::{Conn, Scheme, TransportStats, TransportTuning};
+use xlink_clock::{Duration, Instant};
+use xlink_mptcp::{MptcpConfig, MptcpConnection};
+use xlink_netsim::{Endpoint, Path, PathEvent, Transmit, World};
+use xlink_video::{MediaStore, Request, Response, Video};
+
+/// Result of one bulk download.
+#[derive(Debug, Clone)]
+pub struct BulkResult {
+    /// Time from session start until the full object was received
+    /// (None if the deadline hit first).
+    pub download_time: Option<Duration>,
+    /// Bytes received by the deadline.
+    pub bytes_received: u64,
+    /// Client transport stats (QUIC schemes only).
+    pub client_transport: Option<TransportStats>,
+    /// Server transport stats (QUIC schemes only).
+    pub server_transport: Option<TransportStats>,
+    /// Server per-path wire-byte split.
+    pub server_bytes_per_path: Vec<(usize, u64)>,
+}
+
+/// QUIC-family bulk client.
+struct BulkClient {
+    conn: Conn,
+    size: u64,
+    stream: Option<u64>,
+    received: u64,
+    header_skipped: bool,
+    pending: Vec<u8>,
+    done_at: Option<Instant>,
+    /// Static QoE feedback to advertise (None = no feedback, which the
+    /// server's controller treats as start-up urgency).
+    qoe: Option<xlink_core::QoeSignal>,
+}
+
+impl Endpoint for BulkClient {
+    fn on_datagram(&mut self, now: Instant, path: usize, payload: &[u8]) {
+        self.conn.handle_datagram(now, path, payload);
+        if let Some(id) = self.stream {
+            let data = self.conn.stream_recv(id, usize::MAX);
+            if !data.is_empty() {
+                self.pending.extend_from_slice(&data);
+                if !self.header_skipped {
+                    if let Some((_, used)) = Response::decode(&self.pending) {
+                        self.pending.drain(..used);
+                        self.header_skipped = true;
+                    }
+                }
+                if self.header_skipped {
+                    self.received += self.pending.len() as u64;
+                    self.pending.clear();
+                }
+            }
+            if self.received >= self.size && self.done_at.is_none() {
+                self.done_at = Some(now);
+            }
+        }
+    }
+
+    fn poll_transmit(&mut self, now: Instant) -> Option<Transmit> {
+        if self.conn.is_established() && self.stream.is_none() {
+            let id = self.conn.open_stream(0);
+            let req = Request { object: "blob".into(), start: 0, end: self.size };
+            self.conn.stream_send(id, &req.encode(), true);
+            self.stream = Some(id);
+        }
+        if let Some(q) = self.qoe {
+            self.conn.set_qoe(q);
+        }
+        self.conn.poll_transmit(now).map(|(path, payload)| Transmit { path, payload })
+    }
+
+    fn poll_timeout(&self) -> Option<Instant> {
+        self.conn.poll_timeout()
+    }
+
+    fn on_timeout(&mut self, now: Instant) {
+        self.conn.on_timeout(now);
+    }
+
+    fn is_done(&self) -> bool {
+        self.done_at.is_some() || self.conn.is_closed()
+    }
+}
+
+/// QUIC-family bulk server.
+struct BulkServer {
+    conn: Conn,
+    store: MediaStore,
+    answered: Vec<u64>,
+    buffers: std::collections::HashMap<u64, Vec<u8>>,
+    first_frame_accel: bool,
+}
+
+impl Endpoint for BulkServer {
+    fn on_datagram(&mut self, now: Instant, path: usize, payload: &[u8]) {
+        self.conn.handle_datagram(now, path, payload);
+        for id in self.conn.readable_streams() {
+            if self.answered.contains(&id) {
+                continue;
+            }
+            let data = self.conn.stream_recv(id, usize::MAX);
+            let buf = self.buffers.entry(id).or_default();
+            buf.extend_from_slice(&data);
+            let Some(req) = Request::decode(buf) else { continue };
+            self.answered.push(id);
+            let body = self
+                .store
+                .body_range(&req.object, req.start, req.end)
+                .unwrap_or_default();
+            let ff = self.store.first_frame_end(&req.object);
+            let resp = Response { status: 200, body_len: body.len() as u64, first_frame_end: ff };
+            self.conn.stream_send(id, &resp.encode(), false);
+            if self.first_frame_accel && req.start < ff {
+                let split = (ff - req.start).min(body.len() as u64) as usize;
+                self.conn.stream_send_with_frame_priority(id, &body[..split], 0, false);
+                self.conn.stream_send(id, &body[split..], true);
+            } else {
+                self.conn.stream_send(id, &body, true);
+            }
+        }
+    }
+
+    fn poll_transmit(&mut self, now: Instant) -> Option<Transmit> {
+        self.conn.poll_transmit(now).map(|(path, payload)| Transmit { path, payload })
+    }
+
+    fn poll_timeout(&self) -> Option<Instant> {
+        self.conn.poll_timeout()
+    }
+
+    fn on_timeout(&mut self, now: Instant) {
+        self.conn.on_timeout(now);
+    }
+
+    fn is_done(&self) -> bool {
+        true // passive: session end is the client's call
+    }
+}
+
+/// Run a QUIC-family bulk download of `size` bytes.
+pub fn run_bulk_quic(
+    scheme: Scheme,
+    tuning: &TransportTuning,
+    size: u64,
+    seed: u64,
+    paths: Vec<Path>,
+    events: Vec<PathEvent>,
+    deadline: Duration,
+) -> BulkResult {
+    run_bulk_quic_with_qoe(scheme, tuning, size, seed, paths, events, deadline, None)
+}
+
+/// Like [`run_bulk_quic`] but advertising a fixed QoE snapshot (e.g. a
+/// huge buffer to pin re-injection off for the Fig. 8 ACK-policy study).
+#[allow(clippy::too_many_arguments)]
+pub fn run_bulk_quic_with_qoe(
+    scheme: Scheme,
+    tuning: &TransportTuning,
+    size: u64,
+    seed: u64,
+    paths: Vec<Path>,
+    events: Vec<PathEvent>,
+    deadline: Duration,
+    qoe: Option<xlink_core::QoeSignal>,
+) -> BulkResult {
+    let now = Instant::ZERO;
+    let client = BulkClient {
+        conn: Conn::client(scheme, tuning, seed, now),
+        size,
+        stream: None,
+        received: 0,
+        header_skipped: false,
+        pending: Vec::new(),
+        done_at: None,
+        qoe,
+    };
+    let mut store = MediaStore::new();
+    // A "blob" is a 1-frame video sized to the request: frame 0 spans the
+    // first ~64 KB (a realistic first-frame size) so frame-priority paths
+    // are exercised even for bulk fetches.
+    let ff = size.min(64 * 1024).max(1);
+    store.insert("blob", Video::from_frames(25, 8 * size, vec![ff, size.saturating_sub(ff).max(1)]));
+    let server = BulkServer {
+        conn: Conn::server(scheme, tuning, seed ^ 0xbeef, now),
+        store,
+        answered: Vec::new(),
+        buffers: Default::default(),
+        first_frame_accel: true,
+    };
+    let mut world = World::new(client, server, paths).with_path_events(events);
+    let end = world.run_until(Instant::ZERO + deadline);
+    BulkResult {
+        download_time: world.client.done_at.map(|t| t.saturating_duration_since(Instant::ZERO)),
+        bytes_received: world.client.received,
+        client_transport: Some(world.client.conn.stats()),
+        server_transport: Some(world.server.conn.stats()),
+        server_bytes_per_path: world.server.conn.bytes_per_path(),
+        }
+        .tap_end(end)
+}
+
+impl BulkResult {
+    fn tap_end(self, _end: Instant) -> Self {
+        self
+    }
+}
+
+/// MPTCP endpoints for the Fig. 13 comparison.
+struct MptcpClientEp {
+    conn: MptcpConnection,
+    size: u64,
+    sent_request: bool,
+    done_at: Option<Instant>,
+}
+
+impl Endpoint for MptcpClientEp {
+    fn on_datagram(&mut self, now: Instant, path: usize, payload: &[u8]) {
+        self.conn.handle_datagram(now, path, payload);
+        let _ = self.conn.recv(usize::MAX);
+        if self.conn.recv_complete() && self.done_at.is_none() {
+            self.done_at = Some(now);
+        }
+    }
+
+    fn poll_transmit(&mut self, now: Instant) -> Option<Transmit> {
+        if !self.sent_request {
+            self.sent_request = true;
+            self.conn.send(format!("GET blob range=0-{}\n", self.size).as_bytes());
+            self.conn.finish();
+        }
+        self.conn.poll_transmit(now).map(|(path, payload)| Transmit { path, payload })
+    }
+
+    fn poll_timeout(&self) -> Option<Instant> {
+        self.conn.poll_timeout()
+    }
+
+    fn on_timeout(&mut self, now: Instant) {
+        self.conn.on_timeout(now);
+    }
+
+    fn is_done(&self) -> bool {
+        self.done_at.is_some()
+    }
+}
+
+struct MptcpServerEp {
+    conn: MptcpConnection,
+    responded: bool,
+    request_buf: Vec<u8>,
+}
+
+impl Endpoint for MptcpServerEp {
+    fn on_datagram(&mut self, now: Instant, path: usize, payload: &[u8]) {
+        self.conn.handle_datagram(now, path, payload);
+        if !self.responded {
+            self.request_buf.extend(self.conn.recv(usize::MAX));
+            if let Some(req) = Request::decode(&self.request_buf) {
+                self.responded = true;
+                let body: Vec<u8> =
+                    (req.start..req.end).map(|o| MediaStore::body_byte("blob", o)).collect();
+                self.conn.send(&body);
+                self.conn.finish();
+            }
+        }
+    }
+
+    fn poll_transmit(&mut self, now: Instant) -> Option<Transmit> {
+        self.conn.poll_transmit(now).map(|(path, payload)| Transmit { path, payload })
+    }
+
+    fn poll_timeout(&self) -> Option<Instant> {
+        self.conn.poll_timeout()
+    }
+
+    fn on_timeout(&mut self, now: Instant) {
+        self.conn.on_timeout(now);
+    }
+
+    fn is_done(&self) -> bool {
+        true // passive: session end is the client's call
+    }
+}
+
+/// Run an MPTCP bulk download.
+pub fn run_bulk_mptcp(
+    size: u64,
+    num_paths: usize,
+    paths: Vec<Path>,
+    events: Vec<PathEvent>,
+    deadline: Duration,
+) -> BulkResult {
+    let client = MptcpClientEp {
+        conn: MptcpConnection::new(MptcpConfig {
+            is_client: true,
+            num_subflows: num_paths,
+            ..Default::default()
+        }),
+        size,
+        sent_request: false,
+        done_at: None,
+    };
+    let server = MptcpServerEp {
+        conn: MptcpConnection::new(MptcpConfig {
+            is_client: false,
+            num_subflows: num_paths,
+            ..Default::default()
+        }),
+        responded: false,
+        request_buf: Vec::new(),
+    };
+    let mut world = World::new(client, server, paths).with_path_events(events);
+    world.run_until(Instant::ZERO + deadline);
+    BulkResult {
+        download_time: world
+            .client
+            .done_at
+            .map(|t| t.saturating_duration_since(Instant::ZERO)),
+        bytes_received: world.client.conn.stats().bytes_sent, // unused for client
+        client_transport: None,
+        server_transport: None,
+        server_bytes_per_path: Vec::new(),
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use xlink_netsim::LinkConfig;
+
+    fn paths() -> Vec<Path> {
+        vec![
+            Path::symmetric(LinkConfig::constant_rate(20.0, Duration::from_millis(10))),
+            Path::symmetric(LinkConfig::constant_rate(20.0, Duration::from_millis(30))),
+        ]
+    }
+
+    #[test]
+    fn sp_bulk_download_completes() {
+        let r = run_bulk_quic(
+            Scheme::Sp { path: 0 },
+            &TransportTuning::default(),
+            500_000,
+            1,
+            paths(),
+            vec![],
+            Duration::from_secs(60),
+        );
+        let t = r.download_time.expect("must finish");
+        // 500 KB at 20 Mbps ≈ 0.2 s + handshake; sanity bounds.
+        assert!(t > Duration::from_millis(100) && t < Duration::from_secs(5), "t = {t}");
+    }
+
+    #[test]
+    fn xlink_bulk_faster_than_sp_on_aggregate() {
+        let size = 2_000_000;
+        let sp = run_bulk_quic(
+            Scheme::Sp { path: 0 },
+            &TransportTuning::default(),
+            size,
+            2,
+            paths(),
+            vec![],
+            Duration::from_secs(60),
+        );
+        let xl = run_bulk_quic(
+            Scheme::Xlink,
+            &TransportTuning::default(),
+            size,
+            2,
+            paths(),
+            vec![],
+            Duration::from_secs(60),
+        );
+        let (sp_t, xl_t) = (sp.download_time.unwrap(), xl.download_time.unwrap());
+        // Two 20 Mbps paths should beat one.
+        assert!(xl_t < sp_t, "xlink {xl_t} vs sp {sp_t}");
+    }
+
+    #[test]
+    fn mptcp_bulk_download_completes() {
+        let r = run_bulk_mptcp(500_000, 2, paths(), vec![], Duration::from_secs(60));
+        assert!(r.download_time.is_some());
+    }
+
+    #[test]
+    fn deadline_caps_a_dead_network() {
+        // Paths that never deliver.
+        let dead = vec![Path::symmetric(LinkConfig {
+            trace_ms: vec![],
+            delay: Duration::ZERO,
+            queue_bytes: 1000,
+            loss: 0.0,
+            seed: 0,
+        })];
+        let r = run_bulk_quic(
+            Scheme::Sp { path: 0 },
+            &TransportTuning { path_techs: vec![xlink_core::WirelessTech::Wifi], ..Default::default() },
+            100_000,
+            3,
+            dead,
+            vec![],
+            Duration::from_secs(5),
+        );
+        assert!(r.download_time.is_none());
+    }
+}

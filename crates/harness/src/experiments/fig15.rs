@@ -1,0 +1,70 @@
+//! Fig. 15 (appendix): example extreme-mobility traces — the HSR
+//! cellular and on-board Wi-Fi capacity series — plus Mahimahi-format
+//! export so the traces can be inspected/replayed with external tooling.
+
+use xlink_traces::{hsr_cellular, hsr_onboard_wifi, to_mahimahi, Trace};
+
+/// The two example traces plus their rate series.
+#[derive(Debug, Clone)]
+pub struct Fig15Result {
+    /// HSR cellular trace.
+    pub cellular: Trace,
+    /// On-board Wi-Fi trace.
+    pub wifi: Trace,
+    /// (t_ms, Mbps) series at 1-second windows for each.
+    pub cellular_series: Vec<(u64, f64)>,
+    /// See `cellular_series`.
+    pub wifi_series: Vec<(u64, f64)>,
+}
+
+/// Generate the example traces (250/300 s like the paper's plots).
+pub fn run(seed: u64) -> Fig15Result {
+    let cellular = hsr_cellular(seed, 250_000);
+    let wifi = hsr_onboard_wifi(seed + 1, 300_000);
+    let cellular_series = cellular.rate_series_mbps(1000);
+    let wifi_series = wifi.rate_series_mbps(1000);
+    Fig15Result { cellular, wifi, cellular_series, wifi_series }
+}
+
+/// Print summaries (full series are long; print every 10 s) and return
+/// the Mahimahi exports.
+pub fn print(r: &Fig15Result) -> (String, String) {
+    for (name, series) in [
+        ("Fig 15a: HSR cellular", &r.cellular_series),
+        ("Fig 15b: HSR on-board WiFi", &r.wifi_series),
+    ] {
+        println!("\n## {name} (capacity, 10 s sampling)");
+        println!("| t (s) | Mbps |");
+        println!("|---|---|");
+        for (t, mbps) in series.iter().step_by(10) {
+            println!("| {} | {:.1} |", t / 1000, mbps);
+        }
+    }
+    (to_mahimahi(&r.cellular), to_mahimahi(&r.wifi))
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn traces_have_published_shapes() {
+        let r = run(5);
+        // Cellular swings between ~1 and ~12 Mbps with fades.
+        let max = r.cellular_series.iter().map(|&(_, m)| m).fold(0.0, f64::max);
+        let min = r.cellular_series.iter().map(|&(_, m)| m).fold(f64::MAX, f64::min);
+        assert!(max > 7.0, "cellular max {max}");
+        assert!(min < 1.5, "cellular min {min}");
+        // Wi-Fi tops out lower.
+        let wmax = r.wifi_series.iter().map(|&(_, m)| m).fold(0.0, f64::max);
+        assert!(wmax < max, "wifi max {wmax} vs cellular {max}");
+        // Export parses back.
+        let (cell_txt, _) = {
+            let c = to_mahimahi(&r.cellular);
+            let w = to_mahimahi(&r.wifi);
+            (c, w)
+        };
+        let back = xlink_traces::parse_mahimahi("hsr", &cell_txt).unwrap();
+        assert_eq!(back.opportunities_ms, r.cellular.opportunities_ms);
+    }
+}

@@ -1,0 +1,21 @@
+//! # xlink-harness — experiment infrastructure
+//!
+//! Builds end-to-end sessions (video plays and bulk downloads) over the
+//! `xlink-netsim` emulator for every transport scheme in the paper's
+//! evaluation, runs paired A/B populations, and hosts one module per
+//! table/figure under [`experiments`].
+
+pub mod ab;
+pub mod bulk;
+pub mod scenario;
+pub mod stats;
+pub mod transport;
+pub mod video_session;
+
+pub mod experiments;
+
+pub use ab::{run_ab, AbConfig, DayOutcome};
+pub use bulk::{run_bulk_mptcp, run_bulk_quic, BulkResult};
+pub use scenario::{draw_user_paths, PathSpec};
+pub use transport::{Conn, Scheme, TransportStats, TransportTuning};
+pub use video_session::{run_session, run_session_with_events, SessionConfig, SessionResult};

@@ -1,0 +1,177 @@
+//! Network scenario construction: turn (technology, trace, quality)
+//! descriptions into simulator paths, including the cross-ISP delay
+//! inflation of Table 4 / §3.2.
+
+use xlink_clock::Duration;
+use xlink_core::WirelessTech;
+use xlink_netsim::{LinkConfig, Path, Rng};
+use xlink_traces::Trace;
+
+/// The measured relative increase of cross-ISP LTE delay (Table 4), in
+/// percent: `CROSS_ISP_DELAY_PCT[client_isp][server_isp]`.
+pub const CROSS_ISP_DELAY_PCT: [[f64; 3]; 3] = [
+    [0.0, 21.0, 17.0],
+    [42.0, 0.0, 54.0],
+    [39.0, 34.0, 0.0],
+];
+
+/// Description of one access path.
+#[derive(Debug, Clone)]
+pub struct PathSpec {
+    /// Radio technology (sets the baseline one-way delay).
+    pub tech: WirelessTech,
+    /// Downlink capacity trace.
+    pub down_trace: Trace,
+    /// Uplink capacity trace (usually a scaled-down copy).
+    pub up_trace: Trace,
+    /// Extra one-way delay on top of the technology baseline (cross-ISP,
+    /// jitter draws, …).
+    pub extra_delay: Duration,
+    /// Stochastic loss rate.
+    pub loss: f64,
+    /// Seed for the path's loss process.
+    pub seed: u64,
+}
+
+impl PathSpec {
+    /// Path with symmetric traces and the technology's typical delay.
+    pub fn new(tech: WirelessTech, trace: Trace, seed: u64) -> Self {
+        PathSpec {
+            tech,
+            up_trace: trace.clone(),
+            down_trace: trace,
+            extra_delay: Duration::ZERO,
+            loss: 0.0,
+            seed,
+        }
+    }
+
+    /// Apply the Table 4 cross-ISP delay increase for a client on
+    /// `client_isp` reaching a server on `server_isp` (0..3).
+    pub fn with_cross_isp(mut self, client_isp: usize, server_isp: usize) -> Self {
+        let pct = CROSS_ISP_DELAY_PCT[client_isp % 3][server_isp % 3];
+        let base = self.tech.typical_one_way_delay_ms() as f64;
+        self.extra_delay += Duration::from_micros((base * pct / 100.0 * 1000.0) as u64);
+        self
+    }
+
+    /// Set a loss rate.
+    pub fn with_loss(mut self, loss: f64) -> Self {
+        self.loss = loss;
+        self
+    }
+
+    /// Add explicit extra delay.
+    pub fn with_extra_delay(mut self, d: Duration) -> Self {
+        self.extra_delay += d;
+        self
+    }
+
+    /// Total one-way delay of this path.
+    pub fn one_way_delay(&self) -> Duration {
+        Duration::from_millis(self.tech.typical_one_way_delay_ms()) + self.extra_delay
+    }
+
+    /// Materialize into a simulator path.
+    pub fn build(&self) -> Path {
+        let delay = self.one_way_delay();
+        let mk = |trace: &Trace, seed: u64| LinkConfig {
+            trace_ms: trace.opportunities_ms.clone(),
+            delay,
+            queue_bytes: 384 * 1024,
+            loss: self.loss,
+            seed,
+        };
+        Path::new(mk(&self.up_trace, self.seed), mk(&self.down_trace, self.seed ^ 0xd0))
+    }
+}
+
+/// A user's network condition for one day of the A/B study: a Wi-Fi path
+/// and an LTE path whose quality varies per (day, user) draw.
+pub fn draw_user_paths(day: u64, user: u64) -> (PathSpec, PathSpec) {
+    let mut rng = Rng::new(day.wrapping_mul(0x9e37_79b9).wrapping_add(user));
+    // Wi-Fi: walking-style with a chance of a mid-session outage whose
+    // position and length vary per user; rate quality varies per day.
+    let dur = 20_000u64;
+    let wifi_seed = rng.next_u64();
+    let wifi = if rng.chance(0.6) {
+        let start = 1_500 + rng.below(9_000);
+        let len = 2_000 + rng.below(6_000);
+        xlink_traces::walking_wifi_with_outage(wifi_seed, dur, start, start + len)
+    } else {
+        xlink_traces::walking_wifi_with_outage(wifi_seed, dur, dur + 1, dur + 2) // no outage
+    };
+    // Most users have stable LTE; a minority ride degraded cellular
+    // (congested cell / fringe coverage), so some sessions are bad on
+    // BOTH paths — the residual rebuffering XLINK cannot fully remove.
+    let lte = if rng.chance(0.2) {
+        xlink_traces::hsr_cellular(rng.next_u64(), dur)
+    } else {
+        xlink_traces::stable_lte(rng.next_u64(), dur)
+    };
+    let mut wifi_spec = PathSpec::new(WirelessTech::Wifi, wifi, rng.next_u64());
+    let mut lte_spec = PathSpec::new(WirelessTech::Lte, lte, rng.next_u64());
+    // Per-user jitter in delay and loss; the secondary LTE path crosses
+    // ISP borders for a fraction of users (§3.2 footnote 7).
+    wifi_spec = wifi_spec
+        .with_extra_delay(Duration::from_millis(rng.below(8)))
+        .with_loss(0.0005 + rng.f64() * 0.004);
+    lte_spec = lte_spec
+        .with_extra_delay(Duration::from_millis(rng.below(15)))
+        .with_loss(0.0005 + rng.f64() * 0.003);
+    if rng.chance(0.4) {
+        lte_spec = lte_spec.with_cross_isp(rng.below(3) as usize, rng.below(3) as usize);
+    }
+    (wifi_spec, lte_spec)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn cross_isp_inflates_delay() {
+        let t = xlink_traces::constant_rate("c", 10.0, 1000);
+        let base = PathSpec::new(WirelessTech::Lte, t.clone(), 1);
+        let crossed = PathSpec::new(WirelessTech::Lte, t, 1).with_cross_isp(1, 2);
+        assert!(crossed.one_way_delay() > base.one_way_delay());
+        // ISP B→C is +54%: 27ms → ~41.6ms.
+        let expect = Duration::from_micros((27.0 * 1.54 * 1000.0) as u64);
+        assert_eq!(crossed.one_way_delay(), expect);
+    }
+
+    #[test]
+    fn same_isp_no_inflation() {
+        let t = xlink_traces::constant_rate("c", 10.0, 1000);
+        let spec = PathSpec::new(WirelessTech::Lte, t, 1).with_cross_isp(2, 2);
+        assert_eq!(spec.one_way_delay(), Duration::from_millis(27));
+    }
+
+    #[test]
+    fn draws_are_deterministic_and_vary() {
+        let (a1, _) = draw_user_paths(1, 1);
+        let (a2, _) = draw_user_paths(1, 1);
+        assert_eq!(a1.down_trace, a2.down_trace);
+        let (b, _) = draw_user_paths(1, 2);
+        assert_ne!(a1.down_trace, b.down_trace);
+        let (c, _) = draw_user_paths(2, 1);
+        assert_ne!(a1.down_trace, c.down_trace);
+    }
+
+    #[test]
+    fn built_paths_carry_traffic() {
+        let (wifi, _) = draw_user_paths(0, 0);
+        let mut p = wifi.build();
+        p.up.send(xlink_clock::Instant::ZERO, vec![0u8; 500]);
+        let got = p.up.recv(xlink_clock::Instant::from_secs(10));
+        assert!(got.len() <= 1); // delivered or randomly lost, never duplicated
+    }
+
+    #[test]
+    fn technology_sets_baseline_delay() {
+        let t = xlink_traces::constant_rate("c", 10.0, 1000);
+        let wifi = PathSpec::new(WirelessTech::Wifi, t.clone(), 1);
+        let lte = PathSpec::new(WirelessTech::Lte, t, 1);
+        assert!(lte.one_way_delay() > wifi.one_way_delay());
+    }
+}

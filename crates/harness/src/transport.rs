@@ -1,0 +1,526 @@
+//! A uniform wrapper over every transport scheme in the evaluation so
+//! session code is scheme-agnostic: single-path QUIC (SP), SP with
+//! connection migration (CM), and the multipath connection in its
+//! vanilla-MP / re-injection / XLINK configurations.
+
+use xlink_clock::{Duration, Instant};
+use xlink_core::{
+    AckPathPolicy, MpConfig, MpConnection, PrimaryPathPolicy, QoeControl, QoeSignal, ReinjectMode,
+    SchedulerKind, WirelessTech,
+};
+use xlink_quic::connection::{Config as SpConfig, Connection as SpConnection};
+use xlink_quic::stream::Side;
+
+/// Which transport scheme a session runs (the paper's comparison arms).
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum Scheme {
+    /// Single-path QUIC on the given path index.
+    Sp {
+        /// The (only) path used.
+        path: usize,
+    },
+    /// Single-path QUIC with client-driven connection migration (§7.3's
+    /// CM baseline): on stall, move to the next path and reset cwnd.
+    Cm,
+    /// Multipath QUIC, min-RTT, no re-injection, original-path ACKs.
+    VanillaMp,
+    /// Multipath with re-injection always on (no QoE control, Fig. 6c).
+    ReinjNoQoe,
+    /// Full XLINK (double-threshold QoE control, frame-priority
+    /// re-injection, fastest-path ACK_MP).
+    Xlink,
+    /// XLINK without first-video-frame acceleration (Fig. 12 ablation):
+    /// stream-priority re-injection only.
+    XlinkNoFirstFrame,
+    /// XLINK with appending-mode re-injection (Fig. 4a ablation).
+    XlinkAppending,
+}
+
+impl Scheme {
+    /// Human-readable label used in experiment output.
+    pub fn label(self) -> &'static str {
+        match self {
+            Scheme::Sp { .. } => "SP",
+            Scheme::Cm => "CM",
+            Scheme::VanillaMp => "Vanilla-MP",
+            Scheme::ReinjNoQoe => "Reinj-w/o-QoE",
+            Scheme::Xlink => "XLINK",
+            Scheme::XlinkNoFirstFrame => "XLINK-no-ffa",
+            Scheme::XlinkAppending => "XLINK-appending",
+        }
+    }
+
+    /// True for multipath schemes.
+    pub fn is_multipath(self) -> bool {
+        !matches!(self, Scheme::Sp { .. } | Scheme::Cm)
+    }
+}
+
+/// Tuning knobs shared by session builders.
+#[derive(Debug, Clone)]
+pub struct TransportTuning {
+    /// Double thresholds (T_th1, T_th2) for XLINK's controller.
+    pub thresholds_ms: (u64, u64),
+    /// ACK path policy for MP schemes that don't pin it.
+    pub ack_policy: AckPathPolicy,
+    /// Wireless technology per path.
+    pub path_techs: Vec<WirelessTech>,
+    /// CM stall threshold before migrating.
+    pub cm_threshold: Duration,
+    /// Wireless-aware primary selection on/off.
+    pub wireless_aware_primary: bool,
+    /// Explicit primary-path policy override (beats `wireless_aware_primary`).
+    pub primary_override: Option<PrimaryPathPolicy>,
+}
+
+impl Default for TransportTuning {
+    fn default() -> Self {
+        TransportTuning {
+            thresholds_ms: (300, 1500),
+            ack_policy: AckPathPolicy::FastestPath,
+            path_techs: vec![WirelessTech::Wifi, WirelessTech::Lte],
+            cm_threshold: Duration::from_millis(700),
+            wireless_aware_primary: true,
+            primary_override: None,
+        }
+    }
+}
+
+/// Unified per-session transport statistics.
+#[derive(Debug, Clone, Copy, Default)]
+pub struct TransportStats {
+    /// Wire bytes sent.
+    pub bytes_sent: u64,
+    /// Stream payload bytes sent first-time.
+    pub stream_bytes_sent: u64,
+    /// Retransmitted payload bytes.
+    pub stream_bytes_retransmitted: u64,
+    /// Proactively re-injected payload bytes.
+    pub reinjected_bytes: u64,
+    /// Packets lost.
+    pub packets_lost: u64,
+    /// Migrations performed (CM only).
+    pub migrations: u64,
+}
+
+impl TransportStats {
+    /// Redundancy ratio (the paper's cost metric).
+    pub fn redundancy_ratio(&self) -> f64 {
+        let total =
+            self.stream_bytes_sent + self.stream_bytes_retransmitted + self.reinjected_bytes;
+        if total == 0 {
+            0.0
+        } else {
+            self.reinjected_bytes as f64 / total as f64
+        }
+    }
+}
+
+/// The scheme-erased connection.
+pub enum Conn {
+    /// Single path (optionally with migration).
+    Sp {
+        /// Underlying single-path connection.
+        conn: SpConnection,
+        /// Path currently in use.
+        active: usize,
+        /// Total paths available (for CM rotation).
+        num_paths: usize,
+        /// Migration enabled.
+        migrate: bool,
+        /// Stall threshold.
+        threshold: Duration,
+        /// Last time any datagram was received.
+        last_recv: Instant,
+        /// For servers: reply on the path the client last used.
+        follow_peer_path: bool,
+    },
+    /// Multipath.
+    Mp(MpConnection),
+}
+
+impl Conn {
+    /// Build the client side of `scheme` over `num_paths` network paths.
+    pub fn client(scheme: Scheme, tuning: &TransportTuning, seed: u64, now: Instant) -> Conn {
+        Self::build(scheme, tuning, seed, now, Side::Client)
+    }
+
+    /// Build the server side (mirrors the client's scheme).
+    pub fn server(scheme: Scheme, tuning: &TransportTuning, seed: u64, now: Instant) -> Conn {
+        Self::build(scheme, tuning, seed, now, Side::Server)
+    }
+
+    fn build(scheme: Scheme, tuning: &TransportTuning, seed: u64, now: Instant, side: Side) -> Conn {
+        let num_paths = tuning.path_techs.len();
+        match scheme {
+            Scheme::Sp { path } => {
+                let cfg = if side == Side::Client {
+                    SpConfig::client(seed)
+                } else {
+                    SpConfig::server(seed)
+                };
+                Conn::Sp {
+                    conn: SpConnection::new(cfg, now),
+                    active: path,
+                    num_paths,
+                    migrate: false,
+                    threshold: tuning.cm_threshold,
+                    last_recv: now,
+                    follow_peer_path: side == Side::Server,
+                }
+            }
+            Scheme::Cm => {
+                let cfg = if side == Side::Client {
+                    SpConfig::client(seed)
+                } else {
+                    SpConfig::server(seed)
+                };
+                Conn::Sp {
+                    conn: SpConnection::new(cfg, now),
+                    active: 0,
+                    num_paths,
+                    migrate: side == Side::Client,
+                    threshold: tuning.cm_threshold,
+                    last_recv: now,
+                    follow_peer_path: side == Side::Server,
+                }
+            }
+            mp => {
+                let mut cfg = if side == Side::Client {
+                    MpConfig::xlink_client(seed, tuning.path_techs.clone())
+                } else {
+                    MpConfig::xlink_server(seed, num_paths)
+                };
+                if side == Side::Server {
+                    cfg.path_techs = tuning.path_techs.clone();
+                }
+                if let Some(policy) = &tuning.primary_override {
+                    cfg.primary_policy = policy.clone();
+                } else if !tuning.wireless_aware_primary {
+                    cfg.primary_policy = PrimaryPathPolicy::unaware();
+                }
+                match mp {
+                    Scheme::VanillaMp => {
+                        cfg = cfg.vanilla();
+                    }
+                    Scheme::ReinjNoQoe => {
+                        cfg.qoe_control = QoeControl::AlwaysOn;
+                        cfg.reinject_mode = ReinjectMode::FramePriority;
+                        cfg.ack_policy = tuning.ack_policy;
+                    }
+                    Scheme::Xlink => {
+                        cfg.qoe_control = QoeControl::double_threshold_ms(
+                            tuning.thresholds_ms.0,
+                            tuning.thresholds_ms.1,
+                        );
+                        cfg.reinject_mode = ReinjectMode::FramePriority;
+                        cfg.ack_policy = tuning.ack_policy;
+                    }
+                    Scheme::XlinkNoFirstFrame => {
+                        cfg.qoe_control = QoeControl::double_threshold_ms(
+                            tuning.thresholds_ms.0,
+                            tuning.thresholds_ms.1,
+                        );
+                        cfg.reinject_mode = ReinjectMode::StreamPriority;
+                        cfg.ack_policy = tuning.ack_policy;
+                    }
+                    Scheme::XlinkAppending => {
+                        cfg.qoe_control = QoeControl::double_threshold_ms(
+                            tuning.thresholds_ms.0,
+                            tuning.thresholds_ms.1,
+                        );
+                        cfg.reinject_mode = ReinjectMode::Appending;
+                        cfg.ack_policy = tuning.ack_policy;
+                    }
+                    Scheme::Sp { .. } | Scheme::Cm => unreachable!(),
+                }
+                cfg.scheduler = SchedulerKind::MinRtt;
+                Conn::Mp(MpConnection::new(cfg, now))
+            }
+        }
+    }
+
+    /// Ingest a datagram from `path`.
+    pub fn handle_datagram(&mut self, now: Instant, path: usize, data: &[u8]) {
+        match self {
+            Conn::Sp { conn, active, last_recv, follow_peer_path, .. } => {
+                *last_recv = now;
+                if *follow_peer_path {
+                    *active = path; // reply where the client is
+                }
+                conn.handle_datagram(now, data);
+            }
+            Conn::Mp(mp) => mp.handle_datagram(now, path, data),
+        }
+    }
+
+    /// Next datagram to send: (network path, bytes).
+    pub fn poll_transmit(&mut self, now: Instant) -> Option<(usize, Vec<u8>)> {
+        match self {
+            Conn::Sp { conn, active, migrate, threshold, last_recv, num_paths, .. } => {
+                // CM: if we're awaiting data and the path has been silent
+                // past the threshold, rotate and reset (RFC 9000 §9.4).
+                if *migrate
+                    && conn.is_established()
+                    && conn.bytes_in_flight() > 0
+                    && now.saturating_duration_since(*last_recv) > *threshold
+                {
+                    *active = (*active + 1) % (*num_paths).max(1);
+                    conn.on_migrate(now);
+                    *last_recv = now; // restart the stall clock
+                }
+                conn.poll_transmit(now).map(|d| (*active, d))
+            }
+            Conn::Mp(mp) => mp.poll_transmit(now),
+        }
+    }
+
+    /// Earliest timer.
+    pub fn poll_timeout(&self) -> Option<Instant> {
+        match self {
+            Conn::Sp { conn, migrate, last_recv, threshold, .. } => {
+                let base = conn.poll_timeout();
+                if *migrate && conn.bytes_in_flight() > 0 {
+                    let stall = *last_recv + *threshold;
+                    Some(base.map_or(stall, |b| b.min(stall)))
+                } else {
+                    base
+                }
+            }
+            Conn::Mp(mp) => mp.poll_timeout(),
+        }
+    }
+
+    /// Fire timers.
+    pub fn on_timeout(&mut self, now: Instant) {
+        match self {
+            Conn::Sp { conn, .. } => conn.on_timeout(now),
+            Conn::Mp(mp) => mp.on_timeout(now),
+        }
+    }
+
+    /// True once the handshake finished.
+    pub fn is_established(&self) -> bool {
+        match self {
+            Conn::Sp { conn, .. } => conn.is_established(),
+            Conn::Mp(mp) => mp.is_established(),
+        }
+    }
+
+    /// True when closed.
+    pub fn is_closed(&self) -> bool {
+        match self {
+            Conn::Sp { conn, .. } => conn.is_closed(),
+            Conn::Mp(mp) => mp.is_closed(),
+        }
+    }
+
+    /// Open a stream with a priority.
+    pub fn open_stream(&mut self, priority: u8) -> u64 {
+        match self {
+            Conn::Sp { conn, .. } => conn.open_stream(priority),
+            Conn::Mp(mp) => mp.open_stream(priority),
+        }
+    }
+
+    /// Write stream data.
+    pub fn stream_send(&mut self, id: u64, data: &[u8], fin: bool) {
+        match self {
+            Conn::Sp { conn, .. } => conn.stream_send(id, data, fin),
+            Conn::Mp(mp) => mp.stream_send(id, data, fin),
+        }
+    }
+
+    /// Write stream data with a video-frame priority tag (no-op tag on SP).
+    pub fn stream_send_with_frame_priority(&mut self, id: u64, data: &[u8], prio: u8, fin: bool) {
+        match self {
+            Conn::Sp { conn, .. } => conn.stream_send(id, data, fin),
+            Conn::Mp(mp) => mp.stream_send_with_frame_priority(id, data, prio, fin),
+        }
+    }
+
+    /// Read stream data.
+    pub fn stream_recv(&mut self, id: u64, max: usize) -> Vec<u8> {
+        match self {
+            Conn::Sp { conn, .. } => conn.stream_recv(id, max),
+            Conn::Mp(mp) => mp.stream_recv(id, max),
+        }
+    }
+
+    /// Streams with readable data or completed FINs.
+    pub fn readable_streams(&self) -> Vec<u64> {
+        match self {
+            Conn::Sp { conn, .. } => conn.readable_streams(),
+            Conn::Mp(mp) => mp
+                .streams()
+                .iter()
+                .filter(|s| s.recv.readable() > 0 || s.recv.is_complete())
+                .map(|s| s.id)
+                .collect(),
+        }
+    }
+
+    /// True once a stream's receive side is complete.
+    pub fn stream_complete(&self, id: u64) -> bool {
+        match self {
+            Conn::Sp { conn, .. } => {
+                conn.streams().get(id).is_some_and(|s| s.recv.is_complete())
+            }
+            Conn::Mp(mp) => mp.streams().get(id).is_some_and(|s| s.recv.is_complete()),
+        }
+    }
+
+    /// Feed a QoE snapshot (MP only; SP ignores).
+    pub fn set_qoe(&mut self, q: QoeSignal) {
+        if let Conn::Mp(mp) = self {
+            mp.set_qoe(q);
+        }
+    }
+
+    /// Unified statistics.
+    pub fn stats(&self) -> TransportStats {
+        match self {
+            Conn::Sp { conn, .. } => {
+                let s = conn.stats();
+                TransportStats {
+                    bytes_sent: s.bytes_sent,
+                    stream_bytes_sent: s.stream_bytes_sent,
+                    stream_bytes_retransmitted: s.stream_bytes_retransmitted,
+                    reinjected_bytes: 0,
+                    packets_lost: s.packets_lost,
+                    migrations: s.migrations,
+                }
+            }
+            Conn::Mp(mp) => {
+                let s = mp.stats();
+                TransportStats {
+                    bytes_sent: s.bytes_sent,
+                    stream_bytes_sent: s.stream_bytes_sent,
+                    stream_bytes_retransmitted: s.stream_bytes_retransmitted,
+                    reinjected_bytes: s.reinjected_bytes,
+                    packets_lost: s.packets_lost,
+                    migrations: 0,
+                }
+            }
+        }
+    }
+
+    /// Per-path (path, wire bytes sent) breakdown (MP: real; SP: all on
+    /// the active path).
+    pub fn bytes_per_path(&self) -> Vec<(usize, u64)> {
+        match self {
+            Conn::Sp { conn, active, .. } => vec![(*active, conn.stats().bytes_sent)],
+            Conn::Mp(mp) => mp.paths().iter().map(|p| (p.id, p.bytes_sent)).collect(),
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn scheme_labels_and_classification() {
+        assert_eq!(Scheme::Xlink.label(), "XLINK");
+        assert!(Scheme::Xlink.is_multipath());
+        assert!(!Scheme::Sp { path: 0 }.is_multipath());
+        assert!(!Scheme::Cm.is_multipath());
+        assert!(Scheme::VanillaMp.is_multipath());
+    }
+
+    #[test]
+    fn sp_pair_establishes_through_wrapper() {
+        let t = TransportTuning::default();
+        let mut now = Instant::ZERO;
+        let mut c = Conn::client(Scheme::Sp { path: 0 }, &t, 1, now);
+        let mut s = Conn::server(Scheme::Sp { path: 0 }, &t, 2, now);
+        for _ in 0..50 {
+            let mut any = false;
+            while let Some((p, d)) = c.poll_transmit(now) {
+                s.handle_datagram(now, p, &d);
+                any = true;
+            }
+            while let Some((p, d)) = s.poll_transmit(now) {
+                c.handle_datagram(now, p, &d);
+                any = true;
+            }
+            if !any {
+                break;
+            }
+            now += Duration::from_micros(100);
+        }
+        assert!(c.is_established() && s.is_established());
+        let id = c.open_stream(0);
+        c.stream_send(id, b"hi", true);
+        for _ in 0..20 {
+            while let Some((p, d)) = c.poll_transmit(now) {
+                s.handle_datagram(now, p, &d);
+            }
+            while let Some((p, d)) = s.poll_transmit(now) {
+                c.handle_datagram(now, p, &d);
+            }
+            now += Duration::from_micros(100);
+        }
+        assert_eq!(s.stream_recv(id, 10), b"hi");
+    }
+
+    #[test]
+    fn xlink_pair_establishes_through_wrapper() {
+        let t = TransportTuning::default();
+        let mut now = Instant::ZERO;
+        let mut c = Conn::client(Scheme::Xlink, &t, 1, now);
+        let mut s = Conn::server(Scheme::Xlink, &t, 2, now);
+        for _ in 0..200 {
+            let mut any = false;
+            while let Some((p, d)) = c.poll_transmit(now) {
+                s.handle_datagram(now, p, &d);
+                any = true;
+            }
+            while let Some((p, d)) = s.poll_transmit(now) {
+                c.handle_datagram(now, p, &d);
+                any = true;
+            }
+            if !any {
+                break;
+            }
+            now += Duration::from_micros(100);
+        }
+        assert!(c.is_established() && s.is_established());
+    }
+
+    #[test]
+    fn cm_rotates_path_on_stall() {
+        let t = TransportTuning::default();
+        let mut now = Instant::ZERO;
+        let mut c = Conn::client(Scheme::Cm, &t, 1, now);
+        let mut s = Conn::server(Scheme::Cm, &t, 2, now);
+        for _ in 0..50 {
+            let mut any = false;
+            while let Some((p, d)) = c.poll_transmit(now) {
+                s.handle_datagram(now, p, &d);
+                any = true;
+            }
+            while let Some((p, d)) = s.poll_transmit(now) {
+                c.handle_datagram(now, p, &d);
+                any = true;
+            }
+            if !any {
+                break;
+            }
+            now += Duration::from_micros(100);
+        }
+        assert!(c.is_established());
+        // Put data in flight, then go silent past the threshold.
+        let id = c.open_stream(0);
+        c.stream_send(id, &vec![0u8; 5000], true);
+        let first = c.poll_transmit(now).map(|(p, _)| p).unwrap();
+        assert_eq!(first, 0);
+        while c.poll_transmit(now).is_some() {}
+        now += Duration::from_secs(2);
+        c.on_timeout(now);
+        // Next transmission goes out on the rotated path with reset cwnd.
+        let (path, _) = c.poll_transmit(now).expect("probe or retransmit");
+        assert_eq!(path, 1, "CM should have migrated");
+        assert_eq!(c.stats().migrations, 1);
+    }
+}

@@ -1,0 +1,26 @@
+//! A simplified MPTCP-like multipath byte-stream transport — the MPTCP
+//! baseline of the paper's Fig. 13 mobility study.
+//!
+//! This models the mechanisms the paper contrasts XLINK against (§8):
+//!
+//! * one cumulative *data-level* sequence space across subflows, with
+//!   per-subflow segment tracking,
+//! * the Linux default **min-RTT scheduler** (pick the lowest-RTT subflow
+//!   among those with available congestion window),
+//! * **ACK on the same subflow** that carried the data (unlike XLINK's
+//!   fastest-path ACK_MP),
+//! * **opportunistic retransmission and penalization** to mitigate
+//!   head-of-line blocking: when the data-level head is stuck on a slow
+//!   subflow, the head is retransmitted on another subflow and the
+//!   offender's congestion window is halved,
+//! * per-subflow loss recovery with RTO, per-subflow Cubic (decoupled, as
+//!   in the paper's experiments).
+//!
+//! Substitution note (DESIGN.md): this is not a kernel MPTCP; it is the
+//! same algorithms at the abstraction level of the rest of the workspace,
+//! which is what the comparison needs.
+
+pub mod conn;
+pub mod wire;
+
+pub use conn::{MptcpConfig, MptcpConnection, MptcpStats};

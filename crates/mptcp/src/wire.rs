@@ -1,0 +1,145 @@
+//! Wire format for the MPTCP-like baseline: a compact segment header.
+//!
+//! `[kind u8 | subflow u8 | seq u64 | ack u64 | window u32 | len u16 | payload]`
+//!
+//! `seq`/`ack` are *data-level* byte sequence numbers (the MPTCP DSS
+//! mapping collapsed to one level, which is sufficient because each
+//! segment is tracked per subflow on the sender side).
+
+/// Segment type.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum Kind {
+    /// Subflow setup (SYN-like).
+    Syn,
+    /// Setup acknowledgement.
+    SynAck,
+    /// Data segment.
+    Data,
+    /// Pure acknowledgement.
+    Ack,
+    /// Connection teardown.
+    Fin,
+}
+
+impl Kind {
+    fn code(self) -> u8 {
+        match self {
+            Kind::Syn => 1,
+            Kind::SynAck => 2,
+            Kind::Data => 3,
+            Kind::Ack => 4,
+            Kind::Fin => 5,
+        }
+    }
+
+    fn from_code(v: u8) -> Option<Kind> {
+        Some(match v {
+            1 => Kind::Syn,
+            2 => Kind::SynAck,
+            3 => Kind::Data,
+            4 => Kind::Ack,
+            5 => Kind::Fin,
+            _ => return None,
+        })
+    }
+}
+
+/// A decoded segment.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct Segment {
+    /// Segment type.
+    pub kind: Kind,
+    /// Subflow (path) index the segment logically belongs to.
+    pub subflow: u8,
+    /// Data-level sequence number of the first payload byte.
+    pub seq: u64,
+    /// Cumulative data-level acknowledgement (next expected byte).
+    pub ack: u64,
+    /// Receive window in bytes.
+    pub window: u32,
+    /// Payload bytes (empty for control segments).
+    pub payload: Vec<u8>,
+}
+
+/// Fixed header size.
+pub const HEADER_LEN: usize = 1 + 1 + 8 + 8 + 4 + 2;
+
+impl Segment {
+    /// Encode to wire bytes.
+    pub fn encode(&self) -> Vec<u8> {
+        let mut out = Vec::with_capacity(HEADER_LEN + self.payload.len());
+        out.push(self.kind.code());
+        out.push(self.subflow);
+        out.extend_from_slice(&self.seq.to_be_bytes());
+        out.extend_from_slice(&self.ack.to_be_bytes());
+        out.extend_from_slice(&self.window.to_be_bytes());
+        out.extend_from_slice(&(self.payload.len() as u16).to_be_bytes());
+        out.extend_from_slice(&self.payload);
+        out
+    }
+
+    /// Decode from wire bytes.
+    pub fn decode(buf: &[u8]) -> Option<Segment> {
+        if buf.len() < HEADER_LEN {
+            return None;
+        }
+        let kind = Kind::from_code(buf[0])?;
+        let subflow = buf[1];
+        let seq = u64::from_be_bytes(buf[2..10].try_into().ok()?);
+        let ack = u64::from_be_bytes(buf[10..18].try_into().ok()?);
+        let window = u32::from_be_bytes(buf[18..22].try_into().ok()?);
+        let len = u16::from_be_bytes(buf[22..24].try_into().ok()?) as usize;
+        if buf.len() != HEADER_LEN + len {
+            return None;
+        }
+        Some(Segment {
+            kind,
+            subflow,
+            seq,
+            ack,
+            window,
+            payload: buf[HEADER_LEN..].to_vec(),
+        })
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn roundtrip_all_kinds() {
+        for kind in [Kind::Syn, Kind::SynAck, Kind::Data, Kind::Ack, Kind::Fin] {
+            let s = Segment {
+                kind,
+                subflow: 3,
+                seq: 0xdead_beef,
+                ack: 0x1234,
+                window: 65535,
+                payload: if kind == Kind::Data { vec![9; 100] } else { vec![] },
+            };
+            assert_eq!(Segment::decode(&s.encode()).unwrap(), s);
+        }
+    }
+
+    #[test]
+    fn decode_rejects_truncation_and_garbage() {
+        let s = Segment {
+            kind: Kind::Data,
+            subflow: 0,
+            seq: 1,
+            ack: 2,
+            window: 3,
+            payload: vec![1, 2, 3],
+        };
+        let enc = s.encode();
+        assert!(Segment::decode(&enc[..enc.len() - 1]).is_none());
+        assert!(Segment::decode(&enc[..HEADER_LEN - 1]).is_none());
+        let mut bad = enc.clone();
+        bad[0] = 99;
+        assert!(Segment::decode(&bad).is_none());
+        let mut extra = enc;
+        extra.push(0);
+        assert!(Segment::decode(&extra).is_none());
+    }
+}

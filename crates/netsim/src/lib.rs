@@ -1,0 +1,11 @@
+//! Discrete-event network emulator with Mahimahi-semantics trace-driven
+//! links — the controlled-experiment substrate standing in for the
+//! paper's `mpshell` setup (Appendix B).
+
+pub mod link;
+pub mod rng;
+pub mod world;
+
+pub use link::{Delivered, Link, LinkConfig, OPPORTUNITY_BYTES};
+pub use rng::Rng;
+pub use world::{Endpoint, Path, PathEvent, Transmit, World};

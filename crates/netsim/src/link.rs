@@ -1,0 +1,454 @@
+//! Trace-driven unidirectional link with Mahimahi semantics.
+//!
+//! Mahimahi (`mpshell`, the paper's Appendix B emulator) models a cellular
+//! link as a sequence of *delivery opportunities*: each trace line is a
+//! millisecond timestamp at which one MTU-sized (1500-byte) quantum of
+//! bytes may leave the queue; the trace loops forever. We reproduce that
+//! model exactly, plus a DropTail byte-bounded queue, constant one-way
+//! propagation delay, optional stochastic loss, and an outage switch used
+//! by the mobility experiments.
+
+use crate::rng::Rng;
+use std::collections::VecDeque;
+use xlink_clock::{Duration, Instant};
+
+/// Bytes one delivery opportunity can carry (Mahimahi's MTU).
+pub const OPPORTUNITY_BYTES: usize = 1500;
+
+/// A queued packet.
+#[derive(Debug, Clone)]
+struct Queued {
+    payload: Vec<u8>,
+    /// Bytes of this packet already consumed by earlier opportunities
+    /// (Mahimahi delivers partial packets across opportunities).
+    consumed: usize,
+    enqueued_at: Instant,
+}
+
+/// A packet ready at the far end of the link.
+#[derive(Debug, Clone)]
+pub struct Delivered {
+    /// Arrival time at the receiver (after propagation delay).
+    pub at: Instant,
+    /// Packet bytes.
+    pub payload: Vec<u8>,
+    /// Time the packet spent queued before transmission began.
+    pub queue_delay: Duration,
+}
+
+/// Configuration of one direction of a path.
+#[derive(Debug, Clone)]
+pub struct LinkConfig {
+    /// Delivery-opportunity timestamps in ms (one MTU each); loops.
+    /// An empty trace means the link never delivers.
+    pub trace_ms: Vec<u64>,
+    /// One-way propagation delay.
+    pub delay: Duration,
+    /// DropTail queue limit in bytes.
+    pub queue_bytes: usize,
+    /// Independent random loss probability per packet.
+    pub loss: f64,
+    /// RNG seed for the loss process.
+    pub seed: u64,
+}
+
+impl LinkConfig {
+    /// Constant-rate link helper: `mbps` megabits/s as evenly spaced
+    /// delivery opportunities over one second.
+    pub fn constant_rate(mbps: f64, delay: Duration) -> Self {
+        let opportunities_per_sec = (mbps * 1e6 / 8.0 / OPPORTUNITY_BYTES as f64).max(1.0);
+        let n = opportunities_per_sec.round() as u64;
+        let trace_ms = (0..n).map(|i| i * 1000 / n).collect();
+        LinkConfig {
+            trace_ms,
+            delay,
+            queue_bytes: 512 * 1024,
+            loss: 0.0,
+            seed: 0,
+        }
+    }
+}
+
+/// One direction of an emulated path.
+#[derive(Debug)]
+pub struct Link {
+    cfg: LinkConfig,
+    /// Trace cursor: index of the next unused opportunity.
+    cursor: usize,
+    /// Completed trace loops.
+    loops: u64,
+    queue: VecDeque<Queued>,
+    queued_bytes: usize,
+    /// Packets in the propagation pipe, ordered by arrival time.
+    in_flight: VecDeque<Delivered>,
+    rng: Rng,
+    /// Administrative outage: no deliveries while set.
+    down: bool,
+    /// Total bytes dropped at the queue.
+    pub dropped_bytes: u64,
+    /// Total packets dropped (queue overflow + random loss).
+    pub dropped_packets: u64,
+    /// Total bytes delivered to the far end.
+    pub delivered_bytes: u64,
+    /// Trace duration in ms (cached).
+    period_ms: u64,
+}
+
+impl Link {
+    /// Build a link from its configuration.
+    pub fn new(cfg: LinkConfig) -> Self {
+        let period_ms = cfg.trace_ms.last().map(|l| l + 1).unwrap_or(1).max(1);
+        let rng = Rng::new(cfg.seed ^ 0x11ce);
+        Link {
+            cursor: 0,
+            loops: 0,
+            queue: VecDeque::new(),
+            queued_bytes: 0,
+            in_flight: VecDeque::new(),
+            rng,
+            down: false,
+            dropped_bytes: 0,
+            dropped_packets: 0,
+            delivered_bytes: 0,
+            period_ms,
+            cfg,
+        }
+    }
+
+    /// Set or clear an administrative outage (handoff emulation).
+    pub fn set_down(&mut self, down: bool) {
+        self.down = down;
+    }
+
+    /// True while administratively down.
+    pub fn is_down(&self) -> bool {
+        self.down
+    }
+
+    /// Current queue occupancy in bytes.
+    pub fn queued_bytes(&self) -> usize {
+        self.queued_bytes
+    }
+
+    /// Absolute time of the opportunity at `cursor` offset from now.
+    fn opportunity_time(&self, index: usize, loops: u64) -> Instant {
+        let ms = self.cfg.trace_ms[index % self.cfg.trace_ms.len()]
+            + (loops + index as u64 / self.cfg.trace_ms.len() as u64) * self.period_ms;
+        Instant::from_millis(ms)
+    }
+
+    /// Enqueue a packet at `now`. Applies random loss and DropTail.
+    pub fn send(&mut self, now: Instant, payload: Vec<u8>) {
+        if self.cfg.trace_ms.is_empty() {
+            self.dropped_packets += 1;
+            self.dropped_bytes += payload.len() as u64;
+            return;
+        }
+        if self.cfg.loss > 0.0 && self.rng.chance(self.cfg.loss) {
+            self.dropped_packets += 1;
+            self.dropped_bytes += payload.len() as u64;
+            return;
+        }
+        if self.queued_bytes + payload.len() > self.cfg.queue_bytes {
+            self.dropped_packets += 1;
+            self.dropped_bytes += payload.len() as u64;
+            return;
+        }
+        self.queued_bytes += payload.len();
+        self.queue.push_back(Queued { payload, consumed: 0, enqueued_at: now });
+    }
+
+    /// Advance the trace clock to `now`, moving queued bytes into the
+    /// propagation pipe at each delivery opportunity.
+    pub fn poll(&mut self, now: Instant) {
+        if self.cfg.trace_ms.is_empty() {
+            return;
+        }
+        loop {
+            let opp_time = self.opportunity_time(self.cursor, self.loops);
+            if opp_time > now {
+                break;
+            }
+            self.advance_cursor();
+            if self.down {
+                continue; // opportunity wasted during outage
+            }
+            // One opportunity ships up to OPPORTUNITY_BYTES, possibly
+            // spanning several small packets (Mahimahi packs packets into
+            // the quantum; a packet finishing mid-quantum frees the rest).
+            let mut budget = OPPORTUNITY_BYTES;
+            while budget > 0 {
+                let Some(front) = self.queue.front_mut() else {
+                    break;
+                };
+                let remaining = front.payload.len() - front.consumed;
+                let take = remaining.min(budget);
+                front.consumed += take;
+                budget -= take;
+                if front.consumed == front.payload.len() {
+                    let q = self.queue.pop_front().expect("front exists");
+                    self.queued_bytes -= q.payload.len();
+                    self.delivered_bytes += q.payload.len() as u64;
+                    self.in_flight.push_back(Delivered {
+                        at: opp_time + self.cfg.delay,
+                        queue_delay: opp_time.saturating_duration_since(q.enqueued_at),
+                        payload: q.payload,
+                    });
+                } else {
+                    break; // packet continues at the next opportunity
+                }
+            }
+        }
+    }
+
+    fn advance_cursor(&mut self) {
+        self.cursor += 1;
+        if self.cursor >= self.cfg.trace_ms.len() {
+            self.cursor = 0;
+            self.loops += 1;
+        }
+    }
+
+    /// Pop packets that have arrived at the far end by `now`.
+    pub fn recv(&mut self, now: Instant) -> Vec<Delivered> {
+        self.poll(now);
+        let mut out = Vec::new();
+        while let Some(front) = self.in_flight.front() {
+            if front.at <= now {
+                out.push(self.in_flight.pop_front().expect("front exists"));
+            } else {
+                break;
+            }
+        }
+        out
+    }
+
+    /// Next instant at which something observable happens: a queued packet
+    /// could ship or an in-flight packet arrives.
+    pub fn next_event(&self, now: Instant) -> Option<Instant> {
+        let mut next: Option<Instant> = self.in_flight.front().map(|d| d.at);
+        if !self.queue.is_empty() && !self.cfg.trace_ms.is_empty() {
+            // Earliest opportunity strictly after... at or after now.
+            let mut idx = self.cursor;
+            let mut loops = self.loops;
+            // The cursor may point to an opportunity in the past if poll
+            // hasn't run; compute the first opportunity >= now.
+            let mut t = self.opportunity_time(idx, loops);
+            let mut guard = 0;
+            while t < now && guard < 4 * self.cfg.trace_ms.len() + 4 {
+                idx += 1;
+                if idx >= self.cfg.trace_ms.len() {
+                    idx = 0;
+                    loops += 1;
+                }
+                t = self.opportunity_time(idx, loops);
+                guard += 1;
+            }
+            next = Some(next.map_or(t, |n: Instant| n.min(t)));
+        }
+        next
+    }
+
+    /// Instantaneous link capacity (Mbps) over a window ending at `now`,
+    /// from the trace alone (used by experiment probes to plot the
+    /// "link capacity" series of Fig. 1).
+    pub fn capacity_mbps(&self, now: Instant, window: Duration) -> f64 {
+        if self.cfg.trace_ms.is_empty() || window == Duration::ZERO {
+            return 0.0;
+        }
+        let end_ms = now.as_millis();
+        let start_ms = end_ms.saturating_sub(window.as_millis());
+        let period = self.period_ms;
+        let mut count = 0u64;
+        // Count opportunities in [start_ms, end_ms) across loop wraps.
+        let first_loop = start_ms / period;
+        let last_loop = end_ms / period;
+        for l in first_loop..=last_loop {
+            for &t in &self.cfg.trace_ms {
+                let abs = l * period + t;
+                if abs >= start_ms && abs < end_ms {
+                    count += 1;
+                }
+            }
+        }
+        (count * OPPORTUNITY_BYTES as u64 * 8) as f64 / window.as_secs_f64() / 1e6
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn ms(v: u64) -> Instant {
+        Instant::from_millis(v)
+    }
+
+    fn simple_link(delay_ms: u64) -> Link {
+        // One opportunity per ms → 12 Mbps.
+        Link::new(LinkConfig {
+            trace_ms: (0..1000).collect(),
+            delay: Duration::from_millis(delay_ms),
+            queue_bytes: 100_000,
+            loss: 0.0,
+            seed: 1,
+        })
+    }
+
+    #[test]
+    fn delivers_after_propagation_delay() {
+        let mut l = simple_link(10);
+        l.send(ms(0), vec![0xab; 1000]);
+        assert!(l.recv(ms(9)).is_empty());
+        let got = l.recv(ms(10));
+        assert_eq!(got.len(), 1);
+        assert_eq!(got[0].payload.len(), 1000);
+        assert_eq!(got[0].at, ms(10));
+    }
+
+    #[test]
+    fn big_packet_takes_multiple_opportunities() {
+        let mut l = simple_link(0);
+        // 3000 bytes = 2 full opportunities ship it at t=1ms (0:1500,1:1500).
+        l.send(ms(0), vec![1; 3000]);
+        let got = l.recv(ms(0));
+        assert!(got.is_empty());
+        let got = l.recv(ms(1));
+        assert_eq!(got.len(), 1);
+    }
+
+    #[test]
+    fn small_packets_share_an_opportunity() {
+        let mut l = simple_link(0);
+        for _ in 0..3 {
+            l.send(ms(0), vec![2; 400]);
+        }
+        // 1200 bytes fits one 1500-byte opportunity at t=0.
+        let got = l.recv(ms(0));
+        assert_eq!(got.len(), 3);
+    }
+
+    #[test]
+    fn rate_matches_trace() {
+        // 12 Mbps link: 800 MTU packets drain at one per millisecond.
+        let mut l = Link::new(LinkConfig {
+            trace_ms: (0..1000).collect(),
+            delay: Duration::ZERO,
+            queue_bytes: 2_000_000,
+            loss: 0.0,
+            seed: 1,
+        });
+        let n = 800;
+        for _ in 0..n {
+            l.send(ms(0), vec![0; OPPORTUNITY_BYTES]);
+        }
+        let got = l.recv(ms(799));
+        assert_eq!(got.len(), n);
+        assert_eq!(got.last().unwrap().at, ms(799));
+    }
+
+    #[test]
+    fn trace_loops() {
+        let mut l = Link::new(LinkConfig {
+            trace_ms: vec![0, 500],
+            delay: Duration::ZERO,
+            queue_bytes: 100_000,
+            loss: 0.0,
+            seed: 1,
+        });
+        // Period = 501ms; opportunities at 0,500,501,1001,1002,...
+        for _ in 0..4 {
+            l.send(ms(0), vec![0; OPPORTUNITY_BYTES]);
+        }
+        let times: Vec<u64> = l.recv(ms(3000)).iter().map(|d| d.at.as_millis()).collect();
+        assert_eq!(times, vec![0, 500, 501, 1001]);
+    }
+
+    #[test]
+    fn droptail_queue_overflows() {
+        let mut l = Link::new(LinkConfig {
+            trace_ms: vec![0],
+            delay: Duration::ZERO,
+            queue_bytes: 3000,
+            loss: 0.0,
+            seed: 1,
+        });
+        for _ in 0..5 {
+            l.send(ms(0), vec![0; 1000]);
+        }
+        assert_eq!(l.dropped_packets, 2);
+        assert_eq!(l.queued_bytes(), 3000);
+    }
+
+    #[test]
+    fn random_loss_drops_roughly_p() {
+        let mut l = Link::new(LinkConfig {
+            trace_ms: (0..1000).collect(),
+            delay: Duration::ZERO,
+            queue_bytes: usize::MAX / 2,
+            loss: 0.3,
+            seed: 42,
+        });
+        for _ in 0..2000 {
+            l.send(ms(0), vec![0; 100]);
+        }
+        let frac = l.dropped_packets as f64 / 2000.0;
+        assert!((0.25..0.35).contains(&frac), "loss frac = {frac}");
+    }
+
+    #[test]
+    fn outage_stalls_then_recovers() {
+        let mut l = simple_link(0);
+        l.send(ms(0), vec![0; 1000]);
+        l.set_down(true);
+        assert!(l.recv(ms(100)).is_empty());
+        l.set_down(false);
+        let got = l.recv(ms(101));
+        assert_eq!(got.len(), 1);
+        assert!(got[0].queue_delay >= Duration::from_millis(100));
+    }
+
+    #[test]
+    fn queue_delay_measured() {
+        // Opportunities only at t=0 (then loops with period 1ms → every ms).
+        let mut l = simple_link(0);
+        l.send(ms(0), vec![0; OPPORTUNITY_BYTES]); // ships at 0
+        l.send(ms(0), vec![0; OPPORTUNITY_BYTES]); // ships at 1
+        let got = l.recv(ms(10));
+        assert_eq!(got[0].queue_delay, Duration::ZERO);
+        assert_eq!(got[1].queue_delay, Duration::from_millis(1));
+    }
+
+    #[test]
+    fn next_event_reports_arrivals_and_opportunities() {
+        let mut l = simple_link(5);
+        assert!(l.next_event(ms(0)).is_none());
+        l.send(ms(0), vec![0; 100]);
+        // Queued: next event is the t=0 opportunity.
+        assert_eq!(l.next_event(ms(0)), Some(ms(0)));
+        l.poll(ms(0));
+        // Now in flight: next event is arrival at t=5.
+        assert_eq!(l.next_event(ms(0)), Some(ms(5)));
+    }
+
+    #[test]
+    fn capacity_probe() {
+        let l = simple_link(0); // 1500 B/ms = 12 Mbps
+        let cap = l.capacity_mbps(ms(1000), Duration::from_millis(500));
+        assert!((cap - 12.0).abs() < 0.5, "cap = {cap}");
+    }
+
+    #[test]
+    fn empty_trace_never_delivers() {
+        let mut l = Link::new(LinkConfig {
+            trace_ms: vec![],
+            delay: Duration::ZERO,
+            queue_bytes: 1000,
+            loss: 0.0,
+            seed: 0,
+        });
+        l.send(ms(0), vec![0; 100]);
+        assert!(l.recv(ms(10_000)).is_empty());
+        assert_eq!(l.dropped_packets, 1);
+        assert!(l.next_event(ms(0)).is_none());
+    }
+}

@@ -1,0 +1,254 @@
+//! Cubic congestion control (RFC 8312 / RFC 9438 style), the default
+//! controller in the paper's evaluation (§7). The window grows as a cubic
+//! function of the time since the last congestion event, anchored at the
+//! pre-loss window, with a Reno-friendly region for low-BDP paths.
+
+use super::{CongestionController, INITIAL_WINDOW, MAX_DATAGRAM_SIZE, MIN_WINDOW};
+use xlink_clock::{Duration, Instant};
+
+/// Cubic scaling constant C in (MSS-normalized) windows per second cubed.
+const C: f64 = 0.4;
+/// Multiplicative decrease factor.
+const BETA: f64 = 0.7;
+
+/// Cubic congestion controller.
+#[derive(Debug, Clone)]
+pub struct Cubic {
+    window: u64,
+    ssthresh: u64,
+    /// Window (in bytes) just before the last reduction.
+    w_max: f64,
+    /// Time of the last congestion event (epoch start for cubic growth).
+    epoch_start: Option<Instant>,
+    /// K: time offset at which the cubic function regains w_max (seconds).
+    k: f64,
+    recovery_start: Option<Instant>,
+    /// Reno-friendly window estimate in bytes.
+    w_est: f64,
+    /// Bytes acked since epoch start (drives the Reno-friendly estimate).
+    acked_since_epoch: u64,
+}
+
+impl Cubic {
+    /// Fresh controller in slow start.
+    pub fn new() -> Self {
+        Cubic {
+            window: INITIAL_WINDOW,
+            ssthresh: u64::MAX,
+            w_max: 0.0,
+            epoch_start: None,
+            k: 0.0,
+            recovery_start: None,
+            w_est: 0.0,
+            acked_since_epoch: 0,
+        }
+    }
+
+    fn in_recovery(&self, sent_time: Instant) -> bool {
+        self.recovery_start.is_some_and(|r| sent_time <= r)
+    }
+
+    /// Target window from the cubic function at elapsed time `t` seconds.
+    fn w_cubic(&self, t: f64) -> f64 {
+        let mss = MAX_DATAGRAM_SIZE as f64;
+        let dt = t - self.k;
+        (C * dt * dt * dt) * mss + self.w_max
+    }
+}
+
+impl Default for Cubic {
+    fn default() -> Self {
+        Self::new()
+    }
+}
+
+impl CongestionController for Cubic {
+    fn on_ack(&mut self, now: Instant, sent_time: Instant, bytes: u64, rtt: Duration) {
+        if self.in_recovery(sent_time) {
+            return;
+        }
+        if self.window < self.ssthresh {
+            self.window += bytes;
+            return;
+        }
+        let mss = MAX_DATAGRAM_SIZE as f64;
+        let epoch = *self.epoch_start.get_or_insert(now);
+        self.acked_since_epoch += bytes;
+        // Reno-friendly estimate (RFC 8312 W_est closed form, with acked
+        // windows since epoch standing in for elapsed RTTs).
+        self.w_est = self.w_max * BETA
+            + 3.0 * (1.0 - BETA) / (1.0 + BETA)
+                * (self.acked_since_epoch as f64 / self.window as f64)
+                * mss;
+        let t = now.saturating_duration_since(epoch).as_secs_f64();
+        // Cubic target one RTT ahead.
+        let target = self.w_cubic(t + rtt.as_secs_f64());
+        let cur = self.window as f64;
+        let next = if target > self.w_est.max(cur) {
+            // Concave/convex region: move a fraction of the gap per ack.
+            cur + (target - cur) / cur * bytes as f64
+        } else if self.w_est > cur {
+            // Reno-friendly region.
+            self.w_est
+        } else {
+            // Target below current window: minimal growth to stay probing.
+            cur + (bytes as f64) * mss / cur * 0.01
+        };
+        self.window = (next.max(MIN_WINDOW as f64)) as u64;
+    }
+
+    fn on_congestion_event(&mut self, now: Instant, sent_time: Instant) {
+        if self.in_recovery(sent_time) {
+            return;
+        }
+        self.recovery_start = Some(now);
+        let cur = self.window as f64;
+        // Fast convergence: if below previous w_max, shrink the anchor.
+        self.w_max = if cur < self.w_max { cur * (1.0 + BETA) / 2.0 } else { cur };
+        self.window = ((cur * BETA) as u64).max(MIN_WINDOW);
+        self.ssthresh = self.window;
+        let mss = MAX_DATAGRAM_SIZE as f64;
+        self.k = ((self.w_max * (1.0 - BETA)) / (C * mss)).cbrt();
+        self.epoch_start = Some(now);
+        self.w_est = self.window as f64;
+        self.acked_since_epoch = 0;
+    }
+
+    fn on_persistent_congestion(&mut self) {
+        self.window = MIN_WINDOW;
+        self.recovery_start = None;
+        self.epoch_start = None;
+        self.w_max = 0.0;
+        self.k = 0.0;
+    }
+
+    fn window(&self) -> u64 {
+        self.window
+    }
+
+    fn reset(&mut self, now: Instant) {
+        let _ = now;
+        *self = Cubic::new();
+    }
+
+    fn name(&self) -> &'static str {
+        "cubic"
+    }
+
+    fn clone_box(&self) -> Box<dyn CongestionController> {
+        Box::new(self.clone())
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn t(ms: u64) -> Instant {
+        Instant::from_millis(ms)
+    }
+    fn rtt() -> Duration {
+        Duration::from_millis(50)
+    }
+
+    #[test]
+    fn slow_start_grows_exponentially() {
+        let mut cc = Cubic::new();
+        let w0 = cc.window();
+        cc.on_ack(t(50), t(0), w0, rtt());
+        assert_eq!(cc.window(), 2 * w0);
+    }
+
+    #[test]
+    fn loss_reduces_by_beta() {
+        let mut cc = Cubic::new();
+        cc.on_ack(t(50), t(0), 200_000, rtt());
+        let before = cc.window();
+        cc.on_congestion_event(t(100), t(90));
+        let after = cc.window();
+        assert!((after as f64 - before as f64 * BETA).abs() < MAX_DATAGRAM_SIZE as f64);
+    }
+
+    #[test]
+    fn cubic_growth_accelerates_past_k() {
+        let mut cc = Cubic::new();
+        // Build a large window, then lose.
+        cc.on_ack(t(50), t(0), 2_000_000, rtt());
+        cc.on_congestion_event(t(100), t(90));
+        let w_after_loss = cc.window();
+        // Ack steadily; measure growth early vs late.
+        let mut now = 200u64;
+        let mut w_early = 0;
+        let mut w_late = 0;
+        for i in 0..200 {
+            cc.on_ack(t(now), t(now - 10), 10 * MAX_DATAGRAM_SIZE, rtt());
+            now += 50;
+            if i == 20 {
+                w_early = cc.window();
+            }
+            if i == 199 {
+                w_late = cc.window();
+            }
+        }
+        assert!(w_early >= w_after_loss, "window must not shrink without loss");
+        assert!(w_late > w_early, "late growth should exceed early plateau");
+    }
+
+    #[test]
+    fn plateau_near_w_max() {
+        // After a loss, growth should be slow near w_max (concave region).
+        let mut cc = Cubic::new();
+        cc.on_ack(t(50), t(0), 1_000_000, rtt());
+        let w_max = cc.window() as f64;
+        cc.on_congestion_event(t(100), t(90));
+        // Immediately after loss the cubic target at t=K is w_max.
+        assert!(cc.w_cubic(cc.k) - w_max < 1.0);
+    }
+
+    #[test]
+    fn one_reduction_per_recovery() {
+        let mut cc = Cubic::new();
+        cc.on_ack(t(50), t(0), 500_000, rtt());
+        cc.on_congestion_event(t(100), t(90));
+        let w = cc.window();
+        cc.on_congestion_event(t(101), t(95));
+        assert_eq!(cc.window(), w);
+    }
+
+    #[test]
+    fn fast_convergence_shrinks_anchor() {
+        let mut cc = Cubic::new();
+        cc.on_ack(t(50), t(0), 1_000_000, rtt());
+        cc.on_congestion_event(t(100), t(90));
+        let w_max_1 = cc.w_max;
+        // Second loss at a lower window → anchor shrinks below current w_max.
+        cc.on_congestion_event(t(200), t(190));
+        assert!(cc.w_max < w_max_1);
+    }
+
+    #[test]
+    fn persistent_congestion_collapses() {
+        let mut cc = Cubic::new();
+        cc.on_ack(t(50), t(0), 500_000, rtt());
+        cc.on_persistent_congestion();
+        assert_eq!(cc.window(), MIN_WINDOW);
+    }
+
+    #[test]
+    fn reset_for_migration_restores_initial() {
+        let mut cc = Cubic::new();
+        cc.on_ack(t(50), t(0), 500_000, rtt());
+        cc.reset(t(100));
+        assert_eq!(cc.window(), INITIAL_WINDOW);
+        assert_eq!(cc.ssthresh, u64::MAX);
+    }
+
+    #[test]
+    fn window_floor_holds_under_repeated_loss() {
+        let mut cc = Cubic::new();
+        for i in 0..30 {
+            cc.on_congestion_event(t(100 + i * 100), t(50 + i * 100));
+        }
+        assert!(cc.window() >= MIN_WINDOW);
+    }
+}

@@ -1,0 +1,220 @@
+//! Coupled multipath congestion control in the style of LIA (RFC 6356).
+//!
+//! The paper (§9) uses *decoupled* per-path Cubic because Wi-Fi and
+//! cellular rarely share a bottleneck, but notes that with 5G SA the
+//! bottleneck can move toward the CDN and "the coupled variant is
+//! preferred for fairness". This controller implements the linked-increase
+//! rule: each path's congestion-avoidance increment is scaled by an
+//! `alpha` factor set by the connection from the aggregate state of all
+//! paths, so the aggregate is no more aggressive than one TCP flow on the
+//! best path.
+
+use super::{CongestionController, INITIAL_WINDOW, MAX_DATAGRAM_SIZE, MIN_WINDOW};
+use xlink_clock::{Duration, Instant};
+
+/// Per-path half of the coupled controller. The cross-path coupling
+/// coefficient is pushed in via [`CoupledLia::set_alpha`] by the multipath
+/// connection (see `xlink-core`), which recomputes it from all paths'
+/// windows and RTTs.
+#[derive(Debug, Clone)]
+pub struct CoupledLia {
+    window: u64,
+    ssthresh: u64,
+    recovery_start: Option<Instant>,
+    acked_in_ca: u64,
+    /// Linked-increase coefficient (1.0 = plain Reno behaviour).
+    alpha: f64,
+}
+
+impl CoupledLia {
+    /// Fresh controller, uncoupled (alpha = 1) until the connection sets it.
+    pub fn new() -> Self {
+        CoupledLia {
+            window: INITIAL_WINDOW,
+            ssthresh: u64::MAX,
+            recovery_start: None,
+            acked_in_ca: 0,
+            alpha: 1.0,
+        }
+    }
+
+    /// Update the coupling coefficient (clamped to (0, 1]).
+    pub fn set_alpha(&mut self, alpha: f64) {
+        self.alpha = alpha.clamp(1e-3, 1.0);
+    }
+
+    /// Current coupling coefficient.
+    pub fn alpha(&self) -> f64 {
+        self.alpha
+    }
+
+    fn in_recovery(&self, sent_time: Instant) -> bool {
+        self.recovery_start.is_some_and(|r| sent_time <= r)
+    }
+
+    /// Compute the LIA alpha for a set of paths given (window, rtt) pairs,
+    /// normalized per RFC 6356 §3: the aggregate increase equals that of a
+    /// single flow on the path with the largest w/rtt².
+    pub fn compute_alpha(paths: &[(u64, Duration)]) -> f64 {
+        if paths.is_empty() {
+            return 1.0;
+        }
+        let best = paths
+            .iter()
+            .map(|(w, r)| *w as f64 / r.as_secs_f64().max(1e-6).powi(2))
+            .fold(0.0f64, f64::max);
+        let sum: f64 = paths
+            .iter()
+            .map(|(w, r)| *w as f64 / r.as_secs_f64().max(1e-6))
+            .sum();
+        let total: u64 = paths.iter().map(|(w, _)| w).sum();
+        if sum <= 0.0 || total == 0 {
+            return 1.0;
+        }
+        ((total as f64) * best / (sum * sum)).clamp(1e-3, 1.0)
+    }
+}
+
+impl Default for CoupledLia {
+    fn default() -> Self {
+        Self::new()
+    }
+}
+
+impl CongestionController for CoupledLia {
+    fn on_ack(&mut self, _now: Instant, sent_time: Instant, bytes: u64, _rtt: Duration) {
+        if self.in_recovery(sent_time) {
+            return;
+        }
+        if self.window < self.ssthresh {
+            self.window += bytes;
+        } else {
+            self.acked_in_ca += bytes;
+            // Linked increase: alpha MSS per window acked.
+            let step = ((MAX_DATAGRAM_SIZE as f64) * self.alpha) as u64;
+            if self.acked_in_ca >= self.window {
+                self.acked_in_ca -= self.window;
+                self.window += step.max(1);
+            }
+        }
+    }
+
+    fn on_congestion_event(&mut self, now: Instant, sent_time: Instant) {
+        if self.in_recovery(sent_time) {
+            return;
+        }
+        self.recovery_start = Some(now);
+        self.window = (self.window / 2).max(MIN_WINDOW);
+        self.ssthresh = self.window;
+        self.acked_in_ca = 0;
+    }
+
+    fn on_persistent_congestion(&mut self) {
+        self.window = MIN_WINDOW;
+        self.recovery_start = None;
+    }
+
+    fn window(&self) -> u64 {
+        self.window
+    }
+
+    fn reset(&mut self, now: Instant) {
+        let _ = now;
+        let alpha = self.alpha;
+        *self = CoupledLia::new();
+        self.alpha = alpha;
+    }
+
+    fn name(&self) -> &'static str {
+        "lia"
+    }
+
+    fn set_coupling(&mut self, alpha: f64) {
+        self.set_alpha(alpha);
+    }
+
+    fn clone_box(&self) -> Box<dyn CongestionController> {
+        Box::new(self.clone())
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn t(ms: u64) -> Instant {
+        Instant::from_millis(ms)
+    }
+
+    #[test]
+    fn slow_start_is_uncoupled() {
+        let mut cc = CoupledLia::new();
+        cc.set_alpha(0.1);
+        let w0 = cc.window();
+        cc.on_ack(t(10), t(0), w0, Duration::from_millis(10));
+        assert_eq!(cc.window(), 2 * w0); // alpha only affects CA
+    }
+
+    #[test]
+    fn coupled_increase_is_scaled() {
+        let mut a = CoupledLia::new();
+        let mut b = CoupledLia::new();
+        // Put both into CA at the same window.
+        a.on_congestion_event(t(1), t(0));
+        b.on_congestion_event(t(1), t(0));
+        a.set_alpha(1.0);
+        b.set_alpha(0.25);
+        let w = a.window();
+        a.on_ack(t(10), t(5), w, Duration::from_millis(10));
+        b.on_ack(t(10), t(5), w, Duration::from_millis(10));
+        let da = a.window() - w;
+        let db = b.window() - w;
+        assert!(db < da, "coupled path must grow slower ({db} vs {da})");
+        assert_eq!(da, MAX_DATAGRAM_SIZE);
+        assert_eq!(db, (MAX_DATAGRAM_SIZE as f64 * 0.25) as u64);
+    }
+
+    #[test]
+    fn alpha_computation_single_path_is_one() {
+        let a = CoupledLia::compute_alpha(&[(100_000, Duration::from_millis(50))]);
+        assert!((a - 1.0).abs() < 1e-6, "single path alpha = {a}");
+    }
+
+    #[test]
+    fn alpha_computation_two_equal_paths_halves() {
+        let paths = [
+            (100_000, Duration::from_millis(50)),
+            (100_000, Duration::from_millis(50)),
+        ];
+        let a = CoupledLia::compute_alpha(&paths);
+        assert!((a - 0.5).abs() < 1e-6, "two equal paths alpha = {a}");
+    }
+
+    #[test]
+    fn alpha_is_clamped() {
+        assert!(CoupledLia::compute_alpha(&[]) == 1.0);
+        let tiny = CoupledLia::compute_alpha(&[
+            (1_000_000, Duration::from_millis(1000)),
+            (1_000_000_000, Duration::from_millis(1)),
+        ]);
+        assert!((1e-3..=1.0).contains(&tiny));
+    }
+
+    #[test]
+    fn reset_preserves_alpha() {
+        let mut cc = CoupledLia::new();
+        cc.set_alpha(0.3);
+        cc.reset(t(10));
+        assert!((cc.alpha() - 0.3).abs() < 1e-9);
+        assert_eq!(cc.window(), INITIAL_WINDOW);
+    }
+
+    #[test]
+    fn loss_halves_window() {
+        let mut cc = CoupledLia::new();
+        cc.on_ack(t(10), t(0), 100_000, Duration::from_millis(10));
+        let w = cc.window();
+        cc.on_congestion_event(t(20), t(15));
+        assert_eq!(cc.window(), w / 2);
+    }
+}

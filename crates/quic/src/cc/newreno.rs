@@ -1,0 +1,179 @@
+//! NewReno congestion control (RFC 9002 §7): slow start, congestion
+//! avoidance with per-ack additive increase, multiplicative decrease on a
+//! congestion event, and a recovery period keyed on send time.
+
+use super::{CongestionController, INITIAL_WINDOW, MAX_DATAGRAM_SIZE, MIN_WINDOW};
+use xlink_clock::{Duration, Instant};
+
+/// RFC 9002 NewReno.
+#[derive(Debug, Clone)]
+pub struct NewReno {
+    window: u64,
+    ssthresh: u64,
+    /// Start of the current recovery period; congestion events for packets
+    /// sent before this are ignored.
+    recovery_start: Option<Instant>,
+    /// Bytes acked since the last window increment in congestion avoidance.
+    acked_in_ca: u64,
+}
+
+impl NewReno {
+    /// Fresh controller in slow start.
+    pub fn new() -> Self {
+        NewReno {
+            window: INITIAL_WINDOW,
+            ssthresh: u64::MAX,
+            recovery_start: None,
+            acked_in_ca: 0,
+        }
+    }
+
+    fn in_recovery(&self, sent_time: Instant) -> bool {
+        self.recovery_start.is_some_and(|r| sent_time <= r)
+    }
+}
+
+impl Default for NewReno {
+    fn default() -> Self {
+        Self::new()
+    }
+}
+
+impl CongestionController for NewReno {
+    fn on_ack(&mut self, _now: Instant, sent_time: Instant, bytes: u64, _rtt: Duration) {
+        if self.in_recovery(sent_time) {
+            return; // no growth during recovery
+        }
+        if self.window < self.ssthresh {
+            // Slow start: one byte per byte acked.
+            self.window += bytes;
+        } else {
+            // Congestion avoidance: +1 MSS per cwnd of acked bytes.
+            self.acked_in_ca += bytes;
+            if self.acked_in_ca >= self.window {
+                self.acked_in_ca -= self.window;
+                self.window += MAX_DATAGRAM_SIZE;
+            }
+        }
+    }
+
+    fn on_congestion_event(&mut self, now: Instant, sent_time: Instant) {
+        if self.in_recovery(sent_time) {
+            return; // one reduction per recovery period
+        }
+        self.recovery_start = Some(now);
+        self.window = (self.window / 2).max(MIN_WINDOW);
+        self.ssthresh = self.window;
+        self.acked_in_ca = 0;
+    }
+
+    fn on_persistent_congestion(&mut self) {
+        self.window = MIN_WINDOW;
+        self.recovery_start = None;
+    }
+
+    fn window(&self) -> u64 {
+        self.window
+    }
+
+    fn reset(&mut self, now: Instant) {
+        let _ = now;
+        *self = NewReno::new();
+    }
+
+    fn name(&self) -> &'static str {
+        "newreno"
+    }
+
+    fn clone_box(&self) -> Box<dyn CongestionController> {
+        Box::new(self.clone())
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn t(ms: u64) -> Instant {
+        Instant::from_millis(ms)
+    }
+
+    #[test]
+    fn slow_start_doubles_per_rtt() {
+        let mut cc = NewReno::new();
+        let w0 = cc.window();
+        // Ack a full window's worth.
+        cc.on_ack(t(10), t(0), w0, Duration::from_millis(10));
+        assert_eq!(cc.window(), 2 * w0);
+    }
+
+    #[test]
+    fn congestion_event_halves_window() {
+        let mut cc = NewReno::new();
+        cc.on_ack(t(10), t(0), 100_000, Duration::from_millis(10));
+        let before = cc.window();
+        cc.on_congestion_event(t(20), t(15));
+        assert_eq!(cc.window(), before / 2);
+    }
+
+    #[test]
+    fn one_reduction_per_recovery_period() {
+        let mut cc = NewReno::new();
+        cc.on_ack(t(10), t(0), 200_000, Duration::from_millis(10));
+        cc.on_congestion_event(t(20), t(15));
+        let w = cc.window();
+        // A second loss for a packet sent before recovery start: ignored.
+        cc.on_congestion_event(t(21), t(18));
+        assert_eq!(cc.window(), w);
+        // A loss for a packet sent after recovery start: new reduction.
+        cc.on_congestion_event(t(30), t(25));
+        assert_eq!(cc.window(), w / 2);
+    }
+
+    #[test]
+    fn congestion_avoidance_is_linear() {
+        let mut cc = NewReno::new();
+        // Force into CA by a congestion event.
+        cc.on_congestion_event(t(1), t(0));
+        let w = cc.window();
+        // Ack exactly one window: +1 MSS.
+        cc.on_ack(t(10), t(5), w, Duration::from_millis(10));
+        assert_eq!(cc.window(), w + MAX_DATAGRAM_SIZE);
+    }
+
+    #[test]
+    fn no_growth_during_recovery() {
+        let mut cc = NewReno::new();
+        cc.on_congestion_event(t(10), t(5));
+        let w = cc.window();
+        // Ack of a packet sent before recovery start: no growth.
+        cc.on_ack(t(12), t(8), 50_000, Duration::from_millis(10));
+        assert_eq!(cc.window(), w);
+    }
+
+    #[test]
+    fn persistent_congestion_collapses() {
+        let mut cc = NewReno::new();
+        cc.on_ack(t(10), t(0), 500_000, Duration::from_millis(10));
+        cc.on_persistent_congestion();
+        assert_eq!(cc.window(), MIN_WINDOW);
+    }
+
+    #[test]
+    fn window_never_below_minimum() {
+        let mut cc = NewReno::new();
+        for i in 0..20 {
+            cc.on_congestion_event(t(10 + i * 10), t(5 + i * 10));
+        }
+        assert!(cc.window() >= MIN_WINDOW);
+    }
+
+    #[test]
+    fn reset_restores_initial_state() {
+        let mut cc = NewReno::new();
+        cc.on_ack(t(10), t(0), 300_000, Duration::from_millis(10));
+        cc.on_congestion_event(t(20), t(15));
+        cc.reset(t(30));
+        assert_eq!(cc.window(), INITIAL_WINDOW);
+    }
+}

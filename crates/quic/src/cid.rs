@@ -1,0 +1,242 @@
+//! Connection IDs and their issuance.
+//!
+//! Paths in the multipath extension are identified by the *sequence number*
+//! of the connection ID in use (draft-liu-multipath-quic), so CIDs carry a
+//! sequence number everywhere. For deployability with QUIC-LB style load
+//! balancers, a server ID can be embedded in the first bytes of
+//! server-issued CIDs (see `xlink-core`'s load-balancer module).
+
+use crate::varint::{Reader, Writer};
+use crate::error::CodecError;
+use std::fmt;
+
+/// Fixed connection-ID length used by this deployment (like the paper's
+/// CDN, all endpoints issue CIDs of a single known length so short headers
+/// can be parsed without out-of-band state).
+pub const CID_LEN: usize = 8;
+
+/// A connection ID: an opaque 8-byte token.
+#[derive(Clone, Copy, PartialEq, Eq, Hash, PartialOrd, Ord)]
+pub struct ConnectionId(pub [u8; CID_LEN]);
+
+impl ConnectionId {
+    /// Build a CID from raw bytes.
+    pub fn new(bytes: [u8; CID_LEN]) -> Self {
+        ConnectionId(bytes)
+    }
+
+    /// Deterministically derive a CID from an endpoint seed and a sequence
+    /// number (simple mixing; uniqueness is what matters, not secrecy).
+    pub fn derive(seed: u64, seq: u64) -> Self {
+        let mut x = seed ^ seq.wrapping_mul(0x9e37_79b9_7f4a_7c15);
+        // splitmix64 finalizer
+        x ^= x >> 30;
+        x = x.wrapping_mul(0xbf58_476d_1ce4_e5b9);
+        x ^= x >> 27;
+        x = x.wrapping_mul(0x94d0_49bb_1331_11eb);
+        x ^= x >> 31;
+        ConnectionId(x.to_be_bytes())
+    }
+
+    /// Borrow the raw bytes.
+    pub fn as_bytes(&self) -> &[u8; CID_LEN] {
+        &self.0
+    }
+}
+
+impl fmt::Debug for ConnectionId {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        write!(f, "cid:")?;
+        for b in self.0 {
+            write!(f, "{b:02x}")?;
+        }
+        Ok(())
+    }
+}
+
+/// A CID together with its issuance sequence number — the unit exchanged in
+/// NEW_CONNECTION_ID frames and used as the multipath path identifier.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub struct IssuedCid {
+    /// Sequence number assigned by the issuer; seq 0 is the handshake CID.
+    pub seq: u64,
+    /// The connection ID value.
+    pub cid: ConnectionId,
+}
+
+impl IssuedCid {
+    /// Encode as part of a NEW_CONNECTION_ID frame body.
+    pub fn encode(&self, w: &mut Writer) {
+        w.varint(self.seq);
+        w.u8(CID_LEN as u8);
+        w.bytes(&self.cid.0);
+    }
+
+    /// Decode the body written by [`IssuedCid::encode`].
+    pub fn decode(r: &mut Reader) -> Result<Self, CodecError> {
+        let seq = r.varint()?;
+        let len = r.u8()? as usize;
+        if len != CID_LEN {
+            return Err(CodecError::InvalidValue);
+        }
+        let raw = r.bytes(len)?;
+        let mut cid = [0u8; CID_LEN];
+        cid.copy_from_slice(raw);
+        Ok(IssuedCid { seq, cid: ConnectionId(cid) })
+    }
+}
+
+/// Tracks CIDs issued by the local endpoint and CIDs received from the peer.
+///
+/// The multipath draft requires an unused CID on *each* side before a new
+/// path can be opened; [`CidManager::take_unused_remote`] hands out a peer
+/// CID for use as the destination CID of a new path.
+#[derive(Debug)]
+pub struct CidManager {
+    seed: u64,
+    next_local_seq: u64,
+    /// CIDs we issued (the peer routes to us with these).
+    local: Vec<IssuedCid>,
+    /// CIDs the peer issued to us, not yet bound to a path.
+    remote_unused: Vec<IssuedCid>,
+    /// CIDs the peer issued that we bound to a path.
+    remote_used: Vec<IssuedCid>,
+}
+
+impl CidManager {
+    /// Create a manager; `seed` namespaces locally derived CID values.
+    pub fn new(seed: u64) -> Self {
+        CidManager {
+            seed,
+            next_local_seq: 0,
+            local: Vec::new(),
+            remote_unused: Vec::new(),
+            remote_used: Vec::new(),
+        }
+    }
+
+    /// Issue a fresh local CID (to be advertised in NEW_CONNECTION_ID).
+    pub fn issue_local(&mut self) -> IssuedCid {
+        let seq = self.next_local_seq;
+        self.next_local_seq += 1;
+        let issued = IssuedCid { seq, cid: ConnectionId::derive(self.seed, seq) };
+        self.local.push(issued);
+        issued
+    }
+
+    /// Issue a local CID whose value is supplied by the caller (used by
+    /// servers embedding a QUIC-LB server ID).
+    pub fn issue_local_with(&mut self, cid: ConnectionId) -> IssuedCid {
+        let seq = self.next_local_seq;
+        self.next_local_seq += 1;
+        let issued = IssuedCid { seq, cid };
+        self.local.push(issued);
+        issued
+    }
+
+    /// All CIDs we have issued.
+    pub fn local_cids(&self) -> &[IssuedCid] {
+        &self.local
+    }
+
+    /// Look up the sequence number of one of our CIDs (packet routing).
+    pub fn local_seq_of(&self, cid: &ConnectionId) -> Option<u64> {
+        self.local.iter().find(|c| &c.cid == cid).map(|c| c.seq)
+    }
+
+    /// Record a CID received from the peer in NEW_CONNECTION_ID. Duplicate
+    /// retransmissions are ignored.
+    pub fn store_remote(&mut self, issued: IssuedCid) {
+        let known = self
+            .remote_unused
+            .iter()
+            .chain(self.remote_used.iter())
+            .any(|c| c.seq == issued.seq);
+        if !known {
+            self.remote_unused.push(issued);
+            self.remote_unused.sort_by_key(|c| c.seq);
+        }
+    }
+
+    /// Number of unused peer CIDs available for new paths.
+    pub fn unused_remote(&self) -> usize {
+        self.remote_unused.len()
+    }
+
+    /// Take the lowest-sequence unused peer CID and bind it to a path.
+    pub fn take_unused_remote(&mut self) -> Option<IssuedCid> {
+        if self.remote_unused.is_empty() {
+            return None;
+        }
+        let c = self.remote_unused.remove(0);
+        self.remote_used.push(c);
+        Some(c)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn derive_is_deterministic_and_distinct() {
+        let a = ConnectionId::derive(1, 0);
+        let b = ConnectionId::derive(1, 0);
+        let c = ConnectionId::derive(1, 1);
+        let d = ConnectionId::derive(2, 0);
+        assert_eq!(a, b);
+        assert_ne!(a, c);
+        assert_ne!(a, d);
+    }
+
+    #[test]
+    fn issued_cid_roundtrip() {
+        let ic = IssuedCid { seq: 77, cid: ConnectionId::derive(9, 77) };
+        let mut w = Writer::new();
+        ic.encode(&mut w);
+        let bytes = w.into_bytes();
+        let mut r = Reader::new(&bytes);
+        assert_eq!(IssuedCid::decode(&mut r).unwrap(), ic);
+        assert!(r.is_empty());
+    }
+
+    #[test]
+    fn issuance_sequences_increment() {
+        let mut m = CidManager::new(42);
+        let a = m.issue_local();
+        let b = m.issue_local();
+        assert_eq!(a.seq, 0);
+        assert_eq!(b.seq, 1);
+        assert_eq!(m.local_seq_of(&a.cid), Some(0));
+        assert_eq!(m.local_seq_of(&b.cid), Some(1));
+        assert_eq!(m.local_seq_of(&ConnectionId::new([0; 8])), None);
+    }
+
+    #[test]
+    fn remote_store_dedups_and_takes_in_order() {
+        let mut m = CidManager::new(1);
+        let c1 = IssuedCid { seq: 1, cid: ConnectionId::derive(5, 1) };
+        let c0 = IssuedCid { seq: 0, cid: ConnectionId::derive(5, 0) };
+        m.store_remote(c1);
+        m.store_remote(c0);
+        m.store_remote(c1); // duplicate
+        assert_eq!(m.unused_remote(), 2);
+        assert_eq!(m.take_unused_remote().unwrap().seq, 0);
+        assert_eq!(m.take_unused_remote().unwrap().seq, 1);
+        assert!(m.take_unused_remote().is_none());
+        // a used CID is still known → re-store is a no-op
+        m.store_remote(c0);
+        assert_eq!(m.unused_remote(), 0);
+    }
+
+    #[test]
+    fn decode_rejects_wrong_length() {
+        let mut w = Writer::new();
+        w.varint(3);
+        w.u8(4); // wrong CID length
+        w.bytes(&[1, 2, 3, 4]);
+        let bytes = w.into_bytes();
+        let mut r = Reader::new(&bytes);
+        assert_eq!(IssuedCid::decode(&mut r), Err(CodecError::InvalidValue));
+    }
+}

@@ -1,0 +1,1156 @@
+//! Single-path QUIC connection: the sans-I/O state machine combining the
+//! handshake, streams, loss recovery, congestion control, and packet
+//! protection. This is the **SP baseline** in the paper's experiments and
+//! the substrate for the connection-migration (CM) baseline (§7.3).
+//!
+//! Drive it with [`Connection::handle_datagram`] /
+//! [`Connection::poll_transmit`] / [`Connection::poll_timeout`] /
+//! [`Connection::on_timeout`], in the smoltcp poll-based idiom.
+
+use crate::cc::{CcAlgorithm, CongestionController, MAX_DATAGRAM_SIZE};
+use crate::cid::{CidManager, ConnectionId};
+use crate::crypto::{derive_keys, KeyPair, TAG_LEN};
+use crate::error::{ConnectionError, TransportError};
+use crate::frame::{AckFrame, Frame};
+use crate::handshake::{Handshake, Hello};
+use crate::packet::{pn_decode, pn_encode_len, pn_truncate, Header, PacketType};
+use crate::params::TransportParams;
+use crate::recovery::{Recovery, SentPacket, TimeoutOutcome};
+use crate::rtt::RttEstimator;
+use crate::stream::{SendRange, Side, StreamMap};
+use crate::varint::Writer;
+use crate::ackranges::AckRanges;
+use xlink_clock::{Duration, Instant};
+
+/// Configuration for one endpoint.
+#[derive(Debug, Clone)]
+pub struct Config {
+    /// Client or server.
+    pub side: Side,
+    /// Pre-shared secret standing in for the TLS certificate chain.
+    pub psk: Vec<u8>,
+    /// Our transport parameters.
+    pub params: TransportParams,
+    /// Congestion controller algorithm.
+    pub cc: CcAlgorithm,
+    /// Seed for CID derivation and handshake randoms.
+    pub seed: u64,
+}
+
+impl Config {
+    /// Reasonable defaults for a client.
+    pub fn client(seed: u64) -> Self {
+        Config {
+            side: Side::Client,
+            psk: b"xlink-demo-psk".to_vec(),
+            params: TransportParams::default(),
+            cc: CcAlgorithm::Cubic,
+            seed,
+        }
+    }
+
+    /// Reasonable defaults for a server.
+    pub fn server(seed: u64) -> Self {
+        Config { side: Side::Server, ..Config::client(seed) }
+    }
+}
+
+/// Connection lifecycle states.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub enum State {
+    /// Waiting for the handshake to complete.
+    Handshaking,
+    /// Handshake complete; application data flows.
+    Established,
+    /// Closed (locally or by peer).
+    Closed(ConnectionError),
+}
+
+/// What a transmitted packet contained (for ack/loss processing).
+#[derive(Debug, Clone)]
+pub enum SentFrameInfo {
+    /// A stream data range (possibly a re-injected duplicate).
+    Stream {
+        /// Stream ID.
+        id: u64,
+        /// Byte range sent.
+        range: SendRange,
+        /// FIN bit carried.
+        fin: bool,
+    },
+    /// Handshake bytes.
+    Crypto,
+    /// An ACK advertising ranges up to `largest` (for ack-state pruning).
+    Ack {
+        /// Largest acknowledged packet number in the sent ACK.
+        largest: u64,
+    },
+    /// HANDSHAKE_DONE signal.
+    HandshakeDone,
+    /// Anything retransmittable-as-is (MAX_DATA etc.).
+    Control(Frame),
+    /// A PTO probe.
+    Ping,
+}
+
+/// Per-packet content stored in the recovery tracker.
+#[derive(Debug, Clone, Default)]
+pub struct PacketContent {
+    frames: Vec<SentFrameInfo>,
+}
+
+/// Counters exposed for experiments.
+#[derive(Debug, Clone, Copy, Default)]
+pub struct ConnectionStats {
+    /// Datagrams transmitted.
+    pub packets_sent: u64,
+    /// Datagrams received and successfully decrypted.
+    pub packets_received: u64,
+    /// Packets declared lost.
+    pub packets_lost: u64,
+    /// PTO probe packets sent.
+    pub probes_sent: u64,
+    /// Total bytes transmitted (wire level).
+    pub bytes_sent: u64,
+    /// Total bytes received (wire level).
+    pub bytes_received: u64,
+    /// Stream payload bytes transmitted the first time.
+    pub stream_bytes_sent: u64,
+    /// Stream payload bytes retransmitted after loss.
+    pub stream_bytes_retransmitted: u64,
+    /// Datagrams dropped due to failed decryption or parsing.
+    pub packets_dropped: u64,
+    /// Congestion-migration resets performed.
+    pub migrations: u64,
+}
+
+/// Packet number spaces.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+enum Space {
+    Initial,
+    App,
+}
+
+/// The single-path QUIC connection.
+pub struct Connection {
+    cfg: Config,
+    state: State,
+    handshake: Handshake,
+    handshake_sent: bool,
+    handshake_done_sent: bool,
+    handshake_confirmed: bool,
+    /// 1-RTT keys (post-handshake).
+    keys: Option<KeyPair>,
+    /// Keys for Initial packets (derived from the PSK alone).
+    initial_keys: KeyPair,
+    pub(crate) cids: CidManager,
+    /// CID the peer told us to use as destination.
+    remote_cid: ConnectionId,
+    /// Our CID (what the peer sends to).
+    local_cid: ConnectionId,
+    streams: StreamMap,
+    init_recovery: Recovery<PacketContent>,
+    app_recovery: Recovery<PacketContent>,
+    rtt: RttEstimator,
+    cc: Box<dyn CongestionController>,
+    /// Received packet numbers per space.
+    init_recv: AckRanges,
+    app_recv: AckRanges,
+    /// Ack needed per space.
+    init_ack_pending: bool,
+    app_ack_pending: bool,
+    /// Time of most recent received ack-eliciting packet (for ack delay).
+    last_recv_time: Instant,
+    /// Last activity for the idle timeout.
+    last_activity: Instant,
+    /// Pending control frames to send (flow control updates etc.).
+    control_queue: Vec<Frame>,
+    /// Probe requested by PTO.
+    probe_pending: bool,
+    close_frame_pending: Option<(TransportError, String)>,
+    stats: ConnectionStats,
+    idle_timeout: Duration,
+}
+
+impl std::fmt::Debug for Connection {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        f.debug_struct("Connection")
+            .field("side", &self.cfg.side)
+            .field("state", &self.state)
+            .finish_non_exhaustive()
+    }
+}
+
+fn seed_random(seed: u64, salt: u64) -> [u8; 16] {
+    let a = ConnectionId::derive(seed, salt).0;
+    let b = ConnectionId::derive(seed ^ 0xdead_beef, salt.wrapping_add(1)).0;
+    let mut r = [0u8; 16];
+    r[..8].copy_from_slice(&a);
+    r[8..].copy_from_slice(&b);
+    r
+}
+
+impl Connection {
+    /// Create a connection endpoint.
+    pub fn new(cfg: Config, now: Instant) -> Self {
+        let is_client = cfg.side == Side::Client;
+        let handshake = Handshake::new(
+            is_client,
+            &cfg.psk,
+            seed_random(cfg.seed, 0x48454c4f),
+            cfg.params.clone(),
+        );
+        let initial_keys = derive_keys(&cfg.psk, &[0x11; 16], &[0x22; 16]);
+        let mut cids = CidManager::new(cfg.seed);
+        let local = cids.issue_local();
+        // Until the peer's hello arrives, address packets to a
+        // deterministic placeholder derived from the PSK (both sides know
+        // it — stands in for the client's random initial DCID).
+        let remote_cid = ConnectionId::derive(0x1317, 0);
+        let idle_timeout = cfg.params.max_idle_timeout;
+        let p = &cfg.params;
+        let streams = StreamMap::new(
+            cfg.side,
+            p.initial_max_data,
+            p.initial_max_stream_data,
+            // Peer limits are unknown pre-handshake; assume symmetric
+            // defaults and correct them when the peer's hello arrives.
+            p.initial_max_data,
+            p.initial_max_stream_data,
+            p.initial_max_streams_bidi,
+        );
+        let cc = cfg.cc.build();
+        Connection {
+            handshake,
+            handshake_sent: false,
+            handshake_done_sent: false,
+            handshake_confirmed: false,
+            keys: None,
+            initial_keys,
+            local_cid: local.cid,
+            remote_cid,
+            cids,
+            streams,
+            init_recovery: Recovery::new(),
+            app_recovery: Recovery::new(),
+            rtt: RttEstimator::new(),
+            cc,
+            init_recv: AckRanges::new(),
+            app_recv: AckRanges::new(),
+            init_ack_pending: false,
+            app_ack_pending: false,
+            last_recv_time: now,
+            last_activity: now,
+            control_queue: Vec::new(),
+            probe_pending: false,
+            close_frame_pending: None,
+            stats: ConnectionStats::default(),
+            state: State::Handshaking,
+            idle_timeout,
+            cfg,
+        }
+    }
+
+    /// Current state.
+    pub fn state(&self) -> &State {
+        &self.state
+    }
+
+    /// True once application data can flow.
+    pub fn is_established(&self) -> bool {
+        self.state == State::Established
+    }
+
+    /// True when closed.
+    pub fn is_closed(&self) -> bool {
+        matches!(self.state, State::Closed(_))
+    }
+
+    /// Statistics snapshot.
+    pub fn stats(&self) -> ConnectionStats {
+        self.stats
+    }
+
+    /// RTT estimator (read-only).
+    pub fn rtt(&self) -> &RttEstimator {
+        &self.rtt
+    }
+
+    /// Current congestion window.
+    pub fn cwnd(&self) -> u64 {
+        self.cc.window()
+    }
+
+    /// Bytes currently in flight.
+    pub fn bytes_in_flight(&self) -> u64 {
+        self.app_recovery.bytes_in_flight() + self.init_recovery.bytes_in_flight()
+    }
+
+    /// Access the stream table.
+    pub fn streams(&self) -> &StreamMap {
+        &self.streams
+    }
+
+    /// Mutable access to the stream table.
+    pub fn streams_mut(&mut self) -> &mut StreamMap {
+        &mut self.streams
+    }
+
+    /// Peer's transport parameters, once known.
+    pub fn peer_params(&self) -> Option<&TransportParams> {
+        self.handshake.peer_params()
+    }
+
+    /// Open a new bidirectional stream with a scheduling priority.
+    pub fn open_stream(&mut self, priority: u8) -> u64 {
+        self.streams.open(priority)
+    }
+
+    /// Write data on a stream; `fin` marks the end.
+    pub fn stream_send(&mut self, id: u64, data: &[u8], fin: bool) {
+        let stream = self.streams.get_mut(id).expect("unknown stream");
+        if !data.is_empty() {
+            stream.send.write(data);
+        }
+        if fin {
+            stream.send.finish();
+        }
+    }
+
+    /// Read available bytes from a stream.
+    pub fn stream_recv(&mut self, id: u64, max: usize) -> Vec<u8> {
+        let Some(stream) = self.streams.get_mut(id) else {
+            return Vec::new();
+        };
+        let data = stream.recv.read(max);
+        if let Some(new_max) = stream.recv.wants_max_data_update() {
+            self.control_queue.push(Frame::MaxStreamData { stream_id: id, max: new_max });
+        }
+        if let Some(new_max) = self.streams.wants_conn_max_data_update() {
+            self.control_queue.push(Frame::MaxData(new_max));
+        }
+        data
+    }
+
+    /// Streams with readable data.
+    pub fn readable_streams(&self) -> Vec<u64> {
+        self.streams
+            .iter()
+            .filter(|s| s.recv.readable() > 0 || s.recv.is_complete())
+            .map(|s| s.id)
+            .collect()
+    }
+
+    /// Begin closing the connection.
+    pub fn close(&mut self, error: TransportError, reason: &str) {
+        if !self.is_closed() {
+            self.close_frame_pending = Some((error, reason.to_string()));
+            self.state = State::Closed(ConnectionError::LocallyClosed(error));
+        }
+    }
+
+    /// Connection migration (the CM baseline, §7.3): reset congestion
+    /// state and RTT as RFC 9000 §9.4 requires after moving to a new path.
+    pub fn on_migrate(&mut self, now: Instant) {
+        self.cc.reset(now);
+        self.rtt = RttEstimator::new();
+        self.stats.migrations += 1;
+    }
+
+    // ------------------------------------------------------------------
+    // Receive path
+    // ------------------------------------------------------------------
+
+    /// Ingest one datagram.
+    pub fn handle_datagram(&mut self, now: Instant, datagram: &[u8]) {
+        self.stats.bytes_received += datagram.len() as u64;
+        let Ok((header, payload_off)) = Header::decode(datagram) else {
+            self.stats.packets_dropped += 1;
+            return;
+        };
+        let space = match header.ty {
+            PacketType::Initial | PacketType::Handshake => Space::Initial,
+            PacketType::OneRtt => Space::App,
+        };
+        let largest = match space {
+            Space::Initial => self.init_recv.largest(),
+            Space::App => self.app_recv.largest(),
+        };
+        let pn = pn_decode(header.pn, header.pn_len, largest);
+        let aad = &datagram[..payload_off];
+        let sealed = &datagram[payload_off..];
+        // Select decryption keys by space and direction.
+        let recv_is_client_data = self.cfg.side == Side::Server;
+        let key = match space {
+            Space::Initial => {
+                if recv_is_client_data {
+                    self.initial_keys.client.clone()
+                } else {
+                    self.initial_keys.server.clone()
+                }
+            }
+            Space::App => match &self.keys {
+                Some(kp) => {
+                    if recv_is_client_data {
+                        kp.client.clone()
+                    } else {
+                        kp.server.clone()
+                    }
+                }
+                None => {
+                    self.stats.packets_dropped += 1;
+                    return;
+                }
+            },
+        };
+        let plain = match key.open(0, pn, aad, sealed) {
+            Ok(p) => p,
+            Err(_) => {
+                self.stats.packets_dropped += 1;
+                return;
+            }
+        };
+        // Duplicate suppression.
+        let fresh = match space {
+            Space::Initial => self.init_recv.insert(pn),
+            Space::App => self.app_recv.insert(pn),
+        };
+        if !fresh {
+            return;
+        }
+        self.stats.packets_received += 1;
+        self.last_activity = now;
+        if header.ty.is_long() && self.cfg.side == Side::Client {
+            // Learn the server's real CID from its SCID.
+            self.remote_cid = header.scid;
+        }
+        if header.ty.is_long() && self.cfg.side == Side::Server {
+            self.remote_cid = header.scid;
+        }
+        let frames = match Frame::decode_all(&plain) {
+            Ok(f) => f,
+            Err(_) => {
+                self.close(TransportError::FrameEncodingError, "bad frame");
+                return;
+            }
+        };
+        let mut ack_eliciting = false;
+        for frame in frames {
+            if frame.is_ack_eliciting() {
+                ack_eliciting = true;
+            }
+            self.on_frame(now, space, frame);
+            if self.is_closed() && self.close_frame_pending.is_none() {
+                return;
+            }
+        }
+        if ack_eliciting {
+            match space {
+                Space::Initial => self.init_ack_pending = true,
+                Space::App => self.app_ack_pending = true,
+            }
+            self.last_recv_time = now;
+        }
+    }
+
+    fn on_frame(&mut self, now: Instant, space: Space, frame: Frame) {
+        match frame {
+            Frame::Padding(_) | Frame::Ping => {}
+            Frame::Crypto { data, .. } => {
+                if self.handshake.is_complete() {
+                    return; // retransmitted hello
+                }
+                let Ok(hello) = Hello::decode(&data) else {
+                    self.close(TransportError::TransportParameterError, "bad hello");
+                    return;
+                };
+                match self.handshake.on_peer_hello(hello) {
+                    Ok(kp) => self.on_handshake_complete(kp),
+                    Err(_) => {
+                        self.close(TransportError::TransportParameterError, "hello rejected")
+                    }
+                }
+            }
+            Frame::Ack(ack) => self.on_ack(now, space, ack),
+            Frame::AckMp(_) => {
+                // Multipath frames on a single-path connection are a
+                // protocol violation (negotiation never happened here).
+                self.close(TransportError::ProtocolViolation, "ACK_MP on single path");
+            }
+            Frame::Stream { stream_id, offset, data, fin } => {
+                let prev_high;
+                {
+                    let Ok(stream) = self.streams.get_or_open_peer(stream_id) else {
+                        self.close(TransportError::StreamStateError, "bad stream");
+                        return;
+                    };
+                    prev_high = stream.recv.highest_recv();
+                    if let Err(e) = stream.recv.on_data(offset, &data, fin) {
+                        self.close(e, "stream data");
+                        return;
+                    }
+                }
+                let new_high = self
+                    .streams
+                    .get(stream_id)
+                    .map(|s| s.recv.highest_recv())
+                    .unwrap_or(prev_high);
+                if new_high > prev_high {
+                    if let Err(e) = self.streams.on_conn_data_received(new_high - prev_high) {
+                        self.close(e, "conn flow control");
+                    }
+                }
+            }
+            Frame::MaxData(v) => self.streams.on_max_data(v),
+            Frame::MaxStreamData { stream_id, max } => {
+                if let Some(s) = self.streams.get_mut(stream_id) {
+                    s.send.set_max_data(max);
+                }
+            }
+            Frame::MaxStreams(_) => {}
+            Frame::DataBlocked(_) | Frame::StreamDataBlocked { .. } => {}
+            Frame::ResetStream { stream_id, final_size, .. } => {
+                if let Ok(s) = self.streams.get_or_open_peer(stream_id) {
+                    let _ = s.recv.on_reset(final_size);
+                }
+            }
+            Frame::StopSending { stream_id, .. } => {
+                if let Some(s) = self.streams.get_mut(stream_id) {
+                    let final_size = s.send.reset();
+                    self.control_queue.push(Frame::ResetStream {
+                        stream_id,
+                        error_code: 0,
+                        final_size,
+                    });
+                }
+            }
+            Frame::NewConnectionId(ic) => self.cids.store_remote(ic),
+            Frame::RetireConnectionId { .. } => {}
+            Frame::PathChallenge(data) => {
+                self.control_queue.push(Frame::PathResponse(data));
+            }
+            Frame::PathResponse(_) => {}
+            Frame::HandshakeDone => {
+                self.handshake_confirmed = true;
+            }
+            Frame::ConnectionClose { error_code, .. } => {
+                self.state = State::Closed(ConnectionError::PeerClosed(
+                    TransportError::from_code(error_code),
+                ));
+            }
+            Frame::PathStatus { .. } | Frame::QoeControlSignals(_) => {
+                self.close(TransportError::ProtocolViolation, "MP frame on single path");
+            }
+        }
+        let _ = now;
+    }
+
+    fn on_handshake_complete(&mut self, kp: KeyPair) {
+        self.keys = Some(kp);
+        // Correct the peer-advertised limits now that we have them.
+        if let Some(p) = self.handshake.peer_params() {
+            self.streams.on_max_data(p.initial_max_data);
+        }
+        self.state = State::Established;
+        if self.cfg.side == Side::Server {
+            // Confirm to the client.
+            self.handshake_done_sent = false;
+        } else {
+            self.handshake_confirmed = true;
+        }
+    }
+
+    fn on_ack(&mut self, now: Instant, space: Space, ack: AckFrame) {
+        let recovery = match space {
+            Space::Initial => &mut self.init_recovery,
+            Space::App => &mut self.app_recovery,
+        };
+        let outcome = recovery.on_ack_received(
+            now,
+            ack.ranges_ascending().map(|r| (r.start, r.end)),
+            &mut self.rtt,
+            ack.ack_delay,
+        );
+        for p in &outcome.acked {
+            if p.ack_eliciting {
+                self.cc.on_ack(now, p.time_sent, p.size, self.rtt.smoothed());
+            }
+            let frames = p.content.frames.clone();
+            self.on_packet_acked_content(&frames);
+        }
+        if !outcome.lost.is_empty() {
+            self.on_packets_lost(now, &outcome.lost);
+        }
+    }
+
+    fn on_packet_acked_content(&mut self, frames: &[SentFrameInfo]) {
+        for info in frames {
+            match info {
+                SentFrameInfo::Stream { id, range, fin } => {
+                    if let Some(s) = self.streams.get_mut(*id) {
+                        s.send.on_range_acked(*range, *fin);
+                    }
+                }
+                SentFrameInfo::Ack { largest } => {
+                    // Prune acknowledged ack state (both spaces share the
+                    // pattern; ACKs live in their own space).
+                    if *largest > 2 {
+                        self.app_recv.forget_below(largest.saturating_sub(512));
+                    }
+                }
+                SentFrameInfo::HandshakeDone => {
+                    self.handshake_done_sent = true;
+                    self.handshake_confirmed = true;
+                }
+                _ => {}
+            }
+        }
+    }
+
+    fn on_packets_lost(&mut self, now: Instant, lost: &[SentPacket<PacketContent>]) {
+        self.stats.packets_lost += lost.len() as u64;
+        let mut newest_lost_sent: Option<Instant> = None;
+        for p in lost {
+            if p.in_flight {
+                newest_lost_sent =
+                    Some(newest_lost_sent.map_or(p.time_sent, |t| t.max(p.time_sent)));
+            }
+            let frames = p.content.frames.clone();
+            for info in frames {
+                match info {
+                    SentFrameInfo::Stream { id, range, fin } => {
+                        if let Some(s) = self.streams.get_mut(id) {
+                            s.send.on_range_lost(range, fin);
+                            self.stats.stream_bytes_retransmitted += range.len();
+                        }
+                    }
+                    SentFrameInfo::Crypto => {
+                        self.handshake_sent = false; // resend hello
+                    }
+                    SentFrameInfo::HandshakeDone => {
+                        self.handshake_done_sent = false;
+                    }
+                    SentFrameInfo::Control(f) => self.control_queue.push(f),
+                    SentFrameInfo::Ack { .. } | SentFrameInfo::Ping => {}
+                }
+            }
+        }
+        if let Some(t) = newest_lost_sent {
+            self.cc.on_congestion_event(now, t);
+        }
+    }
+
+    // ------------------------------------------------------------------
+    // Transmit path
+    // ------------------------------------------------------------------
+
+    /// Produce the next datagram to send, if any.
+    pub fn poll_transmit(&mut self, now: Instant) -> Option<Vec<u8>> {
+        // Closing: emit the CONNECTION_CLOSE once.
+        if let Some((err, reason)) = self.close_frame_pending.take() {
+            let frame = Frame::ConnectionClose {
+                error_code: err.code(),
+                reason: reason.into_bytes(),
+            };
+            let space = if self.keys.is_some() { Space::App } else { Space::Initial };
+            return Some(self.build_packet(now, space, vec![frame], false));
+        }
+        if self.is_closed() {
+            return None;
+        }
+        // Handshake transmission. A server stays quiet until it has the
+        // client's hello.
+        if !self.handshake_sent
+            && (self.cfg.side == Side::Client || self.handshake.is_complete())
+        {
+            self.handshake_sent = true;
+            let hello = self.handshake.local_hello().encode();
+            let frame = Frame::Crypto { offset: 0, data: hello };
+            return Some(self.build_packet(now, Space::Initial, vec![frame], true));
+        }
+        // Server HANDSHAKE_DONE.
+        if self.cfg.side == Side::Server
+            && self.is_established()
+            && !self.handshake_done_sent
+        {
+            self.handshake_done_sent = true;
+            return Some(self.build_packet(now, Space::App, vec![Frame::HandshakeDone], true));
+        }
+        // Pending ACKs (always allowed; not congestion controlled).
+        if self.init_ack_pending {
+            self.init_ack_pending = false;
+            if let Some(ack) =
+                AckFrame::from_ranges(0, &self.init_recv, now - self.last_recv_time)
+            {
+                return Some(self.build_packet(now, Space::Initial, vec![Frame::Ack(ack)], false));
+            }
+        }
+        if self.app_ack_pending && self.keys.is_some() {
+            self.app_ack_pending = false;
+            if let Some(ack) =
+                AckFrame::from_ranges(0, &self.app_recv, now - self.last_recv_time)
+            {
+                return Some(self.build_packet(now, Space::App, vec![Frame::Ack(ack)], false));
+            }
+        }
+        if !self.is_established() {
+            return None;
+        }
+        // PTO probe.
+        if self.probe_pending {
+            self.probe_pending = false;
+            self.stats.probes_sent += 1;
+            return Some(self.build_packet(now, Space::App, vec![Frame::Ping], true));
+        }
+        // Congestion check for new data.
+        let budget = self.cc.window().saturating_sub(self.bytes_in_flight());
+        if budget < MAX_DATAGRAM_SIZE / 2 {
+            return None;
+        }
+        // Control frames first, bundled with stream data.
+        let mut frames = Vec::new();
+        let mut infos = Vec::new();
+        let mut remaining = MAX_DATAGRAM_SIZE as usize - 64; // header+tag slack
+        while let Some(f) = self.control_queue.pop() {
+            let mut w = Writer::new();
+            f.encode(&mut w);
+            if w.len() > remaining {
+                self.control_queue.push(f);
+                break;
+            }
+            remaining -= w.len();
+            infos.push(SentFrameInfo::Control(f.clone()));
+            frames.push(f);
+        }
+        // Stream data in (priority, id) order.
+        for id in self.streams.sendable_ids() {
+            if remaining < 32 {
+                break;
+            }
+            let conn_credit = self.streams.conn_send_credit();
+            let stream = self.streams.get_mut(id).expect("sendable id");
+            // Reserve frame header overhead ~ 1+8+8+4.
+            let max_payload = remaining.saturating_sub(24);
+            if max_payload == 0 {
+                break;
+            }
+            let before_largest = stream.send.largest_sent();
+            let Some((offset, data, fin)) = stream.send.take_chunk(max_payload) else {
+                // A data-less FIN is only legal once every byte has been
+                // sent; a flow-control-blocked stream must wait.
+                if stream.send.fin_pending() && stream.send.data_fully_sent() {
+                    let offset = stream.send.len();
+                    frames.push(Frame::Stream { stream_id: id, offset, data: Vec::new(), fin: true });
+                    infos.push(SentFrameInfo::Stream {
+                        id,
+                        range: SendRange { start: offset, end: offset },
+                        fin: true,
+                    });
+                    stream.send.mark_fin_sent();
+                }
+                continue;
+            };
+            let end = offset + data.len() as u64;
+            // Connection flow control applies only to never-sent offsets.
+            let new_bytes = end.saturating_sub(before_largest.max(offset));
+            if new_bytes > conn_credit {
+                // Re-queue and stop: blocked at connection level.
+                stream.send.queue_range(SendRange { start: offset, end });
+                self.control_queue.push(Frame::DataBlocked(self.streams.send_max_data));
+                break;
+            }
+            if new_bytes > 0 {
+                self.streams.consume_conn_credit(new_bytes);
+                self.stats.stream_bytes_sent += new_bytes;
+            }
+            remaining = remaining.saturating_sub(data.len() + 24);
+            infos.push(SentFrameInfo::Stream {
+                id,
+                range: SendRange { start: offset, end },
+                fin,
+            });
+            frames.push(Frame::Stream { stream_id: id, offset, data, fin });
+        }
+        if frames.is_empty() {
+            return None;
+        }
+        Some(self.build_packet_with_content(now, Space::App, frames, infos, true))
+    }
+
+    fn build_packet(&mut self, now: Instant, space: Space, frames: Vec<Frame>, ack_eliciting: bool) -> Vec<u8> {
+        let infos = frames
+            .iter()
+            .map(|f| match f {
+                Frame::Crypto { .. } => SentFrameInfo::Crypto,
+                Frame::Ack(a) => SentFrameInfo::Ack { largest: a.largest },
+                Frame::HandshakeDone => SentFrameInfo::HandshakeDone,
+                Frame::Ping => SentFrameInfo::Ping,
+                other => SentFrameInfo::Control(other.clone()),
+            })
+            .collect();
+        self.build_packet_with_content(now, space, frames, infos, ack_eliciting)
+    }
+
+    fn build_packet_with_content(
+        &mut self,
+        now: Instant,
+        space: Space,
+        frames: Vec<Frame>,
+        infos: Vec<SentFrameInfo>,
+        ack_eliciting: bool,
+    ) -> Vec<u8> {
+        let recovery = match space {
+            Space::Initial => &mut self.init_recovery,
+            Space::App => &mut self.app_recovery,
+        };
+        let pn = recovery.peek_pn();
+        let pn_len = pn_encode_len(pn, recovery.largest_acked());
+        let ty = match space {
+            Space::Initial => PacketType::Initial,
+            Space::App => PacketType::OneRtt,
+        };
+        let header = Header {
+            ty,
+            dcid: self.remote_cid,
+            scid: self.local_cid,
+            pn: pn_truncate(pn, pn_len),
+            pn_len,
+        };
+        let hdr_bytes = header.encode();
+        let mut payload = Writer::new();
+        for f in &frames {
+            f.encode(&mut payload);
+        }
+        let send_is_client_data = self.cfg.side == Side::Client;
+        let key = match space {
+            Space::Initial => {
+                if send_is_client_data {
+                    self.initial_keys.client.clone()
+                } else {
+                    self.initial_keys.server.clone()
+                }
+            }
+            Space::App => {
+                let kp = self.keys.as_ref().expect("1-RTT keys");
+                if send_is_client_data {
+                    kp.client.clone()
+                } else {
+                    kp.server.clone()
+                }
+            }
+        };
+        let sealed = key.seal(0, pn, &hdr_bytes, payload.as_slice());
+        let mut datagram = hdr_bytes;
+        datagram.extend_from_slice(&sealed);
+        let size = datagram.len() as u64;
+        recovery.on_packet_sent(now, size, ack_eliciting, PacketContent { frames: infos });
+        self.stats.packets_sent += 1;
+        self.stats.bytes_sent += size;
+        self.last_activity = now;
+        debug_assert!(datagram.len() <= MAX_DATAGRAM_SIZE as usize + TAG_LEN + 40);
+        datagram
+    }
+
+    // ------------------------------------------------------------------
+    // Timers
+    // ------------------------------------------------------------------
+
+    /// Earliest time at which [`Connection::on_timeout`] must be called.
+    pub fn poll_timeout(&self) -> Option<Instant> {
+        if self.is_closed() {
+            return None;
+        }
+        let mad = self.cfg.params.max_ack_delay;
+        let mut t = self.last_activity + self.idle_timeout; // idle
+        if let Some(lt) = self.init_recovery.next_timeout(&self.rtt, mad) {
+            t = t.min(lt);
+        }
+        if let Some(lt) = self.app_recovery.next_timeout(&self.rtt, mad) {
+            t = t.min(lt);
+        }
+        Some(t)
+    }
+
+    /// Handle a timer expiry.
+    pub fn on_timeout(&mut self, now: Instant) {
+        if self.is_closed() {
+            return;
+        }
+        if now >= self.last_activity + self.idle_timeout {
+            self.state = State::Closed(ConnectionError::TimedOut);
+            return;
+        }
+        let mad = self.cfg.params.max_ack_delay;
+        for space in [Space::Initial, Space::App] {
+            let recovery = match space {
+                Space::Initial => &mut self.init_recovery,
+                Space::App => &mut self.app_recovery,
+            };
+            let Some(deadline) = recovery.next_timeout(&self.rtt, mad) else {
+                continue;
+            };
+            if now < deadline {
+                continue;
+            }
+            match recovery.on_timeout(now, &self.rtt) {
+                TimeoutOutcome::Lost(lost) => self.on_packets_lost(now, &lost),
+                TimeoutOutcome::SendProbe => {
+                    if space == Space::Initial {
+                        self.handshake_sent = false; // re-fire the hello
+                    } else {
+                        self.probe_pending = true;
+                    }
+                }
+            }
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    /// Drive two connections until quiescent, shuttling datagrams
+    /// directly (zero-latency "wire"): enough for state machine tests.
+    fn pump(now: &mut Instant, a: &mut Connection, b: &mut Connection) {
+        for _ in 0..2000 {
+            let mut any = false;
+            while let Some(d) = a.poll_transmit(*now) {
+                b.handle_datagram(*now, &d);
+                any = true;
+            }
+            while let Some(d) = b.poll_transmit(*now) {
+                a.handle_datagram(*now, &d);
+                any = true;
+            }
+            if !any {
+                // Advance time to the next timer if one is near.
+                let next = [a.poll_timeout(), b.poll_timeout()]
+                    .into_iter()
+                    .flatten()
+                    .min();
+                match next {
+                    Some(t) if t <= *now + Duration::from_millis(100) => {
+                        *now = t;
+                        a.on_timeout(*now);
+                        b.on_timeout(*now);
+                    }
+                    _ => break,
+                }
+            } else {
+                *now += Duration::from_micros(100);
+            }
+        }
+    }
+
+    fn pair() -> (Connection, Connection, Instant) {
+        let now = Instant::ZERO;
+        let client = Connection::new(Config::client(1), now);
+        let server = Connection::new(Config::server(2), now);
+        (client, server, now)
+    }
+
+    #[test]
+    fn handshake_establishes_both_sides() {
+        let (mut c, mut s, mut now) = pair();
+        pump(&mut now, &mut c, &mut s);
+        assert!(c.is_established(), "client state: {:?}", c.state());
+        assert!(s.is_established(), "server state: {:?}", s.state());
+        assert!(c.handshake_confirmed);
+    }
+
+    #[test]
+    fn bidirectional_stream_transfer() {
+        let (mut c, mut s, mut now) = pair();
+        pump(&mut now, &mut c, &mut s);
+        let id = c.open_stream(0);
+        c.stream_send(id, b"GET /video1", true);
+        pump(&mut now, &mut c, &mut s);
+        // Server sees the request.
+        let got = s.stream_recv(id, 100);
+        assert_eq!(got, b"GET /video1");
+        assert!(s.streams().get(id).unwrap().recv.is_complete());
+        // Server responds on the same stream.
+        s.stream_send(id, b"response-bytes", true);
+        pump(&mut now, &mut c, &mut s);
+        assert_eq!(c.stream_recv(id, 100), b"response-bytes");
+    }
+
+    #[test]
+    fn large_transfer_completes() {
+        let (mut c, mut s, mut now) = pair();
+        pump(&mut now, &mut c, &mut s);
+        let id = c.open_stream(0);
+        c.stream_send(id, b"req", true);
+        pump(&mut now, &mut c, &mut s);
+        s.stream_recv(id, 10);
+        let body: Vec<u8> = (0..200_000u32).map(|i| (i % 251) as u8).collect();
+        s.stream_send(id, &body, true);
+        let mut received = Vec::new();
+        for _ in 0..200 {
+            pump(&mut now, &mut c, &mut s);
+            received.extend(c.stream_recv(id, usize::MAX));
+            if received.len() == body.len() {
+                break;
+            }
+            now += Duration::from_millis(5);
+        }
+        assert_eq!(received.len(), body.len());
+        assert_eq!(received, body);
+    }
+
+    #[test]
+    fn stats_count_traffic() {
+        let (mut c, mut s, mut now) = pair();
+        pump(&mut now, &mut c, &mut s);
+        let id = c.open_stream(0);
+        c.stream_send(id, &[0u8; 5000], true);
+        pump(&mut now, &mut c, &mut s);
+        assert!(c.stats().packets_sent >= 4);
+        assert!(s.stats().packets_received >= 4);
+        assert_eq!(c.stats().packets_lost, 0);
+        assert!(c.stats().stream_bytes_sent >= 5000);
+    }
+
+    #[test]
+    fn idle_timeout_closes() {
+        let (mut c, mut s, mut now) = pair();
+        pump(&mut now, &mut c, &mut s);
+        let deadline = c.poll_timeout().unwrap();
+        now = deadline + Duration::from_millis(1);
+        c.on_timeout(now);
+        assert!(matches!(c.state(), State::Closed(ConnectionError::TimedOut)));
+        let _ = s;
+    }
+
+    #[test]
+    fn close_propagates_to_peer() {
+        let (mut c, mut s, mut now) = pair();
+        pump(&mut now, &mut c, &mut s);
+        c.close(TransportError::NoError, "done");
+        pump(&mut now, &mut c, &mut s);
+        assert!(matches!(
+            s.state(),
+            State::Closed(ConnectionError::PeerClosed(TransportError::NoError))
+        ));
+    }
+
+    #[test]
+    fn loss_recovery_retransmits() {
+        let (mut c, mut s, mut now) = pair();
+        pump(&mut now, &mut c, &mut s);
+        let id = c.open_stream(0);
+        c.stream_send(id, b"req", true);
+        pump(&mut now, &mut c, &mut s);
+        s.stream_recv(id, 100);
+        let body = vec![0x5au8; 30_000];
+        s.stream_send(id, &body, true);
+        // Drop every packet in the first flight from the server.
+        let mut dropped = 0;
+        while let Some(_d) = s.poll_transmit(now) {
+            dropped += 1;
+        }
+        assert!(dropped > 0);
+        // Now let timers fire and retransmissions flow.
+        let mut received = Vec::new();
+        for _ in 0..500 {
+            if let Some(t) = s.poll_timeout() {
+                if t > now {
+                    now = t;
+                }
+            }
+            s.on_timeout(now);
+            c.on_timeout(now);
+            pump(&mut now, &mut c, &mut s);
+            received.extend(c.stream_recv(id, usize::MAX));
+            if received.len() == body.len() {
+                break;
+            }
+        }
+        assert_eq!(received.len(), body.len(), "retransmission must recover the data");
+        assert!(s.stats().probes_sent > 0 || s.stats().packets_lost > 0);
+    }
+
+    #[test]
+    fn migration_resets_congestion_state() {
+        let (mut c, mut s, mut now) = pair();
+        pump(&mut now, &mut c, &mut s);
+        let id = c.open_stream(0);
+        c.stream_send(id, &vec![0u8; 50_000], true);
+        pump(&mut now, &mut c, &mut s);
+        let grown = c.cwnd();
+        assert!(grown >= crate::cc::INITIAL_WINDOW);
+        c.on_migrate(now);
+        assert_eq!(c.cwnd(), crate::cc::INITIAL_WINDOW);
+        assert_eq!(c.stats().migrations, 1);
+        assert!(!c.rtt().has_samples());
+        let _ = s;
+    }
+
+    #[test]
+    fn corrupted_datagram_dropped_not_crash() {
+        let (mut c, mut s, mut now) = pair();
+        pump(&mut now, &mut c, &mut s);
+        let id = c.open_stream(0);
+        c.stream_send(id, b"hello", false);
+        let mut d = c.poll_transmit(now).unwrap();
+        let n = d.len();
+        d[n - 5] ^= 0xff;
+        let dropped_before = s.stats().packets_dropped;
+        s.handle_datagram(now, &d);
+        assert_eq!(s.stats().packets_dropped, dropped_before + 1);
+        assert!(!s.is_closed());
+    }
+
+    #[test]
+    fn duplicate_datagram_ignored() {
+        let (mut c, mut s, mut now) = pair();
+        pump(&mut now, &mut c, &mut s);
+        let id = c.open_stream(0);
+        c.stream_send(id, b"abc", true);
+        let d = c.poll_transmit(now).unwrap();
+        s.handle_datagram(now, &d);
+        let received = s.stats().packets_received;
+        s.handle_datagram(now, &d);
+        assert_eq!(s.stats().packets_received, received);
+        // Data not duplicated to the app.
+        assert_eq!(s.stream_recv(id, 100), b"abc");
+    }
+
+    #[test]
+    fn cwnd_limits_inflight() {
+        let (mut c, mut s, mut now) = pair();
+        pump(&mut now, &mut c, &mut s);
+        let id = c.open_stream(0);
+        c.stream_send(id, &vec![0u8; 1_000_000], true);
+        // Drain whatever the client will send without acks.
+        let mut sent_bytes = 0u64;
+        while let Some(d) = c.poll_transmit(now) {
+            sent_bytes += d.len() as u64;
+        }
+        assert!(sent_bytes <= c.cwnd() + 2 * MAX_DATAGRAM_SIZE);
+        assert!(c.bytes_in_flight() <= c.cwnd() + MAX_DATAGRAM_SIZE);
+        let _ = s;
+    }
+
+    #[test]
+    fn flow_control_caps_unread_data() {
+        let (mut c, mut s, mut now) = pair();
+        pump(&mut now, &mut c, &mut s);
+        let id = c.open_stream(0);
+        c.stream_send(id, b"r", true);
+        pump(&mut now, &mut c, &mut s);
+        s.stream_recv(id, 10);
+        // Server floods; client never reads → bounded by stream window.
+        let huge = vec![1u8; 30_000_000];
+        s.stream_send(id, &huge, true);
+        for _ in 0..400 {
+            pump(&mut now, &mut c, &mut s);
+            now += Duration::from_millis(2);
+        }
+        let buffered = c.streams().get(id).unwrap().recv.readable() as u64;
+        let win = TransportParams::default().initial_max_stream_data;
+        assert!(buffered <= win, "buffered {buffered} exceeds window {win}");
+        assert!(buffered > 0);
+    }
+}

@@ -1,0 +1,11 @@
+//! Packet protection: from-scratch ChaCha20-Poly1305 AEAD with the
+//! multipath nonce construction (paper §6), plus the key schedule for the
+//! simplified handshake.
+
+pub mod aead;
+pub mod chacha;
+pub mod kdf;
+pub mod poly1305;
+
+pub use aead::{AeadKey, TAG_LEN};
+pub use kdf::{derive_keys, KeyPair};

@@ -1,0 +1,169 @@
+//! Error types shared across the QUIC substrate.
+
+use std::fmt;
+
+/// Errors produced while encoding or decoding wire data.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum CodecError {
+    /// The input ended before a complete value could be read.
+    UnexpectedEnd,
+    /// A syntactically valid value is out of range for its field.
+    InvalidValue,
+    /// An unknown frame type was encountered.
+    UnknownFrame(u64),
+    /// A malformed packet header.
+    InvalidHeader,
+}
+
+impl fmt::Display for CodecError {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self {
+            CodecError::UnexpectedEnd => write!(f, "unexpected end of input"),
+            CodecError::InvalidValue => write!(f, "invalid field value"),
+            CodecError::UnknownFrame(t) => write!(f, "unknown frame type {t:#x}"),
+            CodecError::InvalidHeader => write!(f, "invalid packet header"),
+        }
+    }
+}
+
+impl std::error::Error for CodecError {}
+
+/// QUIC transport-level error codes (RFC 9000 §20.1, abridged) plus the
+/// multipath extension's protocol violation.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum TransportError {
+    /// No error: graceful close.
+    NoError,
+    /// Generic internal error.
+    InternalError,
+    /// Flow control limits were violated by the peer.
+    FlowControlError,
+    /// More streams were opened than allowed.
+    StreamLimitError,
+    /// A frame was received on a stream in an invalid state.
+    StreamStateError,
+    /// Final stream size changed or was violated.
+    FinalSizeError,
+    /// A frame could not be decoded.
+    FrameEncodingError,
+    /// Invalid transport parameters during the handshake.
+    TransportParameterError,
+    /// The peer violated the protocol (e.g. MP frame without negotiation).
+    ProtocolViolation,
+    /// AEAD decryption failed.
+    CryptoError,
+    /// Multipath: referenced an unknown or retired path.
+    MultipathError,
+}
+
+impl TransportError {
+    /// Wire error code.
+    pub fn code(self) -> u64 {
+        match self {
+            TransportError::NoError => 0x0,
+            TransportError::InternalError => 0x1,
+            TransportError::FlowControlError => 0x3,
+            TransportError::StreamLimitError => 0x4,
+            TransportError::StreamStateError => 0x5,
+            TransportError::FinalSizeError => 0x6,
+            TransportError::FrameEncodingError => 0x7,
+            TransportError::TransportParameterError => 0x8,
+            TransportError::ProtocolViolation => 0xa,
+            TransportError::CryptoError => 0x100,
+            TransportError::MultipathError => 0xba01,
+        }
+    }
+
+    /// Reverse of [`TransportError::code`]; unknown codes map to
+    /// `InternalError` (we must not crash on a peer's unknown code).
+    pub fn from_code(code: u64) -> Self {
+        match code {
+            0x0 => TransportError::NoError,
+            0x3 => TransportError::FlowControlError,
+            0x4 => TransportError::StreamLimitError,
+            0x5 => TransportError::StreamStateError,
+            0x6 => TransportError::FinalSizeError,
+            0x7 => TransportError::FrameEncodingError,
+            0x8 => TransportError::TransportParameterError,
+            0xa => TransportError::ProtocolViolation,
+            0x100 => TransportError::CryptoError,
+            0xba01 => TransportError::MultipathError,
+            _ => TransportError::InternalError,
+        }
+    }
+}
+
+impl fmt::Display for TransportError {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        write!(f, "{self:?}")
+    }
+}
+
+impl std::error::Error for TransportError {}
+
+/// Top-level connection errors surfaced to the application.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub enum ConnectionError {
+    /// The peer closed the connection with the given error.
+    PeerClosed(TransportError),
+    /// We closed the connection locally.
+    LocallyClosed(TransportError),
+    /// The idle timeout fired.
+    TimedOut,
+    /// Wire data could not be parsed.
+    Codec(CodecError),
+}
+
+impl fmt::Display for ConnectionError {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self {
+            ConnectionError::PeerClosed(e) => write!(f, "closed by peer: {e}"),
+            ConnectionError::LocallyClosed(e) => write!(f, "closed locally: {e}"),
+            ConnectionError::TimedOut => write!(f, "idle timeout"),
+            ConnectionError::Codec(e) => write!(f, "codec error: {e}"),
+        }
+    }
+}
+
+impl std::error::Error for ConnectionError {}
+
+impl From<CodecError> for ConnectionError {
+    fn from(e: CodecError) -> Self {
+        ConnectionError::Codec(e)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn transport_error_code_roundtrip() {
+        for e in [
+            TransportError::NoError,
+            TransportError::InternalError,
+            TransportError::FlowControlError,
+            TransportError::StreamLimitError,
+            TransportError::StreamStateError,
+            TransportError::FinalSizeError,
+            TransportError::FrameEncodingError,
+            TransportError::TransportParameterError,
+            TransportError::ProtocolViolation,
+            TransportError::CryptoError,
+            TransportError::MultipathError,
+        ] {
+            assert_eq!(TransportError::from_code(e.code()), e);
+        }
+    }
+
+    #[test]
+    fn unknown_code_maps_to_internal() {
+        assert_eq!(TransportError::from_code(0xdead), TransportError::InternalError);
+    }
+
+    #[test]
+    fn display_is_nonempty() {
+        assert!(!format!("{}", CodecError::UnexpectedEnd).is_empty());
+        assert!(!format!("{}", ConnectionError::TimedOut).is_empty());
+    }
+}

@@ -1,0 +1,15 @@
+//! Single-path QUIC substrate for the XLINK reproduction.
+pub mod ackranges;
+pub mod cid;
+pub mod crypto;
+pub mod error;
+pub mod cc;
+pub mod frame;
+pub mod connection;
+pub mod handshake;
+pub mod packet;
+pub mod params;
+pub mod recovery;
+pub mod rtt;
+pub mod stream;
+pub mod varint;

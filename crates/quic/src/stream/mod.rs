@@ -1,0 +1,314 @@
+//! Stream multiplexing: send/recv halves, stream-ID allocation, and the
+//! per-connection stream map with connection-level flow control.
+
+pub mod recv;
+pub mod send;
+
+pub use recv::{RecvState, RecvStream};
+pub use send::{FramePriority, SendRange, SendState, SendStream, DEFAULT_FRAME_PRIORITY};
+
+use crate::error::TransportError;
+use std::collections::BTreeMap;
+
+/// Which endpoint a connection is (stream-ID allocation parity).
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum Side {
+    /// Client: opens bidirectional streams 0, 4, 8, …
+    Client,
+    /// Server: opens bidirectional streams 1, 5, 9, …
+    Server,
+}
+
+impl Side {
+    /// The opposite side.
+    pub fn peer(self) -> Side {
+        match self {
+            Side::Client => Side::Server,
+            Side::Server => Side::Client,
+        }
+    }
+
+    /// True if `stream_id` was opened by this side.
+    pub fn opened_by_us(self, stream_id: u64) -> bool {
+        let by_server = stream_id & 0x1 == 1;
+        (self == Side::Server) == by_server
+    }
+}
+
+/// A bidirectional stream: both halves plus bookkeeping.
+#[derive(Debug)]
+pub struct Stream {
+    /// Stream identifier.
+    pub id: u64,
+    /// Send half.
+    pub send: SendStream,
+    /// Receive half.
+    pub recv: RecvStream,
+    /// Stream scheduling priority: lower = sent first. Streams requesting
+    /// earlier video portions get lower values (paper §5.1 stream
+    /// priority-based re-injection).
+    pub priority: u8,
+}
+
+/// Per-connection stream table and connection-level flow control.
+#[derive(Debug)]
+pub struct StreamMap {
+    side: Side,
+    streams: BTreeMap<u64, Stream>,
+    next_local: u64,
+    /// Largest peer-opened stream ID we've seen.
+    largest_peer_opened: Option<u64>,
+    /// Connection-level flow control: how much the peer lets us send.
+    pub send_max_data: u64,
+    /// Total bytes we've committed to send (offsets claimed).
+    pub send_data_used: u64,
+    /// Connection-level flow control: what we advertise to the peer.
+    pub recv_max_data: u64,
+    /// Highest total received offset sum.
+    pub recv_data_used: u64,
+    /// Window to maintain for connection-level receive credit.
+    recv_window: u64,
+    /// Per-stream window for newly opened streams.
+    stream_recv_window: u64,
+    /// Peer's initial per-stream limit for our sends.
+    peer_stream_window: u64,
+    /// Max concurrent bidi streams the peer may open.
+    max_streams: u64,
+}
+
+impl StreamMap {
+    /// New stream table.
+    pub fn new(
+        side: Side,
+        recv_window: u64,
+        stream_recv_window: u64,
+        peer_initial_max_data: u64,
+        peer_stream_window: u64,
+        max_streams: u64,
+    ) -> Self {
+        StreamMap {
+            side,
+            streams: BTreeMap::new(),
+            next_local: match side {
+                Side::Client => 0,
+                Side::Server => 1,
+            },
+            largest_peer_opened: None,
+            send_max_data: peer_initial_max_data,
+            send_data_used: 0,
+            recv_max_data: recv_window,
+            recv_data_used: 0,
+            recv_window,
+            stream_recv_window,
+            peer_stream_window,
+            max_streams,
+        }
+    }
+
+    /// This endpoint's side.
+    pub fn side(&self) -> Side {
+        self.side
+    }
+
+    /// Open a new locally-initiated bidirectional stream.
+    pub fn open(&mut self, priority: u8) -> u64 {
+        let id = self.next_local;
+        self.next_local += 4;
+        self.streams.insert(
+            id,
+            Stream {
+                id,
+                send: SendStream::new(self.peer_stream_window),
+                recv: RecvStream::new(self.stream_recv_window),
+                priority,
+            },
+        );
+        id
+    }
+
+    /// Get or lazily create the stream for a peer-initiated ID seen on the
+    /// wire. Returns `StreamLimitError` if the peer exceeds its allowance.
+    pub fn get_or_open_peer(&mut self, id: u64) -> Result<&mut Stream, TransportError> {
+        if self.side.opened_by_us(id) {
+            return self.streams.get_mut(&id).ok_or(TransportError::StreamStateError);
+        }
+        if !self.streams.contains_key(&id) {
+            let index = id / 4;
+            if index >= self.max_streams {
+                return Err(TransportError::StreamLimitError);
+            }
+            self.streams.insert(
+                id,
+                Stream {
+                    id,
+                    send: SendStream::new(self.peer_stream_window),
+                    recv: RecvStream::new(self.stream_recv_window),
+                    priority: crate::stream::send::DEFAULT_FRAME_PRIORITY,
+                },
+            );
+            self.largest_peer_opened =
+                Some(self.largest_peer_opened.map_or(id, |l| l.max(id)));
+        }
+        Ok(self.streams.get_mut(&id).expect("just inserted"))
+    }
+
+    /// Borrow a stream by ID.
+    pub fn get(&self, id: u64) -> Option<&Stream> {
+        self.streams.get(&id)
+    }
+
+    /// Mutably borrow a stream by ID.
+    pub fn get_mut(&mut self, id: u64) -> Option<&mut Stream> {
+        self.streams.get_mut(&id)
+    }
+
+    /// Iterate all streams ascending by ID.
+    pub fn iter(&self) -> impl Iterator<Item = &Stream> {
+        self.streams.values()
+    }
+
+    /// Iterate all streams mutably, ascending by ID.
+    pub fn iter_mut(&mut self) -> impl Iterator<Item = &mut Stream> {
+        self.streams.values_mut()
+    }
+
+    /// Streams with pending data, sorted by (priority, id) — the transmit
+    /// order XLINK's stream-priority rules require (earlier/higher-priority
+    /// streams first).
+    pub fn sendable_ids(&self) -> Vec<u64> {
+        let mut ids: Vec<(u8, u64)> = self
+            .streams
+            .values()
+            .filter(|s| s.send.has_pending())
+            .map(|s| (s.priority, s.id))
+            .collect();
+        ids.sort();
+        ids.into_iter().map(|(_, id)| id).collect()
+    }
+
+    /// Connection-level send credit remaining.
+    pub fn conn_send_credit(&self) -> u64 {
+        self.send_max_data.saturating_sub(self.send_data_used)
+    }
+
+    /// Account connection-level bytes for newly transmitted (first-time)
+    /// stream offsets.
+    pub fn consume_conn_credit(&mut self, bytes: u64) {
+        self.send_data_used += bytes;
+        debug_assert!(self.send_data_used <= self.send_max_data);
+    }
+
+    /// Record connection-level received data; errors on overrun.
+    pub fn on_conn_data_received(&mut self, new_bytes: u64) -> Result<(), TransportError> {
+        self.recv_data_used += new_bytes;
+        if self.recv_data_used > self.recv_max_data {
+            return Err(TransportError::FlowControlError);
+        }
+        Ok(())
+    }
+
+    /// If the connection-level receive window should grow, returns the new
+    /// MAX_DATA value to advertise.
+    pub fn wants_conn_max_data_update(&mut self) -> Option<u64> {
+        let target = self.recv_data_used + self.recv_window;
+        if target > self.recv_max_data && (target - self.recv_max_data) * 2 >= self.recv_window {
+            self.recv_max_data = target;
+            Some(target)
+        } else {
+            None
+        }
+    }
+
+    /// Handle the peer raising our connection-level send limit.
+    pub fn on_max_data(&mut self, max: u64) {
+        if max > self.send_max_data {
+            self.send_max_data = max;
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn map(side: Side) -> StreamMap {
+        StreamMap::new(side, 1 << 20, 1 << 18, 1 << 20, 1 << 18, 100)
+    }
+
+    #[test]
+    fn stream_id_parity() {
+        let mut c = map(Side::Client);
+        assert_eq!(c.open(0), 0);
+        assert_eq!(c.open(0), 4);
+        let mut s = map(Side::Server);
+        assert_eq!(s.open(0), 1);
+        assert_eq!(s.open(0), 5);
+    }
+
+    #[test]
+    fn opened_by_us_parity() {
+        assert!(Side::Client.opened_by_us(0));
+        assert!(Side::Client.opened_by_us(4));
+        assert!(!Side::Client.opened_by_us(1));
+        assert!(Side::Server.opened_by_us(1));
+        assert!(!Side::Server.opened_by_us(0));
+        assert_eq!(Side::Client.peer(), Side::Server);
+    }
+
+    #[test]
+    fn peer_streams_lazily_created() {
+        let mut s = map(Side::Server);
+        let st = s.get_or_open_peer(0).unwrap();
+        assert_eq!(st.id, 0);
+        assert!(s.get(0).is_some());
+        // Our own unknown stream ID is an error, not a creation.
+        assert_eq!(
+            s.get_or_open_peer(1).err(),
+            Some(TransportError::StreamStateError)
+        );
+    }
+
+    #[test]
+    fn stream_limit_enforced() {
+        let mut s = StreamMap::new(Side::Server, 1 << 20, 1 << 18, 1 << 20, 1 << 18, 2);
+        assert!(s.get_or_open_peer(0).is_ok());
+        assert!(s.get_or_open_peer(4).is_ok());
+        assert_eq!(
+            s.get_or_open_peer(8).err(),
+            Some(TransportError::StreamLimitError)
+        );
+    }
+
+    #[test]
+    fn sendable_sorted_by_priority_then_id() {
+        let mut m = map(Side::Client);
+        let a = m.open(5);
+        let b = m.open(1);
+        let c = m.open(5);
+        m.get_mut(a).unwrap().send.write(b"a");
+        m.get_mut(b).unwrap().send.write(b"b");
+        m.get_mut(c).unwrap().send.write(b"c");
+        assert_eq!(m.sendable_ids(), vec![b, a, c]);
+    }
+
+    #[test]
+    fn conn_flow_control_accounting() {
+        let mut m = StreamMap::new(Side::Client, 100, 1 << 18, 50, 1 << 18, 10);
+        assert_eq!(m.conn_send_credit(), 50);
+        m.consume_conn_credit(20);
+        assert_eq!(m.conn_send_credit(), 30);
+        m.on_max_data(80);
+        assert_eq!(m.conn_send_credit(), 60);
+        m.on_max_data(10); // decrease ignored
+        assert_eq!(m.conn_send_credit(), 60);
+    }
+
+    #[test]
+    fn conn_recv_window_updates() {
+        let mut m = StreamMap::new(Side::Client, 100, 1 << 18, 1 << 20, 1 << 18, 10);
+        m.on_conn_data_received(60).unwrap();
+        assert_eq!(m.wants_conn_max_data_update(), Some(160));
+        assert!(m.wants_conn_max_data_update().is_none());
+        assert!(m.on_conn_data_received(200).is_err());
+    }
+}

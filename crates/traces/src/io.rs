@@ -1,0 +1,66 @@
+//! Mahimahi trace file format: one millisecond timestamp per line, each
+//! granting one 1500-byte delivery opportunity. Reading and writing this
+//! format lets generated traces be inspected with standard Mahimahi
+//! tooling and lets real captures be dropped in.
+
+use crate::Trace;
+
+/// Serialize a trace to the Mahimahi text format.
+pub fn to_mahimahi(trace: &Trace) -> String {
+    let mut out = String::with_capacity(trace.opportunities_ms.len() * 6);
+    for t in &trace.opportunities_ms {
+        out.push_str(&t.to_string());
+        out.push('\n');
+    }
+    out
+}
+
+/// Parse a Mahimahi trace file. Blank lines and `#` comments are
+/// tolerated; timestamps need not be pre-sorted.
+pub fn parse_mahimahi(label: &str, text: &str) -> Result<Trace, String> {
+    let mut ops = Vec::new();
+    for (lineno, line) in text.lines().enumerate() {
+        let line = line.trim();
+        if line.is_empty() || line.starts_with('#') {
+            continue;
+        }
+        let v: u64 = line
+            .parse()
+            .map_err(|e| format!("line {}: {:?}: {e}", lineno + 1, line))?;
+        ops.push(v);
+    }
+    Ok(Trace::new(label, ops))
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn roundtrip() {
+        let t = Trace::new("rt", vec![0, 1, 1, 5, 9]);
+        let text = to_mahimahi(&t);
+        let back = parse_mahimahi("rt", &text).unwrap();
+        assert_eq!(back, t);
+    }
+
+    #[test]
+    fn parse_tolerates_comments_and_blanks() {
+        let text = "# header\n\n3\n1\n\n2\n";
+        let t = parse_mahimahi("c", text).unwrap();
+        assert_eq!(t.opportunities_ms, vec![1, 2, 3]);
+    }
+
+    #[test]
+    fn parse_rejects_garbage() {
+        assert!(parse_mahimahi("g", "12\nxyz\n").is_err());
+        assert!(parse_mahimahi("g", "-5\n").is_err());
+    }
+
+    #[test]
+    fn generated_traces_roundtrip() {
+        let t = crate::gen::walking_wifi(3);
+        let back = parse_mahimahi("walking-wifi", &to_mahimahi(&t)).unwrap();
+        assert_eq!(back.opportunities_ms, t.opportunities_ms);
+    }
+}

@@ -1,0 +1,114 @@
+//! Network traces: Mahimahi-format I/O and seeded synthetic generators.
+//!
+//! The paper collected real traces with `saturatr` (walking on campus,
+//! subways, high-speed rail, enterprise Wi-Fi, a private 5G SA testbed)
+//! and replayed them through Mahimahi's `mpshell`. Those captures are not
+//! public, so this crate generates traces reproducing the *published
+//! shapes* (DESIGN.md substitution table):
+//!
+//! * Fig. 1a — walking Wi-Fi: ~20 Mbps with rapid variation and a
+//!   near-zero outage from 1.7 s to 2.2 s.
+//! * Fig. 1b — LTE: comparatively stable ~15-25 Mbps.
+//! * Fig. 15a/b — high-speed-rail cellular and on-board Wi-Fi: deep
+//!   periodic fades as the train passes cells / inter-car APs.
+//! * Subway traces: frequent hard outages (tunnels, station handoffs).
+//! * 5G SA / NSA and enterprise Wi-Fi profiles for the §3.2 and Fig. 7
+//!   delay studies.
+//!
+//! A trace is a sorted list of millisecond delivery-opportunity
+//! timestamps (1500 bytes each), exactly the Mahimahi file format: one
+//! integer per line.
+
+pub mod gen;
+pub mod io;
+
+pub use gen::*;
+pub use io::{parse_mahimahi, to_mahimahi};
+
+/// A delivery-opportunity trace (sorted ms timestamps; loops forever when
+/// replayed).
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct Trace {
+    /// Sorted millisecond timestamps; each grants one 1500-byte quantum.
+    pub opportunities_ms: Vec<u64>,
+    /// Human-readable label ("walking-wifi", "hsr-cellular-3", …).
+    pub label: String,
+}
+
+impl Trace {
+    /// Build from raw timestamps (sorted on construction).
+    pub fn new(label: &str, mut opportunities_ms: Vec<u64>) -> Self {
+        opportunities_ms.sort_unstable();
+        Trace { opportunities_ms, label: label.to_string() }
+    }
+
+    /// Duration covered by the trace in ms (period when looped).
+    pub fn duration_ms(&self) -> u64 {
+        self.opportunities_ms.last().map(|l| l + 1).unwrap_or(0)
+    }
+
+    /// Average rate in Mbps over the whole trace.
+    pub fn mean_rate_mbps(&self) -> f64 {
+        let d = self.duration_ms();
+        if d == 0 {
+            return 0.0;
+        }
+        (self.opportunities_ms.len() as f64 * 1500.0 * 8.0) / (d as f64 / 1000.0) / 1e6
+    }
+
+    /// Rate in Mbps within [start_ms, end_ms).
+    pub fn rate_mbps_between(&self, start_ms: u64, end_ms: u64) -> f64 {
+        if end_ms <= start_ms {
+            return 0.0;
+        }
+        let lo = self.opportunities_ms.partition_point(|&t| t < start_ms);
+        let hi = self.opportunities_ms.partition_point(|&t| t < end_ms);
+        ((hi - lo) as f64 * 1500.0 * 8.0) / ((end_ms - start_ms) as f64 / 1000.0) / 1e6
+    }
+
+    /// Per-window rate series (for plotting / Fig. 15 style summaries).
+    pub fn rate_series_mbps(&self, window_ms: u64) -> Vec<(u64, f64)> {
+        let mut out = Vec::new();
+        let mut t = 0;
+        while t < self.duration_ms() {
+            out.push((t, self.rate_mbps_between(t, t + window_ms)));
+            t += window_ms;
+        }
+        out
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn construction_sorts() {
+        let t = Trace::new("x", vec![5, 1, 3]);
+        assert_eq!(t.opportunities_ms, vec![1, 3, 5]);
+        assert_eq!(t.duration_ms(), 6);
+    }
+
+    #[test]
+    fn mean_rate() {
+        // 1000 opportunities over 1s = 12 Mbps.
+        let t = Trace::new("r", (0..1000).collect());
+        assert!((t.mean_rate_mbps() - 12.0).abs() < 0.1);
+    }
+
+    #[test]
+    fn windowed_rate() {
+        // Opportunities only in the first half.
+        let t = Trace::new("w", (0..500).chain(std::iter::once(999)).collect());
+        assert!(t.rate_mbps_between(0, 500) > 11.0);
+        assert!(t.rate_mbps_between(500, 999) < 0.1);
+    }
+
+    #[test]
+    fn empty_trace() {
+        let t = Trace::new("e", vec![]);
+        assert_eq!(t.duration_ms(), 0);
+        assert_eq!(t.mean_rate_mbps(), 0.0);
+        assert!(t.rate_series_mbps(100).is_empty());
+    }
+}

@@ -1,0 +1,122 @@
+//! The tiny request/response codec the video client and media server
+//! speak over QUIC streams — the moral equivalent of the HTTP range
+//! requests the MediaCacheService issues (paper §5.2.1), kept
+//! line-oriented and dependency-free.
+
+/// A range request for part of a video object.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct Request {
+    /// Video object name.
+    pub object: String,
+    /// First byte requested.
+    pub start: u64,
+    /// One past the last byte requested.
+    pub end: u64,
+}
+
+impl Request {
+    /// Encode as `GET <object> range=<start>-<end>\n`.
+    pub fn encode(&self) -> Vec<u8> {
+        format!("GET {} range={}-{}\n", self.object, self.start, self.end).into_bytes()
+    }
+
+    /// Decode a request line. Returns None until a full line is present
+    /// or if the line is malformed.
+    pub fn decode(buf: &[u8]) -> Option<Request> {
+        let line_end = buf.iter().position(|&b| b == b'\n')?;
+        let line = std::str::from_utf8(&buf[..line_end]).ok()?;
+        let mut parts = line.split_whitespace();
+        if parts.next()? != "GET" {
+            return None;
+        }
+        let object = parts.next()?.to_string();
+        let range = parts.next()?.strip_prefix("range=")?;
+        let (s, e) = range.split_once('-')?;
+        let start = s.parse().ok()?;
+        let end = e.parse().ok()?;
+        if end < start {
+            return None;
+        }
+        Some(Request { object, start, end })
+    }
+}
+
+/// Response header preceding the body bytes.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct Response {
+    /// 200 for success, 404 for unknown object, 416 for a bad range.
+    pub status: u16,
+    /// Number of body bytes that follow.
+    pub body_len: u64,
+    /// Offset within the object where the first frame ends (lets the
+    /// client know the first-frame boundary without a manifest; 0 when
+    /// not applicable).
+    pub first_frame_end: u64,
+}
+
+impl Response {
+    /// Encode as `<status> <body_len> <first_frame_end>\n`.
+    pub fn encode(&self) -> Vec<u8> {
+        format!("{} {} {}\n", self.status, self.body_len, self.first_frame_end).into_bytes()
+    }
+
+    /// Decode a response header; returns the header and its encoded size.
+    pub fn decode(buf: &[u8]) -> Option<(Response, usize)> {
+        let line_end = buf.iter().position(|&b| b == b'\n')?;
+        let line = std::str::from_utf8(&buf[..line_end]).ok()?;
+        let mut parts = line.split_whitespace();
+        let status = parts.next()?.parse().ok()?;
+        let body_len = parts.next()?.parse().ok()?;
+        let first_frame_end = parts.next()?.parse().ok()?;
+        Some((Response { status, body_len, first_frame_end }, line_end + 1))
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn request_roundtrip() {
+        let r = Request { object: "video-7".into(), start: 1024, end: 262144 };
+        let enc = r.encode();
+        assert_eq!(Request::decode(&enc).unwrap(), r);
+    }
+
+    #[test]
+    fn request_needs_full_line() {
+        let r = Request { object: "v".into(), start: 0, end: 10 };
+        let enc = r.encode();
+        assert!(Request::decode(&enc[..enc.len() - 1]).is_none());
+    }
+
+    #[test]
+    fn request_rejects_malformed() {
+        assert!(Request::decode(b"POST v range=0-1\n").is_none());
+        assert!(Request::decode(b"GET v bytes=0-1\n").is_none());
+        assert!(Request::decode(b"GET v range=9-1\n").is_none());
+        assert!(Request::decode(b"GET v range=a-b\n").is_none());
+        assert!(Request::decode(b"GET\n").is_none());
+    }
+
+    #[test]
+    fn response_roundtrip() {
+        let r = Response { status: 200, body_len: 65536, first_frame_end: 40000 };
+        let enc = r.encode();
+        let (got, used) = Response::decode(&enc).unwrap();
+        assert_eq!(got, r);
+        assert_eq!(used, enc.len());
+    }
+
+    #[test]
+    fn response_decode_with_trailing_body() {
+        let r = Response { status: 200, body_len: 3, first_frame_end: 0 };
+        let mut enc = r.encode();
+        let hdr = enc.len();
+        enc.extend_from_slice(b"abc");
+        let (got, used) = Response::decode(&enc).unwrap();
+        assert_eq!(got.body_len, 3);
+        assert_eq!(used, hdr);
+        assert_eq!(&enc[used..], b"abc");
+    }
+}

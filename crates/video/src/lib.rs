@@ -1,0 +1,20 @@
+//! Video substrate: the short-video model, a client player with QoE
+//! signal capture (the paper's Fig. 5 pipeline), a media server serving
+//! HTTP-range-style chunk requests with frame-priority tagging, and the
+//! tiny request codec they speak over QUIC streams.
+//!
+//! The paper's Appendix B describes a simple player that sequentially
+//! requests data chunks from a web server and consumes received data at a
+//! constant (configurable) bit-rate — this crate is that player, with the
+//! QoE plumbing of §5.2.1 (cached bytes/frames, bps, fps flowing to the
+//! transport) on top.
+
+pub mod http;
+pub mod model;
+pub mod player;
+pub mod server;
+
+pub use http::{Request, Response};
+pub use model::{Video, VideoChunk};
+pub use player::{Player, PlayerConfig, PlayerStats};
+pub use server::MediaStore;

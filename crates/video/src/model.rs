@@ -1,0 +1,187 @@
+//! The video content model: a short-form product video as a sequence of
+//! frames with a large I-frame up front (the "first video frame" whose
+//! delivery the paper accelerates), chunked into HTTP-range requests.
+
+/// A video asset.
+#[derive(Debug, Clone)]
+pub struct Video {
+    /// Frames per second.
+    pub fps: u64,
+    /// Average bitrate in bits per second.
+    pub bps: u64,
+    /// Per-frame sizes in bytes, frame 0 first.
+    pub frame_sizes: Vec<u64>,
+    /// Byte offset where each frame starts (prefix sums of `frame_sizes`).
+    frame_offsets: Vec<u64>,
+}
+
+impl Video {
+    /// Synthesize a video: `duration_s` seconds at `fps`/`bps`, with the
+    /// first frame (I-frame) `first_frame_factor` times the mean frame
+    /// size. Deterministic given the inputs.
+    pub fn synth(duration_s: u64, fps: u64, bps: u64, first_frame_factor: f64) -> Self {
+        assert!(fps > 0 && bps > 0);
+        let n_frames = (duration_s * fps).max(1);
+        let mean = (bps / 8 / fps).max(64);
+        let mut frame_sizes = Vec::with_capacity(n_frames as usize);
+        for i in 0..n_frames {
+            if i == 0 {
+                frame_sizes.push(((mean as f64) * first_frame_factor) as u64);
+            } else if i % fps == 0 {
+                // Periodic I-frames: 3x mean.
+                frame_sizes.push(mean * 3);
+            } else {
+                // P-frames: slightly below mean to keep the average near bps.
+                frame_sizes.push((mean as f64 * 0.8) as u64);
+            }
+        }
+        Self::from_frames(fps, bps, frame_sizes)
+    }
+
+    /// Build from explicit frame sizes.
+    pub fn from_frames(fps: u64, bps: u64, frame_sizes: Vec<u64>) -> Self {
+        let mut frame_offsets = Vec::with_capacity(frame_sizes.len());
+        let mut off = 0u64;
+        for &s in &frame_sizes {
+            frame_offsets.push(off);
+            off += s;
+        }
+        Video { fps, bps, frame_sizes, frame_offsets }
+    }
+
+    /// Total size in bytes.
+    pub fn total_bytes(&self) -> u64 {
+        self.frame_offsets.last().map_or(0, |&o| o + self.frame_sizes.last().unwrap())
+    }
+
+    /// Number of frames.
+    pub fn frame_count(&self) -> u64 {
+        self.frame_sizes.len() as u64
+    }
+
+    /// Byte range `[start, end)` of frame `i`.
+    pub fn frame_range(&self, i: u64) -> (u64, u64) {
+        let i = i as usize;
+        (self.frame_offsets[i], self.frame_offsets[i] + self.frame_sizes[i])
+    }
+
+    /// Size of the first video frame (the paper's Fig. 7 x-axis).
+    pub fn first_frame_bytes(&self) -> u64 {
+        self.frame_sizes.first().copied().unwrap_or(0)
+    }
+
+    /// Number of *complete* frames contained in the byte prefix `[0, bytes)`.
+    pub fn frames_in_prefix(&self, bytes: u64) -> u64 {
+        self.frame_offsets
+            .iter()
+            .zip(&self.frame_sizes)
+            .take_while(|(&o, &s)| o + s <= bytes)
+            .count() as u64
+    }
+
+    /// Split the video into fixed-size chunks (the MediaCacheService's
+    /// range requests; the last chunk may be short).
+    pub fn chunks(&self, chunk_bytes: u64) -> Vec<VideoChunk> {
+        assert!(chunk_bytes > 0);
+        let total = self.total_bytes();
+        let mut out = Vec::new();
+        let mut start = 0;
+        let mut idx = 0;
+        while start < total {
+            let end = (start + chunk_bytes).min(total);
+            out.push(VideoChunk { index: idx, start, end });
+            start = end;
+            idx += 1;
+        }
+        out
+    }
+
+    /// Playback duration in seconds.
+    pub fn duration_s(&self) -> f64 {
+        self.frame_count() as f64 / self.fps as f64
+    }
+}
+
+/// One HTTP-range chunk of a video.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub struct VideoChunk {
+    /// Chunk index (request order).
+    pub index: u64,
+    /// First byte offset.
+    pub start: u64,
+    /// One past the last byte offset.
+    pub end: u64,
+}
+
+impl VideoChunk {
+    /// Chunk length in bytes.
+    pub fn len(&self) -> u64 {
+        self.end - self.start
+    }
+
+    /// True for degenerate chunks.
+    pub fn is_empty(&self) -> bool {
+        self.start >= self.end
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn synth_dimensions() {
+        let v = Video::synth(10, 30, 2_000_000, 8.0);
+        assert_eq!(v.frame_count(), 300);
+        assert!(v.total_bytes() > 0);
+        assert!((v.duration_s() - 10.0).abs() < 1e-9);
+        // First frame is much larger than the mean.
+        let mean = v.total_bytes() / v.frame_count();
+        assert!(v.first_frame_bytes() > 4 * mean);
+    }
+
+    #[test]
+    fn frame_ranges_are_contiguous() {
+        let v = Video::synth(2, 25, 1_000_000, 5.0);
+        let mut expect = 0;
+        for i in 0..v.frame_count() {
+            let (s, e) = v.frame_range(i);
+            assert_eq!(s, expect);
+            assert!(e > s);
+            expect = e;
+        }
+        assert_eq!(expect, v.total_bytes());
+    }
+
+    #[test]
+    fn frames_in_prefix_counts_complete_frames() {
+        let v = Video::from_frames(30, 1_000_000, vec![100, 50, 50]);
+        assert_eq!(v.frames_in_prefix(0), 0);
+        assert_eq!(v.frames_in_prefix(99), 0);
+        assert_eq!(v.frames_in_prefix(100), 1);
+        assert_eq!(v.frames_in_prefix(149), 1);
+        assert_eq!(v.frames_in_prefix(200), 3);
+        assert_eq!(v.frames_in_prefix(10_000), 3);
+    }
+
+    #[test]
+    fn chunking_covers_everything_once() {
+        let v = Video::synth(5, 30, 1_500_000, 6.0);
+        let chunks = v.chunks(256 * 1024);
+        assert_eq!(chunks[0].start, 0);
+        for w in chunks.windows(2) {
+            assert_eq!(w[0].end, w[1].start);
+        }
+        assert_eq!(chunks.last().unwrap().end, v.total_bytes());
+        let total: u64 = chunks.iter().map(|c| c.len()).sum();
+        assert_eq!(total, v.total_bytes());
+    }
+
+    #[test]
+    fn bitrate_is_approximately_respected() {
+        let v = Video::synth(30, 30, 2_000_000, 8.0);
+        let actual_bps = v.total_bytes() as f64 * 8.0 / v.duration_s();
+        // Within 40% (I-frame overhead etc.).
+        assert!((1_200_000.0..2_800_000.0).contains(&actual_bps), "bps = {actual_bps}");
+    }
+}

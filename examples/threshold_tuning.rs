@@ -1,0 +1,56 @@
+//! Operator's view: sweep the double thresholds (T_th1, T_th2) of
+//! Algorithm 1 and watch the performance/cost trade-off — the knob the
+//! paper's §5.2.2 gives CDN operators ("one can easily tune these
+//! thresholds to trade performance with cost").
+//!
+//! ```sh
+//! cargo run --release --example threshold_tuning
+//! ```
+
+use xlink::clock::Duration;
+use xlink::core::WirelessTech;
+use xlink::harness::{run_session, PathSpec, Scheme, SessionConfig, TransportTuning};
+use xlink::traces::{stable_lte, walking_wifi_with_outage};
+use xlink::video::Video;
+
+fn main() {
+    println!("Double-threshold sweep on a video with a mid-play Wi-Fi outage\n");
+    println!("{:<16} {:>10} {:>12} {:>12}", "(T1,T2) ms", "rebuffer", "redundancy", "completed");
+    let settings: [(u64, u64); 5] = [(0, 1), (100, 500), (300, 1500), (800, 3000), (5000, 20000)];
+    for (t1, t2) in settings {
+        let mut rebuffer = 0.0;
+        let mut cost = 0.0;
+        let mut completed = 0;
+        let runs = 4;
+        for s in 0..runs {
+            let seed = 60 + s;
+            let wifi = PathSpec::new(
+                WirelessTech::Wifi,
+                walking_wifi_with_outage(seed, 12_000, 2_500 + s * 500, 5_000 + s * 500),
+                seed,
+            );
+            let lte = PathSpec::new(WirelessTech::Lte, stable_lte(seed, 12_000), seed + 1);
+            let mut cfg = SessionConfig::short_video(Scheme::Xlink, seed);
+            cfg.video = Video::synth(10, 25, 1_500_000, 10.0);
+            cfg.tuning = TransportTuning { thresholds_ms: (t1, t2), ..Default::default() };
+            cfg.deadline = Duration::from_secs(60);
+            let r = run_session(&cfg, vec![wifi.build(), lte.build()]);
+            rebuffer += r.player.rebuffer_time.as_secs_f64();
+            cost += r.server_transport.redundancy_ratio();
+            completed += usize::from(r.completed);
+        }
+        println!(
+            "{:<16} {:>8.2} s {:>10.1} % {:>10}/{}",
+            format!("({t1},{t2})"),
+            rebuffer / runs as f64,
+            cost / runs as f64 * 100.0,
+            completed,
+            runs,
+        );
+    }
+    println!(
+        "\nTiny thresholds ≈ vanilla (cheap, stalls); huge thresholds ≈\n\
+         always-on re-injection (smooth, costly); the middle is XLINK's\n\
+         operating point — smooth at ~2% overhead."
+    );
+}

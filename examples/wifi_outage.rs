@@ -1,0 +1,51 @@
+//! The paper's motivating scenario (§3.1): a user walks out of Wi-Fi
+//! coverage mid-video. The Wi-Fi trace collapses to near zero for half a
+//! second while LTE stays healthy. Single-path QUIC pinned to Wi-Fi
+//! stalls; vanilla multipath suffers multipath head-of-line blocking;
+//! XLINK re-injects the stranded bytes on LTE and plays smoothly.
+//!
+//! ```sh
+//! cargo run --release --example wifi_outage
+//! ```
+
+use xlink::clock::Duration;
+use xlink::core::WirelessTech;
+use xlink::harness::{run_session, PathSpec, Scheme, SessionConfig};
+use xlink::traces::{stable_lte, walking_wifi_with_outage};
+use xlink::video::Video;
+
+fn main() {
+    println!("Walking out of Wi-Fi coverage: 14s video, Wi-Fi outage 3-9s\n");
+    let seed = 21;
+    for scheme in [
+        Scheme::Sp { path: 0 },
+        Scheme::VanillaMp,
+        Scheme::ReinjNoQoe,
+        Scheme::Xlink,
+    ] {
+        // Fresh paths per run (the generators are deterministic per seed).
+        let wifi = PathSpec::new(
+            WirelessTech::Wifi,
+            walking_wifi_with_outage(seed, 16_000, 3_000, 9_000),
+            seed,
+        );
+        let lte = PathSpec::new(WirelessTech::Lte, stable_lte(seed, 16_000), seed + 1);
+        let mut cfg = SessionConfig::short_video(scheme, seed);
+        cfg.video = Video::synth(14, 25, 2_500_000, 10.0);
+        cfg.max_buffer_ahead = Duration::from_secs(3);
+        cfg.deadline = Duration::from_secs(60);
+        let r = run_session(&cfg, vec![wifi.build(), lte.build()]);
+        println!(
+            "{:<14} rebuffer={:.2}s events={} redundancy={:.1}% completed={}",
+            scheme.label(),
+            r.player.rebuffer_time.as_secs_f64(),
+            r.player.rebuffer_events,
+            r.server_transport.redundancy_ratio() * 100.0,
+            r.completed,
+        );
+    }
+    println!(
+        "\nExpected shape: SP stalls through the outage; XLINK matches the\n\
+         always-on re-injection arm for smoothness at a fraction of its cost."
+    );
+}

@@ -1,0 +1,57 @@
+//! # xlink — a Rust reproduction of XLINK (SIGCOMM 2021)
+//!
+//! *XLINK: QoE-Driven Multi-Path QUIC Transport in Large-scale Video
+//! Services* (Zheng, Ma, Liu et al., Alibaba/Taobao) built from scratch:
+//! a multipath QUIC transport whose packet scheduling and path management
+//! are driven by the client video player's QoE feedback.
+//!
+//! This facade crate re-exports the workspace so applications can depend
+//! on a single crate:
+//!
+//! * [`core`] (`xlink-core`) — the paper's contribution: the multipath
+//!   connection, schedulers, priority-based re-injection, the
+//!   double-thresholding controller (Algorithm 1), wireless-aware primary
+//!   path selection, and QUIC-LB CID routing.
+//! * [`quic`] (`xlink-quic`) — the single-path QUIC substrate: frames,
+//!   packets, ChaCha20-Poly1305 packet protection with the multipath
+//!   nonce, streams, loss recovery, Cubic/NewReno/LIA congestion control.
+//! * [`netsim`] (`xlink-netsim`) — the Mahimahi-semantics trace-driven
+//!   network emulator the controlled experiments run on.
+//! * [`traces`] (`xlink-traces`) — Mahimahi trace I/O plus seeded
+//!   generators for the paper's trace shapes.
+//! * [`video`] (`xlink-video`) — the short-video model, player, and media
+//!   server with QoE signal capture.
+//! * [`mptcp`] (`xlink-mptcp`) — the MPTCP-like baseline.
+//! * [`energy`] (`xlink-energy`) — the radio energy model.
+//! * [`harness`] (`xlink-harness`) — sessions, A/B populations, and one
+//!   module per paper table/figure.
+//!
+//! ## Quickstart
+//!
+//! ```
+//! use xlink::harness::{run_session, Scheme, SessionConfig};
+//! use xlink::netsim::{LinkConfig, Path};
+//! use xlink::clock::Duration;
+//!
+//! // Two emulated wireless paths: Wi-Fi-ish and LTE-ish.
+//! let paths = vec![
+//!     Path::symmetric(LinkConfig::constant_rate(20.0, Duration::from_millis(10))),
+//!     Path::symmetric(LinkConfig::constant_rate(15.0, Duration::from_millis(27))),
+//! ];
+//! // Play a short video over full XLINK.
+//! let mut cfg = SessionConfig::short_video(Scheme::Xlink, 42);
+//! cfg.video = xlink::video::Video::synth(2, 25, 600_000, 8.0);
+//! let result = run_session(&cfg, paths);
+//! assert!(result.completed);
+//! println!("rebuffer rate: {:.3}", result.player.rebuffer_rate());
+//! ```
+
+pub use xlink_clock as clock;
+pub use xlink_core as core;
+pub use xlink_energy as energy;
+pub use xlink_harness as harness;
+pub use xlink_mptcp as mptcp;
+pub use xlink_netsim as netsim;
+pub use xlink_quic as quic;
+pub use xlink_traces as traces;
+pub use xlink_video as video;

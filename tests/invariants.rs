@@ -1,0 +1,110 @@
+//! Workspace-level property tests: invariants that must hold across
+//! crate boundaries under randomized inputs.
+
+use proptest::prelude::*;
+use xlink::clock::{Duration, Instant};
+use xlink::core::{play_time_left, reinjection_decision, QoeControl, QoeSignal};
+use xlink::netsim::{Link, LinkConfig};
+use xlink::traces::{parse_mahimahi, to_mahimahi, Trace};
+
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(64))]
+
+    /// Algorithm 1 is monotone in buffer occupancy: with everything else
+    /// fixed, a larger buffer never turns re-injection ON when a smaller
+    /// buffer had it OFF.
+    #[test]
+    fn alg1_monotone_in_buffer(frames_a in 0u64..600, frames_b in 0u64..600,
+                               deliver_ms in 1u64..2000) {
+        let (lo, hi) = if frames_a <= frames_b { (frames_a, frames_b) } else { (frames_b, frames_a) };
+        let control = QoeControl::double_threshold_ms(300, 1500);
+        let mk = |frames| QoeSignal { cached_bytes: 0, cached_frames: frames, bps: 0, fps: 30 };
+        let d = Some(Duration::from_millis(deliver_ms));
+        let on_lo = reinjection_decision(control, Some(&mk(lo)), d);
+        let on_hi = reinjection_decision(control, Some(&mk(hi)), d);
+        // on_hi implies on_lo (more buffer can only reduce urgency).
+        prop_assert!(!on_hi || on_lo, "lo={lo} off but hi={hi} on");
+    }
+
+    /// Play-time-left is the conservative minimum of its two estimates.
+    #[test]
+    fn play_time_is_min_of_estimates(bytes in 1u64..10_000_000, frames in 1u64..10_000,
+                                     bps in 1u64..50_000_000, fps in 1u64..120) {
+        let q = QoeSignal { cached_bytes: bytes, cached_frames: frames, bps, fps };
+        let dt = play_time_left(&q).expect("both estimates available");
+        let by_frames = Duration::from_micros(frames * 1_000_000 / fps);
+        let by_bytes = Duration::from_micros(bytes * 8 * 1_000_000 / bps);
+        prop_assert_eq!(dt, by_frames.min(by_bytes));
+    }
+
+    /// A trace survives a Mahimahi round-trip byte-exactly.
+    #[test]
+    fn trace_mahimahi_roundtrip(ops in proptest::collection::vec(0u64..100_000, 0..500)) {
+        let t = Trace::new("prop", ops);
+        let back = parse_mahimahi("prop", &to_mahimahi(&t)).expect("parses");
+        prop_assert_eq!(back.opportunities_ms, t.opportunities_ms);
+    }
+
+    /// Link conservation: every packet sent is either delivered exactly
+    /// once or counted dropped — never duplicated, never lost silently.
+    #[test]
+    fn link_conserves_packets(n in 1usize..80, loss in 0.0f64..0.5, queue_kb in 2usize..64) {
+        let mut link = Link::new(LinkConfig {
+            trace_ms: (0..1000).collect(),
+            delay: Duration::from_millis(5),
+            queue_bytes: queue_kb * 1024,
+            loss,
+            seed: 42,
+        });
+        for i in 0..n {
+            link.send(Instant::from_millis(i as u64), vec![i as u8; 1000]);
+        }
+        let delivered = link.recv(Instant::from_secs(100)).len() as u64;
+        prop_assert_eq!(delivered + link.dropped_packets, n as u64);
+    }
+
+    /// Delivered packets preserve payload bytes and FIFO order.
+    #[test]
+    fn link_preserves_order_and_content(n in 1usize..50) {
+        let mut link = Link::new(LinkConfig {
+            trace_ms: (0..1000).collect(),
+            delay: Duration::from_millis(1),
+            queue_bytes: 10 << 20,
+            loss: 0.0,
+            seed: 1,
+        });
+        for i in 0..n {
+            link.send(Instant::ZERO, vec![i as u8; 100 + i]);
+        }
+        let got = link.recv(Instant::from_secs(60));
+        prop_assert_eq!(got.len(), n);
+        for (i, d) in got.iter().enumerate() {
+            prop_assert_eq!(d.payload.len(), 100 + i);
+            prop_assert!(d.payload.iter().all(|&b| b == i as u8));
+        }
+    }
+}
+
+/// Deterministic replay: the same seeded session gives bit-identical
+/// results (the property the whole experiment methodology rests on).
+#[test]
+fn sessions_are_deterministic() {
+    use xlink::harness::{run_session, Scheme, SessionConfig};
+    use xlink::netsim::Path;
+    let run = || {
+        let mut cfg = SessionConfig::short_video(Scheme::Xlink, 99);
+        cfg.video = xlink::video::Video::synth(2, 25, 600_000, 8.0);
+        let paths = vec![
+            Path::symmetric(LinkConfig::constant_rate(18.0, Duration::from_millis(10))),
+            Path::symmetric(LinkConfig::constant_rate(12.0, Duration::from_millis(30))),
+        ];
+        let r = run_session(&cfg, paths);
+        (
+            r.chunk_rct.clone(),
+            r.player.rebuffer_time,
+            r.server_transport.bytes_sent,
+            r.server_transport.reinjected_bytes,
+        )
+    };
+    assert_eq!(run(), run());
+}
