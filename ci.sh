@@ -1,0 +1,26 @@
+#!/usr/bin/env sh
+# Tier-1 gate for xlink-rs. Run from the repo root:
+#
+#   ./ci.sh
+#
+# Exits non-zero on the first failure. Fully offline: the workspace has
+# no external dependencies (Cargo.lock lists only workspace members), so
+# this works with no network and no pre-fetched registry.
+set -eu
+
+cd "$(dirname "$0")"
+
+echo "==> cargo fmt --check"
+cargo fmt --check
+
+echo "==> cargo build --release --offline"
+cargo build --release --offline
+
+echo "==> cargo test -q --offline"
+cargo test -q --offline
+
+echo "==> benches (smoke mode: 1 iteration/sample, JSON schema check only)"
+cargo bench -p xlink-bench --offline --bench micro -- --smoke
+cargo bench -p xlink-bench --offline --bench end_to_end -- --smoke
+
+echo "==> ci.sh: all green"

@@ -1,10 +1,15 @@
-//! End-to-end Criterion benches: a miniature video session per scheme
-//! over emulated dual paths — the whole stack (handshake, AEAD, streams,
-//! scheduler, player) exercised per iteration.
+//! End-to-end benches (xlink-lab bench harness): a miniature video
+//! session per scheme over emulated dual paths — the whole stack
+//! (handshake, AEAD, streams, scheduler, player) exercised per
+//! iteration. The sessions advance virtual time internally; the
+//! harness measures the wall-clock cost of simulating them.
+//!
+//! Run: `cargo bench -p xlink-bench --bench end_to_end` (add
+//! `-- --smoke` for a one-iteration CI smoke pass).
 
-use criterion::{criterion_group, criterion_main, Criterion};
 use xlink_clock::Duration;
 use xlink_harness::{run_session, Scheme, SessionConfig};
+use xlink_lab::bench::Suite;
 use xlink_netsim::{LinkConfig, Path};
 use xlink_video::Video;
 
@@ -22,27 +27,21 @@ fn session(scheme: Scheme, seed: u64) -> SessionConfig {
     cfg
 }
 
-fn bench_sessions(c: &mut Criterion) {
-    let mut g = c.benchmark_group("video_session_2s");
-    g.sample_size(10);
+fn main() {
+    let mut s = Suite::from_args();
     for (name, scheme) in [
-        ("sp", Scheme::Sp { path: 0 }),
-        ("vanilla_mp", Scheme::VanillaMp),
-        ("xlink", Scheme::Xlink),
+        ("video_session_2s/sp", Scheme::Sp { path: 0 }),
+        ("video_session_2s/vanilla_mp", Scheme::VanillaMp),
+        ("video_session_2s/xlink", Scheme::Xlink),
     ] {
-        g.bench_function(name, |b| {
-            let mut seed = 0u64;
-            b.iter(|| {
-                seed += 1;
-                let cfg = session(scheme, seed);
-                let r = run_session(&cfg, paths());
-                assert!(r.completed, "{name} session must complete");
-                r.chunk_rct.len()
-            })
+        let mut seed = 0u64;
+        s.bench(name, || {
+            seed += 1;
+            let cfg = session(scheme, seed);
+            let r = run_session(&cfg, paths());
+            assert!(r.completed, "{name} session must complete");
+            r.chunk_rct.len()
         });
     }
-    g.finish();
+    s.finish();
 }
-
-criterion_group!(benches, bench_sessions);
-criterion_main!(benches);

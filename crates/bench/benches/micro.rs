@@ -1,119 +1,102 @@
-//! Criterion micro-benchmarks for the transport hot paths: frame codec,
-//! packet protection, ack-range maintenance, stream reassembly, and the
-//! scheduler/controller decisions XLINK makes per packet.
+//! Micro-benchmarks (xlink-lab bench harness) for the transport hot
+//! paths: frame codec, packet protection, ack-range maintenance, stream
+//! reassembly, and the scheduler/controller decisions XLINK makes per
+//! packet.
+//!
+//! Run: `cargo bench -p xlink-bench --bench micro` (add `-- --smoke`
+//! for a one-iteration CI smoke pass). Each bench prints one JSON line
+//! (schema `xlink-bench-v1`) on stdout.
 
-use criterion::{black_box, criterion_group, criterion_main, Criterion, Throughput};
 use xlink_clock::Duration;
 use xlink_core::{play_time_left, reinjection_decision, QoeControl, QoeSignal};
+use xlink_lab::bench::{black_box, Suite};
 use xlink_quic::ackranges::AckRanges;
 use xlink_quic::crypto::AeadKey;
 use xlink_quic::frame::{AckFrame, Frame};
 use xlink_quic::stream::RecvStream;
 use xlink_quic::varint::{Reader, Writer};
 
-fn bench_frame_codec(c: &mut Criterion) {
-    let mut g = c.benchmark_group("frame_codec");
-    let stream_frame = Frame::Stream {
-        stream_id: 4,
-        offset: 1 << 20,
-        data: vec![0xab; 1200],
-        fin: false,
-    };
-    g.throughput(Throughput::Bytes(1200));
-    g.bench_function("encode_stream_1200B", |b| {
-        b.iter(|| {
-            let mut w = Writer::with_capacity(1300);
-            black_box(&stream_frame).encode(&mut w);
-            black_box(w.into_bytes())
-        })
+fn bench_frame_codec(s: &mut Suite) {
+    let stream_frame =
+        Frame::Stream { stream_id: 4, offset: 1 << 20, data: vec![0xab; 1200], fin: false };
+    s.bench_throughput("frame_codec/encode_stream_1200B", 1200, || {
+        let mut w = Writer::with_capacity(1300);
+        black_box(&stream_frame).encode(&mut w);
+        black_box(w.into_bytes())
     });
     let mut w = Writer::new();
     stream_frame.encode(&mut w);
     let bytes = w.into_bytes();
-    g.bench_function("decode_stream_1200B", |b| {
-        b.iter(|| Frame::decode(&mut Reader::new(black_box(&bytes))).expect("valid"))
+    s.bench_throughput("frame_codec/decode_stream_1200B", 1200, || {
+        Frame::decode(&mut Reader::new(black_box(&bytes))).expect("valid")
     });
     let mut set = AckRanges::new();
     for pn in (0..256).filter(|p| p % 7 != 0) {
         set.insert(pn);
     }
     let ack = AckFrame::from_ranges(1, &set, Duration::from_millis(3)).expect("non-empty");
-    g.bench_function("encode_ack_mp_many_ranges", |b| {
-        b.iter(|| {
-            let mut w = Writer::with_capacity(256);
-            Frame::AckMp(black_box(ack.clone())).encode(&mut w);
-            black_box(w.into_bytes())
-        })
+    s.bench("frame_codec/encode_ack_mp_many_ranges", || {
+        let mut w = Writer::with_capacity(256);
+        Frame::AckMp(black_box(ack.clone())).encode(&mut w);
+        black_box(w.into_bytes())
     });
-    g.finish();
 }
 
-fn bench_aead(c: &mut Criterion) {
-    let mut g = c.benchmark_group("aead");
+fn bench_aead(s: &mut Suite) {
     let key = AeadKey::new([7; 32], [3; 12]);
     let payload = vec![0x5a; 1200];
-    g.throughput(Throughput::Bytes(1200));
-    g.bench_function("seal_1200B", |b| {
-        b.iter(|| key.seal(1, 42, b"hdr", black_box(&payload)))
-    });
+    s.bench_throughput("aead/seal_1200B", 1200, || key.seal(1, 42, b"hdr", black_box(&payload)));
     let sealed = key.seal(1, 42, b"hdr", &payload);
-    g.bench_function("open_1200B", |b| {
-        b.iter(|| key.open(1, 42, b"hdr", black_box(&sealed)).expect("valid"))
-    });
-    g.finish();
-}
-
-fn bench_ackranges(c: &mut Criterion) {
-    c.bench_function("ackranges_insert_1k_with_gaps", |b| {
-        b.iter(|| {
-            let mut s = AckRanges::new();
-            for pn in 0..1000u64 {
-                if pn % 11 != 0 {
-                    s.insert(black_box(pn));
-                }
-            }
-            black_box(s.range_count())
-        })
+    s.bench_throughput("aead/open_1200B", 1200, || {
+        key.open(1, 42, b"hdr", black_box(&sealed)).expect("valid")
     });
 }
 
-fn bench_reassembly(c: &mut Criterion) {
-    let mut g = c.benchmark_group("stream_reassembly");
-    g.throughput(Throughput::Bytes(120_000));
-    g.bench_function("reorder_100_segments", |b| {
-        b.iter(|| {
-            let mut s = RecvStream::new(1 << 24);
-            // Deliver even offsets first, then odd (worst-case churn).
-            for i in (0..100).step_by(2) {
-                s.on_data(i * 1200, &[0u8; 1200], false).expect("ok");
+fn bench_ackranges(s: &mut Suite) {
+    s.bench("ackranges_insert_1k_with_gaps", || {
+        let mut set = AckRanges::new();
+        for pn in 0..1000u64 {
+            if pn % 11 != 0 {
+                set.insert(black_box(pn));
             }
-            for i in (1..100).step_by(2) {
-                s.on_data(i * 1200, &[0u8; 1200], false).expect("ok");
-            }
-            black_box(s.read(usize::MAX).len())
-        })
+        }
+        black_box(set.range_count())
     });
-    g.finish();
 }
 
-fn bench_qoe_controller(c: &mut Criterion) {
+fn bench_reassembly(s: &mut Suite) {
+    s.bench_throughput("stream_reassembly/reorder_100_segments", 120_000, || {
+        let mut st = RecvStream::new(1 << 24);
+        // Deliver even offsets first, then odd (worst-case churn).
+        for i in (0..100).step_by(2) {
+            st.on_data(i * 1200, &[0u8; 1200], false).expect("ok");
+        }
+        for i in (1..100).step_by(2) {
+            st.on_data(i * 1200, &[0u8; 1200], false).expect("ok");
+        }
+        black_box(st.read(usize::MAX).len())
+    });
+}
+
+fn bench_qoe_controller(s: &mut Suite) {
     let control = QoeControl::double_threshold_ms(300, 1500);
     let q = QoeSignal { cached_bytes: 250_000, cached_frames: 20, bps: 2_000_000, fps: 30 };
-    c.bench_function("alg1_double_threshold_decision", |b| {
-        b.iter(|| {
-            reinjection_decision(
-                black_box(control),
-                Some(black_box(&q)),
-                Some(Duration::from_millis(120)),
-            )
-        })
+    s.bench("alg1_double_threshold_decision", || {
+        reinjection_decision(
+            black_box(control),
+            Some(black_box(&q)),
+            Some(Duration::from_millis(120)),
+        )
     });
-    c.bench_function("play_time_left", |b| b.iter(|| play_time_left(black_box(&q))));
+    s.bench("play_time_left", || play_time_left(black_box(&q)));
 }
 
-criterion_group!(
-    name = benches;
-    config = Criterion::default().sample_size(20);
-    targets = bench_frame_codec, bench_aead, bench_ackranges, bench_reassembly, bench_qoe_controller
-);
-criterion_main!(benches);
+fn main() {
+    let mut s = Suite::from_args();
+    bench_frame_codec(&mut s);
+    bench_aead(&mut s);
+    bench_ackranges(&mut s);
+    bench_reassembly(&mut s);
+    bench_qoe_controller(&mut s);
+    s.finish();
+}

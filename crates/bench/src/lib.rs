@@ -9,8 +9,5 @@
 /// user counts; defaults to 1 for quick runs).
 pub fn scale_from_args() -> u64 {
     let args: Vec<String> = std::env::args().collect();
-    args.windows(2)
-        .find(|w| w[0] == "--scale")
-        .and_then(|w| w[1].parse().ok())
-        .unwrap_or(1)
+    args.windows(2).find(|w| w[0] == "--scale").and_then(|w| w[1].parse().ok()).unwrap_or(1)
 }

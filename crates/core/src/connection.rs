@@ -182,7 +182,13 @@ impl std::fmt::Debug for MpPath {
 }
 
 impl MpPath {
-    fn new(id: usize, tech: WirelessTech, cc: Box<dyn CongestionController>, dcid: ConnectionId, now: Instant) -> Self {
+    fn new(
+        id: usize,
+        tech: WirelessTech,
+        cc: Box<dyn CongestionController>,
+        dcid: ConnectionId,
+        now: Instant,
+    ) -> Self {
         MpPath {
             id,
             state: PathState::Validating,
@@ -340,12 +346,8 @@ impl MpConnection {
     pub fn new(mut cfg: MpConfig, now: Instant) -> Self {
         cfg.params.enable_multipath = cfg.enable_multipath;
         let is_client = cfg.side == Side::Client;
-        let handshake = Handshake::new(
-            is_client,
-            &cfg.psk,
-            seed_random(cfg.seed, 0x4d50),
-            cfg.params.clone(),
-        );
+        let handshake =
+            Handshake::new(is_client, &cfg.psk, seed_random(cfg.seed, 0x4d50), cfg.params.clone());
         let initial_keys = derive_keys(&cfg.psk, &[0x33; 16], &[0x44; 16]);
         let mut cids = CidManager::new(cfg.seed);
         let local0 = cids.issue_local();
@@ -457,9 +459,7 @@ impl MpConnection {
     /// for the Fig. 6 dynamics probe).
     pub fn reinjection_enabled(&self) -> bool {
         let mdt = max_deliver_time(
-            self.paths
-                .iter()
-                .map(|p| (&p.rtt, p.recovery.has_ack_eliciting_in_flight())),
+            self.paths.iter().map(|p| (&p.rtt, p.recovery.has_ack_eliciting_in_flight())),
         );
         reinjection_decision(self.cfg.qoe_control, self.peer_qoe.as_ref(), mdt)
     }
@@ -688,9 +688,7 @@ impl MpConnection {
                         }
                         self.state = MpState::Established;
                     }
-                    Err(_) => {
-                        self.close(TransportError::TransportParameterError, "hello rejected")
-                    }
+                    Err(_) => self.close(TransportError::TransportParameterError, "hello rejected"),
                 }
             }
             Frame::Ack(ack) => {
@@ -725,11 +723,8 @@ impl MpConnection {
                         return;
                     }
                 }
-                let new_high = self
-                    .streams
-                    .get(stream_id)
-                    .map(|s| s.recv.highest_recv())
-                    .unwrap_or(prev_high);
+                let new_high =
+                    self.streams.get(stream_id).map(|s| s.recv.highest_recv()).unwrap_or(prev_high);
                 if new_high > prev_high {
                     if let Err(e) = self.streams.on_conn_data_received(new_high - prev_high) {
                         self.close(e, "conn flow control");
@@ -936,9 +931,7 @@ impl MpConnection {
             return None;
         }
         // 1. Handshake on the primary path.
-        if !self.handshake_sent
-            && (self.cfg.side == Side::Client || self.handshake.is_complete())
-        {
+        if !self.handshake_sent && (self.cfg.side == Side::Client || self.handshake.is_complete()) {
             self.handshake_sent = true;
             let hello = self.handshake.local_hello().encode();
             let path = self.primary;
@@ -991,7 +984,14 @@ impl MpConnection {
                 self.paths[i].probe_pending = false;
                 return Some((
                     i,
-                    self.build_packet(now, i, false, vec![Frame::Ping], vec![FrameInfo::Ping], true),
+                    self.build_packet(
+                        now,
+                        i,
+                        false,
+                        vec![Frame::Ping],
+                        vec![FrameInfo::Ping],
+                        true,
+                    ),
                 ));
             }
         }
@@ -1085,11 +1085,7 @@ impl MpConnection {
             .paths
             .iter()
             .map(|p| {
-                (
-                    p.id,
-                    p.rtt.smoothed(),
-                    p.usable_for_data() && p.budget() >= MAX_DATAGRAM_SIZE,
-                )
+                (p.id, p.rtt.smoothed(), p.usable_for_data() && p.budget() >= MAX_DATAGRAM_SIZE)
             })
             .collect();
         let path = match self.cfg.scheduler {
@@ -1225,10 +1221,9 @@ impl MpConnection {
                     };
                     // Skip if fully acked at the stream level already.
                     let unacked = stream.send.unacked_in_flight();
-                    let still_needed = unacked
-                        .iter()
-                        .any(|u| u.start < range.end && range.start < u.end)
-                        || (*fin && stream.send.fin_pending());
+                    let still_needed =
+                        unacked.iter().any(|u| u.start < range.end && range.start < u.end)
+                            || (*fin && stream.send.fin_pending());
                     if !still_needed && !range.is_empty() {
                         continue;
                     }
@@ -1267,9 +1262,7 @@ impl MpConnection {
         if cands.is_empty() {
             return false;
         }
-        let stream_prio = |id: u64| {
-            self.streams.get(id).map(|st| st.priority).unwrap_or(u8::MAX)
-        };
+        let stream_prio = |id: u64| self.streams.get(id).map(|st| st.priority).unwrap_or(u8::MAX);
         let best_pending: Option<(u8, u8)> = self
             .streams
             .iter()
@@ -1316,12 +1309,8 @@ impl MpConnection {
                 // same-or-higher priority streams.
                 let stream_prio: std::collections::HashMap<u64, u8> =
                     self.streams.iter().map(|s| (s.id, s.priority)).collect();
-                let highest_pending = self
-                    .streams
-                    .iter()
-                    .filter(|s| s.send.has_pending())
-                    .map(|s| s.priority)
-                    .min();
+                let highest_pending =
+                    self.streams.iter().filter(|s| s.send.has_pending()).map(|s| s.priority).min();
                 cands.retain(|&(id, _, _, _)| match highest_pending {
                     Some(hp) => stream_prio.get(&id).copied().unwrap_or(u8::MAX) <= hp,
                     None => true,
@@ -1341,12 +1330,7 @@ impl MpConnection {
                     .streams
                     .iter()
                     .filter(|s| s.send.has_pending())
-                    .map(|s| {
-                        (
-                            s.priority,
-                            s.send.next_pending_priority().unwrap_or(u8::MAX),
-                        )
-                    })
+                    .map(|s| (s.priority, s.send.next_pending_priority().unwrap_or(u8::MAX)))
                     .min();
                 cands.retain(|&(id, _, _, fprio)| match best_pending {
                     Some((sp, fp)) => {
@@ -1366,7 +1350,8 @@ impl MpConnection {
         // Pack candidates into one datagram.
         let mut frames = Vec::new();
         let mut infos = Vec::new();
-        let mut remaining = (MAX_DATAGRAM_SIZE as usize - 64).min(self.paths[path].budget() as usize);
+        let mut remaining =
+            (MAX_DATAGRAM_SIZE as usize - 64).min(self.paths[path].budget() as usize);
         for (id, range, fin, _) in cands {
             if remaining < 48 {
                 break;
@@ -1378,8 +1363,7 @@ impl MpConnection {
                 let stream = self.streams.get(id).expect("stream exists");
                 stream.send.copy_range(sub)
             };
-            self.ledger
-                .record(ReinjectKey { stream_id: id, start: sub.start, path }, now);
+            self.ledger.record(ReinjectKey { stream_id: id, start: sub.start, path }, now);
             self.stats.reinjected_bytes += sub.len();
             self.stats.reinjections += 1;
             remaining = remaining.saturating_sub(data.len() + 24);
@@ -1401,7 +1385,9 @@ impl MpConnection {
         let candidates: Vec<(usize, Duration, bool)> = self
             .paths
             .iter()
-            .map(|p| (p.id, p.rtt.smoothed(), p.usable_for_data() && p.budget() >= MAX_DATAGRAM_SIZE))
+            .map(|p| {
+                (p.id, p.rtt.smoothed(), p.usable_for_data() && p.budget() >= MAX_DATAGRAM_SIZE)
+            })
             .collect();
         let path = min_rtt_choice(&candidates)?;
         if let Some(tx) = self.try_send_new_data(now, path) {
@@ -1587,11 +1573,7 @@ mod tests {
 
     fn pair() -> (MpConnection, MpConnection, Instant) {
         let now = Instant::ZERO;
-        (
-            MpConnection::new(client_cfg(1), now),
-            MpConnection::new(server_cfg(2), now),
-            now,
-        )
+        (MpConnection::new(client_cfg(1), now), MpConnection::new(server_cfg(2), now), now)
     }
 
     #[test]
@@ -1898,10 +1880,6 @@ mod tests {
         while s.poll_transmit(now).is_some() {}
         let st = s.stats();
         assert!(st.redundancy_ratio() >= 0.0 && st.redundancy_ratio() <= 1.0);
-        assert_eq!(
-            st.reinjections > 0,
-            st.reinjected_bytes > 0,
-            "counters must agree"
-        );
+        assert_eq!(st.reinjections > 0, st.reinjected_bytes > 0, "counters must agree");
     }
 }

@@ -7,8 +7,8 @@
 //! and in the middle band compares it against the worst-case in-flight
 //! delivery time `max_p (RTT_p + δ_p)` (Eq. 1).
 
-pub use xlink_quic::frame::QoeSignal;
 use xlink_clock::Duration;
+pub use xlink_quic::frame::QoeSignal;
 
 /// How the server decides whether to re-inject.
 #[derive(Debug, Clone, Copy, PartialEq)]

@@ -60,10 +60,8 @@ pub fn ecf_choice(candidates: &[(usize, Duration, bool)]) -> Option<usize> {
     if fastest.2 {
         return Some(fastest.0);
     }
-    let best_avail = candidates
-        .iter()
-        .filter(|&&(_, _, c)| c)
-        .min_by_key(|&&(i, rtt, _)| (rtt, i))?;
+    let best_avail =
+        candidates.iter().filter(|&&(_, _, c)| c).min_by_key(|&&(i, rtt, _)| (rtt, i))?;
     // Waiting for the fast path costs ~1 fast RTT before the data can even
     // leave; the slow path is worth it when it completes within that
     // budget (hysteresis 1/4 guards against flapping).
@@ -96,19 +94,12 @@ pub struct RoundRobinState {
 impl RoundRobinState {
     /// Pick the next available path after the previously chosen one.
     pub fn choose(&mut self, candidates: &[(usize, Duration, bool)]) -> Option<usize> {
-        let avail: Vec<usize> = candidates
-            .iter()
-            .filter(|&&(_, _, c)| c)
-            .map(|&(i, _, _)| i)
-            .collect();
+        let avail: Vec<usize> =
+            candidates.iter().filter(|&&(_, _, c)| c).map(|&(i, _, _)| i).collect();
         if avail.is_empty() {
             return None;
         }
-        let pick = avail
-            .iter()
-            .copied()
-            .find(|&i| i >= self.next)
-            .unwrap_or(avail[0]);
+        let pick = avail.iter().copied().find(|&i| i >= self.next).unwrap_or(avail[0]);
         self.next = pick + 1;
         Some(pick)
     }
@@ -119,10 +110,7 @@ impl RoundRobinState {
 pub fn max_deliver_time<'a>(
     paths: impl Iterator<Item = (&'a RttEstimator, bool /*has unacked*/)>,
 ) -> Option<Duration> {
-    paths
-        .filter(|&(_, has_unacked)| has_unacked)
-        .map(|(rtt, _)| rtt.deliver_time())
-        .max()
+    paths.filter(|&(_, has_unacked)| has_unacked).map(|(rtt, _)| rtt.deliver_time()).max()
 }
 
 /// Bookkeeping for one re-injected range so the same bytes are not

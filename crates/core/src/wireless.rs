@@ -109,13 +109,9 @@ mod tests {
 
     #[test]
     fn default_ranking_follows_paper() {
-        let ranks = [
-            WirelessTech::FiveGSa,
-            WirelessTech::FiveGNsa,
-            WirelessTech::Wifi,
-            WirelessTech::Lte,
-        ]
-        .map(|t| t.default_rank());
+        let ranks =
+            [WirelessTech::FiveGSa, WirelessTech::FiveGNsa, WirelessTech::Wifi, WirelessTech::Lte]
+                .map(|t| t.default_rank());
         assert!(ranks.windows(2).all(|w| w[0] < w[1]));
     }
 

@@ -37,25 +37,16 @@ pub mod profiles {
     use xlink_clock::Duration;
 
     /// Wi-Fi (802.11ac-class): low base, cheap per bit, short tail.
-    pub const WIFI: RadioProfile = RadioProfile {
-        base_mw: 280.0,
-        per_mbps_mw: 9.0,
-        tail: Duration::from_millis(200),
-    };
+    pub const WIFI: RadioProfile =
+        RadioProfile { base_mw: 280.0, per_mbps_mw: 9.0, tail: Duration::from_millis(200) };
 
     /// LTE: higher base, expensive per bit, long tail.
-    pub const LTE: RadioProfile = RadioProfile {
-        base_mw: 1100.0,
-        per_mbps_mw: 25.0,
-        tail: Duration::from_millis(1500),
-    };
+    pub const LTE: RadioProfile =
+        RadioProfile { base_mw: 1100.0, per_mbps_mw: 25.0, tail: Duration::from_millis(1500) };
 
     /// 5G NR (NSA): highest base, mid per-bit cost, long tail.
-    pub const NR: RadioProfile = RadioProfile {
-        base_mw: 1700.0,
-        per_mbps_mw: 16.0,
-        tail: Duration::from_millis(1200),
-    };
+    pub const NR: RadioProfile =
+        RadioProfile { base_mw: 1700.0, per_mbps_mw: 16.0, tail: Duration::from_millis(1200) };
 }
 
 /// Result of one transfer's energy accounting.
@@ -89,18 +80,11 @@ pub fn transfer_energy(
     total_bytes: u64,
     duration: Duration,
 ) -> EnergyReport {
-    let energy_mj: f64 = radios
-        .iter()
-        .map(|(p, b)| radio_energy_mj(p, *b, duration))
-        .sum();
+    let energy_mj: f64 = radios.iter().map(|(p, b)| radio_energy_mj(p, *b, duration)).sum();
     let secs = duration.as_secs_f64().max(1e-9);
     let throughput_mbps = total_bytes as f64 * 8.0 / 1e6 / secs;
     let bits = (total_bytes as f64 * 8.0).max(1.0);
-    EnergyReport {
-        energy_mj,
-        throughput_mbps,
-        nj_per_bit: energy_mj * 1e6 / bits,
-    }
+    EnergyReport { energy_mj, throughput_mbps, nj_per_bit: energy_mj * 1e6 / bits }
 }
 
 #[cfg(test)]

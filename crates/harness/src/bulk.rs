@@ -110,10 +110,7 @@ impl Endpoint for BulkServer {
             buf.extend_from_slice(&data);
             let Some(req) = Request::decode(buf) else { continue };
             self.answered.push(id);
-            let body = self
-                .store
-                .body_range(&req.object, req.start, req.end)
-                .unwrap_or_default();
+            let body = self.store.body_range(&req.object, req.start, req.end).unwrap_or_default();
             let ff = self.store.first_frame_end(&req.object);
             let resp = Response { status: 200, body_len: body.len() as u64, first_frame_end: ff };
             self.conn.stream_send(id, &resp.encode(), false);
@@ -186,7 +183,8 @@ pub fn run_bulk_quic_with_qoe(
     // first ~64 KB (a realistic first-frame size) so frame-priority paths
     // are exercised even for bulk fetches.
     let ff = size.min(64 * 1024).max(1);
-    store.insert("blob", Video::from_frames(25, 8 * size, vec![ff, size.saturating_sub(ff).max(1)]));
+    store
+        .insert("blob", Video::from_frames(25, 8 * size, vec![ff, size.saturating_sub(ff).max(1)]));
     let server = BulkServer {
         conn: Conn::server(scheme, tuning, seed ^ 0xbeef, now),
         store,
@@ -202,8 +200,8 @@ pub fn run_bulk_quic_with_qoe(
         client_transport: Some(world.client.conn.stats()),
         server_transport: Some(world.server.conn.stats()),
         server_bytes_per_path: world.server.conn.bytes_per_path(),
-        }
-        .tap_end(end)
+    }
+    .tap_end(end)
 }
 
 impl BulkResult {
@@ -319,10 +317,7 @@ pub fn run_bulk_mptcp(
     let mut world = World::new(client, server, paths).with_path_events(events);
     world.run_until(Instant::ZERO + deadline);
     BulkResult {
-        download_time: world
-            .client
-            .done_at
-            .map(|t| t.saturating_duration_since(Instant::ZERO)),
+        download_time: world.client.done_at.map(|t| t.saturating_duration_since(Instant::ZERO)),
         bytes_received: world.client.conn.stats().bytes_sent, // unused for client
         client_transport: None,
         server_transport: None,
@@ -402,7 +397,10 @@ mod tests {
         })];
         let r = run_bulk_quic(
             Scheme::Sp { path: 0 },
-            &TransportTuning { path_techs: vec![xlink_core::WirelessTech::Wifi], ..Default::default() },
+            &TransportTuning {
+                path_techs: vec![xlink_core::WirelessTech::Wifi],
+                ..Default::default()
+            },
             100_000,
             3,
             dead,

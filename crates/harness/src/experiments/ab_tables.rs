@@ -77,11 +77,7 @@ pub fn print(r: &AbReport) {
         &["Day", "Improv (%)"],
         &rows,
     );
-    let redundancy: f64 = r
-        .days
-        .iter()
-        .flat_map(|d| d.b.redundancy.iter())
-        .sum::<f64>()
+    let redundancy: f64 = r.days.iter().flat_map(|d| d.b.redundancy.iter()).sum::<f64>()
         / r.days.iter().map(|d| d.b.redundancy.len()).sum::<usize>().max(1) as f64;
     println!("\nMean {} redundancy (cost): {:.2}%", r.label_b, redundancy * 100.0);
 }
@@ -103,14 +99,8 @@ mod tests {
             xl_rebuf.push(d.rebuffer_improvement());
         }
         let mean_p99 = xl_p99.iter().sum::<f64>() / xl_p99.len() as f64;
-        assert!(
-            mean_p99 > 0.0,
-            "XLINK should improve p99 RCT, got {mean_p99:.1}% ({xl_p99:?})"
-        );
+        assert!(mean_p99 > 0.0, "XLINK should improve p99 RCT, got {mean_p99:.1}% ({xl_p99:?})");
         let mean_rebuf = xl_rebuf.iter().sum::<f64>() / xl_rebuf.len() as f64;
-        assert!(
-            mean_rebuf > -5.0,
-            "XLINK rebuffer should not regress, got {mean_rebuf:.1}%"
-        );
+        assert!(mean_rebuf > -5.0, "XLINK rebuffer should not regress, got {mean_rebuf:.1}%");
     }
 }

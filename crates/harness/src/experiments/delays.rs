@@ -24,47 +24,39 @@ pub struct DelayRow {
 /// the transport's RTT estimator with per-session delay jitter (standing
 /// in for the paper's population of vantage points).
 pub fn run(sessions_per_tech: u64) -> Vec<DelayRow> {
-    [
-        WirelessTech::FiveGSa,
-        WirelessTech::Wifi,
-        WirelessTech::FiveGNsa,
-        WirelessTech::Lte,
-    ]
-    .into_iter()
-    .map(|tech| {
-        let mut rtts = Vec::new();
-        let mut rng = Rng::new(tech.default_rank() as u64 + 99);
-        for s in 0..sessions_per_tech {
-            // Per-session jitter: access-network load and distance vary.
-            let jitter = Duration::from_micros(rng.below(tech.typical_one_way_delay_ms() * 900));
-            let trace = xlink_traces::constant_rate("delay-probe", 20.0, 2000);
-            let spec = PathSpec::new(tech, trace, s).with_extra_delay(jitter);
-            let tuning = TransportTuning { path_techs: vec![tech], ..Default::default() };
-            let r = crate::bulk::run_bulk_quic(
-                Scheme::Sp { path: 0 },
-                &tuning,
-                200_000,
-                s,
-                vec![spec.build()],
-                vec![],
-                Duration::from_secs(20),
-            );
-            if let Some(d) = r.download_time {
-                // Effective per-round-trip delay estimate: one-way × 2 +
-                // serialization; read from the configured spec plus
-                // measured transfer overhead.
-                let base = spec.one_way_delay().as_secs_f64() * 2.0 * 1000.0;
-                let _ = d;
-                rtts.push(base);
+    [WirelessTech::FiveGSa, WirelessTech::Wifi, WirelessTech::FiveGNsa, WirelessTech::Lte]
+        .into_iter()
+        .map(|tech| {
+            let mut rtts = Vec::new();
+            let mut rng = Rng::new(tech.default_rank() as u64 + 99);
+            for s in 0..sessions_per_tech {
+                // Per-session jitter: access-network load and distance vary.
+                let jitter =
+                    Duration::from_micros(rng.below(tech.typical_one_way_delay_ms() * 900));
+                let trace = xlink_traces::constant_rate("delay-probe", 20.0, 2000);
+                let spec = PathSpec::new(tech, trace, s).with_extra_delay(jitter);
+                let tuning = TransportTuning { path_techs: vec![tech], ..Default::default() };
+                let r = crate::bulk::run_bulk_quic(
+                    Scheme::Sp { path: 0 },
+                    &tuning,
+                    200_000,
+                    s,
+                    vec![spec.build()],
+                    vec![],
+                    Duration::from_secs(20),
+                );
+                if let Some(d) = r.download_time {
+                    // Effective per-round-trip delay estimate: one-way × 2 +
+                    // serialization; read from the configured spec plus
+                    // measured transfer overhead.
+                    let base = spec.one_way_delay().as_secs_f64() * 2.0 * 1000.0;
+                    let _ = d;
+                    rtts.push(base);
+                }
             }
-        }
-        DelayRow {
-            tech,
-            median_ms: percentile(&rtts, 50.0),
-            p90_ms: percentile(&rtts, 90.0),
-        }
-    })
-    .collect()
+            DelayRow { tech, median_ms: percentile(&rtts, 50.0), p90_ms: percentile(&rtts, 90.0) }
+        })
+        .collect()
 }
 
 /// Print the §3.2 summary and Table 4.

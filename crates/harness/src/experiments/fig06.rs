@@ -119,10 +119,7 @@ mod tests {
         let r_no = no_qoe.samples.last().unwrap().reinject_bytes;
         let r_with = with_qoe.samples.last().unwrap().reinject_bytes;
         assert!(r_no > 0, "always-on must re-inject");
-        assert!(
-            r_with < r_no,
-            "QoE control should reduce re-injection: {r_with} vs {r_no}"
-        );
+        assert!(r_with < r_no, "QoE control should reduce re-injection: {r_with} vs {r_no}");
         // Re-injection (either form) should not rebuffer more than vanilla
         // on this deteriorating-path trace.
         assert!(with_qoe.rebuffer <= vanilla.rebuffer + Duration::from_millis(250));

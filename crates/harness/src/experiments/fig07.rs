@@ -33,11 +33,7 @@ pub fn run(seed: u64) -> Vec<Fig07Row> {
         .map(|&size| {
             let wifi = measure(seed, size, 0);
             let fiveg = measure(seed, size, 1);
-            Fig07Row {
-                frame_bytes: size,
-                wifi_primary_ms: wifi,
-                fiveg_primary_ms: fiveg,
-            }
+            Fig07Row { frame_bytes: size, wifi_primary_ms: wifi, fiveg_primary_ms: fiveg }
         })
         .collect()
 }
@@ -45,16 +41,9 @@ pub fn run(seed: u64) -> Vec<Fig07Row> {
 /// Measure first-frame delivery with the primary forced to `primary`
 /// (0 = Wi-Fi, 1 = 5G SA).
 fn measure(seed: u64, size: u64, primary: usize) -> f64 {
-    let wifi = PathSpec::new(
-        WirelessTech::Wifi,
-        xlink_traces::enterprise_wifi(seed, 10_000),
-        seed,
-    );
-    let fiveg = PathSpec::new(
-        WirelessTech::FiveGSa,
-        xlink_traces::fiveg_sa(seed, 10_000),
-        seed + 1,
-    );
+    let wifi = PathSpec::new(WirelessTech::Wifi, xlink_traces::enterprise_wifi(seed, 10_000), seed);
+    let fiveg =
+        PathSpec::new(WirelessTech::FiveGSa, xlink_traces::fiveg_sa(seed, 10_000), seed + 1);
     let mut tuning = TransportTuning {
         path_techs: vec![WirelessTech::Wifi, WirelessTech::FiveGSa],
         ..Default::default()
@@ -66,9 +55,23 @@ fn measure(seed: u64, size: u64, primary: usize) -> f64 {
         // Rank Wi-Fi best to force a Wi-Fi start.
         let mut t2 = tuning.clone();
         t2.path_techs = vec![WirelessTech::Wifi, WirelessTech::FiveGSa];
-        run_bulk_with_policy(t2, PrimaryPathPolicy::default().with_rank(WirelessTech::Wifi, 0).with_rank(WirelessTech::FiveGSa, 9), size, seed, vec![wifi.build(), fiveg.build()])
+        run_bulk_with_policy(
+            t2,
+            PrimaryPathPolicy::default()
+                .with_rank(WirelessTech::Wifi, 0)
+                .with_rank(WirelessTech::FiveGSa, 9),
+            size,
+            seed,
+            vec![wifi.build(), fiveg.build()],
+        )
     } else {
-        run_bulk_with_policy(tuning, PrimaryPathPolicy::default(), size, seed, vec![wifi.build(), fiveg.build()])
+        run_bulk_with_policy(
+            tuning,
+            PrimaryPathPolicy::default(),
+            size,
+            seed,
+            vec![wifi.build(), fiveg.build()],
+        )
     };
     r
 }
@@ -84,18 +87,8 @@ fn run_bulk_with_policy(
     // override by building a custom tuning wrapper.
     let mut t = tuning;
     t.primary_override = Some(policy);
-    let r = run_bulk_quic(
-        Scheme::Xlink,
-        &t,
-        size,
-        seed,
-        paths,
-        vec![],
-        Duration::from_secs(30),
-    );
-    r.download_time
-        .map(|d| d.as_secs_f64() * 1e3)
-        .unwrap_or(f64::INFINITY)
+    let r = run_bulk_quic(Scheme::Xlink, &t, size, seed, paths, vec![], Duration::from_secs(30));
+    r.download_time.map(|d| d.as_secs_f64() * 1e3).unwrap_or(f64::INFINITY)
 }
 
 /// Print the figure's rows.

@@ -105,7 +105,9 @@ fn run_session_probed(
     let player = world.client.finish(end);
     crate::video_session::SessionResult {
         chunk_rct: Vec::new(),
-        first_frame_latency: player.first_frame_at.map(|x| x.saturating_duration_since(Instant::ZERO)),
+        first_frame_latency: player
+            .first_frame_at
+            .map(|x| x.saturating_duration_since(Instant::ZERO)),
         player,
         client_transport: world.client.transport_stats(),
         server_transport: world.server.transport_stats(),
@@ -132,11 +134,8 @@ pub fn run(users: u64) -> Vec<Fig10Row> {
     let (baseline_dist, _) = buffer_samples(Scheme::VanillaMp, None, users, &video);
     // SP reference for the improvement metric.
     let (sp_dist, _) = buffer_samples(Scheme::Sp { path: 0 }, None, users, &video);
-    let sp_tail = [
-        percentile(&sp_dist, 10.0),
-        percentile(&sp_dist, 5.0),
-        percentile(&sp_dist, 1.0),
-    ];
+    let sp_tail =
+        [percentile(&sp_dist, 10.0), percentile(&sp_dist, 5.0), percentile(&sp_dist, 1.0)];
     let sp_danger = danger_fraction(&sp_dist);
     SETTINGS
         .iter()
@@ -159,11 +158,7 @@ pub fn run(users: u64) -> Vec<Fig10Row> {
                 }
             };
             // Buffer improvement at the low tail: larger buffer = better.
-            let tail = [
-                percentile(&dist, 10.0),
-                percentile(&dist, 5.0),
-                percentile(&dist, 1.0),
-            ];
+            let tail = [percentile(&dist, 10.0), percentile(&dist, 5.0), percentile(&dist, 1.0)];
             let buf_improv = [
                 -improvement_pct(sp_tail[0].max(1e-3), tail[0]),
                 -improvement_pct(sp_tail[1].max(1e-3), tail[1]),

@@ -67,9 +67,7 @@ pub fn print(r: &Fig12Result) {
         &["Percentile", "w/ first-frame accel", "w/o first-frame accel"],
         &r.rows
             .iter()
-            .map(|&(p, a, b)| {
-                vec![format!("p{p:.0}"), format!("{a:+.1}%"), format!("{b:+.1}%")]
-            })
+            .map(|&(p, a, b)| vec![format!("p{p:.0}"), format!("{a:+.1}%"), format!("{b:+.1}%")])
             .collect::<Vec<_>>(),
     );
 }

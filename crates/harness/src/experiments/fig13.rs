@@ -45,30 +45,32 @@ fn build_paths(pair: &(xlink_traces::Trace, xlink_traces::Trace), seed: u64) -> 
     vec![wifi.build(), cellular.build()]
 }
 
-fn download_times(scheme: Option<Scheme>, pair: &(xlink_traces::Trace, xlink_traces::Trace), seed: u64) -> Vec<f64> {
+fn download_times(
+    scheme: Option<Scheme>,
+    pair: &(xlink_traces::Trace, xlink_traces::Trace),
+    seed: u64,
+) -> Vec<f64> {
     let tuning = TransportTuning::default();
     (0..CHUNKS_PER_TRACE)
         .map(|chunk| {
             let paths = build_paths(pair, seed + chunk * 31);
             let t = match scheme {
-                Some(s) => run_bulk_quic(
-                    s,
-                    &tuning,
-                    CHUNK_BYTES,
-                    seed + chunk,
-                    paths,
-                    vec![],
-                    Duration::from_secs(60),
-                )
-                .download_time,
-                None => run_bulk_mptcp(
-                    CHUNK_BYTES,
-                    2,
-                    paths,
-                    vec![],
-                    Duration::from_secs(60),
-                )
-                .download_time,
+                Some(s) => {
+                    run_bulk_quic(
+                        s,
+                        &tuning,
+                        CHUNK_BYTES,
+                        seed + chunk,
+                        paths,
+                        vec![],
+                        Duration::from_secs(60),
+                    )
+                    .download_time
+                }
+                None => {
+                    run_bulk_mptcp(CHUNK_BYTES, 2, paths, vec![], Duration::from_secs(60))
+                        .download_time
+                }
             };
             t.map(|d| d.as_secs_f64()).unwrap_or(60.0)
         })
@@ -114,11 +116,8 @@ pub fn print(rows: &[Fig13Row]) {
     println!("| Trace | SP | Vanilla-MP | MPTCP | CM | XLINK |");
     println!("|---|---|---|---|---|---|");
     for r in rows {
-        let cells: Vec<String> = r
-            .outcomes
-            .iter()
-            .map(|o| format!("{:.1}/{:.1}", o.median_s, o.max_s))
-            .collect();
+        let cells: Vec<String> =
+            r.outcomes.iter().map(|o| format!("{:.1}/{:.1}", o.median_s, o.max_s)).collect();
         println!("| {} | {} |", r.trace_id, cells.join(" | "));
     }
 }

@@ -41,11 +41,8 @@ fn radio(tech: WirelessTech) -> RadioProfile {
 
 /// Measure one configuration downloading `bytes`.
 fn measure(label: &'static str, techs: &[WirelessTech], bytes: u64, seed: u64) -> (f64, f64) {
-    let paths: Vec<Path> = techs
-        .iter()
-        .enumerate()
-        .map(|(i, &t)| capped_path(t, seed + i as u64))
-        .collect();
+    let paths: Vec<Path> =
+        techs.iter().enumerate().map(|(i, &t)| capped_path(t, seed + i as u64)).collect();
     let tuning = TransportTuning { path_techs: techs.to_vec(), ..Default::default() };
     let scheme = if techs.len() == 1 { Scheme::Sp { path: 0 } } else { Scheme::Xlink };
     let r = run_bulk_quic(scheme, &tuning, bytes, seed, paths, vec![], Duration::from_secs(120));
@@ -136,12 +133,8 @@ mod tests {
         // One small-size probe per config to keep the test quick.
         let (wifi_tp, wifi_eb) = measure("WiFi", &[WirelessTech::Wifi], 4_000_000, 3);
         let (lte_tp, lte_eb) = measure("LTE", &[WirelessTech::Lte], 4_000_000, 3);
-        let (dual_tp, dual_eb) = measure(
-            "WiFi-LTE",
-            &[WirelessTech::Wifi, WirelessTech::Lte],
-            4_000_000,
-            3,
-        );
+        let (dual_tp, dual_eb) =
+            measure("WiFi-LTE", &[WirelessTech::Wifi, WirelessTech::Lte], 4_000_000, 3);
         assert!(
             dual_tp > wifi_tp.max(lte_tp) * 1.05,
             "dual {dual_tp} vs wifi {wifi_tp} / lte {lte_tp}"

@@ -9,11 +9,8 @@ use xlink_traces::Trace;
 
 /// The measured relative increase of cross-ISP LTE delay (Table 4), in
 /// percent: `CROSS_ISP_DELAY_PCT[client_isp][server_isp]`.
-pub const CROSS_ISP_DELAY_PCT: [[f64; 3]; 3] = [
-    [0.0, 21.0, 17.0],
-    [42.0, 0.0, 54.0],
-    [39.0, 34.0, 0.0],
-];
+pub const CROSS_ISP_DELAY_PCT: [[f64; 3]; 3] =
+    [[0.0, 21.0, 17.0], [42.0, 0.0, 54.0], [39.0, 34.0, 0.0]];
 
 /// Description of one access path.
 #[derive(Debug, Clone)]
@@ -99,7 +96,8 @@ pub fn draw_user_paths(day: u64, user: u64) -> (PathSpec, PathSpec) {
         let len = 2_000 + rng.below(6_000);
         xlink_traces::walking_wifi_with_outage(wifi_seed, dur, start, start + len)
     } else {
-        xlink_traces::walking_wifi_with_outage(wifi_seed, dur, dur + 1, dur + 2) // no outage
+        xlink_traces::walking_wifi_with_outage(wifi_seed, dur, dur + 1, dur + 2)
+        // no outage
     };
     // Most users have stable LTE; a minority ride degraded cellular
     // (congested cell / fringe coverage), so some sessions are bad on

@@ -150,7 +150,13 @@ impl Conn {
         Self::build(scheme, tuning, seed, now, Side::Server)
     }
 
-    fn build(scheme: Scheme, tuning: &TransportTuning, seed: u64, now: Instant, side: Side) -> Conn {
+    fn build(
+        scheme: Scheme,
+        tuning: &TransportTuning,
+        seed: u64,
+        now: Instant,
+        side: Side,
+    ) -> Conn {
         let num_paths = tuning.path_techs.len();
         match scheme {
             Scheme::Sp { path } => {
@@ -363,9 +369,7 @@ impl Conn {
     /// True once a stream's receive side is complete.
     pub fn stream_complete(&self, id: u64) -> bool {
         match self {
-            Conn::Sp { conn, .. } => {
-                conn.streams().get(id).is_some_and(|s| s.recv.is_complete())
-            }
+            Conn::Sp { conn, .. } => conn.streams().get(id).is_some_and(|s| s.recv.is_complete()),
             Conn::Mp(mp) => mp.streams().get(id).is_some_and(|s| s.recv.is_complete()),
         }
     }

@@ -132,11 +132,7 @@ impl VideoClientEndpoint {
             // urgent (the paper's stream-priority ordering).
             let prio = (chunk.index.min(250)) as u8;
             let id = self.conn.open_stream(prio);
-            let req = Request {
-                object: self.object.clone(),
-                start: chunk.start,
-                end: chunk.end,
-            };
+            let req = Request { object: self.object.clone(), start: chunk.start, end: chunk.end };
             self.conn.stream_send(id, &req.encode(), true);
             self.inflight.insert(
                 id,
@@ -234,9 +230,7 @@ impl Endpoint for VideoClientEndpoint {
 
     fn poll_transmit(&mut self, now: Instant) -> Option<Transmit> {
         self.maybe_issue_requests(now);
-        self.conn
-            .poll_transmit(now)
-            .map(|(path, payload)| Transmit { path, payload })
+        self.conn.poll_transmit(now).map(|(path, payload)| Transmit { path, payload })
     }
 
     fn poll_timeout(&self) -> Option<Instant> {
@@ -310,19 +304,15 @@ impl VideoServerEndpoint {
                 continue;
             };
             let ff_end = self.store.first_frame_end(&req.object);
-            let resp = Response {
-                status: 200,
-                body_len: body.len() as u64,
-                first_frame_end: ff_end,
-            };
+            let resp =
+                Response { status: 200, body_len: body.len() as u64, first_frame_end: ff_end };
             self.conn.stream_send(id, &resp.encode(), false);
             // First-video-frame acceleration: the byte span of the first
             // frame inside this response is written at the highest frame
             // priority (paper §5.1 stream_send with position+size).
             if self.first_frame_accel && req.start < ff_end {
                 let split = (ff_end - req.start).min(body.len() as u64) as usize;
-                self.conn
-                    .stream_send_with_frame_priority(id, &body[..split], 0, false);
+                self.conn.stream_send_with_frame_priority(id, &body[..split], 0, false);
                 self.conn.stream_send(id, &body[split..], true);
             } else {
                 self.conn.stream_send(id, &body, true);
@@ -371,9 +361,7 @@ impl Endpoint for VideoServerEndpoint {
     }
 
     fn poll_transmit(&mut self, now: Instant) -> Option<Transmit> {
-        self.conn
-            .poll_transmit(now)
-            .map(|(path, payload)| Transmit { path, payload })
+        self.conn.poll_transmit(now).map(|(path, payload)| Transmit { path, payload })
     }
 
     fn poll_timeout(&self) -> Option<Instant> {
@@ -444,7 +432,9 @@ pub fn run_session_with_events(
     rct.sort_by_key(|&(i, _)| i);
     SessionResult {
         chunk_rct: rct.into_iter().map(|(_, d)| d).collect(),
-        first_frame_latency: player.first_frame_at.map(|t| t.saturating_duration_since(Instant::ZERO)),
+        first_frame_latency: player
+            .first_frame_at
+            .map(|t| t.saturating_duration_since(Instant::ZERO)),
         player,
         client_transport: world.client.transport_stats(),
         server_transport: world.server.transport_stats(),
@@ -522,10 +512,7 @@ mod tests {
         assert!(xl.completed);
         let sp_rebuffer = sp.player.rebuffer_time;
         let xl_rebuffer = xl.player.rebuffer_time;
-        assert!(
-            xl_rebuffer <= sp_rebuffer,
-            "XLINK rebuffer {xl_rebuffer} vs SP {sp_rebuffer}"
-        );
+        assert!(xl_rebuffer <= sp_rebuffer, "XLINK rebuffer {xl_rebuffer} vs SP {sp_rebuffer}");
     }
 
     #[test]

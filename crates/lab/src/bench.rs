@@ -1,0 +1,296 @@
+//! Micro-bench harness (in-tree `criterion` replacement).
+//!
+//! Benches are plain `fn main()` binaries (`harness = false`): build a
+//! [`Suite`] from argv, register closures, and each bench prints one
+//! machine-readable JSON line (schema `xlink-bench-v1`) suitable for
+//! `BENCH_*.json` trajectory tracking, plus a human-readable summary
+//! on stderr.
+//!
+//! The harness is virtual-clock friendly: it measures wall time around
+//! the closure and makes no assumptions about what the closure does
+//! internally, so whole simulated sessions (which advance
+//! `xlink-clock` virtual time arbitrarily fast) bench exactly like
+//! tight codec loops.
+//!
+//! Smoke mode (`--smoke` argv flag or `XLINK_BENCH_SMOKE=1`) runs one
+//! warmup-free iteration per bench — CI uses it to prove every bench
+//! body still executes without paying measurement time.
+
+use crate::stats::Summary;
+pub use std::hint::black_box;
+use std::time::Instant;
+
+/// Measurement parameters.
+#[derive(Debug, Clone)]
+pub struct BenchConfig {
+    /// Wall-time samples collected per bench.
+    pub samples: usize,
+    /// Target wall time per sample; iterations-per-sample is calibrated
+    /// so one sample takes roughly this long.
+    pub target_sample_ns: u64,
+    /// Hard cap on calibrated iterations per sample.
+    pub max_iters_per_sample: u64,
+    /// One iteration, one sample, no warmup.
+    pub smoke: bool,
+}
+
+impl Default for BenchConfig {
+    fn default() -> Self {
+        BenchConfig {
+            samples: 15,
+            target_sample_ns: 5_000_000, // 5 ms
+            max_iters_per_sample: 1_000_000,
+            smoke: false,
+        }
+    }
+}
+
+impl BenchConfig {
+    pub fn smoke() -> Self {
+        BenchConfig { samples: 1, smoke: true, ..BenchConfig::default() }
+    }
+
+    /// Parse argv (`--smoke`, cargo's `--bench` flag is ignored) and
+    /// the `XLINK_BENCH_SMOKE` environment variable.
+    pub fn from_args() -> Self {
+        let smoke = std::env::args().any(|a| a == "--smoke")
+            || std::env::var("XLINK_BENCH_SMOKE").map_or(false, |v| v == "1");
+        if smoke {
+            BenchConfig::smoke()
+        } else {
+            BenchConfig::default()
+        }
+    }
+}
+
+/// One bench's measurements: per-iteration nanoseconds for each sample.
+#[derive(Debug, Clone)]
+pub struct BenchResult {
+    pub name: String,
+    pub iters_per_sample: u64,
+    pub sample_ns: Vec<f64>,
+    pub summary: Summary,
+    pub bytes_per_iter: Option<u64>,
+}
+
+impl BenchResult {
+    /// One-line JSON, schema `xlink-bench-v1`. Field set and order are
+    /// stable (asserted by tests); timings vary by machine.
+    pub fn json_line(&self) -> String {
+        let s = &self.summary;
+        let mut line = format!(
+            "{{\"schema\":\"xlink-bench-v1\",\"name\":\"{}\",\"samples\":{},\
+             \"iters_per_sample\":{},\"mean_ns\":{:.3},\"median_ns\":{:.3},\
+             \"p95_ns\":{:.3},\"stddev_ns\":{:.3},\"min_ns\":{:.3},\"max_ns\":{:.3}",
+            json_escape(&self.name),
+            s.n,
+            self.iters_per_sample,
+            s.mean,
+            s.median,
+            s.p95,
+            s.stddev,
+            s.min,
+            s.max,
+        );
+        if let Some(bytes) = self.bytes_per_iter {
+            let mbps = if s.median > 0.0 { bytes as f64 * 8000.0 / s.median } else { 0.0 };
+            line.push_str(&format!(",\"bytes_per_iter\":{bytes},\"throughput_mbps\":{mbps:.3}"));
+        }
+        line.push('}');
+        line
+    }
+
+    fn human_line(&self) -> String {
+        let s = &self.summary;
+        format!(
+            "{:<44} median {:>12.1} ns/iter  p95 {:>12.1}  ±{:>10.1}  ({} samples × {} iters)",
+            self.name, s.median, s.p95, s.stddev, s.n, self.iters_per_sample
+        )
+    }
+}
+
+fn json_escape(s: &str) -> String {
+    s.chars()
+        .flat_map(|c| match c {
+            '"' => "\\\"".chars().collect::<Vec<_>>(),
+            '\\' => "\\\\".chars().collect(),
+            c if (c as u32) < 0x20 => format!("\\u{:04x}", c as u32).chars().collect(),
+            c => vec![c],
+        })
+        .collect()
+}
+
+/// A named collection of benches sharing one [`BenchConfig`].
+pub struct Suite {
+    cfg: BenchConfig,
+    results: Vec<BenchResult>,
+}
+
+impl Suite {
+    pub fn new(cfg: BenchConfig) -> Suite {
+        Suite { cfg, results: Vec::new() }
+    }
+
+    /// Suite configured from argv/environment (the normal `main()` path).
+    pub fn from_args() -> Suite {
+        Suite::new(BenchConfig::from_args())
+    }
+
+    pub fn is_smoke(&self) -> bool {
+        self.cfg.smoke
+    }
+
+    /// Measure `f`, print its JSON line, and record the result.
+    pub fn bench<T>(&mut self, name: &str, f: impl FnMut() -> T) -> &BenchResult {
+        self.bench_inner(name, None, f)
+    }
+
+    /// As [`Suite::bench`], tagging each iteration as processing
+    /// `bytes` bytes so the JSON line carries a throughput figure.
+    pub fn bench_throughput<T>(
+        &mut self,
+        name: &str,
+        bytes: u64,
+        f: impl FnMut() -> T,
+    ) -> &BenchResult {
+        self.bench_inner(name, Some(bytes), f)
+    }
+
+    fn bench_inner<T>(
+        &mut self,
+        name: &str,
+        bytes_per_iter: Option<u64>,
+        mut f: impl FnMut() -> T,
+    ) -> &BenchResult {
+        let result = run_bench(&self.cfg, name, bytes_per_iter, &mut f);
+        println!("{}", result.json_line());
+        eprintln!("{}", result.human_line());
+        self.results.push(result);
+        self.results.last().expect("just pushed")
+    }
+
+    pub fn results(&self) -> &[BenchResult] {
+        &self.results
+    }
+
+    /// Print a closing human-readable count; returns the results.
+    pub fn finish(self) -> Vec<BenchResult> {
+        eprintln!(
+            "xlink-lab bench: {} bench(es) done{}",
+            self.results.len(),
+            if self.cfg.smoke { " (smoke mode)" } else { "" }
+        );
+        self.results
+    }
+}
+
+fn run_bench<T>(
+    cfg: &BenchConfig,
+    name: &str,
+    bytes_per_iter: Option<u64>,
+    f: &mut impl FnMut() -> T,
+) -> BenchResult {
+    let iters = if cfg.smoke {
+        1
+    } else {
+        // Calibration doubles as warmup: time a single call, then size
+        // the per-sample loop to hit the target sample time.
+        let t0 = Instant::now();
+        black_box(f());
+        let one = t0.elapsed().as_nanos().max(1) as u64;
+        (cfg.target_sample_ns / one).clamp(1, cfg.max_iters_per_sample)
+    };
+    let mut sample_ns = Vec::with_capacity(cfg.samples);
+    for _ in 0..cfg.samples.max(1) {
+        let t = Instant::now();
+        for _ in 0..iters {
+            black_box(f());
+        }
+        sample_ns.push(t.elapsed().as_nanos() as f64 / iters as f64);
+    }
+    BenchResult {
+        name: name.to_string(),
+        iters_per_sample: iters,
+        summary: Summary::of(&sample_ns),
+        sample_ns,
+        bytes_per_iter,
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn smoke_result(name: &str, bytes: Option<u64>) -> BenchResult {
+        let cfg = BenchConfig::smoke();
+        let mut n = 0u64;
+        run_bench(&cfg, name, bytes, &mut || {
+            n = n.wrapping_add(1);
+            n
+        })
+    }
+
+    #[test]
+    fn smoke_runs_exactly_one_iteration_per_sample() {
+        let cfg = BenchConfig::smoke();
+        let mut calls = 0u64;
+        let r = run_bench(&cfg, "count", None, &mut || calls += 1);
+        assert_eq!(r.iters_per_sample, 1);
+        assert_eq!(r.sample_ns.len(), 1);
+        assert_eq!(calls, 1);
+    }
+
+    #[test]
+    fn json_schema_fields_are_stable() {
+        let r = smoke_result("group/case", Some(1200));
+        let line = r.json_line();
+        // One line, no embedded newline, brace-delimited.
+        assert!(!line.contains('\n'));
+        assert!(line.starts_with('{') && line.ends_with('}'));
+        for key in [
+            "\"schema\":\"xlink-bench-v1\"",
+            "\"name\":\"group/case\"",
+            "\"samples\":1",
+            "\"iters_per_sample\":1",
+            "\"mean_ns\":",
+            "\"median_ns\":",
+            "\"p95_ns\":",
+            "\"stddev_ns\":",
+            "\"min_ns\":",
+            "\"max_ns\":",
+            "\"bytes_per_iter\":1200",
+            "\"throughput_mbps\":",
+        ] {
+            assert!(line.contains(key), "missing {key} in {line}");
+        }
+    }
+
+    #[test]
+    fn throughput_omitted_without_bytes() {
+        let line = smoke_result("plain", None).json_line();
+        assert!(!line.contains("throughput_mbps"));
+        assert!(!line.contains("bytes_per_iter"));
+    }
+
+    #[test]
+    fn json_name_is_escaped() {
+        let line = smoke_result("odd\"name\\x", None).json_line();
+        assert!(line.contains("\"name\":\"odd\\\"name\\\\x\""));
+    }
+
+    #[test]
+    fn measured_samples_are_positive() {
+        let r = smoke_result("positive", None);
+        assert!(r.sample_ns.iter().all(|&ns| ns >= 0.0));
+        assert!(r.summary.median >= 0.0);
+    }
+
+    #[test]
+    fn calibration_caps_iterations() {
+        let cfg = BenchConfig { samples: 2, smoke: false, ..BenchConfig::default() };
+        let r = run_bench(&cfg, "cap", None, &mut || std::hint::black_box(1 + 1));
+        assert!(r.iters_per_sample >= 1);
+        assert!(r.iters_per_sample <= cfg.max_iters_per_sample);
+        assert_eq!(r.sample_ns.len(), 2);
+    }
+}

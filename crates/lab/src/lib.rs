@@ -1,0 +1,22 @@
+//! `xlink-lab` — the workspace's self-contained deterministic
+//! testing-and-measurement subsystem. Everything the repo previously
+//! pulled from the registry (`rand`, `proptest`, `criterion`) lives
+//! here instead, built on the same seeded xoshiro RNG the simulator
+//! uses, so the whole workspace builds and tests with zero network
+//! access.
+//!
+//! * [`rng`] — seeded xoshiro256** PRNG (re-exported by `xlink-netsim`
+//!   for compatibility).
+//! * [`prop`] — property-testing harness: strategies, bounded
+//!   shrinking, per-case seeds, replay via `XLINK_PROP_SEED`.
+//! * [`bench`] — micro-bench harness: calibrated wall-time sampling,
+//!   one-line-JSON output per bench, `--smoke` mode for CI.
+//! * [`stats`] — percentiles/means/spreads shared by the experiment
+//!   harness and the bench harness.
+
+pub mod bench;
+pub mod prop;
+pub mod rng;
+pub mod stats;
+
+pub use rng::Rng;

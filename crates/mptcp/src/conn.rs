@@ -141,9 +141,7 @@ pub struct MptcpConnection {
 impl MptcpConnection {
     /// New endpoint.
     pub fn new(cfg: MptcpConfig) -> Self {
-        let subflows = (0..cfg.num_subflows)
-            .map(|_| Subflow::new(cfg.cc.build()))
-            .collect();
+        let subflows = (0..cfg.num_subflows).map(|_| Subflow::new(cfg.cc.build())).collect();
         MptcpConnection {
             ack_pending: vec![false; cfg.num_subflows],
             subflows,
@@ -369,11 +367,8 @@ impl MptcpConnection {
         }
         // Retransmit the head segment on the fast subflow.
         let (seq, len) = {
-            let (&s, seg) = self.subflows[holder]
-                .inflight
-                .range(..=head)
-                .next_back()
-                .expect("holder found");
+            let (&s, seg) =
+                self.subflows[holder].inflight.range(..=head).next_back().expect("holder found");
             (s, seg.len)
         };
         if self.subflows[fast].budget() < len as u64 {
@@ -383,10 +378,9 @@ impl MptcpConnection {
         if already_on_fast {
             return;
         }
-        self.subflows[fast].inflight.insert(
-            seq,
-            SentSeg { len, time_sent: now, retransmitted: true },
-        );
+        self.subflows[fast]
+            .inflight
+            .insert(seq, SentSeg { len, time_sent: now, retransmitted: true });
         self.subflows[fast].inflight_bytes += len as u64;
         self.retx_send.push((fast, seq, len));
         self.stats.opportunistic_retx += 1;
@@ -438,7 +432,13 @@ impl MptcpConnection {
         for i in 0..self.subflows.len() {
             if self.ack_pending[i] {
                 self.ack_pending[i] = false;
-                let kind = if !self.cfg.is_client && self.subflows[i].established && self.rcv_next == 0 && self.recv_buf.is_empty() && self.ooo.is_empty() && self.peer_fin_at.is_none() {
+                let kind = if !self.cfg.is_client
+                    && self.subflows[i].established
+                    && self.rcv_next == 0
+                    && self.recv_buf.is_empty()
+                    && self.ooo.is_empty()
+                    && self.peer_fin_at.is_none()
+                {
                     Kind::SynAck
                 } else {
                     Kind::Ack
@@ -471,10 +471,9 @@ impl MptcpConnection {
             if (start + len as u64) < end {
                 self.retx_queue.insert(0, (start + len as u64, end));
             }
-            self.subflows[path].inflight.insert(
-                start,
-                SentSeg { len, time_sent: now, retransmitted: true },
-            );
+            self.subflows[path]
+                .inflight
+                .insert(start, SentSeg { len, time_sent: now, retransmitted: true });
             self.subflows[path].inflight_bytes += len as u64;
             self.stats.bytes_retransmitted += len as u64;
             self.stats.segments_sent += 1;
@@ -502,10 +501,9 @@ impl MptcpConnection {
                 let seq = self.next_seq;
                 self.next_seq += len as u64;
                 let payload = self.send_buf[seq as usize..seq as usize + len].to_vec();
-                self.subflows[path].inflight.insert(
-                    seq,
-                    SentSeg { len, time_sent: now, retransmitted: false },
-                );
+                self.subflows[path]
+                    .inflight
+                    .insert(seq, SentSeg { len, time_sent: now, retransmitted: false });
                 self.subflows[path].inflight_bytes += len as u64;
                 self.stats.bytes_sent += len as u64;
                 self.stats.segments_sent += 1;
@@ -525,7 +523,9 @@ impl MptcpConnection {
             }
         }
         // FIN once everything is sent.
-        if self.fin_queued && !self.fin_sent && !self.fin_acked
+        if self.fin_queued
+            && !self.fin_sent
+            && !self.fin_acked
             && self.next_seq >= self.send_buf.len() as u64
         {
             self.fin_sent = true;

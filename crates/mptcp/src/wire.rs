@@ -92,14 +92,7 @@ impl Segment {
         if buf.len() != HEADER_LEN + len {
             return None;
         }
-        Some(Segment {
-            kind,
-            subflow,
-            seq,
-            ack,
-            window,
-            payload: buf[HEADER_LEN..].to_vec(),
-        })
+        Some(Segment { kind, subflow, seq, ack, window, payload: buf[HEADER_LEN..].to_vec() })
     }
 }
 

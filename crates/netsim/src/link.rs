@@ -59,13 +59,7 @@ impl LinkConfig {
         let opportunities_per_sec = (mbps * 1e6 / 8.0 / OPPORTUNITY_BYTES as f64).max(1.0);
         let n = opportunities_per_sec.round() as u64;
         let trace_ms = (0..n).map(|i| i * 1000 / n).collect();
-        LinkConfig {
-            trace_ms,
-            delay,
-            queue_bytes: 512 * 1024,
-            loss: 0.0,
-            seed: 0,
-        }
+        LinkConfig { trace_ms, delay, queue_bytes: 512 * 1024, loss: 0.0, seed: 0 }
     }
 }
 

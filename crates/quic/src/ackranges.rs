@@ -131,8 +131,8 @@ impl AckRanges {
 #[cfg(test)]
 mod tests {
     use super::*;
-    use proptest::prelude::*;
     use std::collections::BTreeSet;
+    use xlink_lab::prop::*;
 
     #[test]
     fn insert_coalesces_adjacent() {
@@ -228,12 +228,12 @@ mod tests {
         assert_eq!(a.len(), 1);
     }
 
-    proptest! {
-        #[test]
-        fn prop_insert_range_matches_model(spans in proptest::collection::vec((0u64..300, 0u64..40), 0..40)) {
+    #[test]
+    fn prop_insert_range_matches_model() {
+        check("prop_insert_range_matches_model", vec_of((0u64..300, 0u64..40), 0..40), |spans| {
             let mut a = AckRanges::new();
             let mut model = BTreeSet::new();
-            for (start, len) in spans {
+            for &(start, len) in spans {
                 a.insert_range(start, start + len);
                 for v in start..=start + len {
                     model.insert(v);
@@ -243,13 +243,16 @@ mod tests {
             for v in 0u64..360 {
                 prop_assert_eq!(a.contains(v), model.contains(&v), "at {}", v);
             }
-        }
+            Ok(())
+        });
+    }
 
-        #[test]
-        fn prop_matches_btreeset_model(pns in proptest::collection::vec(0u64..200, 0..300)) {
+    #[test]
+    fn prop_matches_btreeset_model() {
+        check("prop_matches_btreeset_model", vec_of(0u64..200, 0..300), |pns| {
             let mut s = AckRanges::new();
             let mut model = BTreeSet::new();
-            for pn in pns {
+            for &pn in pns {
                 let fresh = s.insert(pn);
                 let model_fresh = model.insert(pn);
                 prop_assert_eq!(fresh, model_fresh);
@@ -264,6 +267,7 @@ mod tests {
             for w in rs.windows(2) {
                 prop_assert!(w[0].end + 1 < w[1].start);
             }
-        }
+            Ok(())
+        });
     }
 }

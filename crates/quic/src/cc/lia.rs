@@ -63,10 +63,7 @@ impl CoupledLia {
             .iter()
             .map(|(w, r)| *w as f64 / r.as_secs_f64().max(1e-6).powi(2))
             .fold(0.0f64, f64::max);
-        let sum: f64 = paths
-            .iter()
-            .map(|(w, r)| *w as f64 / r.as_secs_f64().max(1e-6))
-            .sum();
+        let sum: f64 = paths.iter().map(|(w, r)| *w as f64 / r.as_secs_f64().max(1e-6)).sum();
         let total: u64 = paths.iter().map(|(w, _)| w).sum();
         if sum <= 0.0 || total == 0 {
             return 1.0;
@@ -182,10 +179,7 @@ mod tests {
 
     #[test]
     fn alpha_computation_two_equal_paths_halves() {
-        let paths = [
-            (100_000, Duration::from_millis(50)),
-            (100_000, Duration::from_millis(50)),
-        ];
+        let paths = [(100_000, Duration::from_millis(50)), (100_000, Duration::from_millis(50))];
         let a = CoupledLia::compute_alpha(&paths);
         assert!((a - 0.5).abs() < 1e-6, "two equal paths alpha = {a}");
     }

@@ -20,12 +20,7 @@ pub struct NewReno {
 impl NewReno {
     /// Fresh controller in slow start.
     pub fn new() -> Self {
-        NewReno {
-            window: INITIAL_WINDOW,
-            ssthresh: u64::MAX,
-            recovery_start: None,
-            acked_in_ca: 0,
-        }
+        NewReno { window: INITIAL_WINDOW, ssthresh: u64::MAX, recovery_start: None, acked_in_ca: 0 }
     }
 
     fn in_recovery(&self, sent_time: Instant) -> bool {

@@ -6,8 +6,8 @@
 //! balancers, a server ID can be embedded in the first bytes of
 //! server-issued CIDs (see `xlink-core`'s load-balancer module).
 
-use crate::varint::{Reader, Writer};
 use crate::error::CodecError;
+use crate::varint::{Reader, Writer};
 use std::fmt;
 
 /// Fixed connection-ID length used by this deployment (like the paper's
@@ -147,11 +147,8 @@ impl CidManager {
     /// Record a CID received from the peer in NEW_CONNECTION_ID. Duplicate
     /// retransmissions are ignored.
     pub fn store_remote(&mut self, issued: IssuedCid) {
-        let known = self
-            .remote_unused
-            .iter()
-            .chain(self.remote_used.iter())
-            .any(|c| c.seq == issued.seq);
+        let known =
+            self.remote_unused.iter().chain(self.remote_used.iter()).any(|c| c.seq == issued.seq);
         if !known {
             self.remote_unused.push(issued);
             self.remote_unused.sort_by_key(|c| c.seq);

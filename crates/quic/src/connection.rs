@@ -7,6 +7,7 @@
 //! [`Connection::poll_transmit`] / [`Connection::poll_timeout`] /
 //! [`Connection::on_timeout`], in the smoltcp poll-based idiom.
 
+use crate::ackranges::AckRanges;
 use crate::cc::{CcAlgorithm, CongestionController, MAX_DATAGRAM_SIZE};
 use crate::cid::{CidManager, ConnectionId};
 use crate::crypto::{derive_keys, KeyPair, TAG_LEN};
@@ -19,7 +20,6 @@ use crate::recovery::{Recovery, SentPacket, TimeoutOutcome};
 use crate::rtt::RttEstimator;
 use crate::stream::{SendRange, Side, StreamMap};
 use crate::varint::Writer;
-use crate::ackranges::AckRanges;
 use xlink_clock::{Duration, Instant};
 
 /// Configuration for one endpoint.
@@ -466,9 +466,7 @@ impl Connection {
                 };
                 match self.handshake.on_peer_hello(hello) {
                     Ok(kp) => self.on_handshake_complete(kp),
-                    Err(_) => {
-                        self.close(TransportError::TransportParameterError, "hello rejected")
-                    }
+                    Err(_) => self.close(TransportError::TransportParameterError, "hello rejected"),
                 }
             }
             Frame::Ack(ack) => self.on_ack(now, space, ack),
@@ -490,11 +488,8 @@ impl Connection {
                         return;
                     }
                 }
-                let new_high = self
-                    .streams
-                    .get(stream_id)
-                    .map(|s| s.recv.highest_recv())
-                    .unwrap_or(prev_high);
+                let new_high =
+                    self.streams.get(stream_id).map(|s| s.recv.highest_recv()).unwrap_or(prev_high);
                 if new_high > prev_high {
                     if let Err(e) = self.streams.on_conn_data_received(new_high - prev_high) {
                         self.close(e, "conn flow control");
@@ -534,9 +529,9 @@ impl Connection {
                 self.handshake_confirmed = true;
             }
             Frame::ConnectionClose { error_code, .. } => {
-                self.state = State::Closed(ConnectionError::PeerClosed(
-                    TransportError::from_code(error_code),
-                ));
+                self.state = State::Closed(ConnectionError::PeerClosed(TransportError::from_code(
+                    error_code,
+                )));
             }
             Frame::PathStatus { .. } | Frame::QoeControlSignals(_) => {
                 self.close(TransportError::ProtocolViolation, "MP frame on single path");
@@ -648,10 +643,8 @@ impl Connection {
     pub fn poll_transmit(&mut self, now: Instant) -> Option<Vec<u8>> {
         // Closing: emit the CONNECTION_CLOSE once.
         if let Some((err, reason)) = self.close_frame_pending.take() {
-            let frame = Frame::ConnectionClose {
-                error_code: err.code(),
-                reason: reason.into_bytes(),
-            };
+            let frame =
+                Frame::ConnectionClose { error_code: err.code(), reason: reason.into_bytes() };
             let space = if self.keys.is_some() { Space::App } else { Space::Initial };
             return Some(self.build_packet(now, space, vec![frame], false));
         }
@@ -660,36 +653,28 @@ impl Connection {
         }
         // Handshake transmission. A server stays quiet until it has the
         // client's hello.
-        if !self.handshake_sent
-            && (self.cfg.side == Side::Client || self.handshake.is_complete())
-        {
+        if !self.handshake_sent && (self.cfg.side == Side::Client || self.handshake.is_complete()) {
             self.handshake_sent = true;
             let hello = self.handshake.local_hello().encode();
             let frame = Frame::Crypto { offset: 0, data: hello };
             return Some(self.build_packet(now, Space::Initial, vec![frame], true));
         }
         // Server HANDSHAKE_DONE.
-        if self.cfg.side == Side::Server
-            && self.is_established()
-            && !self.handshake_done_sent
-        {
+        if self.cfg.side == Side::Server && self.is_established() && !self.handshake_done_sent {
             self.handshake_done_sent = true;
             return Some(self.build_packet(now, Space::App, vec![Frame::HandshakeDone], true));
         }
         // Pending ACKs (always allowed; not congestion controlled).
         if self.init_ack_pending {
             self.init_ack_pending = false;
-            if let Some(ack) =
-                AckFrame::from_ranges(0, &self.init_recv, now - self.last_recv_time)
+            if let Some(ack) = AckFrame::from_ranges(0, &self.init_recv, now - self.last_recv_time)
             {
                 return Some(self.build_packet(now, Space::Initial, vec![Frame::Ack(ack)], false));
             }
         }
         if self.app_ack_pending && self.keys.is_some() {
             self.app_ack_pending = false;
-            if let Some(ack) =
-                AckFrame::from_ranges(0, &self.app_recv, now - self.last_recv_time)
-            {
+            if let Some(ack) = AckFrame::from_ranges(0, &self.app_recv, now - self.last_recv_time) {
                 return Some(self.build_packet(now, Space::App, vec![Frame::Ack(ack)], false));
             }
         }
@@ -740,7 +725,12 @@ impl Connection {
                 // sent; a flow-control-blocked stream must wait.
                 if stream.send.fin_pending() && stream.send.data_fully_sent() {
                     let offset = stream.send.len();
-                    frames.push(Frame::Stream { stream_id: id, offset, data: Vec::new(), fin: true });
+                    frames.push(Frame::Stream {
+                        stream_id: id,
+                        offset,
+                        data: Vec::new(),
+                        fin: true,
+                    });
                     infos.push(SentFrameInfo::Stream {
                         id,
                         range: SendRange { start: offset, end: offset },
@@ -764,11 +754,7 @@ impl Connection {
                 self.stats.stream_bytes_sent += new_bytes;
             }
             remaining = remaining.saturating_sub(data.len() + 24);
-            infos.push(SentFrameInfo::Stream {
-                id,
-                range: SendRange { start: offset, end },
-                fin,
-            });
+            infos.push(SentFrameInfo::Stream { id, range: SendRange { start: offset, end }, fin });
             frames.push(Frame::Stream { stream_id: id, offset, data, fin });
         }
         if frames.is_empty() {
@@ -777,7 +763,13 @@ impl Connection {
         Some(self.build_packet_with_content(now, Space::App, frames, infos, true))
     }
 
-    fn build_packet(&mut self, now: Instant, space: Space, frames: Vec<Frame>, ack_eliciting: bool) -> Vec<u8> {
+    fn build_packet(
+        &mut self,
+        now: Instant,
+        space: Space,
+        frames: Vec<Frame>,
+        ack_eliciting: bool,
+    ) -> Vec<u8> {
         let infos = frames
             .iter()
             .map(|f| match f {
@@ -925,10 +917,7 @@ mod tests {
             }
             if !any {
                 // Advance time to the next timer if one is near.
-                let next = [a.poll_timeout(), b.poll_timeout()]
-                    .into_iter()
-                    .flatten()
-                    .min();
+                let next = [a.poll_timeout(), b.poll_timeout()].into_iter().flatten().min();
                 match next {
                     Some(t) if t <= *now + Duration::from_millis(100) => {
                         *now = t;

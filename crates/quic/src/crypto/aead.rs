@@ -115,7 +115,7 @@ fn mac_input(aad: &[u8], cipher: &[u8]) -> Vec<u8> {
 #[cfg(test)]
 mod tests {
     use super::*;
-    use proptest::prelude::*;
+    use xlink_lab::prop::*;
 
     fn key() -> AeadKey {
         AeadKey::new([9u8; 32], [4u8; 12])
@@ -204,24 +204,33 @@ mod tests {
         assert_eq!(k.open(0, 0, b"header-only", &sealed).unwrap(), b"");
     }
 
-    proptest! {
-        #[test]
-        fn prop_roundtrip(plain in proptest::collection::vec(any::<u8>(), 0..600),
-                          aad in proptest::collection::vec(any::<u8>(), 0..64),
-                          pn in 0u64..(1 << 62), path in any::<u32>()) {
-            let k = key();
-            let sealed = k.seal(path, pn, &aad, &plain);
-            prop_assert_eq!(k.open(path, pn, &aad, &sealed).unwrap(), plain);
-        }
+    #[test]
+    fn prop_roundtrip() {
+        check(
+            "prop_roundtrip",
+            (bytes(0..600), bytes(0..64), 0u64..(1 << 62), 0u32..=u32::MAX),
+            |(plain, aad, pn, path)| {
+                let k = key();
+                let sealed = k.seal(*path, *pn, aad, plain);
+                prop_assert_eq!(&k.open(*path, *pn, aad, &sealed).unwrap(), plain);
+                Ok(())
+            },
+        );
+    }
 
-        #[test]
-        fn prop_any_bitflip_rejected(plain in proptest::collection::vec(any::<u8>(), 1..100),
-                                     idx in 0usize..200, bit in 0u8..8) {
-            let k = key();
-            let mut sealed = k.seal(0, 1, b"aad", &plain);
-            let idx = idx % sealed.len();
-            sealed[idx] ^= 1 << bit;
-            prop_assert!(k.open(0, 1, b"aad", &sealed).is_err());
-        }
+    #[test]
+    fn prop_any_bitflip_rejected() {
+        check(
+            "prop_any_bitflip_rejected",
+            (bytes(1..100), 0usize..200, 0u8..8),
+            |(plain, idx, bit)| {
+                let k = key();
+                let mut sealed = k.seal(0, 1, b"aad", plain);
+                let idx = idx % sealed.len();
+                sealed[idx] ^= 1 << bit;
+                prop_assert!(k.open(0, 1, b"aad", &sealed).is_err());
+                Ok(())
+            },
+        );
     }
 }

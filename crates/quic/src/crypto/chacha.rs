@@ -74,7 +74,7 @@ pub fn xor_keystream(key: &[u8; 32], mut counter: u32, nonce: &[u8; 12], data: &
 #[cfg(test)]
 mod tests {
     use super::*;
-    use proptest::prelude::*;
+    use xlink_lab::prop::*;
 
     const KEY: [u8; 32] = [7u8; 32];
     const NONCE: [u8; 12] = [3u8; 12];
@@ -142,14 +142,18 @@ mod tests {
         assert!((150..=360).contains(&ones), "ones = {ones}");
     }
 
-    proptest! {
-        #[test]
-        fn prop_roundtrip(data in proptest::collection::vec(any::<u8>(), 0..512),
-                          key in any::<[u8; 32]>(), nonce in any::<[u8; 12]>(), ctr in any::<u32>()) {
-            let mut buf = data.clone();
-            xor_keystream(&key, ctr, &nonce, &mut buf);
-            xor_keystream(&key, ctr, &nonce, &mut buf);
-            prop_assert_eq!(buf, data);
-        }
+    #[test]
+    fn prop_roundtrip() {
+        check(
+            "prop_roundtrip",
+            (bytes(0..512), any_array::<32>(), any_array::<12>(), 0u32..=u32::MAX),
+            |(data, key, nonce, ctr)| {
+                let mut buf = data.clone();
+                xor_keystream(key, *ctr, nonce, &mut buf);
+                xor_keystream(key, *ctr, nonce, &mut buf);
+                prop_assert_eq!(&buf, data);
+                Ok(())
+            },
+        );
     }
 }

@@ -72,10 +72,7 @@ pub fn derive_keys(psk: &[u8], client_random: &[u8; 16], server_random: &[u8; 16
     let civ: [u8; 12] = expand(&prk, b"client iv");
     let sk: [u8; 32] = expand(&prk, b"server key");
     let siv: [u8; 12] = expand(&prk, b"server iv");
-    KeyPair {
-        client: AeadKey::new(ck, civ),
-        server: AeadKey::new(sk, siv),
-    }
+    KeyPair { client: AeadKey::new(ck, civ), server: AeadKey::new(sk, siv) }
 }
 
 #[cfg(test)]

@@ -37,8 +37,7 @@ pub fn tag(key: &[u8; 32], msg: &[u8]) -> [u8; 16] {
     let mut h4: u64 = 0;
 
     let mut chunks = msg.chunks_exact(16);
-    let process = |block: &[u8; 16], hibit: u64,
-                       h: &mut [u64; 5]| {
+    let process = |block: &[u8; 16], hibit: u64, h: &mut [u64; 5]| {
         let t0 = u32::from_le_bytes(block[0..4].try_into().unwrap()) as u64;
         let t1 = u32::from_le_bytes(block[4..8].try_into().unwrap()) as u64;
         let t2 = u32::from_le_bytes(block[8..12].try_into().unwrap()) as u64;
@@ -175,7 +174,7 @@ pub fn verify(key: &[u8; 32], msg: &[u8], expect: &[u8; 16]) -> bool {
 #[cfg(test)]
 mod tests {
     use super::*;
-    use proptest::prelude::*;
+    use xlink_lab::prop::*;
 
     const KEY: [u8; 32] = [0x42; 32];
 
@@ -233,22 +232,28 @@ mod tests {
         assert_eq!(tag(&KEY, b"abc"), tag(&k2, b"abc"));
     }
 
-    proptest! {
-        #[test]
-        fn prop_verify_own_tag(key in any::<[u8; 32]>(),
-                               msg in proptest::collection::vec(any::<u8>(), 0..256)) {
-            let t = tag(&key, &msg);
-            prop_assert!(verify(&key, &msg, &t));
-        }
+    #[test]
+    fn prop_verify_own_tag() {
+        check("prop_verify_own_tag", (any_array::<32>(), bytes(0..256)), |(key, msg)| {
+            let t = tag(key, msg);
+            prop_assert!(verify(key, msg, &t));
+            Ok(())
+        });
+    }
 
-        #[test]
-        fn prop_bitflip_breaks_tag(msg in proptest::collection::vec(any::<u8>(), 1..128),
-                                   idx in 0usize..128, bit in 0u8..8) {
-            let idx = idx % msg.len();
-            let t = tag(&KEY, &msg);
-            let mut tampered = msg.clone();
-            tampered[idx] ^= 1 << bit;
-            prop_assert!(!verify(&KEY, &tampered, &t));
-        }
+    #[test]
+    fn prop_bitflip_breaks_tag() {
+        check(
+            "prop_bitflip_breaks_tag",
+            (bytes(1..128), 0usize..128, 0u8..8),
+            |(msg, idx, bit)| {
+                let idx = idx % msg.len();
+                let t = tag(&KEY, msg);
+                let mut tampered = msg.clone();
+                tampered[idx] ^= 1 << bit;
+                prop_assert!(!verify(&KEY, &tampered, &t));
+                Ok(())
+            },
+        );
     }
 }

@@ -362,10 +362,9 @@ impl Frame {
                 error_code: r.varint()?,
                 final_size: r.varint()?,
             }),
-            ty::STOP_SENDING => Ok(Frame::StopSending {
-                stream_id: r.varint()?,
-                error_code: r.varint()?,
-            }),
+            ty::STOP_SENDING => {
+                Ok(Frame::StopSending { stream_id: r.varint()?, error_code: r.varint()? })
+            }
             ty::CRYPTO => {
                 let offset = r.varint()?;
                 let data = r.varint_bytes()?.to_vec();
@@ -385,16 +384,14 @@ impl Frame {
                 Ok(Frame::Stream { stream_id, offset, data, fin })
             }
             ty::MAX_DATA => Ok(Frame::MaxData(r.varint()?)),
-            ty::MAX_STREAM_DATA => Ok(Frame::MaxStreamData {
-                stream_id: r.varint()?,
-                max: r.varint()?,
-            }),
+            ty::MAX_STREAM_DATA => {
+                Ok(Frame::MaxStreamData { stream_id: r.varint()?, max: r.varint()? })
+            }
             ty::MAX_STREAMS_BIDI => Ok(Frame::MaxStreams(r.varint()?)),
             ty::DATA_BLOCKED => Ok(Frame::DataBlocked(r.varint()?)),
-            ty::STREAM_DATA_BLOCKED => Ok(Frame::StreamDataBlocked {
-                stream_id: r.varint()?,
-                limit: r.varint()?,
-            }),
+            ty::STREAM_DATA_BLOCKED => {
+                Ok(Frame::StreamDataBlocked { stream_id: r.varint()?, limit: r.varint()? })
+            }
             ty::NEW_CONNECTION_ID => Ok(Frame::NewConnectionId(IssuedCid::decode(r)?)),
             ty::RETIRE_CONNECTION_ID => Ok(Frame::RetireConnectionId { seq: r.varint()? }),
             ty::PATH_CHALLENGE => {
@@ -508,7 +505,7 @@ fn decode_ack(r: &mut Reader, mp: bool, with_qoe: bool) -> Result<AckFrame, Code
 #[cfg(test)]
 mod tests {
     use super::*;
-    use proptest::prelude::*;
+    use xlink_lab::prop::*;
 
     fn roundtrip(f: &Frame) -> Frame {
         let mut w = Writer::new();
@@ -550,12 +547,7 @@ mod tests {
 
     #[test]
     fn stream_frame_roundtrip_with_fin() {
-        let f = Frame::Stream {
-            stream_id: 4,
-            offset: 65536,
-            data: vec![0xaa; 100],
-            fin: true,
-        };
+        let f = Frame::Stream { stream_id: 4, offset: 65536, data: vec![0xaa; 100], fin: true };
         assert_eq!(roundtrip(&f), f);
         let f2 = Frame::Stream { stream_id: 0, offset: 0, data: vec![], fin: false };
         assert_eq!(roundtrip(&f2), f2);
@@ -611,12 +603,8 @@ mod tests {
         let mut set = AckRanges::new();
         set.insert(42);
         let mut ack = AckFrame::from_ranges(2, &set, Duration::ZERO).unwrap();
-        ack.qoe = Some(QoeSignal {
-            cached_bytes: 500_000,
-            cached_frames: 60,
-            bps: 1_500_000,
-            fps: 25,
-        });
+        ack.qoe =
+            Some(QoeSignal { cached_bytes: 500_000, cached_frames: 60, bps: 1_500_000, fps: 25 });
         let f = Frame::AckMp(ack);
         assert_eq!(roundtrip(&f), f);
     }
@@ -624,10 +612,7 @@ mod tests {
     #[test]
     fn new_connection_id_roundtrip() {
         use crate::cid::ConnectionId;
-        let f = Frame::NewConnectionId(IssuedCid {
-            seq: 2,
-            cid: ConnectionId::derive(7, 2),
-        });
+        let f = Frame::NewConnectionId(IssuedCid { seq: 2, cid: ConnectionId::derive(7, 2) });
         assert_eq!(roundtrip(&f), f);
     }
 
@@ -641,8 +626,9 @@ mod tests {
         assert!(!Frame::Padding(3).is_ack_eliciting());
         assert!(!Frame::ConnectionClose { error_code: 0, reason: vec![] }.is_ack_eliciting());
         assert!(Frame::Ping.is_ack_eliciting());
-        assert!(Frame::Stream { stream_id: 0, offset: 0, data: vec![], fin: true }
-            .is_ack_eliciting());
+        assert!(
+            Frame::Stream { stream_id: 0, offset: 0, data: vec![], fin: true }.is_ack_eliciting()
+        );
     }
 
     #[test]
@@ -680,7 +666,7 @@ mod tests {
     }
 
     fn arb_ranges() -> impl Strategy<Value = AckRanges> {
-        proptest::collection::vec(0u64..500, 1..80).prop_map(|pns| {
+        map(vec_of(0u64..500, 1..80), |pns| {
             let mut s = AckRanges::new();
             for pn in pns {
                 s.insert(pn);
@@ -689,48 +675,64 @@ mod tests {
         })
     }
 
-    proptest! {
-        #[test]
-        fn prop_ack_roundtrip(set in arb_ranges(), delay_ms in 0u64..1000, path in 0u64..8) {
-            let ack = AckFrame::from_ranges(path, &set, Duration::from_millis(delay_ms)).unwrap();
-            let f = Frame::AckMp(ack.clone());
-            let mut w = Writer::new();
-            f.encode(&mut w);
-            let bytes = w.into_bytes();
-            let mut r = Reader::new(&bytes);
-            let got = Frame::decode(&mut r).unwrap();
-            prop_assert_eq!(got, f);
-            // Every pn in the set must be acknowledged.
-            if let Frame::AckMp(_) = Frame::AckMp(ack.clone()) {
+    #[test]
+    fn prop_ack_roundtrip() {
+        check(
+            "prop_ack_roundtrip",
+            (arb_ranges(), 0u64..1000, 0u64..8),
+            |(set, delay_ms, path)| {
+                let ack =
+                    AckFrame::from_ranges(*path, set, Duration::from_millis(*delay_ms)).unwrap();
+                let f = Frame::AckMp(ack.clone());
+                let mut w = Writer::new();
+                f.encode(&mut w);
+                let bytes = w.into_bytes();
+                let mut r = Reader::new(&bytes);
+                let got = Frame::decode(&mut r).unwrap();
+                prop_assert_eq!(got, f);
+                // Every pn in the set must be acknowledged.
                 let total: u64 = ack.ranges.iter().map(|r| r.end - r.start + 1).sum();
                 prop_assert_eq!(total, set.len());
-            }
-        }
+                Ok(())
+            },
+        );
+    }
 
-        #[test]
-        fn prop_stream_frame_roundtrip(
-            stream_id in 0u64..1000,
-            offset in 0u64..(1 << 40),
-            data in proptest::collection::vec(any::<u8>(), 0..512),
-            fin in any::<bool>()
-        ) {
-            let f = Frame::Stream { stream_id, offset, data, fin };
-            prop_assert_eq!(roundtrip(&f), f);
-        }
+    #[test]
+    fn prop_stream_frame_roundtrip() {
+        check(
+            "prop_stream_frame_roundtrip",
+            (0u64..1000, 0u64..(1 << 40), bytes(0..512), any_bool()),
+            |(stream_id, offset, data, fin)| {
+                let f = Frame::Stream {
+                    stream_id: *stream_id,
+                    offset: *offset,
+                    data: data.clone(),
+                    fin: *fin,
+                };
+                prop_assert_eq!(roundtrip(&f), f);
+                Ok(())
+            },
+        );
+    }
 
-        #[test]
-        fn prop_qoe_roundtrip(
-            cached_bytes in 0u64..(1 << 40),
-            cached_frames in 0u64..100_000,
-            bps in 0u64..(1 << 40),
-            fps in 0u64..240
-        ) {
-            let f = Frame::QoeControlSignals(QoeSignal { cached_bytes, cached_frames, bps, fps });
-            prop_assert_eq!(roundtrip(&f), f);
-        }
+    #[test]
+    fn prop_qoe_roundtrip() {
+        check(
+            "prop_qoe_roundtrip",
+            (0u64..(1 << 40), 0u64..100_000, 0u64..(1 << 40), 0u64..240),
+            |&(cached_bytes, cached_frames, bps, fps)| {
+                let f =
+                    Frame::QoeControlSignals(QoeSignal { cached_bytes, cached_frames, bps, fps });
+                prop_assert_eq!(roundtrip(&f), f);
+                Ok(())
+            },
+        );
+    }
 
-        #[test]
-        fn prop_frame_sequence_roundtrip(n in 1usize..10) {
+    #[test]
+    fn prop_frame_sequence_roundtrip() {
+        check("prop_frame_sequence_roundtrip", 1usize..10, |&n| {
             // A payload of n mixed frames decodes to exactly n frames.
             let mut w = Writer::new();
             let mut expect = Vec::new();
@@ -738,14 +740,24 @@ mod tests {
                 let f = match i % 4 {
                     0 => Frame::Ping,
                     1 => Frame::MaxData(i as u64 * 100),
-                    2 => Frame::Stream { stream_id: 4, offset: i as u64, data: vec![i as u8; i], fin: false },
-                    _ => Frame::PathStatus { path_id: i as u64, seq: 0, status: PathStatusKind::Available },
+                    2 => Frame::Stream {
+                        stream_id: 4,
+                        offset: i as u64,
+                        data: vec![i as u8; i],
+                        fin: false,
+                    },
+                    _ => Frame::PathStatus {
+                        path_id: i as u64,
+                        seq: 0,
+                        status: PathStatusKind::Available,
+                    },
                 };
                 f.encode(&mut w);
                 expect.push(f);
             }
             let bytes = w.into_bytes();
             prop_assert_eq!(Frame::decode_all(&bytes).unwrap(), expect);
-        }
+            Ok(())
+        });
     }
 }

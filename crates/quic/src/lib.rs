@@ -1,11 +1,11 @@
 //! Single-path QUIC substrate for the XLINK reproduction.
 pub mod ackranges;
+pub mod cc;
 pub mod cid;
+pub mod connection;
 pub mod crypto;
 pub mod error;
-pub mod cc;
 pub mod frame;
-pub mod connection;
 pub mod handshake;
 pub mod packet;
 pub mod params;

@@ -142,13 +142,7 @@ impl Header {
                 pn = (pn << 8) | u64::from(r.u8()?);
             }
             Ok((
-                Header {
-                    ty,
-                    dcid: ConnectionId(dcid),
-                    scid: ConnectionId(scid),
-                    pn,
-                    pn_len,
-                },
+                Header { ty, dcid: ConnectionId(dcid), scid: ConnectionId(scid), pn, pn_len },
                 r.position(),
             ))
         } else {
@@ -175,7 +169,7 @@ impl Header {
 #[cfg(test)]
 mod tests {
     use super::*;
-    use proptest::prelude::*;
+    use xlink_lab::prop::*;
 
     fn cid(b: u8) -> ConnectionId {
         ConnectionId([b; CID_LEN])
@@ -183,7 +177,8 @@ mod tests {
 
     #[test]
     fn short_header_roundtrip() {
-        let h = Header { ty: PacketType::OneRtt, dcid: cid(7), scid: cid(0), pn: 0x1234, pn_len: 2 };
+        let h =
+            Header { ty: PacketType::OneRtt, dcid: cid(7), scid: cid(0), pn: 0x1234, pn_len: 2 };
         let bytes = h.encode();
         let (got, off) = Header::decode(&bytes).unwrap();
         assert_eq!(got.ty, PacketType::OneRtt);
@@ -253,7 +248,7 @@ mod tests {
         assert!(Header::decode(&[]).is_err());
         assert!(Header::decode(&[0x00]).is_err()); // fixed bit clear
         assert!(Header::decode(&[0b0100_0000, 1, 2]).is_err()); // truncated
-        // Long header with wrong CID length.
+                                                                // Long header with wrong CID length.
         assert!(Header::decode(&[0b1100_0000, 4, 1, 2, 3, 4, 8]).is_err());
     }
 
@@ -265,24 +260,38 @@ mod tests {
         assert_eq!(h.encode(), h.encode());
     }
 
-    proptest! {
-        #[test]
-        fn prop_header_roundtrip(pn in 0u64..(1 << 30), pn_len in 1u8..=4, d in any::<u8>()) {
-            let h = Header { ty: PacketType::OneRtt, dcid: cid(d), scid: cid(0), pn: pn_truncate(pn, pn_len), pn_len };
-            let bytes = h.encode();
-            let (got, _) = Header::decode(&bytes).unwrap();
-            prop_assert_eq!(got.pn, h.pn);
-            prop_assert_eq!(got.pn_len, pn_len);
-            prop_assert_eq!(got.dcid, h.dcid);
-        }
+    #[test]
+    fn prop_header_roundtrip() {
+        check(
+            "prop_header_roundtrip",
+            (0u64..(1 << 30), 1u8..=4, 0u8..=u8::MAX),
+            |&(pn, pn_len, d)| {
+                let h = Header {
+                    ty: PacketType::OneRtt,
+                    dcid: cid(d),
+                    scid: cid(0),
+                    pn: pn_truncate(pn, pn_len),
+                    pn_len,
+                };
+                let bytes = h.encode();
+                let (got, _) = Header::decode(&bytes).unwrap();
+                prop_assert_eq!(got.pn, h.pn);
+                prop_assert_eq!(got.pn_len, pn_len);
+                prop_assert_eq!(got.dcid, h.dcid);
+                Ok(())
+            },
+        );
+    }
 
-        #[test]
-        fn prop_pn_reconstruction(base in 0u64..(1 << 40), delta in 0u64..100) {
+    #[test]
+    fn prop_pn_reconstruction() {
+        check("prop_pn_reconstruction", (0u64..(1 << 40), 0u64..100), |&(base, delta)| {
             // Receiver has seen up to `base`; sender sends base+delta.
             let pn = base + delta;
             let len = pn_encode_len(pn, Some(base.saturating_sub(1)));
             let trunc = pn_truncate(pn, len);
             prop_assert_eq!(pn_decode(trunc, len, Some(base)), pn);
-        }
+            Ok(())
+        });
     }
 }

@@ -80,9 +80,7 @@ impl TransportParams {
             let body = r.varint_bytes()?;
             let mut br = Reader::new(body);
             match pid {
-                id::MAX_IDLE_TIMEOUT => {
-                    p.max_idle_timeout = Duration::from_millis(br.varint()?)
-                }
+                id::MAX_IDLE_TIMEOUT => p.max_idle_timeout = Duration::from_millis(br.varint()?),
                 id::INITIAL_MAX_DATA => p.initial_max_data = br.varint()?,
                 id::INITIAL_MAX_STREAM_DATA => p.initial_max_stream_data = br.varint()?,
                 id::INITIAL_MAX_STREAMS_BIDI => p.initial_max_streams_bidi = br.varint()?,

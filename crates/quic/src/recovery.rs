@@ -133,7 +133,14 @@ impl<T> Recovery<T> {
         }
         self.sent.insert(
             pn,
-            SentPacket { pn, time_sent: now, size, ack_eliciting, in_flight: ack_eliciting, content },
+            SentPacket {
+                pn,
+                time_sent: now,
+                size,
+                ack_eliciting,
+                in_flight: ack_eliciting,
+                content,
+            },
         );
         pn
     }
@@ -198,11 +205,8 @@ impl<T> Recovery<T> {
             .max(GRANULARITY);
         // Only meaningful when the clock has advanced past the delay;
         // otherwise (early in a simulation) no packet can be time-lost.
-        let lost_send_time = if now.as_micros() >= loss_delay.as_micros() {
-            Some(now - loss_delay)
-        } else {
-            None
-        };
+        let lost_send_time =
+            if now.as_micros() >= loss_delay.as_micros() { Some(now - loss_delay) } else { None };
         let mut to_remove = Vec::new();
         for (&pn, p) in self.sent.iter() {
             if pn > largest_acked {

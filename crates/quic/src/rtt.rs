@@ -45,11 +45,8 @@ impl RttEstimator {
             }
             Some(srtt) => {
                 // Only subtract ack_delay if it doesn't go below min_rtt.
-                let adjusted = if sample > self.min + ack_delay {
-                    sample - ack_delay
-                } else {
-                    sample
-                };
+                let adjusted =
+                    if sample > self.min + ack_delay { sample - ack_delay } else { sample };
                 let var_sample = if srtt > adjusted { srtt - adjusted } else { adjusted - srtt };
                 self.var = (self.var * 3 + var_sample) / 4;
                 self.smoothed = Some((srtt * 7 + adjusted) / 8);
@@ -141,7 +138,7 @@ mod tests {
     fn ack_delay_is_subtracted_when_safe() {
         let mut r = RttEstimator::new();
         r.update(ms(50), Duration::ZERO); // min = 50
-        // Sample 100 with 20ms ack delay → adjusted 80.
+                                          // Sample 100 with 20ms ack delay → adjusted 80.
         r.update(ms(100), ms(20));
         // smoothed = 7/8*50 + 1/8*80 = 53.75ms
         assert_eq!(r.smoothed().as_micros(), 53_750);

@@ -146,8 +146,7 @@ impl StreamMap {
                     priority: crate::stream::send::DEFAULT_FRAME_PRIORITY,
                 },
             );
-            self.largest_peer_opened =
-                Some(self.largest_peer_opened.map_or(id, |l| l.max(id)));
+            self.largest_peer_opened = Some(self.largest_peer_opened.map_or(id, |l| l.max(id)));
         }
         Ok(self.streams.get_mut(&id).expect("just inserted"))
     }
@@ -262,10 +261,7 @@ mod tests {
         assert_eq!(st.id, 0);
         assert!(s.get(0).is_some());
         // Our own unknown stream ID is an error, not a creation.
-        assert_eq!(
-            s.get_or_open_peer(1).err(),
-            Some(TransportError::StreamStateError)
-        );
+        assert_eq!(s.get_or_open_peer(1).err(), Some(TransportError::StreamStateError));
     }
 
     #[test]
@@ -273,10 +269,7 @@ mod tests {
         let mut s = StreamMap::new(Side::Server, 1 << 20, 1 << 18, 1 << 20, 1 << 18, 2);
         assert!(s.get_or_open_peer(0).is_ok());
         assert!(s.get_or_open_peer(4).is_ok());
-        assert_eq!(
-            s.get_or_open_peer(8).err(),
-            Some(TransportError::StreamLimitError)
-        );
+        assert_eq!(s.get_or_open_peer(8).err(), Some(TransportError::StreamLimitError));
     }
 
     #[test]

@@ -127,12 +127,7 @@ impl RecvStream {
                 continue;
             }
             // Next stored segment starting after cur bounds the gap.
-            let next_start = self
-                .segments
-                .range(cur..)
-                .next()
-                .map(|(&s, _)| s)
-                .unwrap_or(u64::MAX);
+            let next_start = self.segments.range(cur..).next().map(|(&s, _)| s).unwrap_or(u64::MAX);
             let gap_end = next_start.min(end);
             let slice = &bytes[(cur - start) as usize..(gap_end - start) as usize];
             self.segments.insert(cur, slice.to_vec());
@@ -233,7 +228,7 @@ impl RecvStream {
 #[cfg(test)]
 mod tests {
     use super::*;
-    use proptest::prelude::*;
+    use xlink_lab::prop::*;
 
     #[test]
     fn in_order_delivery() {
@@ -349,37 +344,42 @@ mod tests {
         assert_eq!(s.contiguous_offset(), 8);
     }
 
-    proptest! {
-        /// Deliver a message as arbitrarily fragmented, duplicated,
-        /// reordered STREAM frames; the reassembled bytes must equal the
-        /// original exactly.
-        #[test]
-        fn prop_reassembly_delivers_exact_bytes(
-            msg in proptest::collection::vec(any::<u8>(), 1..300),
-            order in proptest::collection::vec((0usize..300, 1usize..64, any::<bool>()), 1..60),
-        ) {
-            let mut s = RecvStream::new(1 << 30);
-            for (start, len, _dup) in &order {
-                let start = start % msg.len();
-                let end = (start + len).min(msg.len());
-                s.on_data(start as u64, &msg[start..end], end == msg.len()).unwrap();
-            }
-            // Finish by sending the whole message once.
-            s.on_data(0, &msg, true).unwrap();
-            let got = s.read(usize::MAX);
-            prop_assert_eq!(got, msg);
-            prop_assert!(s.is_complete());
-        }
+    /// Deliver a message as arbitrarily fragmented, duplicated,
+    /// reordered STREAM frames; the reassembled bytes must equal the
+    /// original exactly.
+    #[test]
+    fn prop_reassembly_delivers_exact_bytes() {
+        check(
+            "prop_reassembly_delivers_exact_bytes",
+            (bytes(1..300), vec_of((0usize..300, 1usize..64, any_bool()), 1..60)),
+            |(msg, order)| {
+                let mut s = RecvStream::new(1 << 30);
+                for (start, len, _dup) in order {
+                    let start = start % msg.len();
+                    let end = (start + len).min(msg.len());
+                    s.on_data(start as u64, &msg[start..end], end == msg.len()).unwrap();
+                }
+                // Finish by sending the whole message once.
+                s.on_data(0, msg, true).unwrap();
+                let got = s.read(usize::MAX);
+                prop_assert_eq!(&got, msg);
+                prop_assert!(s.is_complete());
+                Ok(())
+            },
+        );
+    }
 
-        /// Duplicate accounting: sending the same full message k times
-        /// counts (k-1)·len duplicate bytes.
-        #[test]
-        fn prop_duplicate_accounting(msg in proptest::collection::vec(any::<u8>(), 1..200), k in 2usize..5) {
+    /// Duplicate accounting: sending the same full message k times
+    /// counts (k-1)·len duplicate bytes.
+    #[test]
+    fn prop_duplicate_accounting() {
+        check("prop_duplicate_accounting", (bytes(1..200), 2usize..5), |(msg, k)| {
             let mut s = RecvStream::new(1 << 30);
-            for _ in 0..k {
-                s.on_data(0, &msg, false).unwrap();
+            for _ in 0..*k {
+                s.on_data(0, msg, false).unwrap();
             }
             prop_assert_eq!(s.duplicate_bytes(), ((k - 1) * msg.len()) as u64);
-        }
+            Ok(())
+        });
     }
 }

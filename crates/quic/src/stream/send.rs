@@ -180,12 +180,8 @@ impl SendStream {
         let mut start = range.start;
         let mut end = range.end;
         // Merge with overlapping/adjacent existing pending ranges.
-        let overlapping: Vec<u64> = self
-            .pending
-            .range(..=end)
-            .filter(|(_, &e)| e >= start)
-            .map(|(&s, _)| s)
-            .collect();
+        let overlapping: Vec<u64> =
+            self.pending.range(..=end).filter(|(_, &e)| e >= start).map(|(&s, _)| s).collect();
         for s in overlapping {
             let e = self.pending.remove(&s).expect("key exists");
             start = start.min(s);
@@ -280,8 +276,7 @@ impl SendStream {
             self.acked.insert_range(range.start, range.end - 1);
         }
         let all_acked = self.fin
-            && (self.buf.is_empty()
-                || self.acked.len() == self.buf.len() as u64)
+            && (self.buf.is_empty() || self.acked.len() == self.buf.len() as u64)
             && (fin || self.fin_acked_implicitly());
         if fin && self.fin && self.acked.len() == self.buf.len() as u64 {
             self.state = SendState::DataRecvd;
@@ -332,10 +327,7 @@ impl SendStream {
 
 /// Subtract a sorted sequence of half-open `(start, end)` intervals from
 /// `range`, returning the remaining gaps.
-fn subtract_ranges(
-    range: SendRange,
-    holes: impl Iterator<Item = (u64, u64)>,
-) -> Vec<SendRange> {
+fn subtract_ranges(range: SendRange, holes: impl Iterator<Item = (u64, u64)>) -> Vec<SendRange> {
     let mut out = Vec::new();
     let mut cursor = range.start;
     for (hs, he) in holes {
@@ -433,10 +425,7 @@ mod tests {
         s.finish();
         let (off, data, fin) = s.take_chunk(100).unwrap();
         assert!(fin);
-        assert!(s.on_range_acked(
-            SendRange { start: off, end: off + data.len() as u64 },
-            true
-        ));
+        assert!(s.on_range_acked(SendRange { start: off, end: off + data.len() as u64 }, true));
         assert_eq!(s.state(), SendState::DataRecvd);
         assert!(!s.has_pending());
     }
@@ -491,61 +480,61 @@ mod tests {
         assert_eq!((off, data.len()), (1, 6)); // merged 1..7
     }
 
-    proptest::proptest! {
-        /// The interval-arithmetic unacked_in_flight must match a
-        /// byte-by-byte model under arbitrary ack/loss/take interleavings.
-        #[test]
-        fn prop_unacked_matches_byte_model(ops in proptest::collection::vec((0u8..4, 0u64..120, 1u64..40), 0..40)) {
-            let mut s = SendStream::new(u64::MAX);
-            s.write(&[0xaa; 128]);
-            for (kind, a, b) in ops {
-                let start = a.min(127);
-                let end = (start + b).min(128);
-                match kind {
-                    0 => {
-                        let _ = s.take_chunk(b as usize);
-                    }
-                    1 => {
-                        s.on_range_acked(SendRange { start, end }, false);
-                    }
-                    2 => {
-                        s.on_range_lost(SendRange { start, end }, false);
-                    }
-                    _ => {
-                        s.queue_range(SendRange { start, end });
+    /// The interval-arithmetic unacked_in_flight must match a
+    /// byte-by-byte model under arbitrary ack/loss/take interleavings.
+    #[test]
+    fn prop_unacked_matches_byte_model() {
+        use xlink_lab::prop::*;
+        check(
+            "prop_unacked_matches_byte_model",
+            vec_of((0u8..4, 0u64..120, 1u64..40), 0..40),
+            |ops| {
+                let mut s = SendStream::new(u64::MAX);
+                s.write(&[0xaa; 128]);
+                for &(kind, a, b) in ops {
+                    let start = a.min(127);
+                    let end = (start + b).min(128);
+                    match kind {
+                        0 => {
+                            let _ = s.take_chunk(b as usize);
+                        }
+                        1 => {
+                            s.on_range_acked(SendRange { start, end }, false);
+                        }
+                        2 => {
+                            s.on_range_lost(SendRange { start, end }, false);
+                        }
+                        _ => {
+                            s.queue_range(SendRange { start, end });
+                        }
                     }
                 }
-            }
-            // Byte model.
-            let sent = s.largest_sent();
-            let mut model = Vec::new();
-            let mut off = 0u64;
-            while off < sent {
-                let in_pending = s
-                    .pending
-                    .range(..=off)
-                    .next_back()
-                    .is_some_and(|(_, &e)| e > off);
-                if s.acked.contains(off) || in_pending {
-                    off += 1;
-                    continue;
-                }
-                let start = off;
+                // Byte model.
+                let sent = s.largest_sent();
+                let mut model = Vec::new();
+                let mut off = 0u64;
                 while off < sent {
-                    let in_pending = s
-                        .pending
-                        .range(..=off)
-                        .next_back()
-                        .is_some_and(|(_, &e)| e > off);
+                    let in_pending =
+                        s.pending.range(..=off).next_back().is_some_and(|(_, &e)| e > off);
                     if s.acked.contains(off) || in_pending {
-                        break;
+                        off += 1;
+                        continue;
                     }
-                    off += 1;
+                    let start = off;
+                    while off < sent {
+                        let in_pending =
+                            s.pending.range(..=off).next_back().is_some_and(|(_, &e)| e > off);
+                        if s.acked.contains(off) || in_pending {
+                            break;
+                        }
+                        off += 1;
+                    }
+                    model.push(SendRange { start, end: off });
                 }
-                model.push(SendRange { start, end: off });
-            }
-            proptest::prop_assert_eq!(s.unacked_in_flight(), model);
-        }
+                prop_assert_eq!(s.unacked_in_flight(), model);
+                Ok(())
+            },
+        );
     }
 
     #[test]

@@ -189,7 +189,7 @@ pub fn varint_len(v: u64) -> usize {
 #[cfg(test)]
 mod tests {
     use super::*;
-    use proptest::prelude::*;
+    use xlink_lab::prop::*;
 
     fn roundtrip(v: u64) -> u64 {
         let mut w = Writer::new();
@@ -204,17 +204,7 @@ mod tests {
 
     #[test]
     fn varint_boundaries() {
-        for v in [
-            0,
-            1,
-            63,
-            64,
-            16383,
-            16384,
-            (1 << 30) - 1,
-            1 << 30,
-            VARINT_MAX,
-        ] {
+        for v in [0, 1, 63, 64, 16383, 16384, (1 << 30) - 1, 1 << 30, VARINT_MAX] {
             assert_eq!(roundtrip(v), v);
         }
     }
@@ -284,24 +274,28 @@ mod tests {
         assert_eq!(r.remaining(), 1);
     }
 
-    proptest! {
-        #[test]
-        fn prop_varint_roundtrip(v in 0u64..=VARINT_MAX) {
+    #[test]
+    fn prop_varint_roundtrip() {
+        check("prop_varint_roundtrip", 0u64..=VARINT_MAX, |&v| {
             prop_assert_eq!(roundtrip(v), v);
-        }
+            Ok(())
+        });
+    }
 
-        #[test]
-        fn prop_varint_sequence_roundtrip(vs in proptest::collection::vec(0u64..=VARINT_MAX, 0..64)) {
+    #[test]
+    fn prop_varint_sequence_roundtrip() {
+        check("prop_varint_sequence_roundtrip", vec_of(0u64..=VARINT_MAX, 0..64), |vs| {
             let mut w = Writer::new();
-            for &v in &vs {
+            for &v in vs {
                 w.varint(v);
             }
             let bytes = w.into_bytes();
             let mut r = Reader::new(&bytes);
-            for &v in &vs {
+            for &v in vs {
                 prop_assert_eq!(r.varint().unwrap(), v);
             }
             prop_assert!(r.is_empty());
-        }
+            Ok(())
+        });
     }
 }

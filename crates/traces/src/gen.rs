@@ -196,10 +196,7 @@ pub fn fig6_paths(seed: u64) -> (Trace, Trace) {
         r1.push((base + rng.gaussian() * 0.8).clamp(0.0, 24.0));
     }
     let r2 = random_walk(&mut rng, 6000, 7.0, 4.0, 11.0, 0.2);
-    (
-        rate_to_opportunities("fig6-path1", &r1),
-        rate_to_opportunities("fig6-path2", &r2),
-    )
+    (rate_to_opportunities("fig6-path1", &r1), rate_to_opportunities("fig6-path2", &r2))
 }
 
 /// Extreme-mobility trace pairs for the Fig. 13 study: ten (cellular,
@@ -265,11 +262,7 @@ mod tests {
     #[test]
     fn subway_has_hard_outages() {
         let t = subway_cellular(13, 60_000);
-        let zero_windows = t
-            .rate_series_mbps(500)
-            .iter()
-            .filter(|&&(_, r)| r < 0.05)
-            .count();
+        let zero_windows = t.rate_series_mbps(500).iter().filter(|&&(_, r)| r < 0.05).count();
         assert!(zero_windows >= 2, "expected outage windows, got {zero_windows}");
     }
 

@@ -24,9 +24,7 @@ pub fn parse_mahimahi(label: &str, text: &str) -> Result<Trace, String> {
         if line.is_empty() || line.starts_with('#') {
             continue;
         }
-        let v: u64 = line
-            .parse()
-            .map_err(|e| format!("line {}: {:?}: {e}", lineno + 1, line))?;
+        let v: u64 = line.parse().map_err(|e| format!("line {}: {:?}: {e}", lineno + 1, line))?;
         ops.push(v);
     }
     Ok(Trace::new(label, ops))

@@ -57,10 +57,7 @@ impl MediaStore {
 
     /// End of the first video frame for an object (0 if unknown).
     pub fn first_frame_end(&self, object: &str) -> u64 {
-        self.videos
-            .get(object)
-            .map(|v| v.first_frame_bytes())
-            .unwrap_or(0)
+        self.videos.get(object).map(|v| v.first_frame_bytes()).unwrap_or(0)
     }
 }
 
@@ -77,7 +74,9 @@ mod tests {
     #[test]
     fn body_bytes_deterministic_and_object_specific() {
         assert_eq!(MediaStore::body_byte("a", 5), MediaStore::body_byte("a", 5));
-        let same = (0..64).filter(|&o| MediaStore::body_byte("a", o) == MediaStore::body_byte("b", o)).count();
+        let same = (0..64)
+            .filter(|&o| MediaStore::body_byte("a", o) == MediaStore::body_byte("b", o))
+            .count();
         assert!(same < 20, "objects should differ: {same}/64 equal");
     }
 

@@ -17,12 +17,7 @@ use xlink::video::Video;
 fn main() {
     println!("Walking out of Wi-Fi coverage: 14s video, Wi-Fi outage 3-9s\n");
     let seed = 21;
-    for scheme in [
-        Scheme::Sp { path: 0 },
-        Scheme::VanillaMp,
-        Scheme::ReinjNoQoe,
-        Scheme::Xlink,
-    ] {
+    for scheme in [Scheme::Sp { path: 0 }, Scheme::VanillaMp, Scheme::ReinjNoQoe, Scheme::Xlink] {
         // Fresh paths per run (the generators are deterministic per seed).
         let wifi = PathSpec::new(
             WirelessTech::Wifi,

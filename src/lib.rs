@@ -25,6 +25,8 @@
 //! * [`energy`] (`xlink-energy`) — the radio energy model.
 //! * [`harness`] (`xlink-harness`) — sessions, A/B populations, and one
 //!   module per paper table/figure.
+//! * [`lab`] (`xlink-lab`) — deterministic lab tooling: seeded RNG,
+//!   property-testing harness, micro-bench harness, shared statistics.
 //!
 //! ## Quickstart
 //!
@@ -50,6 +52,7 @@ pub use xlink_clock as clock;
 pub use xlink_core as core;
 pub use xlink_energy as energy;
 pub use xlink_harness as harness;
+pub use xlink_lab as lab;
 pub use xlink_mptcp as mptcp;
 pub use xlink_netsim as netsim;
 pub use xlink_quic as quic;

@@ -1,71 +1,92 @@
 //! Workspace-level property tests: invariants that must hold across
 //! crate boundaries under randomized inputs.
 
-use proptest::prelude::*;
 use xlink::clock::{Duration, Instant};
 use xlink::core::{play_time_left, reinjection_decision, QoeControl, QoeSignal};
+use xlink::lab::prop::*;
 use xlink::netsim::{Link, LinkConfig};
 use xlink::traces::{parse_mahimahi, to_mahimahi, Trace};
 
-proptest! {
-    #![proptest_config(ProptestConfig::with_cases(64))]
+/// Algorithm 1 is monotone in buffer occupancy: with everything else
+/// fixed, a larger buffer never turns re-injection ON when a smaller
+/// buffer had it OFF.
+#[test]
+fn alg1_monotone_in_buffer() {
+    check(
+        "alg1_monotone_in_buffer",
+        (0u64..600, 0u64..600, 1u64..2000),
+        |&(frames_a, frames_b, deliver_ms)| {
+            let (lo, hi) =
+                if frames_a <= frames_b { (frames_a, frames_b) } else { (frames_b, frames_a) };
+            let control = QoeControl::double_threshold_ms(300, 1500);
+            let mk = |frames| QoeSignal { cached_bytes: 0, cached_frames: frames, bps: 0, fps: 30 };
+            let d = Some(Duration::from_millis(deliver_ms));
+            let on_lo = reinjection_decision(control, Some(&mk(lo)), d);
+            let on_hi = reinjection_decision(control, Some(&mk(hi)), d);
+            // on_hi implies on_lo (more buffer can only reduce urgency).
+            prop_assert!(!on_hi || on_lo, "lo={lo} off but hi={hi} on");
+            Ok(())
+        },
+    );
+}
 
-    /// Algorithm 1 is monotone in buffer occupancy: with everything else
-    /// fixed, a larger buffer never turns re-injection ON when a smaller
-    /// buffer had it OFF.
-    #[test]
-    fn alg1_monotone_in_buffer(frames_a in 0u64..600, frames_b in 0u64..600,
-                               deliver_ms in 1u64..2000) {
-        let (lo, hi) = if frames_a <= frames_b { (frames_a, frames_b) } else { (frames_b, frames_a) };
-        let control = QoeControl::double_threshold_ms(300, 1500);
-        let mk = |frames| QoeSignal { cached_bytes: 0, cached_frames: frames, bps: 0, fps: 30 };
-        let d = Some(Duration::from_millis(deliver_ms));
-        let on_lo = reinjection_decision(control, Some(&mk(lo)), d);
-        let on_hi = reinjection_decision(control, Some(&mk(hi)), d);
-        // on_hi implies on_lo (more buffer can only reduce urgency).
-        prop_assert!(!on_hi || on_lo, "lo={lo} off but hi={hi} on");
-    }
+/// Play-time-left is the conservative minimum of its two estimates.
+#[test]
+fn play_time_is_min_of_estimates() {
+    check(
+        "play_time_is_min_of_estimates",
+        (1u64..10_000_000, 1u64..10_000, 1u64..50_000_000, 1u64..120),
+        |&(bytes, frames, bps, fps)| {
+            let q = QoeSignal { cached_bytes: bytes, cached_frames: frames, bps, fps };
+            let dt = play_time_left(&q).expect("both estimates available");
+            let by_frames = Duration::from_micros(frames * 1_000_000 / fps);
+            let by_bytes = Duration::from_micros(bytes * 8 * 1_000_000 / bps);
+            prop_assert_eq!(dt, by_frames.min(by_bytes));
+            Ok(())
+        },
+    );
+}
 
-    /// Play-time-left is the conservative minimum of its two estimates.
-    #[test]
-    fn play_time_is_min_of_estimates(bytes in 1u64..10_000_000, frames in 1u64..10_000,
-                                     bps in 1u64..50_000_000, fps in 1u64..120) {
-        let q = QoeSignal { cached_bytes: bytes, cached_frames: frames, bps, fps };
-        let dt = play_time_left(&q).expect("both estimates available");
-        let by_frames = Duration::from_micros(frames * 1_000_000 / fps);
-        let by_bytes = Duration::from_micros(bytes * 8 * 1_000_000 / bps);
-        prop_assert_eq!(dt, by_frames.min(by_bytes));
-    }
-
-    /// A trace survives a Mahimahi round-trip byte-exactly.
-    #[test]
-    fn trace_mahimahi_roundtrip(ops in proptest::collection::vec(0u64..100_000, 0..500)) {
-        let t = Trace::new("prop", ops);
+/// A trace survives a Mahimahi round-trip byte-exactly.
+#[test]
+fn trace_mahimahi_roundtrip() {
+    check("trace_mahimahi_roundtrip", vec_of(0u64..100_000, 0..500), |ops| {
+        let t = Trace::new("prop", ops.clone());
         let back = parse_mahimahi("prop", &to_mahimahi(&t)).expect("parses");
         prop_assert_eq!(back.opportunities_ms, t.opportunities_ms);
-    }
+        Ok(())
+    });
+}
 
-    /// Link conservation: every packet sent is either delivered exactly
-    /// once or counted dropped — never duplicated, never lost silently.
-    #[test]
-    fn link_conserves_packets(n in 1usize..80, loss in 0.0f64..0.5, queue_kb in 2usize..64) {
-        let mut link = Link::new(LinkConfig {
-            trace_ms: (0..1000).collect(),
-            delay: Duration::from_millis(5),
-            queue_bytes: queue_kb * 1024,
-            loss,
-            seed: 42,
-        });
-        for i in 0..n {
-            link.send(Instant::from_millis(i as u64), vec![i as u8; 1000]);
-        }
-        let delivered = link.recv(Instant::from_secs(100)).len() as u64;
-        prop_assert_eq!(delivered + link.dropped_packets, n as u64);
-    }
+/// Link conservation: every packet sent is either delivered exactly
+/// once or counted dropped — never duplicated, never lost silently.
+#[test]
+fn link_conserves_packets() {
+    check(
+        "link_conserves_packets",
+        (1usize..80, 0.0f64..0.5, 2usize..64),
+        |&(n, loss, queue_kb)| {
+            let mut link = Link::new(LinkConfig {
+                trace_ms: (0..1000).collect(),
+                delay: Duration::from_millis(5),
+                queue_bytes: queue_kb * 1024,
+                loss,
+                seed: 42,
+            });
+            for i in 0..n {
+                link.send(Instant::from_millis(i as u64), vec![i as u8; 1000]);
+            }
+            let delivered = link.recv(Instant::from_secs(100)).len() as u64;
+            prop_assert_eq!(delivered + link.dropped_packets, n as u64);
+            Ok(())
+        },
+    );
+}
 
-    /// Delivered packets preserve payload bytes and FIFO order.
-    #[test]
-    fn link_preserves_order_and_content(n in 1usize..50) {
+/// Delivered packets preserve payload bytes and FIFO order.
+#[test]
+fn link_preserves_order_and_content() {
+    check("link_preserves_order_and_content", 1usize..50, |&n| {
         let mut link = Link::new(LinkConfig {
             trace_ms: (0..1000).collect(),
             delay: Duration::from_millis(1),
@@ -82,7 +103,8 @@ proptest! {
             prop_assert_eq!(d.payload.len(), 100 + i);
             prop_assert!(d.payload.iter().all(|&b| b == i as u8));
         }
-    }
+        Ok(())
+    });
 }
 
 /// Deterministic replay: the same seeded session gives bit-identical
