@@ -19,6 +19,9 @@ cargo build --release --offline
 echo "==> cargo test -q --offline"
 cargo test -q --offline
 
+echo "==> impairment robustness sweep (8 seeds)"
+XLINK_SWEEP_SEEDS=8 cargo test -q --offline --test impairments
+
 echo "==> benches (smoke mode: 1 iteration/sample, JSON schema check only)"
 cargo bench -p xlink-bench --offline --bench micro -- --smoke
 cargo bench -p xlink-bench --offline --bench end_to_end -- --smoke

@@ -213,6 +213,13 @@ impl MpPath {
         self.cc.window()
     }
 
+    /// Received packet-number ranges on this path, ascending inclusive
+    /// pairs (robustness tests assert these stay sane under adversarial
+    /// datagrams).
+    pub fn recv_pn_ranges(&self) -> Vec<(u64, u64)> {
+        self.recv_ranges.iter().map(|r| (r.start, r.end)).collect()
+    }
+
     /// Bytes currently in flight on this path.
     pub fn bytes_in_flight(&self) -> u64 {
         self.recovery.bytes_in_flight()
@@ -673,6 +680,16 @@ impl MpConnection {
             Frame::Padding(_) | Frame::Ping => {}
             Frame::Crypto { data, .. } => {
                 if self.handshake.is_complete() {
+                    // A client retransmitting its hello means our reply
+                    // was lost (the client cannot finish without it), so
+                    // queue a resend instead of ignoring the duplicate.
+                    // Only the server reacts: the client recovers via PTO
+                    // while keyless, and reacting on both sides would let
+                    // a duplicated hello ping-pong forever.
+                    if self.cfg.side == Side::Server {
+                        self.handshake_sent = false;
+                        self.handshake_done_sent = false;
+                    }
                     return;
                 }
                 let Ok(hello) = Hello::decode(&data) else {

@@ -6,7 +6,7 @@
 use crate::transport::{Conn, Scheme, TransportStats, TransportTuning};
 use xlink_clock::{Duration, Instant};
 use xlink_mptcp::{MptcpConfig, MptcpConnection};
-use xlink_netsim::{Endpoint, Path, PathEvent, Transmit, World};
+use xlink_netsim::{Endpoint, FlapSchedule, Path, PathEvent, Stats, Transmit, World};
 use xlink_video::{MediaStore, Request, Response, Video};
 
 /// Result of one bulk download.
@@ -23,6 +23,9 @@ pub struct BulkResult {
     pub server_transport: Option<TransportStats>,
     /// Server per-path wire-byte split.
     pub server_bytes_per_path: Vec<(usize, u64)>,
+    /// Per-path link conservation counters, (up, down), harvested after
+    /// the run (for the impairment robustness suite).
+    pub link_stats: Vec<(Stats, Stats)>,
 }
 
 /// QUIC-family bulk client.
@@ -151,7 +154,21 @@ pub fn run_bulk_quic(
     events: Vec<PathEvent>,
     deadline: Duration,
 ) -> BulkResult {
-    run_bulk_quic_with_qoe(scheme, tuning, size, seed, paths, events, deadline, None)
+    run_bulk_quic_full(scheme, tuning, size, seed, paths, events, Vec::new(), deadline, None)
+}
+
+/// Like [`run_bulk_quic`] but with scripted flap schedules instead of
+/// simple up/down events.
+pub fn run_bulk_quic_flapped(
+    scheme: Scheme,
+    tuning: &TransportTuning,
+    size: u64,
+    seed: u64,
+    paths: Vec<Path>,
+    flaps: Vec<(usize, FlapSchedule)>,
+    deadline: Duration,
+) -> BulkResult {
+    run_bulk_quic_full(scheme, tuning, size, seed, paths, Vec::new(), flaps, deadline, None)
 }
 
 /// Like [`run_bulk_quic`] but advertising a fixed QoE snapshot (e.g. a
@@ -164,6 +181,21 @@ pub fn run_bulk_quic_with_qoe(
     seed: u64,
     paths: Vec<Path>,
     events: Vec<PathEvent>,
+    deadline: Duration,
+    qoe: Option<xlink_core::QoeSignal>,
+) -> BulkResult {
+    run_bulk_quic_full(scheme, tuning, size, seed, paths, events, Vec::new(), deadline, qoe)
+}
+
+#[allow(clippy::too_many_arguments)]
+fn run_bulk_quic_full(
+    scheme: Scheme,
+    tuning: &TransportTuning,
+    size: u64,
+    seed: u64,
+    paths: Vec<Path>,
+    events: Vec<PathEvent>,
+    flaps: Vec<(usize, FlapSchedule)>,
     deadline: Duration,
     qoe: Option<xlink_core::QoeSignal>,
 ) -> BulkResult {
@@ -192,7 +224,8 @@ pub fn run_bulk_quic_with_qoe(
         buffers: Default::default(),
         first_frame_accel: true,
     };
-    let mut world = World::new(client, server, paths).with_path_events(events);
+    let mut world =
+        World::new(client, server, paths).with_path_events(events).with_flap_schedules(flaps);
     let end = world.run_until(Instant::ZERO + deadline);
     BulkResult {
         download_time: world.client.done_at.map(|t| t.saturating_duration_since(Instant::ZERO)),
@@ -200,6 +233,7 @@ pub fn run_bulk_quic_with_qoe(
         client_transport: Some(world.client.conn.stats()),
         server_transport: Some(world.server.conn.stats()),
         server_bytes_per_path: world.server.conn.bytes_per_path(),
+        link_stats: world.paths.iter().map(|p| p.stats()).collect(),
     }
     .tap_end(end)
 }
@@ -295,6 +329,18 @@ pub fn run_bulk_mptcp(
     events: Vec<PathEvent>,
     deadline: Duration,
 ) -> BulkResult {
+    run_bulk_mptcp_flapped(size, num_paths, paths, events, Vec::new(), deadline)
+}
+
+/// [`run_bulk_mptcp`] with scripted flap schedules.
+pub fn run_bulk_mptcp_flapped(
+    size: u64,
+    num_paths: usize,
+    paths: Vec<Path>,
+    events: Vec<PathEvent>,
+    flaps: Vec<(usize, FlapSchedule)>,
+    deadline: Duration,
+) -> BulkResult {
     let client = MptcpClientEp {
         conn: MptcpConnection::new(MptcpConfig {
             is_client: true,
@@ -314,7 +360,8 @@ pub fn run_bulk_mptcp(
         responded: false,
         request_buf: Vec::new(),
     };
-    let mut world = World::new(client, server, paths).with_path_events(events);
+    let mut world =
+        World::new(client, server, paths).with_path_events(events).with_flap_schedules(flaps);
     world.run_until(Instant::ZERO + deadline);
     BulkResult {
         download_time: world.client.done_at.map(|t| t.saturating_duration_since(Instant::ZERO)),
@@ -322,6 +369,7 @@ pub fn run_bulk_mptcp(
         client_transport: None,
         server_transport: None,
         server_bytes_per_path: Vec::new(),
+        link_stats: world.paths.iter().map(|p| p.stats()).collect(),
     }
 }
 

@@ -15,7 +15,9 @@ pub mod video_session;
 pub mod experiments;
 
 pub use ab::{run_ab, AbConfig, DayOutcome};
-pub use bulk::{run_bulk_mptcp, run_bulk_quic, BulkResult};
+pub use bulk::{
+    run_bulk_mptcp, run_bulk_mptcp_flapped, run_bulk_quic, run_bulk_quic_flapped, BulkResult,
+};
 pub use scenario::{draw_user_paths, PathSpec};
 pub use transport::{Conn, Scheme, TransportStats, TransportTuning};
 pub use video_session::{run_session, run_session_with_events, SessionConfig, SessionResult};

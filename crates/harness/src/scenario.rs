@@ -4,7 +4,7 @@
 
 use xlink_clock::Duration;
 use xlink_core::WirelessTech;
-use xlink_netsim::{LinkConfig, Path, Rng};
+use xlink_netsim::{Impairments, LinkConfig, Path, Rng};
 use xlink_traces::Trace;
 
 /// The measured relative increase of cross-ISP LTE delay (Table 4), in
@@ -28,6 +28,8 @@ pub struct PathSpec {
     pub loss: f64,
     /// Seed for the path's loss process.
     pub seed: u64,
+    /// Impairment stages applied to both directions.
+    pub impairments: Impairments,
 }
 
 impl PathSpec {
@@ -40,6 +42,7 @@ impl PathSpec {
             extra_delay: Duration::ZERO,
             loss: 0.0,
             seed,
+            impairments: Impairments::none(),
         }
     }
 
@@ -64,6 +67,12 @@ impl PathSpec {
         self
     }
 
+    /// Apply impairment stages to both directions of the path.
+    pub fn with_impairments(mut self, impairments: Impairments) -> Self {
+        self.impairments = impairments;
+        self
+    }
+
     /// Total one-way delay of this path.
     pub fn one_way_delay(&self) -> Duration {
         Duration::from_millis(self.tech.typical_one_way_delay_ms()) + self.extra_delay
@@ -78,6 +87,7 @@ impl PathSpec {
             queue_bytes: 384 * 1024,
             loss: self.loss,
             seed,
+            impairments: self.impairments.clone(),
         };
         Path::new(mk(&self.up_trace, self.seed), mk(&self.down_trace, self.seed ^ 0xd0))
     }

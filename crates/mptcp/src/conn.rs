@@ -65,6 +65,8 @@ struct SentSeg {
 struct Subflow {
     established: bool,
     syn_sent: bool,
+    /// When the (last) SYN went out, for handshake retransmission.
+    syn_time: Option<Instant>,
     rtt: RttEstimator,
     cc: Box<dyn CongestionController>,
     /// Unacked segments on this subflow, keyed by data-level seq.
@@ -80,6 +82,7 @@ impl Subflow {
         Subflow {
             established: false,
             syn_sent: false,
+            syn_time: None,
             rtt: RttEstimator::new(),
             cc,
             inflight: BTreeMap::new(),
@@ -101,6 +104,9 @@ impl Subflow {
     }
 
     fn next_timeout(&self) -> Option<Instant> {
+        if self.syn_sent && !self.established {
+            return self.syn_time.map(|t| t + self.rto());
+        }
         let oldest = self.inflight.values().map(|s| s.time_sent).min()?;
         Some(oldest + self.rto())
     }
@@ -215,6 +221,12 @@ impl MptcpConnection {
         let Some(seg) = Segment::decode(datagram) else {
             return;
         };
+        // Any valid segment on a subflow we SYNed proves the path works
+        // both ways (e.g. the SYNACK itself was corrupted but a later
+        // ACK got through) — treat it as establishment.
+        if self.subflows[path].syn_sent && !self.subflows[path].established {
+            self.subflows[path].established = true;
+        }
         match seg.kind {
             Kind::Syn => {
                 self.subflows[path].established = true;
@@ -413,6 +425,7 @@ impl MptcpConnection {
         for i in 0..self.subflows.len() {
             if self.cfg.is_client && !self.subflows[i].established && !self.subflows[i].syn_sent {
                 self.subflows[i].syn_sent = true;
+                self.subflows[i].syn_time = Some(now);
                 self.subflows[i].last_send = now;
                 return Some((
                     i,
@@ -575,6 +588,18 @@ impl MptcpConnection {
             }
         }
         for sf in &mut self.subflows {
+            if sf.syn_sent && !sf.established {
+                // Handshake RTO: a lost or corrupted SYN/SYNACK would
+                // otherwise strand the subflow forever.
+                if let Some(t) = sf.syn_time {
+                    if now >= t + sf.rto() {
+                        sf.syn_sent = false; // resend the SYN
+                        sf.syn_time = None;
+                        sf.rto_count += 1;
+                    }
+                }
+                continue;
+            }
             let Some(deadline) = sf.next_timeout() else { continue };
             if now < deadline {
                 continue;

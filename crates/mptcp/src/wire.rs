@@ -1,10 +1,14 @@
 //! Wire format for the MPTCP-like baseline: a compact segment header.
 //!
-//! `[kind u8 | subflow u8 | seq u64 | ack u64 | window u32 | len u16 | payload]`
+//! `[kind u8 | subflow u8 | seq u64 | ack u64 | window u32 | len u16 |
+//! cksum u16 | payload]`
 //!
 //! `seq`/`ack` are *data-level* byte sequence numbers (the MPTCP DSS
 //! mapping collapsed to one level, which is sufficient because each
-//! segment is tracked per subflow on the sender side).
+//! segment is tracked per subflow on the sender side). The checksum
+//! (Internet-style ones-complement sum over header and payload) plays
+//! TCP's role: a corrupted segment is discarded and recovered by
+//! retransmission instead of poisoning reassembly state.
 
 /// Segment type.
 #[derive(Debug, Clone, Copy, PartialEq, Eq)]
@@ -61,8 +65,25 @@ pub struct Segment {
     pub payload: Vec<u8>,
 }
 
-/// Fixed header size.
-pub const HEADER_LEN: usize = 1 + 1 + 8 + 8 + 4 + 2;
+/// Fixed header size (trailing u16 is the checksum).
+pub const HEADER_LEN: usize = 1 + 1 + 8 + 8 + 4 + 2 + 2;
+/// Byte offset of the checksum field within the header.
+const CKSUM_OFFSET: usize = HEADER_LEN - 2;
+
+/// Internet-style ones-complement 16-bit sum over `buf`, treating the
+/// two bytes at `hole` (the checksum field itself) as zero.
+fn checksum(buf: &[u8], hole: usize) -> u16 {
+    let mut sum: u32 = 0;
+    for (i, chunk) in buf.chunks(2).enumerate() {
+        if i * 2 == hole {
+            continue;
+        }
+        let word = (u32::from(chunk[0]) << 8) | chunk.get(1).copied().map_or(0, u32::from);
+        sum += word;
+        sum = (sum & 0xffff) + (sum >> 16);
+    }
+    !(sum as u16)
+}
 
 impl Segment {
     /// Encode to wire bytes.
@@ -74,11 +95,15 @@ impl Segment {
         out.extend_from_slice(&self.ack.to_be_bytes());
         out.extend_from_slice(&self.window.to_be_bytes());
         out.extend_from_slice(&(self.payload.len() as u16).to_be_bytes());
+        out.extend_from_slice(&[0, 0]); // checksum placeholder
         out.extend_from_slice(&self.payload);
+        let ck = checksum(&out, CKSUM_OFFSET);
+        out[CKSUM_OFFSET..CKSUM_OFFSET + 2].copy_from_slice(&ck.to_be_bytes());
         out
     }
 
-    /// Decode from wire bytes.
+    /// Decode from wire bytes; `None` on truncation, garbage, or a
+    /// checksum mismatch (corruption is treated as loss).
     pub fn decode(buf: &[u8]) -> Option<Segment> {
         if buf.len() < HEADER_LEN {
             return None;
@@ -90,6 +115,10 @@ impl Segment {
         let window = u32::from_be_bytes(buf[18..22].try_into().ok()?);
         let len = u16::from_be_bytes(buf[22..24].try_into().ok()?) as usize;
         if buf.len() != HEADER_LEN + len {
+            return None;
+        }
+        let stored = u16::from_be_bytes(buf[CKSUM_OFFSET..HEADER_LEN].try_into().ok()?);
+        if checksum(buf, CKSUM_OFFSET) != stored {
             return None;
         }
         Some(Segment { kind, subflow, seq, ack, window, payload: buf[HEADER_LEN..].to_vec() })
@@ -134,5 +163,29 @@ mod tests {
         let mut extra = enc;
         extra.push(0);
         assert!(Segment::decode(&extra).is_none());
+    }
+
+    #[test]
+    fn decode_rejects_bit_corruption_anywhere() {
+        let s = Segment {
+            kind: Kind::Data,
+            subflow: 1,
+            seq: 77,
+            ack: 33,
+            window: 4096,
+            payload: (0..64u8).collect(),
+        };
+        let enc = s.encode();
+        for byte in 0..enc.len() {
+            for bit in [0u8, 3, 7] {
+                let mut bad = enc.clone();
+                bad[byte] ^= 1 << bit;
+                let decoded = Segment::decode(&bad);
+                assert!(
+                    decoded.is_none() || decoded == Some(s.clone()),
+                    "corrupted byte {byte} bit {bit} must not decode to a different segment"
+                );
+            }
+        }
     }
 }

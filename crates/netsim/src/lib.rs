@@ -2,10 +2,12 @@
 //! links — the controlled-experiment substrate standing in for the
 //! paper's `mpshell` setup (Appendix B).
 
+pub mod impair;
 pub mod link;
 pub mod rng;
 pub mod world;
 
-pub use link::{Delivered, Link, LinkConfig, OPPORTUNITY_BYTES};
+pub use impair::{FlapSchedule, FlapStep, GilbertElliott, Impairment, Impairments, LinkState};
+pub use link::{Delivered, Link, LinkConfig, Stats, OPPORTUNITY_BYTES};
 pub use rng::Rng;
 pub use world::{Endpoint, Path, PathEvent, Transmit, World};

@@ -5,7 +5,8 @@
 //! the classic poll loop: deliver arrived datagrams, let endpoints
 //! transmit, fire timers, then jump virtual time to the next event.
 
-use crate::link::{Link, LinkConfig};
+use crate::impair::FlapSchedule;
+use crate::link::{Link, LinkConfig, Stats};
 use xlink_clock::{Duration, Instant};
 
 /// A datagram an endpoint wants to transmit.
@@ -68,6 +69,18 @@ impl Path {
         self.up.set_down(down);
         self.down.set_down(down);
     }
+
+    /// Apply a scripted [`LinkState`](crate::impair::LinkState) to both
+    /// directions.
+    pub fn set_state(&mut self, state: crate::impair::LinkState) {
+        self.up.set_state(state);
+        self.down.set_state(state);
+    }
+
+    /// Conservation-counter snapshots for (up, down).
+    pub fn stats(&self) -> (Stats, Stats) {
+        (self.up.stats(), self.down.stats())
+    }
 }
 
 /// A scheduled path up/down flip (handoff scripting for the mobility
@@ -95,6 +108,8 @@ pub struct World<C: Endpoint, S: Endpoint> {
     /// Scripted path events, sorted by time.
     events: Vec<PathEvent>,
     next_event_idx: usize,
+    /// Scripted flap schedules: (path index, schedule, next step index).
+    flaps: Vec<(usize, FlapSchedule, usize)>,
     /// Safety valve for runaway loops.
     max_iterations: u64,
 }
@@ -109,6 +124,7 @@ impl<C: Endpoint, S: Endpoint> World<C, S> {
             now: Instant::ZERO,
             events: Vec::new(),
             next_event_idx: 0,
+            flaps: Vec::new(),
             max_iterations: 50_000_000,
         }
     }
@@ -117,6 +133,13 @@ impl<C: Endpoint, S: Endpoint> World<C, S> {
     pub fn with_path_events(mut self, mut events: Vec<PathEvent>) -> Self {
         events.sort_by_key(|e| e.at);
         self.events = events;
+        self
+    }
+
+    /// Add scripted up/down/degrade schedules per path (the generalized
+    /// form of [`with_path_events`](Self::with_path_events)).
+    pub fn with_flap_schedules(mut self, flaps: Vec<(usize, FlapSchedule)>) -> Self {
+        self.flaps = flaps.into_iter().map(|(p, s)| (p, s, 0)).collect();
         self
     }
 
@@ -142,6 +165,15 @@ impl<C: Endpoint, S: Endpoint> World<C, S> {
                 self.next_event_idx += 1;
                 if let Some(p) = self.paths.get_mut(e.path) {
                     p.set_down(e.down);
+                }
+            }
+            // Apply flap-schedule steps due now.
+            for (path, sched, idx) in &mut self.flaps {
+                while let Some(step) = sched.steps().get(*idx).filter(|s| s.at <= self.now) {
+                    if let Some(p) = self.paths.get_mut(*path) {
+                        p.set_state(step.state);
+                    }
+                    *idx += 1;
                 }
             }
             // Deliver arrived datagrams.
@@ -213,6 +245,9 @@ impl<C: Endpoint, S: Endpoint> World<C, S> {
             if self.next_event_idx < self.events.len() {
                 consider(Some(self.events[self.next_event_idx].at));
             }
+            for (_, sched, idx) in &self.flaps {
+                consider(sched.steps().get(*idx).map(|s| s.at));
+            }
             match next {
                 Some(t) if t > self.now => {
                     self.now = t.min(deadline);
@@ -273,6 +308,7 @@ mod tests {
             queue_bytes: 10_000_000,
             loss: 0.0,
             seed: 7,
+            impairments: crate::impair::Impairments::none(),
         })
     }
 
@@ -322,6 +358,19 @@ mod tests {
         w.run_until(Instant::from_secs(5));
         assert_eq!(w.server.received.len(), 1);
         assert!(w.server.received[0].0 >= Instant::from_millis(200));
+    }
+
+    #[test]
+    fn flap_schedule_delays_delivery() {
+        use crate::impair::FlapSchedule;
+        let sched = FlapSchedule::outage(Instant::ZERO, Instant::from_millis(200));
+        let mut w = World::new(blaster(1, 0, 0), blaster(0, 0, 1), vec![fast_path(0)])
+            .with_flap_schedules(vec![(0, sched)]);
+        w.run_until(Instant::from_secs(5));
+        assert_eq!(w.server.received.len(), 1);
+        assert!(w.server.received[0].0 >= Instant::from_millis(200));
+        let (up, _) = w.paths[0].stats();
+        assert!(up.is_conserved());
     }
 
     #[test]

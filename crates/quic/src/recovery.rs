@@ -13,8 +13,15 @@ use crate::rtt::RttEstimator;
 use std::collections::BTreeMap;
 use xlink_clock::{Duration, Instant};
 
-/// Reordering threshold in packets (RFC 9002 §6.1.1).
+/// Initial reordering threshold in packets (RFC 9002 §6.1.1). The
+/// threshold adapts upward (RACK-style) when spurious losses reveal
+/// deeper reordering on the path.
 pub const PACKET_THRESHOLD: u64 = 3;
+/// Upper bound for the adaptive reordering threshold.
+pub const MAX_PACKET_THRESHOLD: u64 = 64;
+/// How many recently-declared-lost packets we remember for spurious-loss
+/// detection (bounds memory under pathological reordering).
+const LOST_HISTORY_CAP: usize = 1024;
 /// Time threshold numerator/denominator (9/8).
 pub const TIME_THRESHOLD_NUM: u32 = 9;
 /// See [`TIME_THRESHOLD_NUM`].
@@ -65,6 +72,13 @@ pub struct Recovery<T> {
     loss_time: Option<Instant>,
     pto_count: u32,
     bytes_in_flight: u64,
+    /// Current (adaptive) packet-reordering threshold.
+    packet_threshold: u64,
+    /// Recently declared-lost packets → reorder gap at declaration, kept
+    /// to recognize late ACKs for them as spurious losses.
+    recent_lost: BTreeMap<u64, u64>,
+    /// Losses later contradicted by an ACK (reordering, not loss).
+    spurious_losses: u64,
 }
 
 impl<T> Default for Recovery<T> {
@@ -84,7 +98,21 @@ impl<T> Recovery<T> {
             loss_time: None,
             pto_count: 0,
             bytes_in_flight: 0,
+            packet_threshold: PACKET_THRESHOLD,
+            recent_lost: BTreeMap::new(),
+            spurious_losses: 0,
         }
+    }
+
+    /// Current packet-reordering threshold (≥ [`PACKET_THRESHOLD`]; grows
+    /// when spurious losses show the path reorders more deeply).
+    pub fn packet_threshold(&self) -> u64 {
+        self.packet_threshold
+    }
+
+    /// Losses later contradicted by an ACK of the "lost" packet.
+    pub fn spurious_losses(&self) -> u64 {
+        self.spurious_losses
     }
 
     /// Allocate the next packet number (without sending).
@@ -157,6 +185,17 @@ impl<T> Recovery<T> {
         let mut out = AckOutcome { acked: Vec::new(), lost: Vec::new(), rtt_sample: None };
         let mut largest_newly_acked: Option<(u64, Instant, bool)> = None;
         for (start, end) in ranges {
+            // A late ACK for a packet we already declared lost means the
+            // packet was reordered, not lost: widen the reordering
+            // threshold to the observed gap so the path's skew stops
+            // triggering spurious retransmits.
+            let spurious: Vec<u64> = self.recent_lost.range(start..=end).map(|(k, _)| *k).collect();
+            for pn in spurious {
+                let gap = self.recent_lost.remove(&pn).expect("key just seen");
+                self.spurious_losses += 1;
+                self.packet_threshold =
+                    self.packet_threshold.max(gap + 1).min(MAX_PACKET_THRESHOLD);
+            }
             // Collect keys in range first (BTreeMap range + remove).
             let keys: Vec<u64> = self.sent.range(start..=end).map(|(k, _)| *k).collect();
             for k in keys {
@@ -212,7 +251,7 @@ impl<T> Recovery<T> {
             if pn > largest_acked {
                 break; // only packets older than the largest ack can be lost
             }
-            if largest_acked >= pn + PACKET_THRESHOLD
+            if largest_acked >= pn + self.packet_threshold
                 || lost_send_time.is_some_and(|t| p.time_sent <= t)
             {
                 to_remove.push(pn);
@@ -227,6 +266,11 @@ impl<T> Recovery<T> {
             let p = self.sent.remove(&pn).expect("key just seen");
             if p.in_flight {
                 self.bytes_in_flight = self.bytes_in_flight.saturating_sub(p.size);
+            }
+            self.recent_lost.insert(pn, largest_acked.saturating_sub(pn));
+            while self.recent_lost.len() > LOST_HISTORY_CAP {
+                let oldest = *self.recent_lost.keys().next().expect("non-empty");
+                self.recent_lost.remove(&oldest);
             }
             lost.push(p);
         }
@@ -437,6 +481,45 @@ mod tests {
         assert_eq!(rec.in_flight_count(), 0);
         // Packet numbers keep increasing after a drain.
         assert_eq!(rec.on_packet_sent(t(10), 500, true, 9), 4);
+    }
+
+    #[test]
+    fn spurious_loss_widens_packet_threshold() {
+        let mut rec: Recovery<u32> = Recovery::new();
+        let mut rtt = rtt_with(50);
+        for i in 0..6 {
+            rec.on_packet_sent(t(i), 1000, true, i as u32);
+        }
+        // Ack pn 4: pns 0,1 are ≥3 behind → declared lost.
+        let out = rec.on_ack_received(t(20), [(4, 4)].into_iter(), &mut rtt, Duration::ZERO);
+        assert_eq!(out.lost.iter().map(|p| p.pn).collect::<Vec<_>>(), vec![0, 1]);
+        assert_eq!(rec.packet_threshold(), PACKET_THRESHOLD);
+        // The "lost" packets were merely reordered: their ACK arrives late
+        // (together with the rest of the window).
+        rec.on_ack_received(t(25), [(0, 5)].into_iter(), &mut rtt, Duration::ZERO);
+        assert_eq!(rec.spurious_losses(), 2);
+        // Gap at declaration was 4 (pn 0 vs largest_acked 4) → threshold 5.
+        assert_eq!(rec.packet_threshold(), 5);
+        // The same reordering depth no longer triggers loss.
+        for i in 6..11 {
+            rec.on_packet_sent(t(i), 1000, true, i as u32);
+        }
+        let out = rec.on_ack_received(t(40), [(10, 10)].into_iter(), &mut rtt, Duration::ZERO);
+        assert!(out.lost.is_empty(), "gap of 4 is within the widened threshold");
+    }
+
+    #[test]
+    fn packet_threshold_capped() {
+        let mut rec: Recovery<()> = Recovery::new();
+        let mut rtt = rtt_with(50);
+        for i in 0..200 {
+            rec.on_packet_sent(t(i), 100, true, ());
+        }
+        rec.on_ack_received(t(300), [(199, 199)].into_iter(), &mut rtt, Duration::ZERO);
+        // Everything below was declared lost; ack it all late.
+        rec.on_ack_received(t(301), [(0, 198)].into_iter(), &mut rtt, Duration::ZERO);
+        assert!(rec.spurious_losses() > 0);
+        assert_eq!(rec.packet_threshold(), MAX_PACKET_THRESHOLD);
     }
 
     #[test]

@@ -4,7 +4,7 @@
 use xlink::clock::{Duration, Instant};
 use xlink::core::{play_time_left, reinjection_decision, QoeControl, QoeSignal};
 use xlink::lab::prop::*;
-use xlink::netsim::{Link, LinkConfig};
+use xlink::netsim::{Impairment, Impairments, Link, LinkConfig};
 use xlink::traces::{parse_mahimahi, to_mahimahi, Trace};
 
 /// Algorithm 1 is monotone in buffer occupancy: with everything else
@@ -72,12 +72,63 @@ fn link_conserves_packets() {
                 queue_bytes: queue_kb * 1024,
                 loss,
                 seed: 42,
+                impairments: Impairments::none(),
             });
             for i in 0..n {
                 link.send(Instant::from_millis(i as u64), vec![i as u8; 1000]);
             }
             let delivered = link.recv(Instant::from_secs(100)).len() as u64;
             prop_assert_eq!(delivered + link.dropped_packets, n as u64);
+            let st = link.stats();
+            prop_assert!(st.is_conserved(), "stats not conserved: {st:?}");
+            prop_assert_eq!(st.enqueued + st.duplicated, st.delivered + st.dropped);
+            Ok(())
+        },
+    );
+}
+
+/// Conservation survives the full impairment pipeline: with bursty
+/// loss, duplication, corruption, reordering, and jitter all active,
+/// `enqueued + duplicated == delivered + dropped` still balances once
+/// the link drains (and the instantaneous identity holds mid-flight).
+#[test]
+fn impaired_link_conserves_packets() {
+    check(
+        "impaired_link_conserves_packets",
+        (1usize..120, 1u64..10_000, 0.0f64..0.4),
+        |&(n, seed, dup_prob)| {
+            let mut cfg = LinkConfig {
+                trace_ms: (0..1000).collect(),
+                delay: Duration::from_millis(5),
+                queue_bytes: 48 * 1024,
+                loss: 0.0,
+                seed,
+                impairments: Impairments::none()
+                    .with(Impairment::bursty_loss(0.05, 0.4))
+                    .with(Impairment::Duplicate { prob: dup_prob })
+                    .with(Impairment::Corrupt { prob: 0.1 })
+                    .with(Impairment::Reorder { prob: 0.3, window: Duration::from_millis(20) })
+                    .with(Impairment::Jitter { sigma: Duration::from_millis(2) }),
+            };
+            cfg.seed = seed;
+            let mut link = Link::new(cfg);
+            for i in 0..n {
+                link.send(Instant::from_millis(i as u64), vec![i as u8; 1000]);
+                // Mid-flight, the instantaneous identity must hold.
+                prop_assert!(link.stats().is_conserved(), "mid-flight: {:?}", link.stats());
+            }
+            let _ = link.recv(Instant::from_secs(100));
+            let st = link.stats();
+            prop_assert!(st.is_conserved(), "drained: {st:?}");
+            prop_assert_eq!(st.queued, 0);
+            prop_assert_eq!(st.in_pipe, 0);
+            prop_assert_eq!(
+                st.enqueued + st.duplicated,
+                st.delivered + st.dropped,
+                "quiescent conservation violated: {:?}",
+                st
+            );
+            prop_assert_eq!(st.enqueued, n as u64);
             Ok(())
         },
     );
@@ -93,6 +144,7 @@ fn link_preserves_order_and_content() {
             queue_bytes: 10 << 20,
             loss: 0.0,
             seed: 1,
+            impairments: Impairments::none(),
         });
         for i in 0..n {
             link.send(Instant::ZERO, vec![i as u8; 100 + i]);

@@ -2,8 +2,11 @@
 //! and fallback, path lifecycle, QoE feedback plumbing, load-balancer
 //! routing of multipath CIDs, and adversarial datagram handling.
 
+use std::cell::RefCell;
+
 use xlink::clock::{Duration, Instant};
 use xlink::core::{lb, MpConfig, MpConnection, PathState, QoeSignal, WirelessTech};
+use xlink::lab::prop::*;
 use xlink::quic::error::TransportError;
 use xlink::quic::frame::PathStatusKind;
 
@@ -116,6 +119,89 @@ fn garbage_datagrams_never_crash_or_close() {
     c.stream_send(id, b"still alive", true);
     pump(&mut now, &mut c, &mut s);
     assert_eq!(s.stream_recv(id, 100), b"still alive");
+}
+
+/// Mutation testing on *real* wire datagrams: capture a burst from a
+/// live transfer, then bit-flip / truncate / splice / stomp them and
+/// feed the mutants to the server. No mutant may close the connection
+/// or perturb the per-path ACK ranges (AEAD must reject them before any
+/// receive-state changes), and the original transfer must still
+/// complete afterwards.
+#[test]
+fn mutated_datagrams_never_crash_or_corrupt_ack_state() {
+    let (mut c, s, mut now) = pair();
+    let s = RefCell::new(s);
+    pump(&mut now, &mut c, &mut s.borrow_mut());
+    // Capture a corpus of genuine datagrams (not yet delivered).
+    let id = c.open_stream(0);
+    let body: Vec<u8> = (0..40_000u32).map(|i| (i * 31 % 251) as u8).collect();
+    c.stream_send(id, &body, true);
+    let mut corpus: Vec<(usize, Vec<u8>)> = Vec::new();
+    while let Some((p, d)) = c.poll_transmit(now) {
+        corpus.push((p, d));
+    }
+    assert!(corpus.len() >= 4, "need a real corpus to mutate (got {})", corpus.len());
+    let baseline: Vec<Vec<(u64, u64)>> =
+        s.borrow().paths().iter().map(|p| p.recv_pn_ranges()).collect();
+
+    check(
+        "mutated_datagrams_never_crash_or_corrupt_ack_state",
+        (0u64..100_000, 0u64..4, 0u64..100_000, 0u64..100_000),
+        |&(idx_raw, kind, pos_raw, other_raw)| {
+            let (path, orig) = &corpus[(idx_raw as usize) % corpus.len()];
+            let mut mutant = orig.clone();
+            match kind {
+                0 => {
+                    // Single bit flip.
+                    let pos = (pos_raw as usize) % mutant.len();
+                    mutant[pos] ^= 1 << (other_raw % 8) as u8;
+                }
+                1 => {
+                    // Truncation.
+                    mutant.truncate((pos_raw as usize) % mutant.len());
+                }
+                2 => {
+                    // Splice: head of one datagram, tail of another.
+                    let (_, other) = &corpus[(other_raw as usize) % corpus.len()];
+                    let cut = (pos_raw as usize) % orig.len().min(other.len());
+                    mutant = orig[..cut].iter().chain(&other[cut..]).copied().collect();
+                }
+                _ => {
+                    // Stomp a run of bytes.
+                    let pos = (pos_raw as usize) % mutant.len();
+                    let end = (pos + 3).min(mutant.len());
+                    for b in &mut mutant[pos..end] {
+                        *b ^= 0xa5;
+                    }
+                }
+            }
+            // A mutant identical to a real datagram would legitimately
+            // advance state; only adversarial inputs are interesting.
+            if corpus.iter().any(|(_, d)| d == &mutant) {
+                return Ok(());
+            }
+            let mut srv = s.borrow_mut();
+            srv.handle_datagram(now, *path, &mutant);
+            srv.handle_datagram(now, 99, &mutant); // unknown path too
+            prop_assert!(!srv.is_closed(), "mutant closed the connection");
+            let ranges: Vec<Vec<(u64, u64)>> =
+                srv.paths().iter().map(|p| p.recv_pn_ranges()).collect();
+            prop_assert_eq!(
+                &ranges,
+                &baseline,
+                "mutant perturbed ACK ranges (must be rejected pre-ACK-state)"
+            );
+            Ok(())
+        },
+    );
+
+    // The battered server still completes the original transfer.
+    for (p, d) in &corpus {
+        s.borrow_mut().handle_datagram(now, *p, d);
+    }
+    pump(&mut now, &mut c, &mut s.borrow_mut());
+    let got = s.borrow_mut().stream_recv(id, usize::MAX);
+    assert_eq!(got, body, "transfer corrupted after mutation barrage");
 }
 
 #[test]
