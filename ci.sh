@@ -22,8 +22,12 @@ cargo test -q --offline
 echo "==> impairment robustness sweep (8 seeds)"
 XLINK_SWEEP_SEEDS=8 cargo test -q --offline --test impairments
 
+echo "==> observability: A/B bit-determinism + qlog validity"
+cargo test -q --offline --test observability
+
 echo "==> benches (smoke mode: 1 iteration/sample, JSON schema check only)"
 cargo bench -p xlink-bench --offline --bench micro -- --smoke
 cargo bench -p xlink-bench --offline --bench end_to_end -- --smoke
+cargo bench -p xlink-bench --offline --bench obs_overhead -- --smoke
 
 echo "==> ci.sh: all green"

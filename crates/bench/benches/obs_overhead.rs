@@ -1,0 +1,63 @@
+//! Observability overhead micro-benchmarks: what one `Tracer::emit`
+//! costs in each configuration (disabled, noop sink, ring, recording),
+//! plus the qlog export and metrics serialisation paths. The disabled
+//! case is the one every packet pays in production runs — it must stay
+//! at a single-branch cost.
+//!
+//! Run: `cargo bench -p xlink-bench --bench obs_overhead` (add
+//! `-- --smoke` for the CI one-iteration pass).
+
+use xlink_clock::Instant;
+use xlink_lab::bench::{black_box, Suite};
+use xlink_obs::{Event, MetricsRegistry, TraceLog, Tracer};
+
+fn ev(pn: u64) -> Event {
+    Event::PacketSent { path: 0, pn, bytes: 1200, ack_eliciting: true }
+}
+
+fn bench_emit(s: &mut Suite) {
+    let disabled = Tracer::disabled();
+    s.bench("obs/emit_disabled", || {
+        disabled.emit(black_box(Instant::from_micros(7)), black_box(ev(1)))
+    });
+    let noop = TraceLog::noop();
+    let t = noop.tracer("bench");
+    s.bench("obs/emit_noop_sink", || t.emit(black_box(Instant::from_micros(7)), black_box(ev(1))));
+    let ring = TraceLog::ring(4096);
+    let t = ring.tracer("bench");
+    s.bench("obs/emit_ring_sink", || t.emit(black_box(Instant::from_micros(7)), black_box(ev(1))));
+    s.bench("obs/emit_recording_1k", || {
+        let log = TraceLog::recording();
+        let t = log.tracer("bench");
+        for pn in 0..1000u64 {
+            t.emit(Instant::from_micros(pn), ev(pn));
+        }
+        black_box(log.len())
+    });
+}
+
+fn bench_export(s: &mut Suite) {
+    let log = TraceLog::recording();
+    let t = log.tracer("client.quic");
+    for pn in 0..1000u64 {
+        t.emit(Instant::from_micros(pn * 3), ev(pn));
+    }
+    s.bench("obs/qlog_export_1k_events", || black_box(log.to_qlog("bench")).len());
+    let doc = log.to_qlog("bench");
+    s.bench_throughput("obs/json_parse_qlog", doc.len() as u64, || {
+        xlink_obs::json::parse(black_box(&doc)).expect("valid")
+    });
+    let mut m = MetricsRegistry::new();
+    for i in 0..64 {
+        m.counter(&format!("server.path{}.metric{i}", i % 4), i);
+        m.gauge(&format!("client.gauge{i}"), i as f64 * 0.5);
+    }
+    s.bench("obs/metrics_to_json_128", || black_box(m.to_json()).len());
+}
+
+fn main() {
+    let mut s = Suite::from_args();
+    bench_emit(&mut s);
+    bench_export(&mut s);
+    s.finish();
+}

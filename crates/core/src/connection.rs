@@ -22,6 +22,7 @@ use crate::sched::{
 };
 use crate::wireless::{PrimaryPathPolicy, WirelessTech};
 use xlink_clock::{Duration, Instant};
+use xlink_obs::{Event, Tracer};
 use xlink_quic::ackranges::AckRanges;
 use xlink_quic::cc::{CcAlgorithm, CongestionController, MAX_DATAGRAM_SIZE};
 use xlink_quic::cid::{CidManager, ConnectionId};
@@ -261,6 +262,8 @@ pub struct MpStats {
     pub packets_dropped: u64,
     /// ACK_MP frames sent.
     pub acks_sent: u64,
+    /// Hello flights re-sent after loss or a peer-triggered resend.
+    pub handshake_retransmits: u64,
 }
 
 impl MpStats {
@@ -323,6 +326,14 @@ pub struct MpConnection {
     last_activity: Instant,
     idle_timeout: Duration,
     stats: MpStats,
+    /// Hello flights sent so far (first + retransmits).
+    hello_sends: u32,
+    /// Transport-layer tracer (`<prefix>.quic`).
+    tr_quic: Tracer,
+    /// Scheduler / re-injection / path-management tracer (`<prefix>.core`).
+    tr_core: Tracer,
+    /// Last re-injection gate decision reported to the tracer.
+    gate_seen: Option<bool>,
     /// Time-series probe: (time, path, cwnd, bytes_in_flight) recorded on
     /// each send when enabled (Fig. 1 dynamics experiment).
     pub probe_cwnd: Option<Vec<(Instant, usize, u64, u64)>>,
@@ -335,6 +346,15 @@ impl std::fmt::Debug for MpConnection {
             .field("state", &self.state)
             .field("paths", &self.paths.len())
             .finish_non_exhaustive()
+    }
+}
+
+fn state_name(s: PathState) -> &'static str {
+    match s {
+        PathState::Validating => "validating",
+        PathState::Active => "active",
+        PathState::Standby => "standby",
+        PathState::Abandoned => "abandoned",
     }
 }
 
@@ -403,6 +423,10 @@ impl MpConnection {
             last_activity: now,
             idle_timeout,
             stats: MpStats::default(),
+            hello_sends: 0,
+            tr_quic: Tracer::disabled(),
+            tr_core: Tracer::disabled(),
+            gate_seen: None,
             probe_cwnd: None,
             cfg,
         }
@@ -445,6 +469,19 @@ impl MpConnection {
     /// Statistics snapshot.
     pub fn stats(&self) -> MpStats {
         self.stats
+    }
+
+    /// Attach a tracer; transport events are emitted under
+    /// `<tracer>.quic` and scheduling/path-management events under
+    /// `<tracer>.core`. Pass [`Tracer::disabled`] to detach.
+    pub fn set_tracer(&mut self, tracer: &Tracer) {
+        self.tr_quic = tracer.scoped("quic");
+        self.tr_core = tracer.scoped("core");
+    }
+
+    /// Losses later proven spurious by a late ACK, summed across paths.
+    pub fn spurious_losses(&self) -> u64 {
+        self.paths.iter().map(|p| p.recovery.spurious_losses()).sum()
     }
 
     /// Latest peer QoE feedback (server side).
@@ -535,6 +572,18 @@ impl MpConnection {
     pub fn set_qoe(&mut self, q: QoeSignal) {
         let changed = self.local_qoe != Some(q);
         self.local_qoe = Some(q);
+        if changed {
+            self.tr_core.emit(
+                self.last_activity,
+                Event::QoeSignal {
+                    sent: true,
+                    cached_frames: q.cached_frames,
+                    cached_bytes: q.cached_bytes,
+                    bps: q.bps,
+                    fps: q.fps,
+                },
+            );
+        }
         if self.cfg.standalone_qoe_frames && changed && self.multipath && self.is_established() {
             self.control_queue.push(Frame::QoeControlSignals(q));
         }
@@ -546,6 +595,7 @@ impl MpConnection {
             return;
         };
         p.status_seq += 1;
+        let from = p.state;
         match status {
             PathStatusKind::Abandon => p.state = PathState::Abandoned,
             PathStatusKind::Standby => p.state = PathState::Standby,
@@ -556,6 +606,17 @@ impl MpConnection {
             }
         }
         let seq = p.status_seq;
+        let to = p.state;
+        if to != from {
+            self.tr_core.emit(
+                self.last_activity,
+                Event::PathStatusChange {
+                    path: path as u8,
+                    from: state_name(from),
+                    to: state_name(to),
+                },
+            );
+        }
         self.control_queue.push(Frame::PathStatus { path_id: path as u64, seq, status });
         if status == PathStatusKind::Abandon {
             self.requeue_path_inflight(path);
@@ -651,6 +712,10 @@ impl MpConnection {
         // the server side (the client waits for PATH_RESPONSE).
         if self.paths[path].state == PathState::Validating && self.cfg.side == Side::Server {
             self.paths[path].state = PathState::Active;
+            self.tr_core.emit(
+                now,
+                Event::PathStatusChange { path: path as u8, from: "validating", to: "active" },
+            );
         }
         let frames = match Frame::decode_all(&plain) {
             Ok(f) => f,
@@ -704,6 +769,8 @@ impl MpConnection {
                             self.streams.on_max_data(p.initial_max_data);
                         }
                         self.state = MpState::Established;
+                        self.tr_quic
+                            .emit(now, Event::HandshakeComplete { multipath: self.multipath });
                     }
                     Err(_) => self.close(TransportError::TransportParameterError, "hello rejected"),
                 }
@@ -724,6 +791,16 @@ impl MpConnection {
                 }
                 if let Some(q) = ack.qoe {
                     self.peer_qoe = Some(q);
+                    self.tr_core.emit(
+                        now,
+                        Event::QoeSignal {
+                            sent: false,
+                            cached_frames: q.cached_frames,
+                            cached_bytes: q.cached_bytes,
+                            bps: q.bps,
+                            fps: q.fps,
+                        },
+                    );
                 }
                 self.on_ack(now, space, ack);
             }
@@ -792,6 +869,14 @@ impl MpConnection {
                         p.challenge = None;
                         if p.state == PathState::Validating {
                             p.state = PathState::Active;
+                            self.tr_core.emit(
+                                now,
+                                Event::PathStatusChange {
+                                    path: p.id as u8,
+                                    from: "validating",
+                                    to: "active",
+                                },
+                            );
                         }
                     }
                 }
@@ -807,6 +892,7 @@ impl MpConnection {
                 if pid >= self.paths.len() {
                     return;
                 }
+                let from = self.paths[pid].state;
                 match status {
                     PathStatusKind::Abandon => {
                         self.paths[pid].state = PathState::Abandoned;
@@ -823,9 +909,30 @@ impl MpConnection {
                         }
                     }
                 }
+                let to = self.paths[pid].state;
+                if to != from {
+                    self.tr_core.emit(
+                        now,
+                        Event::PathStatusChange {
+                            path: pid as u8,
+                            from: state_name(from),
+                            to: state_name(to),
+                        },
+                    );
+                }
             }
             Frame::QoeControlSignals(q) => {
                 self.peer_qoe = Some(q);
+                self.tr_core.emit(
+                    now,
+                    Event::QoeSignal {
+                        sent: false,
+                        cached_frames: q.cached_frames,
+                        cached_bytes: q.cached_bytes,
+                        bps: q.bps,
+                        fps: q.fps,
+                    },
+                );
             }
         }
     }
@@ -845,11 +952,24 @@ impl MpConnection {
             )
         };
         let _ = rtt_before;
+        if let Some(sample) = outcome.rtt_sample {
+            self.tr_quic.emit(
+                now,
+                Event::RttUpdate {
+                    path: space as u8,
+                    latest_us: sample.as_micros(),
+                    smoothed_us: self.paths[space].rtt.smoothed().as_micros(),
+                },
+            );
+        }
+        let mut cc_touched = false;
         for pkt in &outcome.acked {
             if pkt.ack_eliciting {
                 let rtt = self.paths[space].rtt.smoothed();
                 self.paths[space].cc.on_ack(now, pkt.time_sent, pkt.size, rtt);
+                cc_touched = true;
             }
+            self.tr_quic.emit(now, Event::PacketAcked { path: space as u8, pn: pkt.pn });
             let frames = pkt.content.frames.clone();
             for info in frames {
                 match info {
@@ -870,6 +990,17 @@ impl MpConnection {
                     _ => {}
                 }
             }
+        }
+        if cc_touched {
+            let p = &self.paths[space];
+            self.tr_quic.emit(
+                now,
+                Event::CwndUpdate {
+                    path: space as u8,
+                    cwnd: p.cc.window(),
+                    bytes_in_flight: p.recovery.bytes_in_flight(),
+                },
+            );
         }
         if !outcome.lost.is_empty() {
             self.on_packets_lost(now, space, &outcome.lost);
@@ -896,6 +1027,10 @@ impl MpConnection {
         self.stats.packets_lost += lost.len() as u64;
         let mut newest: Option<Instant> = None;
         for pkt in lost {
+            self.tr_quic.emit(
+                now,
+                Event::PacketLost { path: space as u8, pn: pkt.pn, bytes: pkt.size as u32 },
+            );
             if pkt.in_flight {
                 newest = Some(newest.map_or(pkt.time_sent, |t| t.max(pkt.time_sent)));
             }
@@ -928,6 +1063,15 @@ impl MpConnection {
         }
         if let Some(t) = newest {
             self.paths[space].cc.on_congestion_event(now, t);
+            let p = &self.paths[space];
+            self.tr_quic.emit(
+                now,
+                Event::CwndUpdate {
+                    path: space as u8,
+                    cwnd: p.cc.window(),
+                    bytes_in_flight: p.recovery.bytes_in_flight(),
+                },
+            );
         }
     }
 
@@ -950,6 +1094,11 @@ impl MpConnection {
         // 1. Handshake on the primary path.
         if !self.handshake_sent && (self.cfg.side == Side::Client || self.handshake.is_complete()) {
             self.handshake_sent = true;
+            if self.hello_sends > 0 {
+                self.stats.handshake_retransmits += 1;
+            }
+            self.tr_quic.emit(now, Event::HandshakeSent { retransmit: self.hello_sends > 0 });
+            self.hello_sends += 1;
             let hello = self.handshake.local_hello().encode();
             let path = self.primary;
             let frames = vec![Frame::Crypto { offset: 0, data: hello }];
@@ -1111,11 +1260,21 @@ impl MpConnection {
             SchedulerKind::Ecf => ecf_choice(&candidates),
             SchedulerKind::Redundant => unreachable!(),
         }?;
+        let policy = match self.cfg.scheduler {
+            SchedulerKind::MinRtt => "minrtt",
+            SchedulerKind::RoundRobin => "roundrobin",
+            SchedulerKind::Ecf => "ecf",
+            SchedulerKind::Redundant => "redundant",
+        };
         // Priority preemption (Fig. 4b/4c): a re-injection candidate whose
         // (stream, frame) priority beats the best *unsent* data jumps the
         // queue — this is what lets a stranded first-video-frame packet
         // overtake later frames of its own stream.
         let reinjection_on = self.reinjection_enabled();
+        if self.gate_seen != Some(reinjection_on) {
+            self.gate_seen = Some(reinjection_on);
+            self.tr_core.emit(now, Event::ReinjectionGate { enabled: reinjection_on });
+        }
         if reinjection_on && self.reinject_preempts_new_data(path) {
             if let Some(tx) = self.try_reinject(now, path) {
                 return Some(tx);
@@ -1123,6 +1282,7 @@ impl MpConnection {
         }
         // New data on this path.
         if let Some(tx) = self.try_send_new_data(now, path) {
+            self.tr_core.emit(now, Event::SchedulerDecision { path: path as u8, policy });
             return Some(tx);
         }
         // No new data eligible: consider re-injection (XLINK §5.1-5.2).
@@ -1136,6 +1296,7 @@ impl MpConnection {
         for &(i, _, ok) in &candidates {
             if ok && i != path {
                 if let Some(tx) = self.try_send_new_data(now, i) {
+                    self.tr_core.emit(now, Event::SchedulerDecision { path: i as u8, policy });
                     return Some(tx);
                 }
             }
@@ -1383,6 +1544,15 @@ impl MpConnection {
             self.ledger.record(ReinjectKey { stream_id: id, start: sub.start, path }, now);
             self.stats.reinjected_bytes += sub.len();
             self.stats.reinjections += 1;
+            self.tr_core.emit(
+                now,
+                Event::Reinjection {
+                    path: path as u8,
+                    stream_id: id,
+                    offset: sub.start,
+                    len: sub.len(),
+                },
+            );
             remaining = remaining.saturating_sub(data.len() + 24);
             let fin_here = fin && end == range.end;
             infos.push(FrameInfo::Stream { id, range: sub, fin: fin_here, reinjected: true });
@@ -1408,6 +1578,8 @@ impl MpConnection {
             .collect();
         let path = min_rtt_choice(&candidates)?;
         if let Some(tx) = self.try_send_new_data(now, path) {
+            self.tr_core
+                .emit(now, Event::SchedulerDecision { path: path as u8, policy: "redundant" });
             return Some(tx);
         }
         for &(i, _, ok) in &candidates {
@@ -1482,6 +1654,10 @@ impl MpConnection {
         self.stats.packets_sent += 1;
         self.stats.bytes_sent += size;
         self.last_activity = now;
+        self.tr_quic.emit(
+            now,
+            Event::PacketSent { path: path as u8, pn, bytes: size as u32, ack_eliciting },
+        );
         if let Some(probe) = &mut self.probe_cwnd {
             let p = &self.paths[path];
             probe.push((now, path, p.cc.window(), p.recovery.bytes_in_flight()));

@@ -7,6 +7,7 @@ use crate::transport::{Conn, Scheme, TransportStats, TransportTuning};
 use xlink_clock::{Duration, Instant};
 use xlink_mptcp::{MptcpConfig, MptcpConnection};
 use xlink_netsim::{Endpoint, FlapSchedule, Path, PathEvent, Stats, Transmit, World};
+use xlink_obs::TraceLog;
 use xlink_video::{MediaStore, Request, Response, Video};
 
 /// Result of one bulk download.
@@ -154,7 +155,35 @@ pub fn run_bulk_quic(
     events: Vec<PathEvent>,
     deadline: Duration,
 ) -> BulkResult {
-    run_bulk_quic_full(scheme, tuning, size, seed, paths, events, Vec::new(), deadline, None)
+    run_bulk_quic_full(scheme, tuning, size, seed, paths, events, Vec::new(), deadline, None, None)
+}
+
+/// Like [`run_bulk_quic`] but emitting trace events into `log`
+/// (client under `client.*`, server under `server.*`, links under
+/// `netsim.*`).
+#[allow(clippy::too_many_arguments)]
+pub fn run_bulk_quic_traced(
+    scheme: Scheme,
+    tuning: &TransportTuning,
+    size: u64,
+    seed: u64,
+    paths: Vec<Path>,
+    events: Vec<PathEvent>,
+    deadline: Duration,
+    log: &TraceLog,
+) -> BulkResult {
+    run_bulk_quic_full(
+        scheme,
+        tuning,
+        size,
+        seed,
+        paths,
+        events,
+        Vec::new(),
+        deadline,
+        None,
+        Some(log),
+    )
 }
 
 /// Like [`run_bulk_quic`] but with scripted flap schedules instead of
@@ -168,7 +197,7 @@ pub fn run_bulk_quic_flapped(
     flaps: Vec<(usize, FlapSchedule)>,
     deadline: Duration,
 ) -> BulkResult {
-    run_bulk_quic_full(scheme, tuning, size, seed, paths, Vec::new(), flaps, deadline, None)
+    run_bulk_quic_full(scheme, tuning, size, seed, paths, Vec::new(), flaps, deadline, None, None)
 }
 
 /// Like [`run_bulk_quic`] but advertising a fixed QoE snapshot (e.g. a
@@ -184,7 +213,7 @@ pub fn run_bulk_quic_with_qoe(
     deadline: Duration,
     qoe: Option<xlink_core::QoeSignal>,
 ) -> BulkResult {
-    run_bulk_quic_full(scheme, tuning, size, seed, paths, events, Vec::new(), deadline, qoe)
+    run_bulk_quic_full(scheme, tuning, size, seed, paths, events, Vec::new(), deadline, qoe, None)
 }
 
 #[allow(clippy::too_many_arguments)]
@@ -198,10 +227,15 @@ fn run_bulk_quic_full(
     flaps: Vec<(usize, FlapSchedule)>,
     deadline: Duration,
     qoe: Option<xlink_core::QoeSignal>,
+    trace: Option<&TraceLog>,
 ) -> BulkResult {
     let now = Instant::ZERO;
+    let mut client_conn = Conn::client(scheme, tuning, seed, now);
+    if let Some(log) = trace {
+        client_conn.set_tracer(&log.tracer("client"));
+    }
     let client = BulkClient {
-        conn: Conn::client(scheme, tuning, seed, now),
+        conn: client_conn,
         size,
         stream: None,
         received: 0,
@@ -217,8 +251,12 @@ fn run_bulk_quic_full(
     let ff = size.min(64 * 1024).max(1);
     store
         .insert("blob", Video::from_frames(25, 8 * size, vec![ff, size.saturating_sub(ff).max(1)]));
+    let mut server_conn = Conn::server(scheme, tuning, seed ^ 0xbeef, now);
+    if let Some(log) = trace {
+        server_conn.set_tracer(&log.tracer("server"));
+    }
     let server = BulkServer {
-        conn: Conn::server(scheme, tuning, seed ^ 0xbeef, now),
+        conn: server_conn,
         store,
         answered: Vec::new(),
         buffers: Default::default(),
@@ -226,6 +264,9 @@ fn run_bulk_quic_full(
     };
     let mut world =
         World::new(client, server, paths).with_path_events(events).with_flap_schedules(flaps);
+    if let Some(log) = trace {
+        world.set_tracer(log);
+    }
     let end = world.run_until(Instant::ZERO + deadline);
     BulkResult {
         download_time: world.client.done_at.map(|t| t.saturating_duration_since(Instant::ZERO)),

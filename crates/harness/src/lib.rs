@@ -16,8 +16,11 @@ pub mod experiments;
 
 pub use ab::{run_ab, AbConfig, DayOutcome};
 pub use bulk::{
-    run_bulk_mptcp, run_bulk_mptcp_flapped, run_bulk_quic, run_bulk_quic_flapped, BulkResult,
+    run_bulk_mptcp, run_bulk_mptcp_flapped, run_bulk_quic, run_bulk_quic_flapped,
+    run_bulk_quic_traced, BulkResult,
 };
 pub use scenario::{draw_user_paths, PathSpec};
-pub use transport::{Conn, Scheme, TransportStats, TransportTuning};
-pub use video_session::{run_session, run_session_with_events, SessionConfig, SessionResult};
+pub use transport::{Conn, Scheme, TransportStats, TransportTuning, REINJECTION_COST_CAP};
+pub use video_session::{
+    run_session, run_session_with_events, session_metrics, SessionConfig, SessionResult,
+};

@@ -8,6 +8,7 @@ use xlink_core::{
     AckPathPolicy, MpConfig, MpConnection, PrimaryPathPolicy, QoeControl, QoeSignal, ReinjectMode,
     SchedulerKind, WirelessTech,
 };
+use xlink_obs::Tracer;
 use xlink_quic::connection::{Config as SpConfig, Connection as SpConnection};
 use xlink_quic::stream::Side;
 
@@ -101,7 +102,18 @@ pub struct TransportStats {
     pub packets_lost: u64,
     /// Migrations performed (CM only).
     pub migrations: u64,
+    /// Losses later contradicted by an ACK (reordering, not loss).
+    pub spurious_losses: u64,
+    /// Hello flights re-sent after loss or timeout.
+    pub handshake_retransmits: u64,
 }
+
+/// Upper bound on the redundancy ratio a well-tuned XLINK session may
+/// spend on clean dual paths. The paper's production operating point is
+/// ~2%; the cap leaves headroom for small videos where the handshake
+/// and start-up phase dominate, while still catching a controller that
+/// degenerates toward always-on (~15%+).
+pub const REINJECTION_COST_CAP: f64 = 0.10;
 
 impl TransportStats {
     /// Redundancy ratio (the paper's cost metric).
@@ -381,6 +393,15 @@ impl Conn {
         }
     }
 
+    /// Attach a trace handle; events appear under `<source>.quic` (and
+    /// `<source>.core` for multipath). Read-only: never changes behaviour.
+    pub fn set_tracer(&mut self, tracer: &Tracer) {
+        match self {
+            Conn::Sp { conn, .. } => conn.set_tracer(tracer.scoped("quic")),
+            Conn::Mp(mp) => mp.set_tracer(tracer),
+        }
+    }
+
     /// Unified statistics.
     pub fn stats(&self) -> TransportStats {
         match self {
@@ -393,6 +414,8 @@ impl Conn {
                     reinjected_bytes: 0,
                     packets_lost: s.packets_lost,
                     migrations: s.migrations,
+                    spurious_losses: conn.spurious_losses(),
+                    handshake_retransmits: s.handshake_retransmits,
                 }
             }
             Conn::Mp(mp) => {
@@ -404,6 +427,8 @@ impl Conn {
                     reinjected_bytes: s.reinjected_bytes,
                     packets_lost: s.packets_lost,
                     migrations: 0,
+                    spurious_losses: mp.spurious_losses(),
+                    handshake_retransmits: s.handshake_retransmits,
                 }
             }
         }

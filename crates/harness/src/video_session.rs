@@ -7,6 +7,7 @@ use crate::transport::{Conn, Scheme, TransportStats, TransportTuning};
 use std::collections::HashMap;
 use xlink_clock::{Duration, Instant};
 use xlink_netsim::{Endpoint, Path, Transmit, World};
+use xlink_obs::{MetricsRegistry, TraceLog};
 use xlink_video::{MediaStore, Player, PlayerConfig, PlayerStats, Request, Response, Video};
 
 /// Session configuration.
@@ -38,6 +39,11 @@ pub struct SessionConfig {
     /// an unbounded prefetch would make rebuffering impossible and the
     /// QoE feedback meaningless).
     pub max_buffer_ahead: Duration,
+    /// Optional trace log. When set, the client ("client.*"), server
+    /// ("server.*"), links ("netsim.*") and player ("client.video") all
+    /// emit events into it; when `None`, tracing is compiled out to a
+    /// single branch and the run is bit-identical.
+    pub trace: Option<TraceLog>,
 }
 
 impl SessionConfig {
@@ -55,6 +61,7 @@ impl SessionConfig {
             seed,
             tick: Duration::from_millis(50),
             max_buffer_ahead: Duration::from_secs(5),
+            trace: None,
         }
     }
 }
@@ -95,7 +102,12 @@ pub struct VideoClientEndpoint {
 
 impl VideoClientEndpoint {
     fn new(cfg: &SessionConfig, now: Instant) -> Self {
-        let conn = Conn::client(cfg.scheme, &cfg.tuning, cfg.seed, now);
+        let mut conn = Conn::client(cfg.scheme, &cfg.tuning, cfg.seed, now);
+        let mut player = Player::new(cfg.video.clone(), cfg.player.clone());
+        if let Some(log) = &cfg.trace {
+            conn.set_tracer(&log.tracer("client"));
+            player.set_tracer(log.tracer("client.video"));
+        }
         let chunks = cfg.video.chunks(cfg.chunk_bytes);
         VideoClientEndpoint {
             conn,
@@ -106,7 +118,7 @@ impl VideoClientEndpoint {
             prefetch: cfg.prefetch.max(1),
             inflight: HashMap::new(),
             done: HashMap::new(),
-            player: Player::new(cfg.video.clone(), cfg.player.clone()),
+            player,
             last_tick: now,
             tick: cfg.tick,
             object: "video".to_string(),
@@ -276,8 +288,12 @@ impl VideoServerEndpoint {
     fn new(cfg: &SessionConfig, now: Instant) -> Self {
         let mut store = MediaStore::new();
         store.insert("video", cfg.video.clone());
+        let mut conn = Conn::server(cfg.scheme, &cfg.tuning, cfg.seed ^ 0xf00d, now);
+        if let Some(log) = &cfg.trace {
+            conn.set_tracer(&log.tracer("server"));
+        }
         VideoServerEndpoint {
-            conn: Conn::server(cfg.scheme, &cfg.tuning, cfg.seed ^ 0xf00d, now),
+            conn,
             store,
             first_frame_accel: cfg.first_frame_accel,
             answered: Vec::new(),
@@ -425,6 +441,9 @@ pub fn run_session_with_events(
     let client = VideoClientEndpoint::new(cfg, now);
     let server = VideoServerEndpoint::new(cfg, now);
     let mut world = World::new(client, server, paths).with_path_events(events);
+    if let Some(log) = &cfg.trace {
+        world.set_tracer(log);
+    }
     let ended_at = world.run_until(Instant::ZERO + cfg.deadline);
     let completed = world.client.player.is_finished();
     let player = world.client.finish(ended_at);
@@ -442,6 +461,43 @@ pub fn run_session_with_events(
         ended_at,
         completed,
     }
+}
+
+fn transport_metrics(s: &mut xlink_obs::MetricsScope<'_>, t: &TransportStats) {
+    s.counter("bytes_sent", t.bytes_sent);
+    s.counter("stream_bytes_sent", t.stream_bytes_sent);
+    s.counter("stream_bytes_retransmitted", t.stream_bytes_retransmitted);
+    s.counter("reinjected_bytes", t.reinjected_bytes);
+    s.counter("packets_lost", t.packets_lost);
+    s.counter("spurious_losses", t.spurious_losses);
+    s.counter("handshake_retransmits", t.handshake_retransmits);
+    s.gauge("redundancy_ratio", t.redundancy_ratio());
+}
+
+/// Distil one session into the per-run metrics registry the harness
+/// serialises: the paper's cost ratio (re-injected vs. total payload
+/// bytes on the server), stall accounting, spurious losses and
+/// handshake retransmits, plus the per-path downlink byte split.
+pub fn session_metrics(r: &SessionResult) -> MetricsRegistry {
+    let mut m = MetricsRegistry::new();
+    m.counter("session.completed", r.completed as u64);
+    m.counter("session.ended_at_us", r.ended_at.as_micros());
+    m.counter("session.chunks", r.chunk_rct.len() as u64);
+    if let Some(ff) = r.first_frame_latency {
+        m.gauge("session.first_frame_latency_ms", ff.as_micros() as f64 / 1000.0);
+    }
+    {
+        let mut p = m.scope("client.player");
+        p.counter("stall_time_us", r.player.rebuffer_time.as_micros());
+        p.counter("rebuffer_events", r.player.rebuffer_events);
+        p.counter("play_time_us", r.player.play_time.as_micros());
+    }
+    transport_metrics(&mut m.scope("client.transport"), &r.client_transport);
+    transport_metrics(&mut m.scope("server.transport"), &r.server_transport);
+    for (path, bytes) in &r.server_bytes_per_path {
+        m.counter(&format!("server.path{path}.bytes_sent"), *bytes);
+    }
+    m
 }
 
 #[cfg(test)]

@@ -4,6 +4,7 @@
 use crate::wire::{Kind, Segment, HEADER_LEN};
 use std::collections::BTreeMap;
 use xlink_clock::{Duration, Instant};
+use xlink_obs::{Event, Tracer};
 use xlink_quic::cc::{CcAlgorithm, CongestionController, MAX_DATAGRAM_SIZE};
 use xlink_quic::rtt::RttEstimator;
 
@@ -142,6 +143,8 @@ pub struct MptcpConnection {
     peer_window: u32,
     stats: MptcpStats,
     done_recv: bool,
+    /// Segment/subflow tracer (never consulted for decisions).
+    tracer: Tracer,
 }
 
 impl MptcpConnection {
@@ -167,8 +170,15 @@ impl MptcpConnection {
             peer_window: cfg.recv_window,
             stats: MptcpStats::default(),
             done_recv: false,
+            tracer: Tracer::disabled(),
             cfg,
         }
+    }
+
+    /// Attach a tracer reporting subflow establishment, segment sends,
+    /// and RTO losses. Pass [`Tracer::disabled`] to detach.
+    pub fn set_tracer(&mut self, tracer: Tracer) {
+        self.tracer = tracer;
     }
 
     /// Queue application bytes for transmission.
@@ -226,13 +236,20 @@ impl MptcpConnection {
         // ACK got through) — treat it as establishment.
         if self.subflows[path].syn_sent && !self.subflows[path].established {
             self.subflows[path].established = true;
+            self.tracer.emit(now, Event::SubflowEstablished { path: path as u8 });
         }
         match seg.kind {
             Kind::Syn => {
+                if !self.subflows[path].established {
+                    self.tracer.emit(now, Event::SubflowEstablished { path: path as u8 });
+                }
                 self.subflows[path].established = true;
                 self.ack_pending[path] = true; // triggers SYNACK
             }
             Kind::SynAck => {
+                if !self.subflows[path].established {
+                    self.tracer.emit(now, Event::SubflowEstablished { path: path as u8 });
+                }
                 self.subflows[path].established = true;
                 let rtt_sample = now.saturating_duration_since(self.subflows[path].last_send);
                 if rtt_sample > Duration::ZERO {
@@ -408,6 +425,10 @@ impl MptcpConnection {
             let payload = self.send_buf[seq as usize..(seq as usize + len)].to_vec();
             self.stats.bytes_retransmitted += len as u64;
             self.stats.segments_sent += 1;
+            self.tracer.emit(
+                now,
+                Event::SegmentSent { path: path as u8, seq, len: len as u32, retransmit: true },
+            );
             return Some((
                 path,
                 Segment {
@@ -490,6 +511,15 @@ impl MptcpConnection {
             self.subflows[path].inflight_bytes += len as u64;
             self.stats.bytes_retransmitted += len as u64;
             self.stats.segments_sent += 1;
+            self.tracer.emit(
+                now,
+                Event::SegmentSent {
+                    path: path as u8,
+                    seq: start,
+                    len: len as u32,
+                    retransmit: true,
+                },
+            );
             return Some((
                 path,
                 Segment {
@@ -521,6 +551,15 @@ impl MptcpConnection {
                 self.stats.bytes_sent += len as u64;
                 self.stats.segments_sent += 1;
                 self.subflows[path].last_send = now;
+                self.tracer.emit(
+                    now,
+                    Event::SegmentSent {
+                        path: path as u8,
+                        seq,
+                        len: len as u32,
+                        retransmit: false,
+                    },
+                );
                 return Some((
                     path,
                     Segment {
@@ -587,7 +626,7 @@ impl MptcpConnection {
                 }
             }
         }
-        for sf in &mut self.subflows {
+        for (i, sf) in self.subflows.iter_mut().enumerate() {
             if sf.syn_sent && !sf.established {
                 // Handshake RTO: a lost or corrupted SYN/SYNACK would
                 // otherwise strand the subflow forever.
@@ -616,6 +655,8 @@ impl MptcpConnection {
                 if e > self.snd_una {
                     self.retx_queue.push((s.max(self.snd_una), e));
                     self.stats.segments_lost += 1;
+                    self.tracer
+                        .emit(now, Event::SegmentLost { path: i as u8, seq: s, len: l as u32 });
                 }
             }
         }

@@ -14,6 +14,7 @@ use crate::impair::{Impairments, LinkState, Pipeline};
 use crate::rng::Rng;
 use std::collections::VecDeque;
 use xlink_clock::{Duration, Instant};
+use xlink_obs::{Event, Tracer};
 
 /// Bytes one delivery opportunity can carry (Mahimahi's MTU).
 pub const OPPORTUNITY_BYTES: usize = 1500;
@@ -159,6 +160,8 @@ pub struct Link {
     recv_bytes: u64,
     /// Trace duration in ms (cached).
     period_ms: u64,
+    /// Drop/impairment event tracer (never consulted for decisions).
+    tracer: Tracer,
 }
 
 impl Link {
@@ -189,8 +192,15 @@ impl Link {
             recv_packets: 0,
             recv_bytes: 0,
             period_ms,
+            tracer: Tracer::disabled(),
             cfg,
         }
+    }
+
+    /// Attach a tracer reporting drops and impairment hits on this
+    /// direction. Pass [`Tracer::disabled`] to detach.
+    pub fn set_tracer(&mut self, tracer: Tracer) {
+        self.tracer = tracer;
     }
 
     /// Set or clear an administrative outage (handoff emulation).
@@ -260,28 +270,36 @@ impl Link {
         self.enqueued_packets += 1;
         if self.cfg.trace_ms.is_empty() {
             self.drop_packet(payload.len());
+            self.tracer.emit(now, Event::LinkDrop { reason: "dead", bytes: payload.len() as u32 });
             return;
         }
         let ing = self.pipeline.on_ingress(&mut payload);
         if ing.drop {
             self.drop_packet(payload.len());
+            self.tracer
+                .emit(now, Event::LinkDrop { reason: "impairment", bytes: payload.len() as u32 });
             return;
         }
         if self.cfg.loss > 0.0 && self.rng.chance(self.cfg.loss) {
             self.drop_packet(payload.len());
+            self.tracer.emit(now, Event::LinkDrop { reason: "loss", bytes: payload.len() as u32 });
             return;
         }
         if self.degrade_loss > 0.0 && self.ctl_rng.chance(self.degrade_loss) {
             self.drop_packet(payload.len());
+            self.tracer
+                .emit(now, Event::LinkDrop { reason: "degrade", bytes: payload.len() as u32 });
             return;
         }
         if ing.corrupted {
             self.corrupted_packets += 1;
+            self.tracer.emit(now, Event::ImpairmentHit { stage: "corrupt" });
         }
         let copy = ing.duplicate.then(|| payload.clone());
         self.enqueue(now, payload);
         if let Some(copy) = copy {
             self.duplicated_packets += 1;
+            self.tracer.emit(now, Event::ImpairmentHit { stage: "duplicate" });
             self.enqueue(now, copy);
         }
     }
@@ -290,6 +308,7 @@ impl Link {
     fn enqueue(&mut self, now: Instant, payload: Vec<u8>) {
         if self.queued_bytes + payload.len() > self.cfg.queue_bytes {
             self.drop_packet(payload.len());
+            self.tracer.emit(now, Event::LinkDrop { reason: "queue", bytes: payload.len() as u32 });
             return;
         }
         self.queued_bytes += payload.len();

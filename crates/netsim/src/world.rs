@@ -5,9 +5,10 @@
 //! the classic poll loop: deliver arrived datagrams, let endpoints
 //! transmit, fire timers, then jump virtual time to the next event.
 
-use crate::impair::FlapSchedule;
+use crate::impair::{FlapSchedule, LinkState};
 use crate::link::{Link, LinkConfig, Stats};
 use xlink_clock::{Duration, Instant};
+use xlink_obs::{Event, TraceLog, Tracer};
 
 /// A datagram an endpoint wants to transmit.
 #[derive(Debug, Clone)]
@@ -110,6 +111,9 @@ pub struct World<C: Endpoint, S: Endpoint> {
     next_event_idx: usize,
     /// Scripted flap schedules: (path index, schedule, next step index).
     flaps: Vec<(usize, FlapSchedule, usize)>,
+    /// Per-path tracers for scripted link-state changes (index-aligned
+    /// with `paths`; empty when tracing is off).
+    path_tracers: Vec<Tracer>,
     /// Safety valve for runaway loops.
     max_iterations: u64,
 }
@@ -125,8 +129,33 @@ impl<C: Endpoint, S: Endpoint> World<C, S> {
             events: Vec::new(),
             next_event_idx: 0,
             flaps: Vec::new(),
+            path_tracers: Vec::new(),
             max_iterations: 50_000_000,
         }
+    }
+
+    /// Attach a tracer to every link direction (`netsim.path<i>.up` /
+    /// `netsim.path<i>.down`) and to the path itself (`netsim.path<i>`,
+    /// carrying scripted link-state changes).
+    pub fn set_tracer(&mut self, log: &TraceLog) {
+        self.path_tracers.clear();
+        for (i, p) in self.paths.iter_mut().enumerate() {
+            p.up.set_tracer(log.tracer(&format!("netsim.path{i}.up")));
+            p.down.set_tracer(log.tracer(&format!("netsim.path{i}.down")));
+            self.path_tracers.push(log.tracer(&format!("netsim.path{i}")));
+        }
+    }
+
+    fn trace_link_state(&self, path: usize, state: LinkState) {
+        let Some(t) = self.path_tracers.get(path) else {
+            return;
+        };
+        let label = match state {
+            LinkState::Up => "up",
+            LinkState::Down => "down",
+            LinkState::Degraded { .. } => "degraded",
+        };
+        t.emit(self.now, Event::LinkStateChange { state: label });
     }
 
     /// Add scripted path up/down events (will be sorted by time).
@@ -165,16 +194,25 @@ impl<C: Endpoint, S: Endpoint> World<C, S> {
                 self.next_event_idx += 1;
                 if let Some(p) = self.paths.get_mut(e.path) {
                     p.set_down(e.down);
+                    self.trace_link_state(
+                        e.path,
+                        if e.down { LinkState::Down } else { LinkState::Up },
+                    );
                 }
             }
             // Apply flap-schedule steps due now.
+            let mut flapped: Vec<(usize, LinkState)> = Vec::new();
             for (path, sched, idx) in &mut self.flaps {
                 while let Some(step) = sched.steps().get(*idx).filter(|s| s.at <= self.now) {
                     if let Some(p) = self.paths.get_mut(*path) {
                         p.set_state(step.state);
+                        flapped.push((*path, step.state));
                     }
                     *idx += 1;
                 }
+            }
+            for (path, state) in flapped {
+                self.trace_link_state(path, state);
             }
             // Deliver arrived datagrams.
             let mut activity = false;

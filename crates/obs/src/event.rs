@@ -1,0 +1,367 @@
+//! The typed event vocabulary.
+//!
+//! One enum covers every layer of the stack so a single sink sees the
+//! whole story of a run in time order: transport packets (quic), XLINK
+//! scheduling and re-injection (core), MPTCP segments, emulated link
+//! behaviour (netsim), and player state (video). Each event carries
+//! only plain integers/strings — building one never allocates beyond
+//! what the variant itself holds, and never touches clocks or RNGs.
+
+use crate::json::JsonWriter;
+use xlink_clock::Instant;
+
+/// A timestamped event attributed to an interned source (e.g.
+/// `client.quic`, `netsim.path0.up`; see
+/// [`TraceLog::tracer`](crate::TraceLog::tracer)).
+#[derive(Debug, Clone, PartialEq)]
+pub struct TraceEvent {
+    /// Virtual time of the event.
+    pub time: Instant,
+    /// Interned source id; resolve with
+    /// [`TraceLog::source_name`](crate::TraceLog::source_name).
+    pub source: u16,
+    /// What happened.
+    pub body: Event,
+}
+
+/// Everything the stack can report. Grouped by layer; the qlog export
+/// prefixes names with the category returned by [`Event::category`].
+#[derive(Debug, Clone, PartialEq)]
+pub enum Event {
+    // ---- transport (quic recovery / cc / handshake) ----
+    /// A datagram left the endpoint.
+    PacketSent {
+        /// Path (packet-number space) index; 0 on single-path.
+        path: u8,
+        /// Packet number.
+        pn: u64,
+        /// Wire size in bytes.
+        bytes: u32,
+        /// Counts toward bytes-in-flight and elicits an ACK.
+        ack_eliciting: bool,
+    },
+    /// A sent packet was acknowledged.
+    PacketAcked {
+        /// Path index.
+        path: u8,
+        /// Packet number.
+        pn: u64,
+    },
+    /// A sent packet was declared lost by the recovery machinery.
+    PacketLost {
+        /// Path index.
+        path: u8,
+        /// Packet number.
+        pn: u64,
+        /// Wire size in bytes.
+        bytes: u32,
+    },
+    /// Congestion-controller state after an ack or congestion event.
+    CwndUpdate {
+        /// Path index.
+        path: u8,
+        /// Congestion window in bytes.
+        cwnd: u64,
+        /// Bytes currently in flight.
+        bytes_in_flight: u64,
+    },
+    /// A fresh RTT sample was folded into the estimator.
+    RttUpdate {
+        /// Path index.
+        path: u8,
+        /// Latest sample, microseconds.
+        latest_us: u64,
+        /// Smoothed estimate, microseconds.
+        smoothed_us: u64,
+    },
+    /// A handshake flight (hello) went out.
+    HandshakeSent {
+        /// True when this is a retransmission of a lost/ignored hello.
+        retransmit: bool,
+    },
+    /// The handshake completed and 1-RTT keys are available.
+    HandshakeComplete {
+        /// Multipath was negotiated.
+        multipath: bool,
+    },
+
+    // ---- core (scheduler, re-injection, QoE, path management) ----
+    /// The scheduler picked a path for fresh data.
+    SchedulerDecision {
+        /// Chosen path.
+        path: u8,
+        /// Scheduler/decision label (e.g. `minrtt`, `redundant`).
+        policy: &'static str,
+    },
+    /// A byte range was re-injected onto another path (§5.1).
+    Reinjection {
+        /// Path the range is being re-sent on.
+        path: u8,
+        /// Stream carrying the range.
+        stream_id: u64,
+        /// Range start offset.
+        offset: u64,
+        /// Range length in bytes.
+        len: u64,
+    },
+    /// The double-threshold controller toggled re-injection (Alg. 1).
+    ReinjectionGate {
+        /// Re-injection now allowed.
+        enabled: bool,
+    },
+    /// A path changed PATH_STATUS / internal state.
+    PathStatusChange {
+        /// Path index.
+        path: u8,
+        /// Previous state label.
+        from: &'static str,
+        /// New state label.
+        to: &'static str,
+    },
+    /// A QoE signal crossed the API (sent by the client player or
+    /// received by the server controller). Fields mirror the ACK_MP QoE
+    /// payload.
+    QoeSignal {
+        /// True when this endpoint emitted the signal; false when it
+        /// arrived from the peer.
+        sent: bool,
+        /// Frames buffered at the player.
+        cached_frames: u64,
+        /// Bytes buffered at the player.
+        cached_bytes: u64,
+        /// Current media bitrate, bits per second.
+        bps: u64,
+        /// Current frame rate, frames per second.
+        fps: u64,
+    },
+
+    // ---- mptcp ----
+    /// A subflow finished its handshake.
+    SubflowEstablished {
+        /// Subflow (path) index.
+        path: u8,
+    },
+    /// A data segment went out on a subflow.
+    SegmentSent {
+        /// Subflow index.
+        path: u8,
+        /// Data-level sequence number.
+        seq: u64,
+        /// Payload length.
+        len: u32,
+        /// True for RTO/opportunistic retransmissions.
+        retransmit: bool,
+    },
+    /// An RTO declared a segment lost.
+    SegmentLost {
+        /// Subflow index.
+        path: u8,
+        /// Data-level sequence number.
+        seq: u64,
+        /// Payload length.
+        len: u32,
+    },
+
+    // ---- netsim (link ledger + impairment stages) ----
+    /// A scripted flap / path event changed the link state.
+    LinkStateChange {
+        /// New state label (`up`, `down`, `degraded`).
+        state: &'static str,
+    },
+    /// The link dropped a datagram; the reason names the ledger bucket.
+    LinkDrop {
+        /// `dead`, `impairment`, `loss`, `degrade`, or `queue`.
+        reason: &'static str,
+        /// Datagram size in bytes.
+        bytes: u32,
+    },
+    /// An impairment stage fired without dropping (corruption,
+    /// duplication, reordering, jitter).
+    ImpairmentHit {
+        /// Stage label.
+        stage: &'static str,
+    },
+
+    // ---- video (player) ----
+    /// First video frame decoded (the paper's first-frame metric).
+    FirstFrame {},
+    /// Startup buffering finished; playback began.
+    PlaybackStarted {},
+    /// Playback stalled (rebuffer begins).
+    RebufferStart {},
+    /// Playback resumed after a stall.
+    RebufferEnd {
+        /// Stall duration, microseconds.
+        stall_us: u64,
+    },
+    /// The video finished playing.
+    PlaybackFinished {},
+    /// Player buffer level changed (sampled on frame arrival).
+    PlayerBuffer {
+        /// Frames buffered ahead of the playhead.
+        cached_frames: u64,
+        /// Bytes buffered ahead of the playhead.
+        cached_bytes: u64,
+    },
+}
+
+impl Event {
+    /// qlog category (the part before `:` in the event name).
+    pub fn category(&self) -> &'static str {
+        use Event::*;
+        match self {
+            PacketSent { .. }
+            | PacketAcked { .. }
+            | PacketLost { .. }
+            | CwndUpdate { .. }
+            | RttUpdate { .. }
+            | HandshakeSent { .. }
+            | HandshakeComplete { .. } => "transport",
+            SchedulerDecision { .. }
+            | Reinjection { .. }
+            | ReinjectionGate { .. }
+            | PathStatusChange { .. }
+            | QoeSignal { .. } => "xlink",
+            SubflowEstablished { .. } | SegmentSent { .. } | SegmentLost { .. } => "mptcp",
+            LinkStateChange { .. } | LinkDrop { .. } | ImpairmentHit { .. } => "netsim",
+            FirstFrame {}
+            | PlaybackStarted {}
+            | RebufferStart {}
+            | RebufferEnd { .. }
+            | PlaybackFinished {}
+            | PlayerBuffer { .. } => "video",
+        }
+    }
+
+    /// qlog event name (the part after `:`).
+    pub fn name(&self) -> &'static str {
+        use Event::*;
+        match self {
+            PacketSent { .. } => "packet_sent",
+            PacketAcked { .. } => "packet_acked",
+            PacketLost { .. } => "packet_lost",
+            CwndUpdate { .. } => "cwnd_update",
+            RttUpdate { .. } => "rtt_update",
+            HandshakeSent { .. } => "handshake_sent",
+            HandshakeComplete { .. } => "handshake_complete",
+            SchedulerDecision { .. } => "scheduler_decision",
+            Reinjection { .. } => "reinjection",
+            ReinjectionGate { .. } => "reinjection_gate",
+            PathStatusChange { .. } => "path_status_change",
+            QoeSignal { .. } => "qoe_signal",
+            SubflowEstablished { .. } => "subflow_established",
+            SegmentSent { .. } => "segment_sent",
+            SegmentLost { .. } => "segment_lost",
+            LinkStateChange { .. } => "link_state_change",
+            LinkDrop { .. } => "link_drop",
+            ImpairmentHit { .. } => "impairment_hit",
+            FirstFrame {} => "first_frame",
+            PlaybackStarted {} => "playback_started",
+            RebufferStart {} => "rebuffer_start",
+            RebufferEnd { .. } => "rebuffer_end",
+            PlaybackFinished {} => "playback_finished",
+            PlayerBuffer { .. } => "player_buffer",
+        }
+    }
+
+    /// Path index the event concerns, when it has one.
+    pub fn path(&self) -> Option<u8> {
+        use Event::*;
+        match self {
+            PacketSent { path, .. }
+            | PacketAcked { path, .. }
+            | PacketLost { path, .. }
+            | CwndUpdate { path, .. }
+            | RttUpdate { path, .. }
+            | SchedulerDecision { path, .. }
+            | Reinjection { path, .. }
+            | PathStatusChange { path, .. }
+            | SubflowEstablished { path }
+            | SegmentSent { path, .. }
+            | SegmentLost { path, .. } => Some(*path),
+            _ => None,
+        }
+    }
+
+    /// Write the qlog `data` object fields (caller opens/closes the
+    /// surrounding object and adds `source`).
+    pub fn write_data(&self, w: &mut JsonWriter) {
+        use Event::*;
+        match self {
+            PacketSent { path, pn, bytes, ack_eliciting } => {
+                w.field_u64("path", u64::from(*path));
+                w.field_u64("pn", *pn);
+                w.field_u64("bytes", u64::from(*bytes));
+                w.field_bool("ack_eliciting", *ack_eliciting);
+            }
+            PacketAcked { path, pn } => {
+                w.field_u64("path", u64::from(*path));
+                w.field_u64("pn", *pn);
+            }
+            PacketLost { path, pn, bytes } => {
+                w.field_u64("path", u64::from(*path));
+                w.field_u64("pn", *pn);
+                w.field_u64("bytes", u64::from(*bytes));
+            }
+            CwndUpdate { path, cwnd, bytes_in_flight } => {
+                w.field_u64("path", u64::from(*path));
+                w.field_u64("cwnd", *cwnd);
+                w.field_u64("bytes_in_flight", *bytes_in_flight);
+            }
+            RttUpdate { path, latest_us, smoothed_us } => {
+                w.field_u64("path", u64::from(*path));
+                w.field_u64("latest_us", *latest_us);
+                w.field_u64("smoothed_us", *smoothed_us);
+            }
+            HandshakeSent { retransmit } => w.field_bool("retransmit", *retransmit),
+            HandshakeComplete { multipath } => w.field_bool("multipath", *multipath),
+            SchedulerDecision { path, policy } => {
+                w.field_u64("path", u64::from(*path));
+                w.field_str("policy", policy);
+            }
+            Reinjection { path, stream_id, offset, len } => {
+                w.field_u64("path", u64::from(*path));
+                w.field_u64("stream_id", *stream_id);
+                w.field_u64("offset", *offset);
+                w.field_u64("len", *len);
+            }
+            ReinjectionGate { enabled } => w.field_bool("enabled", *enabled),
+            PathStatusChange { path, from, to } => {
+                w.field_u64("path", u64::from(*path));
+                w.field_str("from", from);
+                w.field_str("to", to);
+            }
+            QoeSignal { sent, cached_frames, cached_bytes, bps, fps } => {
+                w.field_bool("sent", *sent);
+                w.field_u64("cached_frames", *cached_frames);
+                w.field_u64("cached_bytes", *cached_bytes);
+                w.field_u64("bps", *bps);
+                w.field_u64("fps", *fps);
+            }
+            SubflowEstablished { path } => w.field_u64("path", u64::from(*path)),
+            SegmentSent { path, seq, len, retransmit } => {
+                w.field_u64("path", u64::from(*path));
+                w.field_u64("seq", *seq);
+                w.field_u64("len", u64::from(*len));
+                w.field_bool("retransmit", *retransmit);
+            }
+            SegmentLost { path, seq, len } => {
+                w.field_u64("path", u64::from(*path));
+                w.field_u64("seq", *seq);
+                w.field_u64("len", u64::from(*len));
+            }
+            LinkStateChange { state } => w.field_str("state", state),
+            LinkDrop { reason, bytes } => {
+                w.field_str("reason", reason);
+                w.field_u64("bytes", u64::from(*bytes));
+            }
+            ImpairmentHit { stage } => w.field_str("stage", stage),
+            FirstFrame {} | PlaybackStarted {} | RebufferStart {} | PlaybackFinished {} => {}
+            RebufferEnd { stall_us } => w.field_u64("stall_us", *stall_us),
+            PlayerBuffer { cached_frames, cached_bytes } => {
+                w.field_u64("cached_frames", *cached_frames);
+                w.field_u64("cached_bytes", *cached_bytes);
+            }
+        }
+    }
+}

@@ -1,0 +1,630 @@
+//! Minimal JSON writer and parser (in-tree `serde_json` stand-in).
+//!
+//! The writer is a push-based builder that tracks nesting and comma
+//! placement; the parser is a recursive-descent reader with a depth
+//! cap. Both exist so qlog export and metrics serialisation need no
+//! external dependency, and so CI can *validate* an exported trace by
+//! round-tripping it through [`parse`].
+//!
+//! Number model: integers are preserved exactly (`Int`/`Uint`), floats
+//! ride `f64`. Non-finite floats serialise as `null` (JSON has no NaN
+//! or infinity).
+
+use std::fmt::Write as _;
+
+/// A parsed JSON document. Objects keep insertion order (the writer is
+/// deterministic, so round-trips are byte-stable).
+#[derive(Debug, Clone, PartialEq)]
+pub enum Value {
+    /// `null`.
+    Null,
+    /// `true` / `false`.
+    Bool(bool),
+    /// An integer that fits `i64` (all negative integers land here).
+    Int(i64),
+    /// A non-negative integer above `i64::MAX`.
+    Uint(u64),
+    /// Any number with a fraction or exponent.
+    Float(f64),
+    /// A string.
+    Str(String),
+    /// An array.
+    Arr(Vec<Value>),
+    /// An object, in document order.
+    Obj(Vec<(String, Value)>),
+}
+
+impl Value {
+    /// Look up a key in an object value.
+    pub fn get(&self, key: &str) -> Option<&Value> {
+        match self {
+            Value::Obj(fields) => fields.iter().find(|(k, _)| k == key).map(|(_, v)| v),
+            _ => None,
+        }
+    }
+
+    /// The array items, if this is an array.
+    pub fn as_arr(&self) -> Option<&[Value]> {
+        match self {
+            Value::Arr(v) => Some(v),
+            _ => None,
+        }
+    }
+
+    /// The string contents, if this is a string.
+    pub fn as_str(&self) -> Option<&str> {
+        match self {
+            Value::Str(s) => Some(s),
+            _ => None,
+        }
+    }
+
+    /// Numeric value widened to `f64`, if this is any number.
+    pub fn as_f64(&self) -> Option<f64> {
+        match self {
+            Value::Int(v) => Some(*v as f64),
+            Value::Uint(v) => Some(*v as f64),
+            Value::Float(v) => Some(*v),
+            _ => None,
+        }
+    }
+
+    /// Non-negative integer value, if exactly representable.
+    pub fn as_u64(&self) -> Option<u64> {
+        match self {
+            Value::Int(v) if *v >= 0 => Some(*v as u64),
+            Value::Uint(v) => Some(*v),
+            _ => None,
+        }
+    }
+
+    /// Serialise back to JSON text.
+    pub fn write(&self, w: &mut JsonWriter) {
+        match self {
+            Value::Null => w.null(),
+            Value::Bool(b) => w.bool(*b),
+            Value::Int(v) => w.int(*v),
+            Value::Uint(v) => w.uint(*v),
+            Value::Float(v) => w.float(*v),
+            Value::Str(s) => w.string(s),
+            Value::Arr(items) => {
+                w.begin_array();
+                for it in items {
+                    it.write(w);
+                }
+                w.end_array();
+            }
+            Value::Obj(fields) => {
+                w.begin_object();
+                for (k, v) in fields {
+                    w.key(k);
+                    v.write(w);
+                }
+                w.end_object();
+            }
+        }
+    }
+
+    /// Serialise to a standalone JSON string.
+    pub fn to_json(&self) -> String {
+        let mut w = JsonWriter::new();
+        self.write(&mut w);
+        w.finish()
+    }
+}
+
+/// Streaming JSON writer with automatic comma placement.
+///
+/// Call sequence is checked with debug assertions: a `key` is required
+/// before each value inside an object and forbidden elsewhere.
+#[derive(Debug, Default)]
+pub struct JsonWriter {
+    out: String,
+    /// Nesting stack: `(is_object, items_emitted)`.
+    stack: Vec<(bool, usize)>,
+    have_key: bool,
+}
+
+impl JsonWriter {
+    /// Fresh writer.
+    pub fn new() -> Self {
+        JsonWriter::default()
+    }
+
+    fn before_value(&mut self) {
+        if let Some((is_obj, count)) = self.stack.last_mut() {
+            if *is_obj {
+                debug_assert!(self.have_key, "object value without a key");
+            } else {
+                if *count > 0 {
+                    self.out.push(',');
+                }
+                *count += 1;
+            }
+        }
+        self.have_key = false;
+    }
+
+    /// Emit an object key (inside an object only).
+    pub fn key(&mut self, k: &str) {
+        let (is_obj, count) = self.stack.last_mut().expect("key outside any container");
+        debug_assert!(*is_obj && !self.have_key, "key misplaced");
+        if *count > 0 {
+            self.out.push(',');
+        }
+        *count += 1;
+        escape_into(&mut self.out, k);
+        self.out.push(':');
+        self.have_key = true;
+    }
+
+    /// Open `{`.
+    pub fn begin_object(&mut self) {
+        self.before_value();
+        self.out.push('{');
+        self.stack.push((true, 0));
+    }
+
+    /// Close `}`.
+    pub fn end_object(&mut self) {
+        let (is_obj, _) = self.stack.pop().expect("unbalanced end_object");
+        debug_assert!(is_obj && !self.have_key);
+        self.out.push('}');
+    }
+
+    /// Open `[`.
+    pub fn begin_array(&mut self) {
+        self.before_value();
+        self.out.push('[');
+        self.stack.push((false, 0));
+    }
+
+    /// Close `]`.
+    pub fn end_array(&mut self) {
+        let (is_obj, _) = self.stack.pop().expect("unbalanced end_array");
+        debug_assert!(!is_obj);
+        self.out.push(']');
+    }
+
+    /// Emit a string value.
+    pub fn string(&mut self, v: &str) {
+        self.before_value();
+        escape_into(&mut self.out, v);
+    }
+
+    /// Emit an unsigned integer.
+    pub fn uint(&mut self, v: u64) {
+        self.before_value();
+        let _ = write!(self.out, "{v}");
+    }
+
+    /// Emit a signed integer.
+    pub fn int(&mut self, v: i64) {
+        self.before_value();
+        let _ = write!(self.out, "{v}");
+    }
+
+    /// Emit a float (`null` if non-finite — JSON has neither NaN nor
+    /// infinity).
+    pub fn float(&mut self, v: f64) {
+        self.before_value();
+        if v.is_finite() {
+            // Rust's shortest round-trip Display never emits an
+            // exponent, so the output is always valid JSON.
+            let _ = write!(self.out, "{v}");
+        } else {
+            self.out.push_str("null");
+        }
+    }
+
+    /// Emit a boolean.
+    pub fn bool(&mut self, v: bool) {
+        self.before_value();
+        self.out.push_str(if v { "true" } else { "false" });
+    }
+
+    /// Emit `null`.
+    pub fn null(&mut self) {
+        self.before_value();
+        self.out.push_str("null");
+    }
+
+    /// Shorthand: `key` + `string`.
+    pub fn field_str(&mut self, k: &str, v: &str) {
+        self.key(k);
+        self.string(v);
+    }
+
+    /// Shorthand: `key` + `uint`.
+    pub fn field_u64(&mut self, k: &str, v: u64) {
+        self.key(k);
+        self.uint(v);
+    }
+
+    /// Shorthand: `key` + `float`.
+    pub fn field_f64(&mut self, k: &str, v: f64) {
+        self.key(k);
+        self.float(v);
+    }
+
+    /// Shorthand: `key` + `bool`.
+    pub fn field_bool(&mut self, k: &str, v: bool) {
+        self.key(k);
+        self.bool(v);
+    }
+
+    /// Finish and return the document.
+    pub fn finish(self) -> String {
+        debug_assert!(self.stack.is_empty(), "unclosed containers");
+        self.out
+    }
+}
+
+/// Append `s` as a quoted, escaped JSON string.
+fn escape_into(out: &mut String, s: &str) {
+    out.push('"');
+    for c in s.chars() {
+        match c {
+            '"' => out.push_str("\\\""),
+            '\\' => out.push_str("\\\\"),
+            '\n' => out.push_str("\\n"),
+            '\r' => out.push_str("\\r"),
+            '\t' => out.push_str("\\t"),
+            '\u{08}' => out.push_str("\\b"),
+            '\u{0c}' => out.push_str("\\f"),
+            c if (c as u32) < 0x20 => {
+                let _ = write!(out, "\\u{:04x}", c as u32);
+            }
+            c => out.push(c),
+        }
+    }
+    out.push('"');
+}
+
+/// Parse error with a byte offset for diagnostics.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct ParseError {
+    /// Byte offset of the offending input.
+    pub offset: usize,
+    /// What went wrong.
+    pub message: String,
+}
+
+impl std::fmt::Display for ParseError {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        write!(f, "JSON parse error at byte {}: {}", self.offset, self.message)
+    }
+}
+
+const MAX_DEPTH: usize = 128;
+
+/// Parse a JSON document. Rejects trailing garbage.
+pub fn parse(input: &str) -> Result<Value, ParseError> {
+    let mut p = Parser { bytes: input.as_bytes(), pos: 0 };
+    p.skip_ws();
+    let v = p.value(0)?;
+    p.skip_ws();
+    if p.pos != p.bytes.len() {
+        return Err(p.err("trailing characters"));
+    }
+    Ok(v)
+}
+
+struct Parser<'a> {
+    bytes: &'a [u8],
+    pos: usize,
+}
+
+impl<'a> Parser<'a> {
+    fn err(&self, message: &str) -> ParseError {
+        ParseError { offset: self.pos, message: message.to_string() }
+    }
+
+    fn peek(&self) -> Option<u8> {
+        self.bytes.get(self.pos).copied()
+    }
+
+    fn skip_ws(&mut self) {
+        while matches!(self.peek(), Some(b' ' | b'\t' | b'\n' | b'\r')) {
+            self.pos += 1;
+        }
+    }
+
+    fn expect(&mut self, b: u8) -> Result<(), ParseError> {
+        if self.peek() == Some(b) {
+            self.pos += 1;
+            Ok(())
+        } else {
+            Err(self.err(&format!("expected '{}'", b as char)))
+        }
+    }
+
+    fn literal(&mut self, word: &str, v: Value) -> Result<Value, ParseError> {
+        if self.bytes[self.pos..].starts_with(word.as_bytes()) {
+            self.pos += word.len();
+            Ok(v)
+        } else {
+            Err(self.err(&format!("expected '{word}'")))
+        }
+    }
+
+    fn value(&mut self, depth: usize) -> Result<Value, ParseError> {
+        if depth > MAX_DEPTH {
+            return Err(self.err("nesting too deep"));
+        }
+        match self.peek() {
+            Some(b'{') => self.object(depth),
+            Some(b'[') => self.array(depth),
+            Some(b'"') => Ok(Value::Str(self.string()?)),
+            Some(b't') => self.literal("true", Value::Bool(true)),
+            Some(b'f') => self.literal("false", Value::Bool(false)),
+            Some(b'n') => self.literal("null", Value::Null),
+            Some(b'-' | b'0'..=b'9') => self.number(),
+            Some(_) => Err(self.err("unexpected character")),
+            None => Err(self.err("unexpected end of input")),
+        }
+    }
+
+    fn object(&mut self, depth: usize) -> Result<Value, ParseError> {
+        self.expect(b'{')?;
+        let mut fields = Vec::new();
+        self.skip_ws();
+        if self.peek() == Some(b'}') {
+            self.pos += 1;
+            return Ok(Value::Obj(fields));
+        }
+        loop {
+            self.skip_ws();
+            let key = self.string()?;
+            self.skip_ws();
+            self.expect(b':')?;
+            self.skip_ws();
+            let v = self.value(depth + 1)?;
+            fields.push((key, v));
+            self.skip_ws();
+            match self.peek() {
+                Some(b',') => self.pos += 1,
+                Some(b'}') => {
+                    self.pos += 1;
+                    return Ok(Value::Obj(fields));
+                }
+                _ => return Err(self.err("expected ',' or '}'")),
+            }
+        }
+    }
+
+    fn array(&mut self, depth: usize) -> Result<Value, ParseError> {
+        self.expect(b'[')?;
+        let mut items = Vec::new();
+        self.skip_ws();
+        if self.peek() == Some(b']') {
+            self.pos += 1;
+            return Ok(Value::Arr(items));
+        }
+        loop {
+            self.skip_ws();
+            items.push(self.value(depth + 1)?);
+            self.skip_ws();
+            match self.peek() {
+                Some(b',') => self.pos += 1,
+                Some(b']') => {
+                    self.pos += 1;
+                    return Ok(Value::Arr(items));
+                }
+                _ => return Err(self.err("expected ',' or ']'")),
+            }
+        }
+    }
+
+    fn hex4(&mut self) -> Result<u16, ParseError> {
+        let end = self.pos + 4;
+        if end > self.bytes.len() {
+            return Err(self.err("truncated \\u escape"));
+        }
+        let s = std::str::from_utf8(&self.bytes[self.pos..end])
+            .map_err(|_| self.err("bad \\u escape"))?;
+        let v = u16::from_str_radix(s, 16).map_err(|_| self.err("bad \\u escape"))?;
+        self.pos = end;
+        Ok(v)
+    }
+
+    fn string(&mut self) -> Result<String, ParseError> {
+        self.expect(b'"')?;
+        let mut s = String::new();
+        loop {
+            let start = self.pos;
+            // Fast path: copy the unescaped run in one go.
+            while let Some(b) = self.peek() {
+                if b == b'"' || b == b'\\' || b < 0x20 {
+                    break;
+                }
+                self.pos += 1;
+            }
+            s.push_str(
+                std::str::from_utf8(&self.bytes[start..self.pos])
+                    .map_err(|_| self.err("invalid UTF-8"))?,
+            );
+            match self.peek() {
+                Some(b'"') => {
+                    self.pos += 1;
+                    return Ok(s);
+                }
+                Some(b'\\') => {
+                    self.pos += 1;
+                    match self.peek() {
+                        Some(b'"') => s.push('"'),
+                        Some(b'\\') => s.push('\\'),
+                        Some(b'/') => s.push('/'),
+                        Some(b'n') => s.push('\n'),
+                        Some(b'r') => s.push('\r'),
+                        Some(b't') => s.push('\t'),
+                        Some(b'b') => s.push('\u{08}'),
+                        Some(b'f') => s.push('\u{0c}'),
+                        Some(b'u') => {
+                            self.pos += 1;
+                            let hi = self.hex4()?;
+                            let c = if (0xd800..0xdc00).contains(&hi) {
+                                // Surrogate pair: require the low half.
+                                if self.peek() != Some(b'\\') {
+                                    return Err(self.err("lone high surrogate"));
+                                }
+                                self.pos += 1;
+                                self.expect(b'u')?;
+                                let lo = self.hex4()?;
+                                if !(0xdc00..0xe000).contains(&lo) {
+                                    return Err(self.err("bad low surrogate"));
+                                }
+                                let cp = 0x10000
+                                    + ((u32::from(hi) - 0xd800) << 10)
+                                    + (u32::from(lo) - 0xdc00);
+                                char::from_u32(cp).ok_or_else(|| self.err("bad surrogate pair"))?
+                            } else if (0xdc00..0xe000).contains(&hi) {
+                                return Err(self.err("lone low surrogate"));
+                            } else {
+                                char::from_u32(u32::from(hi))
+                                    .ok_or_else(|| self.err("bad \\u escape"))?
+                            };
+                            s.push(c);
+                            continue; // pos already advanced past the escape
+                        }
+                        _ => return Err(self.err("bad escape")),
+                    }
+                    self.pos += 1;
+                }
+                Some(_) => return Err(self.err("control character in string")),
+                None => return Err(self.err("unterminated string")),
+            }
+        }
+    }
+
+    fn number(&mut self) -> Result<Value, ParseError> {
+        let start = self.pos;
+        if self.peek() == Some(b'-') {
+            self.pos += 1;
+        }
+        let int_digits = self.pos;
+        while matches!(self.peek(), Some(b'0'..=b'9')) {
+            self.pos += 1;
+        }
+        if self.pos == int_digits {
+            return Err(self.err("expected digits"));
+        }
+        // Leading-zero rule: "0" alone or "0." but not "01".
+        if self.bytes[int_digits] == b'0' && self.pos - int_digits > 1 {
+            return Err(self.err("leading zero"));
+        }
+        let mut is_float = false;
+        if self.peek() == Some(b'.') {
+            is_float = true;
+            self.pos += 1;
+            let frac = self.pos;
+            while matches!(self.peek(), Some(b'0'..=b'9')) {
+                self.pos += 1;
+            }
+            if self.pos == frac {
+                return Err(self.err("expected fraction digits"));
+            }
+        }
+        if matches!(self.peek(), Some(b'e' | b'E')) {
+            is_float = true;
+            self.pos += 1;
+            if matches!(self.peek(), Some(b'+' | b'-')) {
+                self.pos += 1;
+            }
+            let exp = self.pos;
+            while matches!(self.peek(), Some(b'0'..=b'9')) {
+                self.pos += 1;
+            }
+            if self.pos == exp {
+                return Err(self.err("expected exponent digits"));
+            }
+        }
+        let text = std::str::from_utf8(&self.bytes[start..self.pos]).expect("ascii");
+        if !is_float {
+            if let Ok(v) = text.parse::<i64>() {
+                return Ok(Value::Int(v));
+            }
+            if let Ok(v) = text.parse::<u64>() {
+                return Ok(Value::Uint(v));
+            }
+        }
+        text.parse::<f64>().map(Value::Float).map_err(|_| self.err("bad number"))
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn writer_builds_nested_document() {
+        let mut w = JsonWriter::new();
+        w.begin_object();
+        w.field_str("name", "xlink");
+        w.key("paths");
+        w.begin_array();
+        w.uint(0);
+        w.uint(1);
+        w.end_array();
+        w.key("meta");
+        w.begin_object();
+        w.field_bool("ok", true);
+        w.field_f64("ratio", 0.25);
+        w.key("none");
+        w.null();
+        w.end_object();
+        w.end_object();
+        assert_eq!(
+            w.finish(),
+            r#"{"name":"xlink","paths":[0,1],"meta":{"ok":true,"ratio":0.25,"none":null}}"#
+        );
+    }
+
+    #[test]
+    fn escaping_round_trips() {
+        let nasty = "a\"b\\c\nd\te\u{08}\u{0c}\u{1f}é\u{10348}";
+        let mut w = JsonWriter::new();
+        w.string(nasty);
+        let text = w.finish();
+        assert_eq!(parse(&text).unwrap(), Value::Str(nasty.to_string()));
+    }
+
+    #[test]
+    fn numbers_preserve_integers() {
+        for v in [0u64, 1, i64::MAX as u64, u64::MAX] {
+            let mut w = JsonWriter::new();
+            w.uint(v);
+            assert_eq!(parse(&w.finish()).unwrap().as_u64(), Some(v));
+        }
+        assert_eq!(parse("-42").unwrap(), Value::Int(-42));
+        assert_eq!(parse("1.5e3").unwrap(), Value::Float(1500.0));
+    }
+
+    #[test]
+    fn non_finite_floats_become_null() {
+        let mut w = JsonWriter::new();
+        w.float(f64::NAN);
+        assert_eq!(w.finish(), "null");
+    }
+
+    #[test]
+    fn parser_rejects_garbage() {
+        for bad in ["", "{", "[1,", "01", "\"\\x\"", "{\"a\" 1}", "1 2", "nul", "\"\\ud800\""] {
+            assert!(parse(bad).is_err(), "{bad:?} must not parse");
+        }
+    }
+
+    #[test]
+    fn parser_handles_surrogate_pairs() {
+        assert_eq!(parse("\"\\ud800\\udf48\"").unwrap(), Value::Str("\u{10348}".to_string()));
+    }
+
+    #[test]
+    fn value_accessors() {
+        let v = parse(r#"{"a":[1,2.5],"b":"s"}"#).unwrap();
+        assert_eq!(v.get("a").unwrap().as_arr().unwrap().len(), 2);
+        assert_eq!(v.get("a").unwrap().as_arr().unwrap()[1].as_f64(), Some(2.5));
+        assert_eq!(v.get("b").unwrap().as_str(), Some("s"));
+        assert!(v.get("c").is_none());
+    }
+}

@@ -21,6 +21,7 @@ use crate::rtt::RttEstimator;
 use crate::stream::{SendRange, Side, StreamMap};
 use crate::varint::Writer;
 use xlink_clock::{Duration, Instant};
+use xlink_obs::{Event, Tracer};
 
 /// Configuration for one endpoint.
 #[derive(Debug, Clone)]
@@ -122,6 +123,8 @@ pub struct ConnectionStats {
     pub packets_dropped: u64,
     /// Congestion-migration resets performed.
     pub migrations: u64,
+    /// Handshake flights re-sent after loss or timeout.
+    pub handshake_retransmits: u64,
 }
 
 /// Packet number spaces.
@@ -170,6 +173,9 @@ pub struct Connection {
     close_frame_pending: Option<(TransportError, String)>,
     stats: ConnectionStats,
     idle_timeout: Duration,
+    /// How many hello flights have gone out (first + retransmissions).
+    hello_sends: u32,
+    tracer: Tracer,
 }
 
 impl std::fmt::Debug for Connection {
@@ -247,8 +253,16 @@ impl Connection {
             stats: ConnectionStats::default(),
             state: State::Handshaking,
             idle_timeout,
+            hello_sends: 0,
+            tracer: Tracer::disabled(),
             cfg,
         }
+    }
+
+    /// Attach a trace handle (events are emitted under its source).
+    /// Tracing is read-only: it never changes connection behaviour.
+    pub fn set_tracer(&mut self, tracer: Tracer) {
+        self.tracer = tracer;
     }
 
     /// Current state.
@@ -269,6 +283,12 @@ impl Connection {
     /// Statistics snapshot.
     pub fn stats(&self) -> ConnectionStats {
         self.stats
+    }
+
+    /// Losses later contradicted by an ACK (reordering, not loss),
+    /// summed over both packet-number spaces.
+    pub fn spurious_losses(&self) -> u64 {
+        self.init_recovery.spurious_losses() + self.app_recovery.spurious_losses()
     }
 
     /// RTT estimator (read-only).
@@ -465,7 +485,7 @@ impl Connection {
                     return;
                 };
                 match self.handshake.on_peer_hello(hello) {
-                    Ok(kp) => self.on_handshake_complete(kp),
+                    Ok(kp) => self.on_handshake_complete(now, kp),
                     Err(_) => self.close(TransportError::TransportParameterError, "hello rejected"),
                 }
             }
@@ -540,7 +560,8 @@ impl Connection {
         let _ = now;
     }
 
-    fn on_handshake_complete(&mut self, kp: KeyPair) {
+    fn on_handshake_complete(&mut self, now: Instant, kp: KeyPair) {
+        self.tracer.emit(now, Event::HandshakeComplete { multipath: false });
         self.keys = Some(kp);
         // Correct the peer-advertised limits now that we have them.
         if let Some(p) = self.handshake.peer_params() {
@@ -566,12 +587,35 @@ impl Connection {
             &mut self.rtt,
             ack.ack_delay,
         );
+        if let Some(sample) = outcome.rtt_sample {
+            self.tracer.emit(
+                now,
+                Event::RttUpdate {
+                    path: 0,
+                    latest_us: sample.as_micros(),
+                    smoothed_us: self.rtt.smoothed().as_micros(),
+                },
+            );
+        }
+        let mut cc_touched = false;
         for p in &outcome.acked {
+            self.tracer.emit(now, Event::PacketAcked { path: 0, pn: p.pn });
             if p.ack_eliciting {
                 self.cc.on_ack(now, p.time_sent, p.size, self.rtt.smoothed());
+                cc_touched = true;
             }
             let frames = p.content.frames.clone();
             self.on_packet_acked_content(&frames);
+        }
+        if cc_touched {
+            self.tracer.emit(
+                now,
+                Event::CwndUpdate {
+                    path: 0,
+                    cwnd: self.cc.window(),
+                    bytes_in_flight: self.bytes_in_flight(),
+                },
+            );
         }
         if !outcome.lost.is_empty() {
             self.on_packets_lost(now, &outcome.lost);
@@ -606,6 +650,7 @@ impl Connection {
         self.stats.packets_lost += lost.len() as u64;
         let mut newest_lost_sent: Option<Instant> = None;
         for p in lost {
+            self.tracer.emit(now, Event::PacketLost { path: 0, pn: p.pn, bytes: p.size as u32 });
             if p.in_flight {
                 newest_lost_sent =
                     Some(newest_lost_sent.map_or(p.time_sent, |t| t.max(p.time_sent)));
@@ -632,6 +677,14 @@ impl Connection {
         }
         if let Some(t) = newest_lost_sent {
             self.cc.on_congestion_event(now, t);
+            self.tracer.emit(
+                now,
+                Event::CwndUpdate {
+                    path: 0,
+                    cwnd: self.cc.window(),
+                    bytes_in_flight: self.bytes_in_flight(),
+                },
+            );
         }
     }
 
@@ -655,6 +708,11 @@ impl Connection {
         // client's hello.
         if !self.handshake_sent && (self.cfg.side == Side::Client || self.handshake.is_complete()) {
             self.handshake_sent = true;
+            if self.hello_sends > 0 {
+                self.stats.handshake_retransmits += 1;
+            }
+            self.tracer.emit(now, Event::HandshakeSent { retransmit: self.hello_sends > 0 });
+            self.hello_sends += 1;
             let hello = self.handshake.local_hello().encode();
             let frame = Frame::Crypto { offset: 0, data: hello };
             return Some(self.build_packet(now, Space::Initial, vec![frame], true));
@@ -836,6 +894,7 @@ impl Connection {
         datagram.extend_from_slice(&sealed);
         let size = datagram.len() as u64;
         recovery.on_packet_sent(now, size, ack_eliciting, PacketContent { frames: infos });
+        self.tracer.emit(now, Event::PacketSent { path: 0, pn, bytes: size as u32, ack_eliciting });
         self.stats.packets_sent += 1;
         self.stats.bytes_sent += size;
         self.last_activity = now;

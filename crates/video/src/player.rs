@@ -11,6 +11,7 @@
 
 use crate::model::Video;
 use xlink_clock::{Duration, Instant};
+use xlink_obs::{Event, Tracer};
 use xlink_quic::frame::QoeSignal;
 
 /// Player tuning.
@@ -88,6 +89,8 @@ pub struct Player {
     stats: PlayerStats,
     /// Buffer-level samples (time, cached_bytes) for the Fig. 6 plots.
     pub buffer_probe: Option<Vec<(Instant, u64)>>,
+    /// Player lifecycle/buffer tracer (never consulted for decisions).
+    tracer: Tracer,
 }
 
 impl Player {
@@ -104,7 +107,14 @@ impl Player {
             stall_since: None,
             stats: PlayerStats::default(),
             buffer_probe: None,
+            tracer: Tracer::disabled(),
         }
+    }
+
+    /// Attach a tracer reporting player lifecycle and buffer events.
+    /// Pass [`Tracer::disabled`] to detach.
+    pub fn set_tracer(&mut self, tracer: Tracer) {
+        self.tracer = tracer;
     }
 
     /// The video being played.
@@ -119,6 +129,16 @@ impl Player {
         let frames = self.video.frames_in_prefix(self.bytes_received);
         if frames > 0 && self.stats.first_frame_at.is_none() {
             self.stats.first_frame_at = Some(now);
+            self.tracer.emit(now, Event::FirstFrame {});
+        }
+        if frames != self.frames_received {
+            self.tracer.emit(
+                now,
+                Event::PlayerBuffer {
+                    cached_frames: frames.saturating_sub(self.frames_played),
+                    cached_bytes: self.cached_bytes(),
+                },
+            );
         }
         self.frames_received = frames;
         self.try_unstall(now);
@@ -162,6 +182,9 @@ impl Player {
         if self.frames_played >= self.video.frame_count() {
             self.state = PlayState::Finished;
             self.stats.finished_at = Some(last + play_span);
+            // Trace at observation time (stats keep the backdated instant)
+            // so per-source timestamps stay monotone.
+            self.tracer.emit(now, Event::PlaybackFinished {});
         } else if consumed < consumable && self.frames_played < self.video.frame_count() {
             // Ran out of frames mid-interval: stall begins when the buffer
             // emptied.
@@ -169,6 +192,7 @@ impl Player {
             self.stats.rebuffer_events += 1;
             self.stall_since = Some(last + play_span);
             self.last_advance = None;
+            self.tracer.emit(now, Event::RebufferStart {});
         }
         self.record_probe(now);
     }
@@ -185,10 +209,13 @@ impl Player {
                 self.state = PlayState::Playing;
                 self.stats.playback_started_at = Some(now);
                 self.last_advance = Some(now);
+                self.tracer.emit(now, Event::PlaybackStarted {});
             }
             PlayState::Stalled => {
                 if let Some(s) = self.stall_since.take() {
-                    self.stats.rebuffer_time += now.saturating_duration_since(s);
+                    let stall = now.saturating_duration_since(s);
+                    self.stats.rebuffer_time += stall;
+                    self.tracer.emit(now, Event::RebufferEnd { stall_us: stall.as_micros() });
                 }
                 self.state = PlayState::Playing;
                 self.last_advance = Some(now);

@@ -27,6 +27,8 @@
 //!   module per paper table/figure.
 //! * [`lab`] (`xlink-lab`) — deterministic lab tooling: seeded RNG,
 //!   property-testing harness, micro-bench harness, shared statistics.
+//! * [`obs`] (`xlink-obs`) — deterministic qlog-style event tracing and
+//!   the per-run metrics registry (see DESIGN.md §8).
 //!
 //! ## Quickstart
 //!
@@ -55,6 +57,7 @@ pub use xlink_harness as harness;
 pub use xlink_lab as lab;
 pub use xlink_mptcp as mptcp;
 pub use xlink_netsim as netsim;
+pub use xlink_obs as obs;
 pub use xlink_quic as quic;
 pub use xlink_traces as traces;
 pub use xlink_video as video;

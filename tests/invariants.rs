@@ -4,7 +4,9 @@
 use xlink::clock::{Duration, Instant};
 use xlink::core::{play_time_left, reinjection_decision, QoeControl, QoeSignal};
 use xlink::lab::prop::*;
+use xlink::lab::rng::Rng;
 use xlink::netsim::{Impairment, Impairments, Link, LinkConfig};
+use xlink::obs::json::{parse, Value};
 use xlink::traces::{parse_mahimahi, to_mahimahi, Trace};
 
 /// Algorithm 1 is monotone in buffer occupancy: with everything else
@@ -155,6 +157,135 @@ fn link_preserves_order_and_content() {
             prop_assert_eq!(d.payload.len(), 100 + i);
             prop_assert!(d.payload.iter().all(|&b| b == i as u8));
         }
+        Ok(())
+    });
+}
+
+/// Arbitrary strings — escapes, control characters, astral-plane
+/// codepoints — survive a JSON write/parse round-trip exactly.
+#[test]
+fn json_string_escaping_round_trips() {
+    let string = map(vec_of(0u32..0x11_0000, 0..48), |cps| {
+        cps.into_iter().filter_map(char::from_u32).collect::<String>()
+    });
+    check("json_string_escaping_round_trips", string, |s| {
+        let v = Value::Str(s.clone());
+        prop_assert_eq!(parse(&v.to_json()).map_err(|e| e.to_string())?, v);
+        Ok(())
+    });
+}
+
+/// Integers are preserved exactly across the full u64/i64 domain, and
+/// fractional floats come back as the same number.
+#[test]
+fn json_numbers_round_trip() {
+    check(
+        "json_numbers_round_trip",
+        (0u64..=u64::MAX, 0u64..=u64::MAX, 0u64..1_000_000_000),
+        |&(u, i_bits, f_int)| {
+            let i = i_bits as i64;
+            let f = f_int as f64 + 0.5; // always fractional: stays a Float
+            prop_assert_eq!(parse(&Value::Uint(u).to_json()).unwrap().as_u64(), Some(u));
+            let back = parse(&Value::Int(i).to_json()).unwrap();
+            prop_assert_eq!(back.as_f64(), Some(i as f64));
+            if i < 0 {
+                prop_assert_eq!(back, Value::Int(i));
+            }
+            prop_assert_eq!(parse(&Value::Float(f).to_json()).unwrap(), Value::Float(f));
+            Ok(())
+        },
+    );
+}
+
+/// Random nested documents (objects, arrays, every scalar kind, nasty
+/// strings as both keys and values) are textually stable through
+/// write → parse → write: the second serialisation is byte-identical.
+#[test]
+fn json_nesting_round_trips() {
+    fn gen_string(rng: &mut Rng) -> String {
+        const CHARS: &[char] =
+            &['a', 'k', '0', 'β', '"', '\\', '/', '\n', '\t', '\u{0}', '\u{1f}', '\u{7f}', '😀'];
+        (0..rng.below(10)).map(|_| CHARS[rng.below(CHARS.len() as u64) as usize]).collect()
+    }
+    fn gen_value(rng: &mut Rng, depth: u32) -> Value {
+        match rng.below(if depth == 0 { 6 } else { 8 }) {
+            0 => Value::Null,
+            1 => Value::Bool(rng.chance(0.5)),
+            2 => Value::Int(rng.next_u64() as i64),
+            3 => Value::Uint(rng.next_u64()),
+            4 => Value::Float(rng.below(1_000_000) as f64 + 0.25),
+            5 => Value::Str(gen_string(rng)),
+            6 => Value::Arr((0..rng.below(4)).map(|_| gen_value(rng, depth - 1)).collect()),
+            _ => Value::Obj(
+                (0..rng.below(4)).map(|_| (gen_string(rng), gen_value(rng, depth - 1))).collect(),
+            ),
+        }
+    }
+    #[derive(Clone, Copy, Debug)]
+    struct DocSeed;
+    impl Strategy for DocSeed {
+        type Value = u64;
+        fn generate(&self, rng: &mut Rng) -> u64 {
+            rng.next_u64()
+        }
+    }
+    check("json_nesting_round_trips", DocSeed, |&seed| {
+        let v = gen_value(&mut Rng::new(seed), 3);
+        let text = v.to_json();
+        let reparsed = parse(&text).map_err(|e| e.to_string())?;
+        prop_assert_eq!(reparsed.to_json(), text, "unstable round-trip for {v:?}");
+        Ok(())
+    });
+}
+
+/// Event-stream invariants hold for any seed: per-source clocks are
+/// monotone, nothing is acked or lost before it was sent, and the
+/// re-injection events sum to the stats ledger byte-exactly.
+#[test]
+fn traced_sessions_satisfy_stream_invariants() {
+    use xlink::harness::{run_session, Scheme, SessionConfig};
+    use xlink::netsim::Path;
+    use xlink::obs::{Event, TraceLog};
+    let mut cfg_env = Config::from_env("traced_sessions_satisfy_stream_invariants");
+    cfg_env.cases = cfg_env.cases.min(6); // each case is a full session
+    check_with(&cfg_env, "traced_sessions_satisfy_stream_invariants", &(0u64..10_000), |&seed| {
+        let log = TraceLog::recording();
+        let mut cfg = SessionConfig::short_video(Scheme::Xlink, seed);
+        cfg.video = xlink::video::Video::synth(2, 25, 600_000, 8.0);
+        cfg.trace = Some(log.clone());
+        let mk = |mbps: f64, delay_ms: u64, s: u64| {
+            let mut lc = LinkConfig::constant_rate(mbps, Duration::from_millis(delay_ms));
+            lc.loss = 0.015;
+            lc.seed = s;
+            Path::symmetric(lc)
+        };
+        let r = run_session(&cfg, vec![mk(18.0, 10, seed), mk(12.0, 30, seed ^ 1)]);
+        let mut last = std::collections::BTreeMap::new();
+        let mut sent = std::collections::BTreeSet::new();
+        let mut reinjected = 0u64;
+        for ev in log.events() {
+            let prev = *last.entry(ev.source).or_insert(ev.time);
+            prop_assert!(ev.time >= prev, "clock ran backwards in {}", log.source_name(ev.source));
+            last.insert(ev.source, ev.time);
+            match ev.body {
+                Event::PacketSent { path, pn, .. } => {
+                    sent.insert((ev.source, path, pn));
+                }
+                Event::PacketAcked { path, pn } | Event::PacketLost { path, pn, .. } => {
+                    prop_assert!(
+                        sent.contains(&(ev.source, path, pn)),
+                        "pn {pn} acked/lost before sent on path {path} of {}",
+                        log.source_name(ev.source)
+                    );
+                }
+                Event::Reinjection { len, .. } => reinjected += len,
+                _ => {}
+            }
+        }
+        prop_assert_eq!(
+            reinjected,
+            r.client_transport.reinjected_bytes + r.server_transport.reinjected_bytes
+        );
         Ok(())
     });
 }
