@@ -22,6 +22,9 @@ cargo test -q --offline
 echo "==> impairment robustness sweep (8 seeds)"
 XLINK_SWEEP_SEEDS=8 cargo test -q --offline --test impairments
 
+echo "==> failover robustness sweep (8 seeds)"
+XLINK_SWEEP_SEEDS=8 cargo test -q --offline --test failover
+
 echo "==> observability: A/B bit-determinism + qlog validity"
 cargo test -q --offline --test observability
 

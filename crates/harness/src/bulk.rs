@@ -217,7 +217,7 @@ pub fn run_bulk_quic_with_qoe(
 }
 
 #[allow(clippy::too_many_arguments)]
-fn run_bulk_quic_full(
+pub(crate) fn run_bulk_quic_full(
     scheme: Scheme,
     tuning: &TransportTuning,
     size: u64,
@@ -483,6 +483,7 @@ mod tests {
             queue_bytes: 1000,
             loss: 0.0,
             seed: 0,
+            impairments: xlink_netsim::Impairments::none(),
         })];
         let r = run_bulk_quic(
             Scheme::Sp { path: 0 },

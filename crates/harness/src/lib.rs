@@ -7,6 +7,7 @@
 
 pub mod ab;
 pub mod bulk;
+pub mod chaos;
 pub mod scenario;
 pub mod stats;
 pub mod transport;
@@ -18,6 +19,10 @@ pub use ab::{run_ab, AbConfig, DayOutcome};
 pub use bulk::{
     run_bulk_mptcp, run_bulk_mptcp_flapped, run_bulk_quic, run_bulk_quic_flapped,
     run_bulk_quic_traced, BulkResult,
+};
+pub use chaos::{
+    failover_timeline, handover_flaps, handover_paths, run_bulk_quic_chaos, run_bulk_quic_handover,
+    ChaosPlan,
 };
 pub use scenario::{draw_user_paths, PathSpec};
 pub use transport::{Conn, Scheme, TransportStats, TransportTuning, REINJECTION_COST_CAP};

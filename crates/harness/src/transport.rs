@@ -5,10 +5,10 @@
 
 use xlink_clock::{Duration, Instant};
 use xlink_core::{
-    AckPathPolicy, MpConfig, MpConnection, PrimaryPathPolicy, QoeControl, QoeSignal, ReinjectMode,
-    SchedulerKind, WirelessTech,
+    AckPathPolicy, LivenessConfig, MpConfig, MpConnection, PrimaryPathPolicy, QoeControl,
+    QoeSignal, ReinjectMode, SchedulerKind, WirelessTech,
 };
-use xlink_obs::Tracer;
+use xlink_obs::{Event, Tracer};
 use xlink_quic::connection::{Config as SpConfig, Connection as SpConnection};
 use xlink_quic::stream::Side;
 
@@ -72,6 +72,9 @@ pub struct TransportTuning {
     pub wireless_aware_primary: bool,
     /// Explicit primary-path policy override (beats `wireless_aware_primary`).
     pub primary_override: Option<PrimaryPathPolicy>,
+    /// Per-path liveness detection and automatic failover (§9) for the
+    /// multipath schemes; off restores the pre-liveness baselines.
+    pub auto_failover: bool,
 }
 
 impl Default for TransportTuning {
@@ -83,6 +86,7 @@ impl Default for TransportTuning {
             cm_threshold: Duration::from_millis(700),
             wireless_aware_primary: true,
             primary_override: None,
+            auto_failover: true,
         }
     }
 }
@@ -146,6 +150,8 @@ pub enum Conn {
         last_recv: Instant,
         /// For servers: reply on the path the client last used.
         follow_peer_path: bool,
+        /// Trace handle for transport-level events (CM failovers).
+        tracer: Tracer,
     },
     /// Multipath.
     Mp(MpConnection),
@@ -185,6 +191,7 @@ impl Conn {
                     threshold: tuning.cm_threshold,
                     last_recv: now,
                     follow_peer_path: side == Side::Server,
+                    tracer: Tracer::disabled(),
                 }
             }
             Scheme::Cm => {
@@ -201,6 +208,7 @@ impl Conn {
                     threshold: tuning.cm_threshold,
                     last_recv: now,
                     follow_peer_path: side == Side::Server,
+                    tracer: Tracer::disabled(),
                 }
             }
             mp => {
@@ -252,6 +260,11 @@ impl Conn {
                     }
                     Scheme::Sp { .. } | Scheme::Cm => unreachable!(),
                 }
+                cfg.liveness = if tuning.auto_failover {
+                    LivenessConfig::default()
+                } else {
+                    LivenessConfig::disabled()
+                };
                 cfg.scheduler = SchedulerKind::MinRtt;
                 Conn::Mp(MpConnection::new(cfg, now))
             }
@@ -275,7 +288,7 @@ impl Conn {
     /// Next datagram to send: (network path, bytes).
     pub fn poll_transmit(&mut self, now: Instant) -> Option<(usize, Vec<u8>)> {
         match self {
-            Conn::Sp { conn, active, migrate, threshold, last_recv, num_paths, .. } => {
+            Conn::Sp { conn, active, migrate, threshold, last_recv, num_paths, tracer, .. } => {
                 // CM: if we're awaiting data and the path has been silent
                 // past the threshold, rotate and reset (RFC 9000 §9.4).
                 if *migrate
@@ -283,7 +296,16 @@ impl Conn {
                     && conn.bytes_in_flight() > 0
                     && now.saturating_duration_since(*last_recv) > *threshold
                 {
+                    let from = *active;
                     *active = (*active + 1) % (*num_paths).max(1);
+                    tracer.emit(
+                        now,
+                        Event::PathFailover {
+                            from: from as u8,
+                            to: *active as u8,
+                            stranded_bytes: conn.bytes_in_flight(),
+                        },
+                    );
                     conn.on_migrate(now);
                     *last_recv = now; // restart the stall clock
                 }
@@ -397,7 +419,10 @@ impl Conn {
     /// `<source>.core` for multipath). Read-only: never changes behaviour.
     pub fn set_tracer(&mut self, tracer: &Tracer) {
         match self {
-            Conn::Sp { conn, .. } => conn.set_tracer(tracer.scoped("quic")),
+            Conn::Sp { conn, tracer: t, .. } => {
+                *t = tracer.scoped("quic");
+                conn.set_tracer(tracer.scoped("quic"));
+            }
             Conn::Mp(mp) => mp.set_tracer(tracer),
         }
     }

@@ -6,10 +6,18 @@ use std::collections::BTreeMap;
 use xlink_clock::{Duration, Instant};
 use xlink_obs::{Event, Tracer};
 use xlink_quic::cc::{CcAlgorithm, CongestionController, MAX_DATAGRAM_SIZE};
+use xlink_quic::recovery::{MAX_PTO, SUSPECT_AFTER_PTOS};
 use xlink_quic::rtt::RttEstimator;
 
 /// Maximum payload per segment.
 pub const MSS: usize = MAX_DATAGRAM_SIZE as usize - HEADER_LEN;
+
+/// First probe retry interval for a suspect subflow (mirrors the QUIC
+/// liveness machine's `probe_initial`).
+const PROBE_INITIAL: Duration = Duration::from_millis(250);
+
+/// Ceiling for the suspect-subflow probe backoff.
+const PROBE_MAX: Duration = Duration::from_secs(4);
 
 /// Endpoint configuration.
 #[derive(Debug, Clone)]
@@ -54,6 +62,11 @@ pub struct MptcpStats {
     pub penalizations: u64,
     /// Segments declared lost.
     pub segments_lost: u64,
+    /// Subflows marked suspect after consecutive RTOs (parity with the
+    /// QUIC liveness machine).
+    pub subflow_suspects: u64,
+    /// Suspect subflows that recovered after ack progress.
+    pub subflow_revalidations: u64,
 }
 
 #[derive(Debug, Clone)]
@@ -76,6 +89,18 @@ struct Subflow {
     /// RTO backoff.
     rto_count: u32,
     last_send: Instant,
+    /// Last time any valid segment arrived on this subflow (proof of
+    /// life, consulted by the all-suspect scheduling fallback).
+    last_recv: Instant,
+    /// Excluded from min-RTT scheduling after consecutive RTOs; cleared
+    /// by ack progress (or any valid segment) on this subflow.
+    suspect: bool,
+    /// Next probe deadline while suspect.
+    probe_at: Option<Instant>,
+    /// Current (exponentially backed-off) probe interval.
+    probe_interval: Duration,
+    /// Probes sent during the current suspect episode.
+    suspect_probes: u32,
 }
 
 impl Subflow {
@@ -90,6 +115,11 @@ impl Subflow {
             inflight_bytes: 0,
             rto_count: 0,
             last_send: Instant::ZERO,
+            last_recv: Instant::ZERO,
+            suspect: false,
+            probe_at: None,
+            probe_interval: PROBE_INITIAL,
+            suspect_probes: 0,
         }
     }
 
@@ -101,6 +131,7 @@ impl Subflow {
         self.rtt
             .pto(Duration::from_millis(0))
             .mul_f64(f64::from(1u32 << self.rto_count.min(10)))
+            .min(MAX_PTO)
             .max(Duration::from_millis(200))
     }
 
@@ -108,8 +139,17 @@ impl Subflow {
         if self.syn_sent && !self.established {
             return self.syn_time.map(|t| t + self.rto());
         }
-        let oldest = self.inflight.values().map(|s| s.time_sent).min()?;
-        Some(oldest + self.rto())
+        let data = self.inflight.values().map(|s| s.time_sent).min().map(|t| t + self.rto());
+        let probe = if self.suspect { self.probe_at } else { None };
+        [data, probe].into_iter().flatten().min()
+    }
+
+    /// Clear a suspect episode after proof of life.
+    fn clear_suspect(&mut self) -> u32 {
+        self.suspect = false;
+        self.probe_at = None;
+        self.probe_interval = PROBE_INITIAL;
+        std::mem::take(&mut self.suspect_probes)
     }
 }
 
@@ -231,12 +271,21 @@ impl MptcpConnection {
         let Some(seg) = Segment::decode(datagram) else {
             return;
         };
+        self.subflows[path].last_recv = now;
         // Any valid segment on a subflow we SYNed proves the path works
         // both ways (e.g. the SYNACK itself was corrupted but a later
         // ACK got through) — treat it as establishment.
         if self.subflows[path].syn_sent && !self.subflows[path].established {
             self.subflows[path].established = true;
             self.tracer.emit(now, Event::SubflowEstablished { path: path as u8 });
+        }
+        // Likewise, any valid segment on a suspect subflow is proof of
+        // life: the path answered, so it rejoins the scheduler.
+        if self.subflows[path].suspect {
+            let probes = self.subflows[path].clear_suspect();
+            self.subflows[path].rto_count = 0;
+            self.stats.subflow_revalidations += 1;
+            self.tracer.emit(now, Event::PathRevalidated { path: path as u8, probes });
         }
         match seg.kind {
             Kind::Syn => {
@@ -600,9 +649,34 @@ impl MptcpConnection {
     }
 
     fn min_rtt_subflow(&self, need: u64) -> Option<usize> {
-        (0..self.subflows.len())
-            .filter(|&i| self.subflows[i].established && self.subflows[i].budget() >= need.max(1))
-            .min_by_key(|&i| (self.subflows[i].rtt.smoothed(), i))
+        // Suspect subflows are excluded as long as ANY healthy subflow
+        // exists — even one momentarily out of budget (waiting beats
+        // feeding more data into a blackhole). Only when every subflow
+        // is suspect do we fall back, and then we prefer the subflow
+        // that most recently produced proof of life: a head-of-line
+        // stall can transiently push a working subflow's RTO counter
+        // over the threshold, and min-RTT alone would hand the stream
+        // head right back to the genuinely dead subflow.
+        let healthy_exists = self.subflows.iter().any(|sf| sf.established && !sf.suspect);
+        let eligible = |i: &usize| {
+            let sf = &self.subflows[*i];
+            sf.established && !sf.suspect && sf.budget() >= need.max(1)
+        };
+        if healthy_exists {
+            (0..self.subflows.len())
+                .filter(eligible)
+                .min_by_key(|&i| (self.subflows[i].rtt.smoothed(), i))
+        } else {
+            (0..self.subflows.len())
+                .filter(|&i| {
+                    let sf = &self.subflows[i];
+                    sf.established && sf.budget() >= need.max(1)
+                })
+                .min_by_key(|&i| {
+                    let sf = &self.subflows[i];
+                    (std::cmp::Reverse(sf.last_recv), sf.rtt.smoothed(), i)
+                })
+        }
     }
 
     /// Earliest retransmission timer.
@@ -618,6 +692,7 @@ impl MptcpConnection {
 
     /// Fire RTO on due subflows: requeue their oldest in-flight data.
     pub fn on_timeout(&mut self, now: Instant) {
+        let mut newly_suspect: Vec<(usize, u32, u64)> = Vec::new();
         if self.fin_sent && !self.fin_acked {
             if let Some(t) = self.fin_time {
                 if now >= t + self.subflows[0].rto() {
@@ -639,17 +714,55 @@ impl MptcpConnection {
                 }
                 continue;
             }
+            // Suspect-subflow probe timer: retransmit the data-level head
+            // on the dead subflow with exponential backoff, waiting for
+            // proof of life.
+            if sf.suspect {
+                if let Some(at) = sf.probe_at {
+                    if now >= at {
+                        sf.suspect_probes += 1;
+                        sf.probe_at = Some(now + sf.probe_interval);
+                        sf.probe_interval = sf.probe_interval.mul_f64(2.0).min(PROBE_MAX);
+                        let head = self.snd_una;
+                        if head < self.next_seq && !sf.inflight.contains_key(&head) {
+                            let len = ((self.next_seq - head) as usize).min(MSS);
+                            sf.inflight
+                                .insert(head, SentSeg { len, time_sent: now, retransmitted: true });
+                            sf.inflight_bytes += len as u64;
+                            self.retx_send.push((i, head, len));
+                        } else if head >= self.next_seq {
+                            // Nothing to retransmit: send a zero-length
+                            // data probe. The receiver always acks data
+                            // segments on the arrival subflow, so a
+                            // reply is proof of life.
+                            let seq = head.min(self.send_buf.len() as u64);
+                            self.retx_send.push((i, seq, 0));
+                        }
+                    }
+                }
+            }
             let Some(deadline) = sf.next_timeout() else { continue };
             if now < deadline {
                 continue;
             }
+            if sf.inflight.is_empty() {
+                continue; // probe timer already handled above
+            }
             // RTO: everything on the subflow is presumed lost.
             let lost: Vec<(u64, usize)> =
                 sf.inflight.iter().map(|(&s, seg)| (s, seg.len)).collect();
+            let stranded: u64 = lost.iter().map(|&(_, l)| l as u64).sum();
             sf.inflight.clear();
             sf.inflight_bytes = 0;
             sf.rto_count += 1;
             sf.cc.on_persistent_congestion();
+            if sf.rto_count >= SUSPECT_AFTER_PTOS && !sf.suspect {
+                sf.suspect = true;
+                sf.suspect_probes = 0;
+                sf.probe_interval = PROBE_INITIAL;
+                sf.probe_at = Some(now + sf.probe_interval);
+                newly_suspect.push((i, sf.rto_count, stranded));
+            }
             for (s, l) in lost {
                 let e = s + l as u64;
                 if e > self.snd_una {
@@ -659,6 +772,29 @@ impl MptcpConnection {
                         .emit(now, Event::SegmentLost { path: i as u8, seq: s, len: l as u32 });
                 }
             }
+        }
+        for (i, rtos, stranded) in newly_suspect {
+            self.stats.subflow_suspects += 1;
+            let oldest = self.subflows[i].last_send;
+            self.tracer.emit(
+                now,
+                Event::PathSuspected {
+                    path: i as u8,
+                    pto_count: rtos,
+                    silent_us: now.saturating_duration_since(oldest).as_micros(),
+                },
+            );
+            let to = (0..self.subflows.len())
+                .filter(|&j| j != i && self.subflows[j].established && !self.subflows[j].suspect)
+                .min_by_key(|&j| (self.subflows[j].rtt.smoothed(), j));
+            self.tracer.emit(
+                now,
+                Event::PathFailover {
+                    from: i as u8,
+                    to: to.map_or(255, |t| t as u8),
+                    stranded_bytes: stranded,
+                },
+            );
         }
         // Coalesce the retransmission queue.
         self.retx_queue.sort_unstable();
@@ -779,6 +915,104 @@ mod tests {
         assert!(s.recv_complete(), "transfer must survive a lost flight");
         assert_eq!(got.len(), data.len());
         assert!(c.stats().bytes_retransmitted > 0);
+    }
+
+    /// Like `pump`, but datagrams on `dead` subflows vanish in both
+    /// directions and timers are chased up to `horizon` ahead.
+    fn pump_blackhole(
+        now: &mut Instant,
+        a: &mut MptcpConnection,
+        b: &mut MptcpConnection,
+        dead: &[usize],
+        horizon: Duration,
+    ) {
+        let end = *now + horizon;
+        for _ in 0..20_000 {
+            let mut any = false;
+            while let Some((p, d)) = a.poll_transmit(*now) {
+                any = true;
+                if !dead.contains(&p) {
+                    b.handle_datagram(*now, p, &d);
+                }
+            }
+            while let Some((p, d)) = b.poll_transmit(*now) {
+                any = true;
+                if !dead.contains(&p) {
+                    a.handle_datagram(*now, p, &d);
+                }
+            }
+            if !any {
+                let next = [a.poll_timeout(), b.poll_timeout()].into_iter().flatten().min();
+                match next {
+                    Some(t) if t <= end => {
+                        *now = t.max(*now + Duration::from_micros(1));
+                        a.on_timeout(*now);
+                        b.on_timeout(*now);
+                    }
+                    _ => break,
+                }
+            } else {
+                *now += Duration::from_micros(100);
+            }
+        }
+    }
+
+    #[test]
+    fn rto_backoff_capped_at_max_pto() {
+        let (mut c, _s, _now) = pair();
+        c.subflows[0].rto_count = 20;
+        assert_eq!(c.subflows[0].rto(), MAX_PTO, "RTO backoff must cap at the absolute maximum");
+    }
+
+    #[test]
+    fn blackholed_subflow_suspected_excluded_and_revalidated() {
+        let (mut c, mut s, mut now) = pair();
+        pump(&mut now, &mut c, &mut s);
+        let data = vec![5u8; 120_000];
+        c.send(&data);
+        c.finish();
+        // Skew subflow 0's RTT so min-RTT prefers subflow 1: the subflow
+        // about to blackhole must actually hold (and keep attracting)
+        // data for consecutive RTOs to accumulate.
+        c.subflows[0].rtt.update(Duration::from_millis(500), Duration::ZERO);
+        for _ in 0..8 {
+            if let Some((p, d)) = c.poll_transmit(now) {
+                s.handle_datagram(now, p, &d);
+            }
+        }
+        pump_blackhole(&mut now, &mut c, &mut s, &[1], Duration::from_secs(15));
+        assert!(c.subflows[1].suspect, "repeated RTOs must mark the subflow suspect");
+        assert!(c.stats().subflow_suspects >= 1);
+        let mut got = s.recv(usize::MAX);
+        for _ in 0..50 {
+            if s.recv_complete() {
+                break;
+            }
+            pump_blackhole(&mut now, &mut c, &mut s, &[1], Duration::from_secs(3));
+            got.extend(s.recv(usize::MAX));
+        }
+        got.extend(s.recv(usize::MAX));
+        assert!(s.recv_complete(), "transfer must fail over to the healthy subflow");
+        assert_eq!(got.len(), data.len());
+        assert!(got.iter().all(|&b| b == 5), "no corruption across failover");
+        // Heal the link: a backoff probe round-trips and the subflow
+        // rejoins the scheduler.
+        pump_blackhole(&mut now, &mut c, &mut s, &[], Duration::from_secs(10));
+        assert!(!c.subflows[1].suspect, "proof of life must clear suspicion");
+        assert!(c.stats().subflow_revalidations >= 1);
+        assert_eq!(c.subflows[1].rto_count, 0, "revalidation must reset RTO backoff");
+    }
+
+    #[test]
+    fn all_suspect_subflows_still_carry_data() {
+        let (mut c, mut s, mut now) = pair();
+        pump(&mut now, &mut c, &mut s);
+        for sf in &mut c.subflows {
+            sf.suspect = true;
+        }
+        c.send(&vec![2u8; 5_000]);
+        let tx = c.poll_transmit(now);
+        assert!(tx.is_some(), "scheduler must fall back when every subflow is suspect");
     }
 
     #[test]

@@ -118,6 +118,33 @@ pub enum Event {
         /// New state label.
         to: &'static str,
     },
+    /// Liveness detection marked a path suspect: consecutive PTOs or ack
+    /// silence suggest the path is blackholed (§9, failover machine).
+    PathSuspected {
+        /// Path index.
+        path: u8,
+        /// Consecutive PTO count at suspicion time.
+        pto_count: u32,
+        /// Microseconds since the last ack progress on the path.
+        silent_us: u64,
+    },
+    /// Traffic failed over from a suspect path onto a survivor.
+    PathFailover {
+        /// Path traffic moved away from.
+        from: u8,
+        /// Destination path (255 when no survivor was available yet).
+        to: u8,
+        /// Bytes in flight on the suspect path at failover time.
+        stranded_bytes: u64,
+    },
+    /// A probation path answered a PATH_CHALLENGE probe and rejoined
+    /// with reset congestion and PTO state.
+    PathRevalidated {
+        /// Path index.
+        path: u8,
+        /// Backoff probes sent before the response arrived.
+        probes: u32,
+    },
     /// A QoE signal crossed the API (sent by the client player or
     /// received by the server controller). Fields mirror the ACK_MP QoE
     /// payload.
@@ -221,6 +248,9 @@ impl Event {
             | Reinjection { .. }
             | ReinjectionGate { .. }
             | PathStatusChange { .. }
+            | PathSuspected { .. }
+            | PathFailover { .. }
+            | PathRevalidated { .. }
             | QoeSignal { .. } => "xlink",
             SubflowEstablished { .. } | SegmentSent { .. } | SegmentLost { .. } => "mptcp",
             LinkStateChange { .. } | LinkDrop { .. } | ImpairmentHit { .. } => "netsim",
@@ -248,6 +278,9 @@ impl Event {
             Reinjection { .. } => "reinjection",
             ReinjectionGate { .. } => "reinjection_gate",
             PathStatusChange { .. } => "path_status_change",
+            PathSuspected { .. } => "path_suspected",
+            PathFailover { .. } => "path_failover",
+            PathRevalidated { .. } => "path_revalidated",
             QoeSignal { .. } => "qoe_signal",
             SubflowEstablished { .. } => "subflow_established",
             SegmentSent { .. } => "segment_sent",
@@ -276,9 +309,13 @@ impl Event {
             | SchedulerDecision { path, .. }
             | Reinjection { path, .. }
             | PathStatusChange { path, .. }
+            | PathSuspected { path, .. }
+            | PathRevalidated { path, .. }
             | SubflowEstablished { path }
             | SegmentSent { path, .. }
             | SegmentLost { path, .. } => Some(*path),
+            // A failover is attributed to the path traffic left.
+            PathFailover { from, .. } => Some(*from),
             _ => None,
         }
     }
@@ -330,6 +367,20 @@ impl Event {
                 w.field_u64("path", u64::from(*path));
                 w.field_str("from", from);
                 w.field_str("to", to);
+            }
+            PathSuspected { path, pto_count, silent_us } => {
+                w.field_u64("path", u64::from(*path));
+                w.field_u64("pto_count", u64::from(*pto_count));
+                w.field_u64("silent_us", *silent_us);
+            }
+            PathFailover { from, to, stranded_bytes } => {
+                w.field_u64("from", u64::from(*from));
+                w.field_u64("to", u64::from(*to));
+                w.field_u64("stranded_bytes", *stranded_bytes);
+            }
+            PathRevalidated { path, probes } => {
+                w.field_u64("path", u64::from(*path));
+                w.field_u64("probes", u64::from(*probes));
             }
             QoeSignal { sent, cached_frames, cached_bytes, bps, fps } => {
                 w.field_bool("sent", *sent);

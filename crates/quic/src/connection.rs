@@ -170,6 +170,13 @@ pub struct Connection {
     control_queue: Vec<Frame>,
     /// Probe requested by PTO.
     probe_pending: bool,
+    /// Liveness parity hook (§9): true while consecutive PTOs suggest
+    /// the (single) path is blackholed. Single-path QUIC has nowhere to
+    /// fail over to, but surfacing the same signal keeps differential
+    /// traces comparable with the multipath stack.
+    suspected: bool,
+    /// PTO probes sent while suspected (reported on revalidation).
+    suspect_probes: u32,
     close_frame_pending: Option<(TransportError, String)>,
     stats: ConnectionStats,
     idle_timeout: Duration,
@@ -249,6 +256,8 @@ impl Connection {
             last_activity: now,
             control_queue: Vec::new(),
             probe_pending: false,
+            suspected: false,
+            suspect_probes: 0,
             close_frame_pending: None,
             stats: ConnectionStats::default(),
             state: State::Handshaking,
@@ -374,7 +383,18 @@ impl Connection {
     pub fn on_migrate(&mut self, now: Instant) {
         self.cc.reset(now);
         self.rtt = RttEstimator::new();
+        // The backoff accumulated on the old path says nothing about the
+        // new one; probing resumes at the base PTO.
+        self.app_recovery.reset_pto_count();
+        self.suspected = false;
+        self.suspect_probes = 0;
         self.stats.migrations += 1;
+    }
+
+    /// True while consecutive PTOs mark the path suspect (no ack
+    /// progress; see [`Connection::on_migrate`] for the liveness hook).
+    pub fn is_suspected(&self) -> bool {
+        self.suspected
     }
 
     // ------------------------------------------------------------------
@@ -596,6 +616,12 @@ impl Connection {
                     smoothed_us: self.rtt.smoothed().as_micros(),
                 },
             );
+        }
+        if self.suspected && !outcome.acked.is_empty() {
+            // Ack progress contradicts the blackhole hypothesis.
+            self.suspected = false;
+            self.tracer.emit(now, Event::PathRevalidated { path: 0, probes: self.suspect_probes });
+            self.suspect_probes = 0;
         }
         let mut cc_touched = false;
         for p in &outcome.acked {
@@ -950,6 +976,26 @@ impl Connection {
                         self.handshake_sent = false; // re-fire the hello
                     } else {
                         self.probe_pending = true;
+                        if self.suspected {
+                            self.suspect_probes += 1;
+                        } else if self.app_recovery.pto_count()
+                            >= crate::recovery::SUSPECT_AFTER_PTOS
+                        {
+                            self.suspected = true;
+                            self.suspect_probes = 0;
+                            let silent = self
+                                .app_recovery
+                                .oldest_unacked_time()
+                                .map_or(Duration::ZERO, |t| now.saturating_duration_since(t));
+                            self.tracer.emit(
+                                now,
+                                Event::PathSuspected {
+                                    path: 0,
+                                    pto_count: self.app_recovery.pto_count(),
+                                    silent_us: silent.as_micros(),
+                                },
+                            );
+                        }
                     }
                 }
             }
@@ -1133,6 +1179,30 @@ mod tests {
         assert_eq!(c.stats().migrations, 1);
         assert!(!c.rtt().has_samples());
         let _ = s;
+    }
+
+    #[test]
+    fn consecutive_ptos_mark_path_suspect_and_ack_clears_it() {
+        let (mut c, mut s, mut now) = pair();
+        pump(&mut now, &mut c, &mut s);
+        let id = c.open_stream(0);
+        c.stream_send(id, b"req", true);
+        pump(&mut now, &mut c, &mut s);
+        s.stream_recv(id, 100);
+        s.stream_send(id, &[0x7fu8; 20_000], true);
+        // Blackhole the server→client direction: every flight vanishes.
+        let mut fired = 0;
+        while fired < 6 && !s.is_suspected() {
+            while s.poll_transmit(now).is_some() {}
+            let t = s.poll_timeout().unwrap();
+            now = t + Duration::from_micros(1);
+            s.on_timeout(now);
+            fired += 1;
+        }
+        assert!(s.is_suspected(), "consecutive PTOs must raise suspicion");
+        // Let traffic flow again: ack progress revalidates the path.
+        pump(&mut now, &mut c, &mut s);
+        assert!(!s.is_suspected(), "ack progress must clear suspicion");
     }
 
     #[test]

@@ -28,6 +28,16 @@ pub const TIME_THRESHOLD_NUM: u32 = 9;
 pub const TIME_THRESHOLD_DEN: u32 = 8;
 /// Granularity floor for the time threshold.
 pub const GRANULARITY: Duration = Duration::from_millis(1);
+/// Absolute ceiling on the backed-off PTO interval. Without it the
+/// exponential backoff grows to 2^16 · PTO on a blackholed path, which
+/// means a path that comes back after a long outage would wait minutes
+/// before probing again; liveness detection upstream wants a bounded
+/// probe cadence instead.
+pub const MAX_PTO: Duration = Duration::from_secs(2);
+/// Consecutive PTOs (without any ack progress) after which liveness
+/// detection marks a path suspect (§9). Shared by the single-path
+/// parity hook and the multipath failover machine's default config.
+pub const SUSPECT_AFTER_PTOS: u32 = 2;
 
 /// Metadata the connection wants back when a packet is acked or lost.
 /// The generic parameter carries per-packet content (e.g. which stream
@@ -143,6 +153,13 @@ impl<T> Recovery<T> {
     /// Current PTO backoff exponent.
     pub fn pto_count(&self) -> u32 {
         self.pto_count
+    }
+
+    /// Clear the PTO backoff (used when a path is revalidated after
+    /// probation: the old backoff reflects the dead incarnation of the
+    /// path, not the recovered one).
+    pub fn reset_pto_count(&mut self) {
+        self.pto_count = 0;
     }
 
     /// Record a transmitted packet; returns its packet number.
@@ -286,7 +303,8 @@ impl<T> Recovery<T> {
         if !self.has_ack_eliciting_in_flight() {
             return None;
         }
-        let pto = rtt.pto(max_ack_delay).mul_f64(f64::from(1u32 << self.pto_count.min(16)));
+        let pto =
+            rtt.pto(max_ack_delay).mul_f64(f64::from(1u32 << self.pto_count.min(16))).min(MAX_PTO);
         Some(base + pto)
     }
 
@@ -433,6 +451,36 @@ mod tests {
         // Exponential backoff: the PTO interval from the last ack-eliciting
         // send doubles (t1 = base + pto, t2 = base + 2·pto).
         assert_eq!((t2 - t(0)).as_micros(), 2 * (t1 - t(0)).as_micros());
+    }
+
+    #[test]
+    fn pto_backoff_capped_at_max_pto() {
+        let mut rec: Recovery<()> = Recovery::new();
+        let rtt = rtt_with(50);
+        rec.on_packet_sent(t(0), 1000, true, ());
+        // Drive the backoff far past the point where 2^n · PTO would
+        // exceed the cap.
+        for _ in 0..12 {
+            assert!(matches!(rec.on_timeout(t(1000), &rtt), TimeoutOutcome::SendProbe));
+        }
+        let deadline = rec.next_timeout(&rtt, Duration::ZERO).unwrap();
+        assert_eq!(deadline - t(0), MAX_PTO, "backed-off PTO must be clamped to MAX_PTO");
+    }
+
+    #[test]
+    fn reset_pto_count_clears_backoff() {
+        let mut rec: Recovery<()> = Recovery::new();
+        let rtt = rtt_with(50);
+        rec.on_packet_sent(t(0), 1000, true, ());
+        for _ in 0..5 {
+            rec.on_timeout(t(1000), &rtt);
+        }
+        assert_eq!(rec.pto_count(), 5);
+        rec.reset_pto_count();
+        assert_eq!(rec.pto_count(), 0);
+        // The timer is re-armed at the un-backed-off interval.
+        let t_fresh = rec.next_timeout(&rtt, Duration::ZERO).unwrap();
+        assert!(t_fresh - t(0) < MAX_PTO);
     }
 
     #[test]

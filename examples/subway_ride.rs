@@ -8,10 +8,16 @@
 
 use xlink::clock::Duration;
 use xlink::core::WirelessTech;
-use xlink::harness::{run_bulk_mptcp, run_bulk_quic, PathSpec, Scheme, TransportTuning};
+use xlink::harness::{
+    failover_timeline, run_bulk_mptcp, run_bulk_quic, run_bulk_quic_traced, PathSpec, Scheme,
+    TransportTuning,
+};
+use xlink::obs::TraceLog;
 use xlink::traces::{hsr_onboard_wifi, subway_cellular};
 
-const CHUNK: u64 = 2 << 20;
+// Big enough that the download rides through at least one tunnel outage
+// (the cellular trace's first hole opens between 3 and 11 s).
+const CHUNK: u64 = 8 << 20;
 
 fn paths(seed: u64) -> Vec<xlink::netsim::Path> {
     let cellular = PathSpec::new(WirelessTech::Lte, subway_cellular(seed, 60_000), seed);
@@ -20,7 +26,7 @@ fn paths(seed: u64) -> Vec<xlink::netsim::Path> {
 }
 
 fn main() {
-    println!("Subway ride: fetching a 2 MB chunk through tunnel outages\n");
+    println!("Subway ride: fetching an 8 MB chunk through tunnel outages\n");
     let seed = 33;
     let tuning = TransportTuning::default();
     let deadline = Duration::from_secs(60);
@@ -32,7 +38,24 @@ fn main() {
         ("XLINK", Some(Scheme::Xlink)),
     ];
     for (label, scheme) in arms {
+        let mut timeline = Vec::new();
         let t = match scheme {
+            Some(s @ Scheme::Xlink) => {
+                // Trace the XLINK arm so the failover story is visible.
+                let log = TraceLog::recording();
+                let r = run_bulk_quic_traced(
+                    s,
+                    &tuning,
+                    CHUNK,
+                    seed,
+                    paths(seed),
+                    vec![],
+                    deadline,
+                    &log,
+                );
+                timeline = failover_timeline(&log);
+                r.download_time
+            }
             Some(s) => {
                 run_bulk_quic(s, &tuning, CHUNK, seed, paths(seed), vec![], deadline).download_time
             }
@@ -41,6 +64,9 @@ fn main() {
         match t {
             Some(d) => println!("{label:<12} {:.2} s", d.as_secs_f64()),
             None => println!("{label:<12} did not finish within {}s", deadline.as_secs_f64()),
+        }
+        for line in &timeline {
+            println!("    {line}");
         }
     }
     println!("\nXLINK adapts its packet distribution to the surviving path\n(and re-injects stranded bytes), so it degrades the least.");

@@ -10,7 +10,8 @@
 
 use xlink::clock::Duration;
 use xlink::core::WirelessTech;
-use xlink::harness::{run_session, PathSpec, Scheme, SessionConfig};
+use xlink::harness::{failover_timeline, run_session, PathSpec, Scheme, SessionConfig};
+use xlink::obs::TraceLog;
 use xlink::traces::{stable_lte, walking_wifi_with_outage};
 use xlink::video::Video;
 
@@ -29,6 +30,8 @@ fn main() {
         cfg.video = Video::synth(14, 25, 2_500_000, 10.0);
         cfg.max_buffer_ahead = Duration::from_secs(3);
         cfg.deadline = Duration::from_secs(60);
+        let log = TraceLog::recording();
+        cfg.trace = Some(log.clone());
         let r = run_session(&cfg, vec![wifi.build(), lte.build()]);
         println!(
             "{:<14} rebuffer={:.2}s events={} redundancy={:.1}% completed={}",
@@ -38,6 +41,11 @@ fn main() {
             r.server_transport.redundancy_ratio() * 100.0,
             r.completed,
         );
+        // Liveness transition timeline (§9): suspect → failover →
+        // revalidate, as seen by both endpoints.
+        for line in failover_timeline(&log) {
+            println!("    {line}");
+        }
     }
     println!(
         "\nExpected shape: SP stalls through the outage; XLINK matches the\n\
