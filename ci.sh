@@ -28,6 +28,9 @@ XLINK_SWEEP_SEEDS=8 cargo test -q --offline --test failover
 echo "==> observability: A/B bit-determinism + qlog validity"
 cargo test -q --offline --test observability
 
+echo "==> adversary suite (8 seeds)"
+XLINK_SWEEP_SEEDS=8 cargo test -q --offline --test adversary
+
 echo "==> benches (smoke mode: 1 iteration/sample, JSON schema check only)"
 cargo bench -p xlink-bench --offline --bench micro -- --smoke
 cargo bench -p xlink-bench --offline --bench end_to_end -- --smoke

@@ -27,6 +27,7 @@ use xlink_obs::{Event, Tracer};
 use xlink_quic::ackranges::AckRanges;
 use xlink_quic::cc::{CcAlgorithm, CongestionController, MAX_DATAGRAM_SIZE};
 use xlink_quic::cid::{CidManager, ConnectionId};
+use xlink_quic::connection::MAX_PENDING_PATH_RESPONSES;
 use xlink_quic::crypto::{derive_keys, KeyPair};
 use xlink_quic::error::{ConnectionError, TransportError};
 use xlink_quic::frame::{AckFrame, Frame, PathStatusKind};
@@ -375,6 +376,21 @@ pub struct MpConnection {
     rr: RoundRobinState,
     control_queue: Vec<Frame>,
     close_frame_pending: Option<(TransportError, String)>,
+    /// The CONNECTION_CLOSE we sent, retained for rate-limited replay
+    /// while closing (RFC 9000 §10.2.1).
+    close_replay: Option<Frame>,
+    /// A replay is due (set at power-of-two received-packet counts).
+    close_replay_pending: bool,
+    /// Packets received since entering the closing state.
+    closing_recv_count: u64,
+    /// When the closing/draining period ends (3×PTO after entry).
+    drain_deadline: Option<Instant>,
+    /// Peer initiated the close: drain silently, never reply.
+    draining: bool,
+    /// The drain period ended and remaining state was freed.
+    drained: bool,
+    /// PATH_RESPONSEs dropped by the per-path pending cap (§10 gauge).
+    path_responses_dropped: u64,
     last_activity: Instant,
     idle_timeout: Duration,
     stats: MpStats,
@@ -474,6 +490,13 @@ impl MpConnection {
             rr: RoundRobinState::default(),
             control_queue: Vec::new(),
             close_frame_pending: None,
+            close_replay: None,
+            close_replay_pending: false,
+            closing_recv_count: 0,
+            drain_deadline: None,
+            draining: false,
+            drained: false,
+            path_responses_dropped: 0,
             last_activity: now,
             idle_timeout,
             stats: MpStats::default(),
@@ -503,6 +526,59 @@ impl MpConnection {
     /// True when closed.
     pub fn is_closed(&self) -> bool {
         matches!(self.state, MpState::Closed(_))
+    }
+
+    /// True once the closing/draining period has expired and all
+    /// peer-growable state has been freed (§10.2 lifecycle).
+    pub fn is_drained(&self) -> bool {
+        self.drained
+    }
+
+    /// The error this connection closed with, if closed.
+    pub fn close_error(&self) -> Option<&ConnectionError> {
+        match &self.state {
+            MpState::Closed(e) => Some(e),
+            _ => None,
+        }
+    }
+
+    /// Largest received-pn range count across paths (§10 gauge; bounded
+    /// by `xlink_quic::ackranges::MAX_ACK_RANGES` per path).
+    pub fn recv_range_count(&self) -> usize {
+        self.paths.iter().map(|p| p.recv_ranges.range_count()).max().unwrap_or(0)
+    }
+
+    /// Received-pn ranges evicted by the cap, summed over paths (§10).
+    pub fn recv_ranges_evicted(&self) -> u64 {
+        self.paths.iter().map(|p| p.recv_ranges.evicted()).sum()
+    }
+
+    /// Queued control frames (§10 gauge).
+    pub fn control_queue_len(&self) -> usize {
+        self.control_queue.len()
+    }
+
+    /// Largest per-path pending PATH_RESPONSE queue (§10 gauge; bounded
+    /// by [`MAX_PENDING_PATH_RESPONSES`]).
+    pub fn pending_responses(&self) -> usize {
+        self.paths.iter().map(|p| p.response_pending.len()).max().unwrap_or(0)
+    }
+
+    /// PATH_RESPONSEs dropped by the per-path pending cap (§10 gauge).
+    pub fn path_responses_dropped(&self) -> u64 {
+        self.path_responses_dropped
+    }
+
+    /// Largest out-of-order segment count over open streams (§10 gauge;
+    /// bounded by `xlink_quic::stream::MAX_STREAM_SEGMENTS`).
+    pub fn max_stream_segments(&self) -> usize {
+        self.streams.iter().map(|s| s.recv.segment_count()).max().unwrap_or(0)
+    }
+
+    /// Total buffered receive bytes over open streams (§10 gauge; bounded
+    /// by the advertised flow-control windows).
+    pub fn buffered_recv_bytes(&self) -> u64 {
+        self.streams.iter().map(|s| s.recv.buffered_bytes()).sum()
     }
 
     /// True once multipath was negotiated (vs single-path fallback).
@@ -574,6 +650,8 @@ impl MpConnection {
 
     /// Plain stream write (the standard QUIC API).
     pub fn stream_send(&mut self, id: u64, data: &[u8], fin: bool) {
+        // Invariant: `id` comes from open_stream()/readable_streams(), so a
+        // miss is a local application bug — never peer-reachable.
         let s = self.streams.get_mut(id).expect("unknown stream");
         if !data.is_empty() {
             s.send.write(data);
@@ -594,6 +672,8 @@ impl MpConnection {
         frame_priority: u8,
         fin: bool,
     ) {
+        // Invariant: same as stream_send — the id is app-provided from
+        // open_stream(), never taken off the wire.
         let s = self.streams.get_mut(id).expect("unknown stream");
         if !data.is_empty() {
             s.send.write_with_priority(data, frame_priority);
@@ -683,12 +763,65 @@ impl MpConnection {
         }
     }
 
-    /// Close the connection.
+    /// Close the connection. The CONNECTION_CLOSE goes out on the next
+    /// [`MpConnection::poll_transmit`], which also starts the 3×PTO
+    /// closing period and tears down every path (§10.2).
     pub fn close(&mut self, error: TransportError, reason: &str) {
         if !self.is_closed() {
             self.close_frame_pending = Some((error, reason.to_string()));
             self.state = MpState::Closed(ConnectionError::LocallyClosed(error));
         }
+    }
+
+    /// Start the closing/draining countdown: 3×PTO from `now`, using the
+    /// slowest path's PTO so the peer's own timers have surely expired.
+    fn arm_drain(&mut self, now: Instant) {
+        if self.drain_deadline.is_none() {
+            let mad = self.cfg.params.max_ack_delay;
+            let pto = self
+                .paths
+                .iter()
+                .map(|p| p.rtt.pto(mad))
+                .max()
+                .unwrap_or(Duration::from_millis(999));
+            self.drain_deadline = Some(now + pto * 3);
+        }
+    }
+
+    /// Tear down every path: abandon, stop probing, and drop per-path
+    /// tracked state (terminal; only called once closed).
+    fn teardown_paths(&mut self) {
+        for p in &mut self.paths {
+            p.state = PathState::Abandoned;
+            p.probation = None;
+            p.challenge = None;
+            p.probe_pending = false;
+            p.keepalive_pending = false;
+            p.ack_pending = false;
+            p.response_pending.clear();
+            let _ = p.recovery.drain_all();
+        }
+    }
+
+    /// Free remaining peer-growable state once the drain period ends.
+    fn free_state(&mut self) {
+        self.drained = true;
+        self.close_replay = None;
+        self.close_replay_pending = false;
+        self.control_queue = Vec::new();
+        self.teardown_paths();
+    }
+
+    /// Pin a PATH_RESPONSE to `path`, enforcing the per-path pending cap
+    /// (§10): past [`MAX_PENDING_PATH_RESPONSES`] the oldest reply is
+    /// dropped — an honest peer retransmits challenges it still needs.
+    fn pin_response(&mut self, path: usize, data: [u8; 8]) {
+        let q = &mut self.paths[path].response_pending;
+        if q.len() >= MAX_PENDING_PATH_RESPONSES {
+            q.remove(0);
+            self.path_responses_dropped += 1;
+        }
+        self.paths[path].response_pending.push(data);
     }
 
     /// When a path dies, its in-flight stream data must be requeued so
@@ -705,9 +838,9 @@ impl MpConnection {
                     }
                     // Replies stay pinned even across a drain — the peer
                     // may still be waiting on the (possibly recovering)
-                    // path.
+                    // path. Re-pinning goes through the §10 cap.
                     FrameInfo::Response(data) => {
-                        self.paths[path].response_pending.push(data);
+                        self.pin_response(path, data);
                     }
                     _ => {}
                 }
@@ -826,16 +959,23 @@ impl MpConnection {
                             self.enter_probation(now, i);
                         }
                     }
-                    // Keepalive: refresh a healthy-but-idle path so the
-                    // backup stays alive for failover.
+                    // Keepalive: probe a path we have not *heard from*
+                    // lately so the backup stays alive for failover.
+                    // Keyed on receive silence, not send idleness: an
+                    // ack-only path (pure receiver) transmits plenty but
+                    // none of it is ack-eliciting, so without this probe
+                    // it would never notice its peer going dark and would
+                    // keep routing ACKs into the blackhole. Gated on
+                    // nothing ack-eliciting in flight — an outstanding
+                    // probe or data already drives the PTO/ack-silence
+                    // machinery.
                     let p = &mut self.paths[i];
                     if matches!(p.state, PathState::Active | PathState::Standby)
                         && !p.keepalive_pending
+                        && !p.recovery.has_ack_eliciting_in_flight()
+                        && now.saturating_duration_since(p.last_recv_time) >= lv.keepalive
                     {
-                        let idle_since = p.last_send_time.max(p.last_recv_time);
-                        if now.saturating_duration_since(idle_since) >= lv.keepalive {
-                            p.keepalive_pending = true;
-                        }
+                        p.keepalive_pending = true;
                     }
                 }
                 PathState::Suspect => {
@@ -860,6 +1000,18 @@ impl MpConnection {
         }
         self.stats.bytes_received += datagram.len() as u64;
         self.paths[path].bytes_received += datagram.len() as u64;
+        if self.is_closed() {
+            // §10.2: a closing endpoint answers further packets with a
+            // rate-limited CONNECTION_CLOSE replay (at power-of-two
+            // received-packet counts); a draining endpoint stays silent.
+            if !self.draining && !self.drained && self.close_frame_pending.is_none() {
+                self.closing_recv_count += 1;
+                if self.closing_recv_count.is_power_of_two() {
+                    self.close_replay_pending = true;
+                }
+            }
+            return;
+        }
         let Ok((header, payload_off)) = Header::decode(datagram) else {
             self.stats.packets_dropped += 1;
             return;
@@ -1009,9 +1161,15 @@ impl MpConnection {
             Frame::Stream { stream_id, offset, data, fin } => {
                 let prev_high;
                 {
-                    let Ok(s) = self.streams.get_or_open_peer(stream_id) else {
-                        self.close(TransportError::StreamStateError, "bad stream");
-                        return;
+                    let s = match self.streams.get_or_open_peer(stream_id) {
+                        Ok(s) => s,
+                        // Propagate the map's verdict: STREAM_LIMIT_ERROR
+                        // for exhaustion, STREAM_STATE_ERROR for frames on
+                        // streams we never opened.
+                        Err(e) => {
+                            self.close(e, "bad stream");
+                            return;
+                        }
                     };
                     prev_high = s.recv.highest_recv();
                     if let Err(e) = s.recv.on_data(offset, &data, fin) {
@@ -1062,8 +1220,9 @@ impl MpConnection {
                 // Respond on the same path: a challenge validates the
                 // path it travelled, so the reply is pinned to the
                 // arrival path rather than the shared control queue
-                // (which may transmit on any path).
-                self.paths[arrival_path].response_pending.push(data);
+                // (which may transmit on any path). The per-path pending
+                // cap absorbs challenge floods (§10).
+                self.pin_response(arrival_path, data);
             }
             Frame::PathResponse(data) => {
                 // A PATH_RESPONSE may return on a different path than the
@@ -1094,9 +1253,17 @@ impl MpConnection {
             }
             Frame::HandshakeDone => {}
             Frame::ConnectionClose { error_code, .. } => {
+                // §10.2: a peer-initiated close moves us to draining —
+                // stay silent, tear down every path, and expire 3×PTO
+                // from now.
                 self.state = MpState::Closed(ConnectionError::PeerClosed(
                     TransportError::from_code(error_code),
                 ));
+                self.close_frame_pending = None;
+                self.draining = true;
+                self.arm_drain(now);
+                self.teardown_paths();
+                self.tr_quic.emit(now, Event::ConnectionClosed { error_code, locally: false });
             }
             Frame::PathStatus { path_id, seq: _, status } => {
                 let pid = path_id as usize;
@@ -1151,6 +1318,17 @@ impl MpConnection {
 
     fn on_ack(&mut self, now: Instant, space: usize, ack: AckFrame) {
         if space >= self.paths.len() {
+            return;
+        }
+        // Protocol police (§10): an ACK covering a packet number this path
+        // never sent is the optimistic-ACK attack — close, never feed it to
+        // recovery or congestion control.
+        if self.paths[space]
+            .recovery
+            .validate_ack(ack.ranges_ascending().map(|r| (r.start, r.end)))
+            .is_err()
+        {
+            self.close(TransportError::ProtocolViolation, "optimistic ack");
             return;
         }
         let rtt_before = self.paths[space].rtt.clone();
@@ -1292,8 +1470,9 @@ impl MpConnection {
                     }
                     FrameInfo::Response(data) => {
                         // Stay pinned: the reply is only meaningful on
-                        // the path the challenge arrived on.
-                        self.paths[space].response_pending.push(data);
+                        // the path the challenge arrived on. Goes through
+                        // the §10 cap like a fresh challenge.
+                        self.pin_response(space, data);
                     }
                     FrameInfo::Ack { .. } | FrameInfo::Ping => {}
                 }
@@ -1320,13 +1499,35 @@ impl MpConnection {
     /// Produce the next (network path, datagram) to transmit.
     pub fn poll_transmit(&mut self, now: Instant) -> Option<(usize, Vec<u8>)> {
         if let Some((err, reason)) = self.close_frame_pending.take() {
+            // Enter closing (§10.2): retain the close frame for rate-limited
+            // replay, arm the 3×PTO drain timer, and tear every path down —
+            // the connection sends nothing but this frame from here on.
             let frame =
                 Frame::ConnectionClose { error_code: err.code(), reason: reason.into_bytes() };
+            self.close_replay = Some(frame.clone());
+            self.arm_drain(now);
+            self.tr_quic
+                .emit(now, Event::ConnectionClosed { error_code: err.code(), locally: true });
             let path = self.primary;
             let initial = self.keys.is_none();
-            return Some((path, self.build_packet(now, path, initial, vec![frame], vec![], false)));
+            let datagram = self.build_packet(now, path, initial, vec![frame], vec![], false);
+            self.teardown_paths();
+            return Some((path, datagram));
         }
         if self.is_closed() {
+            // Closing endpoints answer continued peer traffic with a
+            // rate-limited replay of the CONNECTION_CLOSE; draining (or
+            // drained) endpoints stay silent.
+            if self.close_replay_pending && !self.drained {
+                self.close_replay_pending = false;
+                if let Some(frame) = self.close_replay.clone() {
+                    let path = self.primary;
+                    let initial = self.keys.is_none();
+                    let datagram =
+                        self.build_packet(now, path, initial, vec![frame], vec![], false);
+                    return Some((path, datagram));
+                }
+            }
             return None;
         }
         // 1. Handshake on the primary path.
@@ -1552,6 +1753,8 @@ impl MpConnection {
             SchedulerKind::MinRtt => min_rtt_choice(&candidates),
             SchedulerKind::RoundRobin => self.rr.choose(&candidates),
             SchedulerKind::Ecf => ecf_choice(&candidates),
+            // Invariant: the Redundant arm returned via
+            // poll_data_redundant() at the top of this function.
             SchedulerKind::Redundant => unreachable!(),
         }?;
         let policy = match self.cfg.scheduler {
@@ -1632,6 +1835,7 @@ impl MpConnection {
                 break;
             }
             let conn_credit = self.streams.conn_send_credit();
+            // Invariant: sendable_ids() only yields ids present in the map.
             let stream = self.streams.get_mut(id).expect("sendable");
             let max_payload = remaining.saturating_sub(24);
             let before_largest = stream.send.largest_sent();
@@ -1753,6 +1957,8 @@ impl MpConnection {
         let Some((pend_sp, pend_fp)) = best_pending else {
             return true; // nothing unsent: re-injection trivially first
         };
+        // Invariant: callers only ask with a non-empty candidate list
+        // (guarded at the single call site in try_reinject).
         let best_cand = cands
             .iter()
             .map(|&(id, _, _, fprio)| (stream_prio(id), fprio))
@@ -1841,6 +2047,8 @@ impl MpConnection {
             let end = range.end.min(range.start + max_payload);
             let sub = SendRange { start: range.start, end };
             let data = {
+                // Invariant: candidates come from the ledger scan over
+                // streams that existed this poll — never peer input.
                 let stream = self.streams.get(id).expect("stream exists");
                 stream.send.copy_range(sub)
             };
@@ -1941,6 +2149,8 @@ impl MpConnection {
                 self.initial_keys.server.clone()
             }
         } else {
+            // Invariant: every 1-RTT build site is gated on
+            // is_established(), which requires keys.is_some().
             let kp = self.keys.as_ref().expect("keys");
             if send_is_client {
                 kp.client.clone()
@@ -1976,7 +2186,9 @@ impl MpConnection {
     /// Earliest timer deadline.
     pub fn poll_timeout(&self) -> Option<Instant> {
         if self.is_closed() {
-            return None;
+            // Closing/draining endpoints keep exactly one timer: the 3×PTO
+            // drain deadline, after which remaining state is freed.
+            return if self.drained { None } else { self.drain_deadline };
         }
         let mad = self.cfg.params.max_ack_delay;
         let mut t = self.last_activity + self.idle_timeout;
@@ -1999,10 +2211,12 @@ impl MpConnection {
                             t = t.min(silent_since + lv.ack_silence);
                         }
                         // Keepalive refresh deadline (suppressed while a
-                        // PING is already owed, so an undriven connection
-                        // still reaches its idle deadline).
-                        if !p.keepalive_pending {
-                            t = t.min(p.last_send_time.max(p.last_recv_time) + lv.keepalive);
+                        // PING is already owed or in flight, so an
+                        // undriven connection still reaches its idle
+                        // deadline). Mirrors the receive-silence trigger
+                        // in `liveness_pass`.
+                        if !p.keepalive_pending && !p.recovery.has_ack_eliciting_in_flight() {
+                            t = t.min(p.last_recv_time + lv.keepalive);
                         }
                     }
                     PathState::Probation => {
@@ -2020,10 +2234,19 @@ impl MpConnection {
     /// Handle a timer firing.
     pub fn on_timeout(&mut self, now: Instant) {
         if self.is_closed() {
+            if let Some(deadline) = self.drain_deadline {
+                if now >= deadline && !self.drained {
+                    self.free_state();
+                }
+            }
             return;
         }
         if now >= self.last_activity + self.idle_timeout {
+            // §10.1: on idle timeout state is discarded silently — there is
+            // no peer to replay a close to, so drain immediately.
             self.state = MpState::Closed(ConnectionError::TimedOut);
+            self.tr_quic.emit(now, Event::ConnectionClosed { error_code: 0, locally: true });
+            self.free_state();
             return;
         }
         let mad = self.cfg.params.max_ack_delay;
@@ -2381,6 +2604,97 @@ mod tests {
         c.close(TransportError::NoError, "bye");
         pump(&mut now, &mut c, &mut s);
         assert!(s.is_closed());
+    }
+
+    #[test]
+    fn close_tears_down_all_paths() {
+        let (mut c, mut s, mut now) = pair();
+        pump(&mut now, &mut c, &mut s);
+        c.close(TransportError::NoError, "done");
+        // The close frame goes out once, and every path is abandoned.
+        assert!(c.poll_transmit(now).is_some());
+        assert!(c.paths.iter().all(|p| p.state == PathState::Abandoned));
+        assert!(c.paths.iter().all(|p| p.recovery.bytes_in_flight() == 0));
+        let _ = s;
+    }
+
+    #[test]
+    fn mp_closing_replays_close_then_drains() {
+        let (mut c, mut s, mut now) = pair();
+        pump(&mut now, &mut c, &mut s);
+        c.close(TransportError::NoError, "bye");
+        assert!(c.poll_transmit(now).is_some(), "initial close frame");
+        assert!(c.poll_transmit(now).is_none());
+        // A peer that keeps talking gets the close replayed at
+        // power-of-two received-packet counts: 1, 2, 4, 8 → 4 replays
+        // for 10 packets.
+        let mut replays = 0;
+        for _ in 0..10 {
+            c.handle_datagram(now, 0, &[0u8; 48]);
+            while c.poll_transmit(now).is_some() {
+                replays += 1;
+            }
+        }
+        assert_eq!(replays, 4);
+        // 3×PTO later the drain period ends and all state is freed.
+        let deadline = c.poll_timeout().expect("drain timer armed");
+        now = deadline + Duration::from_millis(1);
+        c.on_timeout(now);
+        assert!(c.is_drained());
+        assert!(c.poll_timeout().is_none());
+        c.handle_datagram(now, 0, &[0u8; 48]);
+        assert!(c.poll_transmit(now).is_none(), "drained endpoints are silent");
+        let _ = s;
+    }
+
+    #[test]
+    fn mp_draining_endpoint_is_silent_and_expires() {
+        let (mut c, mut s, mut now) = pair();
+        pump(&mut now, &mut c, &mut s);
+        c.close(TransportError::NoError, "bye");
+        let (path, d) = c.poll_transmit(now).expect("close frame");
+        s.handle_datagram(now, path, &d);
+        assert_eq!(s.close_error(), Some(&ConnectionError::PeerClosed(TransportError::NoError)));
+        assert!(s.paths.iter().all(|p| p.state == PathState::Abandoned));
+        // Draining endpoints never answer.
+        for _ in 0..5 {
+            s.handle_datagram(now, 0, &[0u8; 48]);
+        }
+        assert!(s.poll_transmit(now).is_none());
+        let deadline = s.poll_timeout().expect("drain timer armed");
+        now = deadline + Duration::from_millis(1);
+        s.on_timeout(now);
+        assert!(s.is_drained());
+    }
+
+    #[test]
+    fn mp_optimistic_ack_closes_with_protocol_violation() {
+        let (mut c, mut s, mut now) = pair();
+        pump(&mut now, &mut c, &mut s);
+        // An ACK for packet numbers path 1 never sent must close the
+        // connection, not inflate the congestion window.
+        let mut ranges = AckRanges::new();
+        ranges.insert_range(900, 1000);
+        let ack = AckFrame::from_ranges(1, &ranges, Duration::ZERO).expect("non-empty ranges");
+        c.on_ack(now, 1, ack);
+        assert_eq!(
+            c.close_error(),
+            Some(&ConnectionError::LocallyClosed(TransportError::ProtocolViolation))
+        );
+        let _ = s;
+    }
+
+    #[test]
+    fn mp_path_challenge_flood_is_capped() {
+        let (mut c, mut s, mut now) = pair();
+        pump(&mut now, &mut c, &mut s);
+        for i in 0..100u64 {
+            c.on_frame(now, 0, Frame::PathChallenge(i.to_be_bytes()));
+        }
+        assert!(c.pending_responses() <= MAX_PENDING_PATH_RESPONSES);
+        assert_eq!(c.path_responses_dropped(), 100 - MAX_PENDING_PATH_RESPONSES as u64);
+        assert!(!c.is_closed());
+        let _ = s;
     }
 
     #[test]

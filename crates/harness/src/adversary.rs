@@ -1,0 +1,838 @@
+//! Scripted hostile peers for the adversarial robustness suite (DESIGN
+//! §10).
+//!
+//! A [`QuicAttacker`] speaks the wire format directly — raw frame and
+//! packet encoders on top of the real handshake — so it can say things an
+//! honest endpoint never would: acknowledge packets that were never sent,
+//! write stream data past the advertised window, claim a million ACK
+//! ranges, contradict a stream's final size, or flood PATH_CHALLENGEs.
+//! Each [`AttackKind`] is a deterministic, seeded script runnable against
+//! the single-path and multipath QUIC victims under `xlink-netsim`, and
+//! (where the attack has a TCP analog) against the MPTCP baseline via
+//! [`run_attack_mptcp`].
+//!
+//! The contract verified by `tests/adversary.rs`: every attack either
+//! ends in a clean close with the RFC-correct error code or is absorbed —
+//! never a panic, never unbounded state growth, never a hang past the
+//! 3×PTO draining period.
+
+use crate::transport::{BoundedState, Conn, Scheme, TransportTuning};
+use std::collections::VecDeque;
+use xlink_clock::{Duration, Instant};
+use xlink_mptcp::wire::{Kind, Segment};
+use xlink_mptcp::{MptcpConfig, MptcpConnection};
+use xlink_netsim::{Endpoint, LinkConfig, Path, Transmit, World};
+use xlink_obs::{MetricsRegistry, TraceLog};
+use xlink_quic::ackranges::PnRange;
+use xlink_quic::cid::{ConnectionId, CID_LEN};
+use xlink_quic::crypto::{derive_keys, KeyPair};
+use xlink_quic::frame::{ty, AckFrame, Frame};
+use xlink_quic::handshake::{Handshake, Hello};
+use xlink_quic::packet::{pn_decode, Header, PacketType};
+use xlink_quic::params::TransportParams;
+use xlink_quic::varint::Writer;
+
+/// The attack catalogue. Each entry is one hostile-peer script.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum AttackKind {
+    /// ACK packet numbers the victim never sent (cwnd-inflation attempt).
+    OptimisticAck,
+    /// Stream data far beyond the advertised flow-control window.
+    FlowControlOverrun,
+    /// Grow the victim's received-pn range set with gapped packets, then
+    /// send an ACK frame claiming more ranges than the wire cap allows.
+    AckRangeFlood,
+    /// Overlapping stream writes with contradictory content, then data
+    /// beyond a declared final size.
+    StreamOffsetContradiction,
+    /// Open a stream ID far past the advertised stream limit.
+    StreamIdExhaustion,
+    /// PATH_CHALLENGE flood (state-exhaustion attempt), then a graceful
+    /// close so the victim's draining lifecycle is exercised too.
+    PathChallengeFlood,
+    /// Replay the same sealed datagram many times (re-injection
+    /// amplification attempt); packet-number dedup must absorb it.
+    ReinjectionAmplifier,
+}
+
+impl AttackKind {
+    /// Every attack in the catalogue.
+    pub fn all() -> [AttackKind; 7] {
+        [
+            AttackKind::OptimisticAck,
+            AttackKind::FlowControlOverrun,
+            AttackKind::AckRangeFlood,
+            AttackKind::StreamOffsetContradiction,
+            AttackKind::StreamIdExhaustion,
+            AttackKind::PathChallengeFlood,
+            AttackKind::ReinjectionAmplifier,
+        ]
+    }
+
+    /// Human-readable label for experiment output.
+    pub fn label(self) -> &'static str {
+        match self {
+            AttackKind::OptimisticAck => "optimistic-ack",
+            AttackKind::FlowControlOverrun => "flow-control-overrun",
+            AttackKind::AckRangeFlood => "ack-range-flood",
+            AttackKind::StreamOffsetContradiction => "stream-offset-contradiction",
+            AttackKind::StreamIdExhaustion => "stream-id-exhaustion",
+            AttackKind::PathChallengeFlood => "path-challenge-flood",
+            AttackKind::ReinjectionAmplifier => "reinjection-amplifier",
+        }
+    }
+
+    /// Expected victim outcome: `Some((error_code, closed_by_peer))` for
+    /// attacks that must end in a clean close, `None` for attacks the
+    /// victim must absorb without closing.
+    pub fn expected_close(self) -> Option<(u64, bool)> {
+        match self {
+            AttackKind::OptimisticAck => Some((0xa, false)), // PROTOCOL_VIOLATION
+            AttackKind::FlowControlOverrun => Some((0x3, false)), // FLOW_CONTROL_ERROR
+            AttackKind::AckRangeFlood => Some((0x7, false)), // FRAME_ENCODING_ERROR
+            AttackKind::StreamOffsetContradiction => Some((0x6, false)), // FINAL_SIZE_ERROR
+            AttackKind::StreamIdExhaustion => Some((0x4, false)), // STREAM_LIMIT_ERROR
+            // The attacker closes gracefully after the flood, so the
+            // victim drains on a peer-initiated NO_ERROR close.
+            AttackKind::PathChallengeFlood => Some((0x0, true)),
+            AttackKind::ReinjectionAmplifier => None, // absorbed
+        }
+    }
+}
+
+/// A hostile client endpoint: completes the real handshake (it must, to
+/// obtain 1-RTT keys), then runs its attack script from raw encoders.
+pub struct QuicAttacker {
+    kind: AttackKind,
+    /// Victim is a multipath connection (MP key salts + per-path nonces).
+    mp: bool,
+    hs: Handshake,
+    initial_keys: KeyPair,
+    keys: Option<KeyPair>,
+    hello_sent: bool,
+    /// Pre-encoded attack datagrams, drained one per poll.
+    queue: VecDeque<(usize, Vec<u8>)>,
+    /// Next 1-RTT packet number we send.
+    app_pn: u64,
+    /// Largest pn received, per decode slot (MP: per path; SP: per space).
+    largest: [Option<u64>; 4],
+    /// Error code of a CONNECTION_CLOSE the victim sent us, if any.
+    pub observed_close: Option<u64>,
+}
+
+impl QuicAttacker {
+    /// Build an attacker for `kind` against an SP (`mp = false`) or MP
+    /// (`mp = true`) victim. `seed` only varies the hello nonce — the
+    /// script itself is fixed, which keeps runs bit-deterministic.
+    pub fn new(kind: AttackKind, mp: bool, seed: u64) -> Self {
+        let mut random = [0u8; 16];
+        random[..8].copy_from_slice(&ConnectionId::derive(seed, 0xa77a).0);
+        random[8..].copy_from_slice(&ConnectionId::derive(seed ^ 0xffff, 0xa77b).0);
+        let params = TransportParams { enable_multipath: mp, ..Default::default() };
+        let psk: &[u8] = b"xlink-demo-psk";
+        let (cs, ss) = if mp { ([0x33u8; 16], [0x44u8; 16]) } else { ([0x11u8; 16], [0x22u8; 16]) };
+        QuicAttacker {
+            kind,
+            mp,
+            hs: Handshake::new(true, psk, random, params),
+            initial_keys: derive_keys(psk, &cs, &ss),
+            keys: None,
+            hello_sent: false,
+            queue: VecDeque::new(),
+            // MP victims keep one pn space per path, shared with the
+            // Initial (pn 0); SP victims split Initial and 1-RTT spaces.
+            app_pn: if mp { 1 } else { 0 },
+            largest: [None; 4],
+            observed_close: None,
+        }
+    }
+
+    fn slot(&self, path: usize, is_long: bool) -> usize {
+        if self.mp {
+            path.min(1)
+        } else {
+            2 + usize::from(is_long)
+        }
+    }
+
+    fn dcid(&self) -> ConnectionId {
+        // Neither victim routes on the DCID in this single-connection
+        // harness, mirroring the SP stack's placeholder client DCID.
+        ConnectionId::derive(0x1317, 0)
+    }
+
+    fn initial_datagram(&self) -> Vec<u8> {
+        let hdr = Header {
+            ty: PacketType::Initial,
+            dcid: self.dcid(),
+            scid: ConnectionId::derive(0xad5a, 0),
+            pn: 0,
+            pn_len: 1,
+        };
+        let mut w = Writer::new();
+        Frame::Crypto { offset: 0, data: self.hs.local_hello().encode() }.encode(&mut w);
+        let mut dg = hdr.encode();
+        dg.extend_from_slice(&self.initial_keys.client.seal(0, 0, &dg, w.as_slice()));
+        dg
+    }
+
+    /// Seal an arbitrary (possibly malformed) payload into a valid 1-RTT
+    /// packet on `path` with the next sequential pn.
+    fn seal_raw(&mut self, path: usize, payload: &[u8]) -> (usize, Vec<u8>) {
+        let kp = self.keys.as_ref().expect("attack runs after handshake");
+        let pn = self.app_pn;
+        self.app_pn += 1;
+        let hdr = Header {
+            ty: PacketType::OneRtt,
+            dcid: self.dcid(),
+            scid: ConnectionId([0; CID_LEN]),
+            pn,
+            pn_len: 4,
+        };
+        let seq = if self.mp { path as u32 } else { 0 };
+        let mut dg = hdr.encode();
+        dg.extend_from_slice(&kp.client.seal(seq, pn, &dg, payload));
+        (path, dg)
+    }
+
+    fn seal_frames(&mut self, path: usize, frames: &[Frame]) -> (usize, Vec<u8>) {
+        let mut w = Writer::new();
+        for f in frames {
+            f.encode(&mut w);
+        }
+        self.seal_raw(path, w.as_slice())
+    }
+
+    fn push_frames(&mut self, frames: &[Frame]) {
+        let dg = self.seal_frames(0, frames);
+        self.queue.push_back(dg);
+    }
+
+    /// Called once keys are derived: pre-encode the whole attack script.
+    fn build_attack(&mut self) {
+        match self.kind {
+            AttackKind::OptimisticAck => {
+                // Acknowledge pns 4000..=5000 — the victim has sent a
+                // handful of packets at most.
+                self.push_frames(&[Frame::Ack(AckFrame {
+                    path_id: 0,
+                    largest: 5000,
+                    ack_delay: Duration::ZERO,
+                    ranges: vec![PnRange { start: 4000, end: 5000 }],
+                    qoe: None,
+                })]);
+            }
+            AttackKind::FlowControlOverrun => {
+                // 100 bytes at offset 8 MiB on a 4 MiB stream window.
+                self.push_frames(&[Frame::Stream {
+                    stream_id: 0,
+                    offset: 8 << 20,
+                    data: vec![0xaa; 100],
+                    fin: false,
+                }]);
+            }
+            AttackKind::AckRangeFlood => {
+                // Phase 1: 300 pings with gapped pns grow the victim's
+                // received-range set past its cap (evict-oldest, gauge
+                // observable). Phase 2: a hand-encoded ACK claiming 300
+                // extra ranges trips the wire cap (FRAME_ENCODING_ERROR).
+                for _ in 0..300 {
+                    self.app_pn += 1; // leave a hole after every packet
+                    self.push_frames(&[Frame::Ping]);
+                }
+                let mut w = Writer::new();
+                w.varint(ty::ACK);
+                w.varint(1_000_000); // largest
+                w.varint(0); // ack delay
+                w.varint(300); // extra range count: over MAX_WIRE_ACK_RANGES
+                w.varint(0); // first range length
+                let raw = w.into_bytes();
+                let dg = self.seal_raw(0, &raw);
+                self.queue.push_back(dg);
+            }
+            AttackKind::StreamOffsetContradiction => {
+                // Overlap with contradictory bytes (must be absorbed),
+                // then declare final size 20, then write past it.
+                self.push_frames(&[Frame::Stream {
+                    stream_id: 0,
+                    offset: 0,
+                    data: b"hello world".to_vec(),
+                    fin: false,
+                }]);
+                self.push_frames(&[Frame::Stream {
+                    stream_id: 0,
+                    offset: 4,
+                    data: b"XXXX".to_vec(),
+                    fin: false,
+                }]);
+                self.push_frames(&[Frame::Stream {
+                    stream_id: 0,
+                    offset: 20,
+                    data: Vec::new(),
+                    fin: true,
+                }]);
+                self.push_frames(&[Frame::Stream {
+                    stream_id: 0,
+                    offset: 50,
+                    data: b"zz".to_vec(),
+                    fin: false,
+                }]);
+            }
+            AttackKind::StreamIdExhaustion => {
+                // Client-opened stream index 200 against a 64-stream
+                // allowance.
+                self.push_frames(&[Frame::Stream {
+                    stream_id: 800,
+                    offset: 0,
+                    data: b"x".to_vec(),
+                    fin: false,
+                }]);
+            }
+            AttackKind::PathChallengeFlood => {
+                // 104 challenges against an 8-entry response cap, then a
+                // graceful close to walk the victim into draining.
+                for pkt in 0..13u64 {
+                    let mut frames = Vec::new();
+                    for i in 0..8u64 {
+                        frames.push(Frame::PathChallenge((pkt * 8 + i).to_be_bytes()));
+                    }
+                    self.push_frames(&frames);
+                }
+                self.push_frames(&[Frame::ConnectionClose {
+                    error_code: 0,
+                    reason: b"flood done".to_vec(),
+                }]);
+            }
+            AttackKind::ReinjectionAmplifier => {
+                // One sealed packet, replayed verbatim 50×: only the
+                // first copy may take effect.
+                let (path, dg) = self.seal_frames(
+                    0,
+                    &[Frame::Stream { stream_id: 0, offset: 0, data: b"dup".to_vec(), fin: false }],
+                );
+                for _ in 0..50 {
+                    self.queue.push_back((path, dg.clone()));
+                }
+            }
+        }
+    }
+}
+
+impl Endpoint for QuicAttacker {
+    fn on_datagram(&mut self, _now: Instant, path: usize, payload: &[u8]) {
+        let Ok((header, off)) = Header::decode(payload) else {
+            return;
+        };
+        let is_long = header.ty.is_long();
+        let slot = self.slot(path, is_long);
+        let pn = pn_decode(header.pn, header.pn_len, self.largest[slot]);
+        let key = if is_long {
+            self.initial_keys.server.clone()
+        } else {
+            match &self.keys {
+                Some(kp) => kp.server.clone(),
+                None => return,
+            }
+        };
+        let seq = if self.mp { path as u32 } else { 0 };
+        let Ok(plain) = key.open(seq, pn, &payload[..off], &payload[off..]) else {
+            return;
+        };
+        self.largest[slot] = Some(self.largest[slot].map_or(pn, |l| l.max(pn)));
+        let Ok(frames) = Frame::decode_all(&plain) else {
+            return;
+        };
+        for frame in frames {
+            match frame {
+                Frame::Crypto { data, .. } => {
+                    if self.keys.is_some() {
+                        continue;
+                    }
+                    let Ok(hello) = Hello::decode(&data) else { continue };
+                    if let Ok(kp) = self.hs.on_peer_hello(hello) {
+                        self.keys = Some(kp);
+                        self.build_attack();
+                    }
+                }
+                Frame::ConnectionClose { error_code, .. } => {
+                    self.observed_close = Some(error_code);
+                }
+                _ => {}
+            }
+        }
+    }
+
+    fn poll_transmit(&mut self, _now: Instant) -> Option<Transmit> {
+        if !self.hello_sent {
+            self.hello_sent = true;
+            return Some(Transmit { path: 0, payload: self.initial_datagram() });
+        }
+        let (path, payload) = self.queue.pop_front()?;
+        Some(Transmit { path, payload })
+    }
+
+    fn poll_timeout(&self) -> Option<Instant> {
+        None
+    }
+
+    fn on_timeout(&mut self, _now: Instant) {}
+}
+
+/// The victim under attack: a scheme-erased [`Conn`] plus peak tracking
+/// of its capped state and the time it reached closed.
+pub struct VictimPeer {
+    /// The connection under attack.
+    pub conn: Conn,
+    /// Field-wise peak of [`Conn::bounded_state`] over the run.
+    pub peak: BoundedState,
+    /// When the connection first reported closed.
+    pub closed_at: Option<Instant>,
+}
+
+impl VictimPeer {
+    /// Wrap a connection.
+    pub fn new(conn: Conn) -> Self {
+        VictimPeer { conn, peak: BoundedState::default(), closed_at: None }
+    }
+
+    fn sample(&mut self, now: Instant) {
+        self.peak = self.peak.peak(self.conn.bounded_state());
+        if self.closed_at.is_none() && self.conn.is_closed() {
+            self.closed_at = Some(now);
+        }
+    }
+}
+
+impl Endpoint for VictimPeer {
+    fn on_datagram(&mut self, now: Instant, path: usize, payload: &[u8]) {
+        self.conn.handle_datagram(now, path, payload);
+        self.sample(now);
+    }
+
+    fn poll_transmit(&mut self, now: Instant) -> Option<Transmit> {
+        self.conn.poll_transmit(now).map(|(path, payload)| Transmit { path, payload })
+    }
+
+    fn poll_timeout(&self) -> Option<Instant> {
+        self.conn.poll_timeout()
+    }
+
+    fn on_timeout(&mut self, now: Instant) {
+        self.conn.on_timeout(now);
+        self.sample(now);
+    }
+}
+
+/// Everything a single attack run produced.
+#[derive(Debug, Clone)]
+pub struct AdversaryOutcome {
+    /// Which script ran.
+    pub attack: AttackKind,
+    /// Victim transport label.
+    pub transport: &'static str,
+    /// `(error_code, closed_by_peer)` if the victim closed cleanly.
+    pub close_code: Option<(u64, bool)>,
+    /// Victim finished its closing/draining lifecycle.
+    pub drained: bool,
+    /// Victim reported closed at all (false = attack absorbed).
+    pub closed: bool,
+    /// Virtual time from t=0 to the close, if one happened.
+    pub time_to_close: Option<Duration>,
+    /// Peak of every capped gauge over the run.
+    pub peak: BoundedState,
+    /// Error code the attacker saw in a CONNECTION_CLOSE reply, if any.
+    pub attacker_saw_close: Option<u64>,
+    /// The handshake completed before the attack (sanity: the scripts
+    /// target an established connection).
+    pub victim_established: bool,
+}
+
+impl AdversaryOutcome {
+    /// True when the run matched the attack's documented contract: the
+    /// expected close code (or absorption) and every cap held.
+    pub fn matches_expectation(&self) -> bool {
+        let close_ok = match self.attack.expected_close() {
+            Some((code, by_peer)) => self.close_code == Some((code, by_peer)) && self.drained,
+            None => !self.closed,
+        };
+        close_ok && self.victim_established && self.peak.within_caps()
+    }
+
+    /// Export the peak gauges as a [`MetricsRegistry`] snapshot.
+    pub fn metrics(&self) -> MetricsRegistry {
+        let mut m = MetricsRegistry::new();
+        let mut s = m.scope("adversary");
+        s.gauge("peak_recv_ranges", self.peak.recv_ranges as f64);
+        s.gauge("recv_ranges_evicted", self.peak.recv_ranges_evicted as f64);
+        s.gauge("peak_pending_path_responses", self.peak.pending_path_responses as f64);
+        s.gauge("path_responses_dropped", self.peak.path_responses_dropped as f64);
+        s.gauge("peak_stream_segments", self.peak.stream_segments as f64);
+        s.gauge("peak_buffered_recv_bytes", self.peak.buffered_recv_bytes as f64);
+        s.counter("closed", u64::from(self.closed));
+        s.counter("drained", u64::from(self.drained));
+        if let Some((code, _)) = self.close_code {
+            s.counter("close_code", code);
+        }
+        m
+    }
+}
+
+/// Virtual-time budget per attack run. Generous: the slowest runs are
+/// bounded by the victim's closing lifecycle (≤ 3×PTO after the close),
+/// far below this, and absorbed attacks quiesce well before the victim's
+/// 30 s idle timeout.
+const ATTACK_DEADLINE: Duration = Duration::from_secs(12);
+
+/// Run `kind` against a victim server running `scheme`, under the
+/// emulator on two clean symmetric paths.
+pub fn run_attack(kind: AttackKind, scheme: Scheme, seed: u64) -> AdversaryOutcome {
+    run_attack_traced(kind, scheme, seed, None)
+}
+
+/// [`run_attack`] with an optional trace log attached to the victim
+/// (used for the bit-determinism assertions).
+pub fn run_attack_traced(
+    kind: AttackKind,
+    scheme: Scheme,
+    seed: u64,
+    log: Option<&TraceLog>,
+) -> AdversaryOutcome {
+    let tuning = TransportTuning::default();
+    let mut victim = Conn::server(scheme, &tuning, seed, Instant::ZERO);
+    if let Some(log) = log {
+        victim.set_tracer(&log.tracer("victim"));
+    }
+    let attacker = QuicAttacker::new(kind, scheme.is_multipath(), seed);
+    let paths = vec![
+        Path::symmetric(LinkConfig::constant_rate(20.0, Duration::from_millis(10))),
+        Path::symmetric(LinkConfig::constant_rate(20.0, Duration::from_millis(10))),
+    ];
+    let mut world = World::new(attacker, VictimPeer::new(victim), paths);
+    world.run_until(Instant::ZERO + ATTACK_DEADLINE);
+    let end = world.now();
+    let victim = &mut world.server;
+    victim.sample(end);
+    AdversaryOutcome {
+        attack: kind,
+        transport: scheme.label(),
+        close_code: victim.conn.close_code(),
+        drained: victim.conn.is_drained(),
+        closed: victim.conn.is_closed(),
+        time_to_close: victim.closed_at.map(|t| t.saturating_duration_since(Instant::ZERO)),
+        peak: victim.peak,
+        attacker_saw_close: world.client.observed_close,
+        victim_established: victim.conn.is_established() || victim.conn.is_closed(),
+    }
+}
+
+/// Outcome of the multipath differential ([`run_path_hijack`]).
+#[derive(Debug, Clone, Copy)]
+pub struct HijackOutcome {
+    /// The transfer completed before the deadline.
+    pub completed: bool,
+    /// Stream bytes the server actually read.
+    pub delivered_bytes: usize,
+    /// Virtual time from data start to completion (or the deadline).
+    pub elapsed: Duration,
+}
+
+/// Transfer size for the hijack differential. Sized so the transfer is
+/// still in flight when the attacker appears at [`HIJACK_START`].
+const HIJACK_BODY: usize = 3 << 20;
+
+/// When the on-path attacker starts tampering (well after establishment,
+/// well before a clean transfer would finish).
+const HIJACK_START: Duration = Duration::from_millis(500);
+
+/// An on-path attacker shim around an endpoint: from `from` onward, every
+/// datagram arriving on `path` has a byte flipped before delivery. The
+/// AEAD tag no longer verifies, so the victim must drop the packet — the
+/// attacked path becomes a blackhole that the transport itself has to
+/// detect and abandon.
+struct Tampered<E: Endpoint> {
+    inner: E,
+    path: usize,
+    from: Instant,
+}
+
+impl<E: Endpoint> Endpoint for Tampered<E> {
+    fn on_datagram(&mut self, now: Instant, path: usize, payload: &[u8]) {
+        if path == self.path && now >= self.from {
+            let mut tampered = payload.to_vec();
+            if let Some(b) = tampered.last_mut() {
+                *b ^= 0x55;
+            }
+            self.inner.on_datagram(now, path, &tampered);
+        } else {
+            self.inner.on_datagram(now, path, payload);
+        }
+    }
+
+    fn poll_transmit(&mut self, now: Instant) -> Option<Transmit> {
+        self.inner.poll_transmit(now)
+    }
+
+    fn poll_timeout(&self) -> Option<Instant> {
+        self.inner.poll_timeout()
+    }
+
+    fn on_timeout(&mut self, now: Instant) {
+        self.inner.on_timeout(now)
+    }
+
+    fn on_tick(&mut self, now: Instant) {
+        self.inner.on_tick(now)
+    }
+
+    fn is_done(&self) -> bool {
+        self.inner.is_done()
+    }
+}
+
+/// Sender side of the hijack differential: opens one stream and pushes
+/// the body as soon as the handshake completes.
+struct HijackSender {
+    conn: Conn,
+    sent: bool,
+}
+
+impl Endpoint for HijackSender {
+    fn on_datagram(&mut self, now: Instant, path: usize, payload: &[u8]) {
+        self.conn.handle_datagram(now, path, payload);
+    }
+
+    fn poll_transmit(&mut self, now: Instant) -> Option<Transmit> {
+        self.conn.poll_transmit(now).map(|(path, payload)| Transmit { path, payload })
+    }
+
+    fn poll_timeout(&self) -> Option<Instant> {
+        self.conn.poll_timeout()
+    }
+
+    fn on_timeout(&mut self, now: Instant) {
+        self.conn.on_timeout(now)
+    }
+
+    fn on_tick(&mut self, _now: Instant) {
+        if !self.sent && self.conn.is_established() {
+            self.sent = true;
+            let id = self.conn.open_stream(0);
+            self.conn.stream_send(id, &vec![0x42u8; HIJACK_BODY], true);
+        }
+    }
+}
+
+/// Receiver side: drains readable streams and records completion time.
+struct HijackReceiver {
+    conn: Conn,
+    delivered: usize,
+    done_at: Option<Instant>,
+}
+
+impl Endpoint for HijackReceiver {
+    fn on_datagram(&mut self, now: Instant, path: usize, payload: &[u8]) {
+        self.conn.handle_datagram(now, path, payload);
+        for id in self.conn.readable_streams() {
+            self.delivered += self.conn.stream_recv(id, 1 << 20).len();
+            if self.conn.stream_complete(id) && self.done_at.is_none() {
+                self.done_at = Some(now);
+            }
+        }
+    }
+
+    fn poll_transmit(&mut self, now: Instant) -> Option<Transmit> {
+        self.conn.poll_transmit(now).map(|(path, payload)| Transmit { path, payload })
+    }
+
+    fn poll_timeout(&self) -> Option<Instant> {
+        self.conn.poll_timeout()
+    }
+
+    fn on_timeout(&mut self, now: Instant) {
+        self.conn.on_timeout(now)
+    }
+
+    fn is_done(&self) -> bool {
+        self.done_at.is_some()
+    }
+}
+
+/// On-path attacker differential: after clean establishment, an attacker
+/// on `attacked_path` corrupts every datagram crossing it in either
+/// direction (AEAD rejects the tampered packets, so the path turns into a
+/// blackhole). A multipath connection must finish the transfer over its
+/// honest path; a single-path connection pinned to the attacked path
+/// cannot.
+pub fn run_path_hijack(scheme: Scheme, seed: u64, attacked_path: usize) -> HijackOutcome {
+    let tuning = TransportTuning::default();
+    let from = Instant::ZERO + HIJACK_START;
+    let client = Tampered {
+        inner: HijackSender {
+            conn: Conn::client(scheme, &tuning, seed, Instant::ZERO),
+            sent: false,
+        },
+        path: attacked_path,
+        from,
+    };
+    let server = Tampered {
+        inner: HijackReceiver {
+            conn: Conn::server(scheme, &tuning, seed ^ 0x5a5a_a5a5, Instant::ZERO),
+            delivered: 0,
+            done_at: None,
+        },
+        path: attacked_path,
+        from,
+    };
+    let paths = vec![
+        Path::symmetric(LinkConfig::constant_rate(20.0, Duration::from_millis(10))),
+        Path::symmetric(LinkConfig::constant_rate(12.0, Duration::from_millis(35))),
+    ];
+    let mut world = World::new(client, server, paths);
+    let end = world.run_until(Instant::ZERO + Duration::from_secs(20));
+    let receiver = &world.server.inner;
+    HijackOutcome {
+        completed: receiver.done_at.is_some(),
+        delivered_bytes: receiver.delivered,
+        elapsed: receiver.done_at.unwrap_or(end).saturating_duration_since(Instant::ZERO),
+    }
+}
+
+/// Outcome of an MPTCP attack run ([`run_attack_mptcp`]).
+#[derive(Debug, Clone, Copy)]
+pub struct MptcpAdversaryOutcome {
+    /// The victim absorbed the attack (TCP has no close-with-code
+    /// machinery here; absorption without state damage is the contract).
+    pub absorbed: bool,
+    /// Peak out-of-order store size (cap: `MAX_OOO_SEGMENTS`).
+    pub ooo_peak: usize,
+}
+
+/// Run the MPTCP analog of `kind` against a server endpoint by speaking
+/// raw [`Segment`]s. Attacks without a TCP analog degenerate to probe
+/// floods; the contract is always absorption within caps.
+pub fn run_attack_mptcp(kind: AttackKind, seed: u64) -> MptcpAdversaryOutcome {
+    let now = Instant::ZERO;
+    let mut victim = MptcpConnection::new(MptcpConfig { is_client: false, ..Default::default() });
+    let window = 1u32 << 20;
+    let seg = |kind: Kind, seq: u64, ack: u64, payload: Vec<u8>| {
+        Segment { kind, subflow: 0, seq, ack, window, payload }.encode()
+    };
+    // Subflow 0 handshake by hand.
+    victim.handle_datagram(now, 0, &seg(Kind::Syn, 0, 0, Vec::new()));
+    while victim.poll_transmit(now).is_some() {}
+    let mut ooo_peak = victim.ooo_count();
+    let mut absorbed = true;
+    match kind {
+        AttackKind::OptimisticAck => {
+            // Victim sends data; attacker acks far beyond it. The bogus
+            // ack must not complete the victim's send side.
+            victim.send(&vec![(seed & 0xff) as u8; 10_000]);
+            victim.finish();
+            while victim.poll_transmit(now).is_some() {}
+            victim.handle_datagram(now, 0, &seg(Kind::Ack, 0, 1 << 40, Vec::new()));
+            absorbed = !victim.send_complete();
+        }
+        AttackKind::FlowControlOverrun => {
+            // Data far beyond the 4 MiB receive window: dropped, never
+            // buffered (the challenge ACK restates the victim's state).
+            victim.handle_datagram(now, 0, &seg(Kind::Data, 64 << 20, 0, vec![0xaa; 512]));
+            absorbed = victim.ooo_count() == 0 && victim.readable() == 0;
+        }
+        AttackKind::AckRangeFlood | AttackKind::StreamIdExhaustion => {
+            // Gap spray: 6000 one-byte segments at odd offsets (plus, for
+            // the exhaustion variant, bogus subflow indices — ignored
+            // because delivery path indexes the subflow table).
+            let subflow = if kind == AttackKind::StreamIdExhaustion { 200 } else { 0 };
+            for i in 0..6000u64 {
+                let s = Segment {
+                    kind: Kind::Data,
+                    subflow,
+                    seq: 2 * i + 1,
+                    ack: 0,
+                    window,
+                    payload: vec![0xbb],
+                };
+                victim.handle_datagram(now, 0, &s.encode());
+                ooo_peak = ooo_peak.max(victim.ooo_count());
+            }
+            absorbed = victim.ooo_count() <= xlink_mptcp::MAX_OOO_SEGMENTS;
+        }
+        AttackKind::StreamOffsetContradiction => {
+            // Overlapping segments with contradictory bytes; reassembly
+            // must stay contiguous and never crash.
+            victim.handle_datagram(now, 0, &seg(Kind::Data, 0, 0, b"hello world".to_vec()));
+            victim.handle_datagram(now, 0, &seg(Kind::Data, 4, 0, b"XXXX".to_vec()));
+            victim.handle_datagram(now, 0, &seg(Kind::Data, 2, 0, b"yyyyyyyyyyyy".to_vec()));
+            absorbed = victim.readable() >= b"hello world".len();
+        }
+        AttackKind::PathChallengeFlood => {
+            // No path challenges in TCP: a pure-ACK probe flood instead.
+            for _ in 0..1000 {
+                victim.handle_datagram(now, 0, &seg(Kind::Ack, 0, 0, Vec::new()));
+            }
+        }
+        AttackKind::ReinjectionAmplifier => {
+            // The same data segment replayed 50×: delivered once.
+            let dup = seg(Kind::Data, 0, 0, b"dup".to_vec());
+            for _ in 0..50 {
+                victim.handle_datagram(now, 0, &dup);
+            }
+            absorbed = victim.readable() == b"dup".len();
+        }
+    }
+    ooo_peak = ooo_peak.max(victim.ooo_count());
+    MptcpAdversaryOutcome { absorbed, ooo_peak }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn optimistic_ack_closes_sp_victim() {
+        let out = run_attack(AttackKind::OptimisticAck, Scheme::Sp { path: 0 }, 1);
+        assert_eq!(out.close_code, Some((0xa, false)), "{out:?}");
+        assert!(out.drained, "{out:?}");
+        assert!(out.matches_expectation(), "{out:?}");
+    }
+
+    #[test]
+    fn optimistic_ack_closes_mp_victim() {
+        let out = run_attack(AttackKind::OptimisticAck, Scheme::Xlink, 1);
+        assert_eq!(out.close_code, Some((0xa, false)), "{out:?}");
+        assert!(out.matches_expectation(), "{out:?}");
+    }
+
+    #[test]
+    fn reinjection_amplifier_is_absorbed() {
+        let out = run_attack(AttackKind::ReinjectionAmplifier, Scheme::Sp { path: 0 }, 2);
+        assert!(!out.closed, "{out:?}");
+        assert!(out.matches_expectation(), "{out:?}");
+    }
+
+    #[test]
+    fn every_attack_has_a_label_and_contract() {
+        for kind in AttackKind::all() {
+            assert!(!kind.label().is_empty());
+            // expected_close is total (compile-time exhaustive match).
+            let _ = kind.expected_close();
+        }
+    }
+
+    #[test]
+    fn mptcp_absorbs_all_attacks() {
+        for kind in AttackKind::all() {
+            let out = run_attack_mptcp(kind, 7);
+            assert!(out.absorbed, "{kind:?}: {out:?}");
+            assert!(out.ooo_peak <= xlink_mptcp::MAX_OOO_SEGMENTS, "{kind:?}: {out:?}");
+        }
+    }
+
+    #[test]
+    fn hijack_differential_xlink_vs_sp() {
+        let xlink = run_path_hijack(Scheme::Xlink, 11, 0);
+        let sp = run_path_hijack(Scheme::Sp { path: 0 }, 11, 0);
+        assert!(xlink.completed, "XLINK should survive a single-path attack: {xlink:?}");
+        assert!(!sp.completed, "SP pinned to the attacked path cannot finish: {sp:?}");
+    }
+}

@@ -6,6 +6,7 @@
 //! table/figure under [`experiments`].
 
 pub mod ab;
+pub mod adversary;
 pub mod bulk;
 pub mod chaos;
 pub mod scenario;
@@ -16,6 +17,10 @@ pub mod video_session;
 pub mod experiments;
 
 pub use ab::{run_ab, AbConfig, DayOutcome};
+pub use adversary::{
+    run_attack, run_attack_mptcp, run_attack_traced, run_path_hijack, AdversaryOutcome, AttackKind,
+    HijackOutcome, MptcpAdversaryOutcome, QuicAttacker, VictimPeer,
+};
 pub use bulk::{
     run_bulk_mptcp, run_bulk_mptcp_flapped, run_bulk_quic, run_bulk_quic_flapped,
     run_bulk_quic_traced, BulkResult,
@@ -25,7 +30,9 @@ pub use chaos::{
     ChaosPlan,
 };
 pub use scenario::{draw_user_paths, PathSpec};
-pub use transport::{Conn, Scheme, TransportStats, TransportTuning, REINJECTION_COST_CAP};
+pub use transport::{
+    BoundedState, Conn, Scheme, TransportStats, TransportTuning, REINJECTION_COST_CAP,
+};
 pub use video_session::{
     run_session, run_session_with_events, session_metrics, SessionConfig, SessionResult,
 };

@@ -9,8 +9,12 @@ use xlink_core::{
     QoeSignal, ReinjectMode, SchedulerKind, WirelessTech,
 };
 use xlink_obs::{Event, Tracer};
-use xlink_quic::connection::{Config as SpConfig, Connection as SpConnection};
-use xlink_quic::stream::Side;
+use xlink_quic::ackranges::MAX_ACK_RANGES;
+use xlink_quic::connection::{
+    Config as SpConfig, Connection as SpConnection, MAX_PENDING_PATH_RESPONSES,
+};
+use xlink_quic::error::ConnectionError;
+use xlink_quic::stream::{Side, MAX_STREAM_SEGMENTS};
 
 /// Which transport scheme a session runs (the paper's comparison arms).
 #[derive(Debug, Clone, Copy, PartialEq, Eq)]
@@ -128,6 +132,47 @@ impl TransportStats {
             0.0
         } else {
             self.reinjected_bytes as f64 / total as f64
+        }
+    }
+}
+
+/// Snapshot of every peer-growable resource a connection bounds (DESIGN
+/// §10 adversarial model). Each field mirrors a hard cap in the transport;
+/// the adversary suite asserts the caps hold under attack.
+#[derive(Debug, Clone, Copy, Default, PartialEq, Eq)]
+pub struct BoundedState {
+    /// Received-pn ranges tracked (cap: `MAX_ACK_RANGES` per space/path).
+    pub recv_ranges: usize,
+    /// Ranges evicted by the cap so far (growth counter, monotone).
+    pub recv_ranges_evicted: u64,
+    /// Queued PATH_RESPONSEs (cap: `MAX_PENDING_PATH_RESPONSES`).
+    pub pending_path_responses: usize,
+    /// PATH_RESPONSEs dropped by the cap (growth counter, monotone).
+    pub path_responses_dropped: u64,
+    /// Largest out-of-order segment count over streams (cap:
+    /// `MAX_STREAM_SEGMENTS`).
+    pub stream_segments: usize,
+    /// Buffered receive bytes (bounded by advertised flow control).
+    pub buffered_recv_bytes: u64,
+}
+
+impl BoundedState {
+    /// True when every capped resource is at or below its documented cap.
+    pub fn within_caps(&self) -> bool {
+        self.recv_ranges <= MAX_ACK_RANGES
+            && self.pending_path_responses <= MAX_PENDING_PATH_RESPONSES
+            && self.stream_segments <= MAX_STREAM_SEGMENTS
+    }
+
+    /// Field-wise maximum (peak tracking across samples).
+    pub fn peak(self, other: BoundedState) -> BoundedState {
+        BoundedState {
+            recv_ranges: self.recv_ranges.max(other.recv_ranges),
+            recv_ranges_evicted: self.recv_ranges_evicted.max(other.recv_ranges_evicted),
+            pending_path_responses: self.pending_path_responses.max(other.pending_path_responses),
+            path_responses_dropped: self.path_responses_dropped.max(other.path_responses_dropped),
+            stream_segments: self.stream_segments.max(other.stream_segments),
+            buffered_recv_bytes: self.buffered_recv_bytes.max(other.buffered_recv_bytes),
         }
     }
 }
@@ -352,6 +397,52 @@ impl Conn {
         match self {
             Conn::Sp { conn, .. } => conn.is_closed(),
             Conn::Mp(mp) => mp.is_closed(),
+        }
+    }
+
+    /// True once the closing/draining period expired and peer-growable
+    /// state was freed (§10.2 lifecycle).
+    pub fn is_drained(&self) -> bool {
+        match self {
+            Conn::Sp { conn, .. } => conn.is_drained(),
+            Conn::Mp(mp) => mp.is_drained(),
+        }
+    }
+
+    /// Wire error code the connection closed with, plus whether the peer
+    /// initiated the close. `None` while open, after an idle timeout, or
+    /// on a codec-level failure.
+    pub fn close_code(&self) -> Option<(u64, bool)> {
+        let err = match self {
+            Conn::Sp { conn, .. } => conn.close_error(),
+            Conn::Mp(mp) => mp.close_error(),
+        }?;
+        match err {
+            ConnectionError::PeerClosed(e) => Some((e.code(), true)),
+            ConnectionError::LocallyClosed(e) => Some((e.code(), false)),
+            ConnectionError::TimedOut | ConnectionError::Codec(_) => None,
+        }
+    }
+
+    /// Snapshot of the capped peer-growable state (§10 gauges).
+    pub fn bounded_state(&self) -> BoundedState {
+        match self {
+            Conn::Sp { conn, .. } => BoundedState {
+                recv_ranges: conn.recv_range_count(),
+                recv_ranges_evicted: conn.recv_ranges_evicted(),
+                pending_path_responses: conn.pending_responses(),
+                path_responses_dropped: conn.path_responses_dropped(),
+                stream_segments: conn.max_stream_segments(),
+                buffered_recv_bytes: conn.buffered_recv_bytes(),
+            },
+            Conn::Mp(mp) => BoundedState {
+                recv_ranges: mp.recv_range_count(),
+                recv_ranges_evicted: mp.recv_ranges_evicted(),
+                pending_path_responses: mp.pending_responses(),
+                path_responses_dropped: mp.path_responses_dropped(),
+                stream_segments: mp.max_stream_segments(),
+                buffered_recv_bytes: mp.buffered_recv_bytes(),
+            },
         }
     }
 

@@ -19,6 +19,13 @@ const PROBE_INITIAL: Duration = Duration::from_millis(250);
 /// Ceiling for the suspect-subflow probe backoff.
 const PROBE_MAX: Duration = Duration::from_secs(4);
 
+/// Hard cap on buffered out-of-order segments (§10 adversarial bound) —
+/// parity with the QUIC stack's `MAX_STREAM_SEGMENTS`. An honest sender
+/// respecting the 4 MB receive window at MSS-sized segments stays well
+/// under this; a gap-spray attacker hits the cap and further
+/// non-contiguous segments are dropped (TCP semantics: drop + dup ack).
+pub const MAX_OOO_SEGMENTS: usize = 4096;
+
 /// Endpoint configuration.
 #[derive(Debug, Clone)]
 pub struct MptcpConfig {
@@ -223,6 +230,8 @@ impl MptcpConnection {
 
     /// Queue application bytes for transmission.
     pub fn send(&mut self, data: &[u8]) {
+        // Invariant: app-facing misuse, never peer-reachable — the wire
+        // cannot enqueue send-side data.
         assert!(!self.fin_queued, "send after fin");
         self.send_buf.extend_from_slice(data);
     }
@@ -261,6 +270,18 @@ impl MptcpConnection {
     /// Smoothed RTT of a subflow.
     pub fn subflow_rtt(&self, i: usize) -> Duration {
         self.subflows[i].rtt.smoothed()
+    }
+
+    /// Buffered out-of-order segments (§10 gauge; bounded by
+    /// [`MAX_OOO_SEGMENTS`]).
+    pub fn ooo_count(&self) -> usize {
+        self.ooo.len()
+    }
+
+    /// Total buffered receive-side bytes (§10 gauge): delivered-but-unread
+    /// plus out-of-order.
+    pub fn buffered_recv_bytes(&self) -> u64 {
+        self.recv_buf.len() as u64 + self.ooo.values().map(|v| v.len() as u64).sum::<u64>()
     }
 
     /// Ingest a datagram from subflow (path) `path`.
@@ -320,8 +341,22 @@ impl MptcpConnection {
     }
 
     fn on_data(&mut self, _now: Instant, path: usize, seg: Segment) {
-        let end = seg.seq + seg.payload.len() as u64;
+        let end = seg.seq.saturating_add(seg.payload.len() as u64);
+        // Receive-window police (§10): data beyond the advertised window
+        // is a misbehaving or hostile sender. TCP semantics: drop the
+        // segment and answer with a challenge ACK restating our state.
+        if end > self.rcv_next + u64::from(self.cfg.recv_window) {
+            self.ack_pending[path] = true;
+            return;
+        }
         if end > self.rcv_next {
+            // Reassembly cap (§10): once the out-of-order store is full,
+            // further gap segments are dropped — an honest sender
+            // retransmits from the cumulative ack, so nothing is lost.
+            if seg.seq > self.rcv_next && self.ooo.len() >= MAX_OOO_SEGMENTS {
+                self.ack_pending[path] = true;
+                return;
+            }
             self.ooo.insert(seg.seq, seg.payload);
             // Drain contiguous prefix.
             loop {
@@ -357,6 +392,13 @@ impl MptcpConnection {
     }
 
     fn on_ack(&mut self, now: Instant, path: usize, ack: u64, window: u32) {
+        // Ack police (§10): an ack beyond everything we ever sent (data
+        // plus the FIN's virtual sequence number) is the optimistic-ack
+        // attack — ignore it entirely, never feed it to the congestion
+        // controller or the cumulative-ack machinery.
+        if ack > self.next_seq + 1 {
+            return;
+        }
         self.peer_window = window;
         let sf = &mut self.subflows[path];
         // Remove fully-acked segments from this subflow; sample RTT.
@@ -445,6 +487,8 @@ impl MptcpConnection {
         }
         // Retransmit the head segment on the fast subflow.
         let (seq, len) = {
+            // Invariant: `holder` was selected above precisely because this
+            // range lookup succeeds, and nothing mutated inflight since.
             let (&s, seg) =
                 self.subflows[holder].inflight.range(..=head).next_back().expect("holder found");
             (s, seg.len)
@@ -955,6 +999,82 @@ mod tests {
                 *now += Duration::from_micros(100);
             }
         }
+    }
+
+    #[test]
+    fn bogus_ack_is_ignored() {
+        let (mut c, mut s, mut now) = pair();
+        pump(&mut now, &mut c, &mut s);
+        c.send(&vec![3u8; 10_000]);
+        // An ack for data far beyond anything sent must not advance
+        // snd_una or mark the transfer complete (optimistic-ack parity
+        // with the QUIC protocol police).
+        let bogus = Segment {
+            kind: Kind::Ack,
+            subflow: 0,
+            seq: 0,
+            ack: 1_000_000,
+            window: 1 << 20,
+            payload: vec![],
+        };
+        c.handle_datagram(now, 0, &bogus.encode());
+        assert_eq!(c.snd_una, 0);
+        assert!(!c.send_complete());
+        let _ = s;
+    }
+
+    #[test]
+    fn recv_window_overrun_dropped() {
+        let mut s = MptcpConnection::new(MptcpConfig {
+            is_client: false,
+            recv_window: 4096,
+            ..Default::default()
+        });
+        let now = Instant::ZERO;
+        let overrun = Segment {
+            kind: Kind::Data,
+            subflow: 0,
+            seq: 1 << 20, // far past the 4 KB window
+            ack: 0,
+            window: 1 << 20,
+            payload: vec![9u8; 100],
+        };
+        s.handle_datagram(now, 0, &overrun.encode());
+        assert_eq!(s.ooo_count(), 0, "out-of-window data must be dropped");
+        assert_eq!(s.buffered_recv_bytes(), 0);
+        // The drop still schedules a challenge ack.
+        assert!(s.ack_pending[0]);
+    }
+
+    #[test]
+    fn ooo_store_capped_under_gap_spray() {
+        let mut s = MptcpConnection::new(MptcpConfig { is_client: false, ..Default::default() });
+        let now = Instant::ZERO;
+        // 1-byte segments at odd offsets: never contiguous, maximum
+        // per-segment bookkeeping for minimum attacker bytes.
+        for i in 0..(MAX_OOO_SEGMENTS as u64 + 500) {
+            let seg = Segment {
+                kind: Kind::Data,
+                subflow: 0,
+                seq: i * 2 + 1,
+                ack: 0,
+                window: 1 << 20,
+                payload: vec![0xab],
+            };
+            s.handle_datagram(now, 0, &seg.encode());
+        }
+        assert_eq!(s.ooo_count(), MAX_OOO_SEGMENTS);
+        // A gap-filling (contiguous) segment is still accepted and drains.
+        let fill = Segment {
+            kind: Kind::Data,
+            subflow: 0,
+            seq: 0,
+            ack: 0,
+            window: 1 << 20,
+            payload: vec![0xcd],
+        };
+        s.handle_datagram(now, 0, &fill.encode());
+        assert!(s.readable() >= 2, "contiguous data must bypass the cap and drain");
     }
 
     #[test]

@@ -23,4 +23,4 @@
 pub mod conn;
 pub mod wire;
 
-pub use conn::{MptcpConfig, MptcpConnection, MptcpStats};
+pub use conn::{MptcpConfig, MptcpConnection, MptcpStats, MAX_OOO_SEGMENTS};

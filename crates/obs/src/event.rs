@@ -84,6 +84,15 @@ pub enum Event {
         /// Multipath was negotiated.
         multipath: bool,
     },
+    /// Terminal event: the connection entered the closing or draining
+    /// state (§10 lifecycle). Emitted exactly once per connection.
+    ConnectionClosed {
+        /// Wire error code the connection closed with.
+        error_code: u64,
+        /// True when this endpoint initiated the close (closing state);
+        /// false when the peer's CONNECTION_CLOSE moved us to draining.
+        locally: bool,
+    },
 
     // ---- core (scheduler, re-injection, QoE, path management) ----
     /// The scheduler picked a path for fresh data.
@@ -243,7 +252,8 @@ impl Event {
             | CwndUpdate { .. }
             | RttUpdate { .. }
             | HandshakeSent { .. }
-            | HandshakeComplete { .. } => "transport",
+            | HandshakeComplete { .. }
+            | ConnectionClosed { .. } => "transport",
             SchedulerDecision { .. }
             | Reinjection { .. }
             | ReinjectionGate { .. }
@@ -274,6 +284,7 @@ impl Event {
             RttUpdate { .. } => "rtt_update",
             HandshakeSent { .. } => "handshake_sent",
             HandshakeComplete { .. } => "handshake_complete",
+            ConnectionClosed { .. } => "connection_closed",
             SchedulerDecision { .. } => "scheduler_decision",
             Reinjection { .. } => "reinjection",
             ReinjectionGate { .. } => "reinjection_gate",
@@ -352,6 +363,10 @@ impl Event {
             }
             HandshakeSent { retransmit } => w.field_bool("retransmit", *retransmit),
             HandshakeComplete { multipath } => w.field_bool("multipath", *multipath),
+            ConnectionClosed { error_code, locally } => {
+                w.field_u64("error_code", *error_code);
+                w.field_bool("locally", *locally);
+            }
             SchedulerDecision { path, policy } => {
                 w.field_u64("path", u64::from(*path));
                 w.field_str("policy", policy);

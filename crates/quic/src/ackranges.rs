@@ -4,6 +4,17 @@
 //! duplicate packets, and on the send side to interpret a peer's ACK
 //! ranges. Ranges are stored sorted ascending and always coalesced.
 
+/// Hard cap on the number of distinct ranges tracked per set (§10
+/// adversarial bound). A peer that sends packet numbers with huge gaps
+/// grows one range per gap; past this cap the *oldest* (lowest) ranges
+/// are evicted. Retained ranges are never altered, so every packet
+/// number still reported was genuinely received — eviction only
+/// forgets old acknowledgements, exactly like
+/// [`AckRanges::forget_below`]. Honest peers never come close: ranges
+/// only accumulate while ACK gaps persist, and recovery keeps the
+/// in-flight window far below this.
+pub const MAX_ACK_RANGES: usize = 256;
+
 /// An inclusive packet-number range.
 #[derive(Debug, Clone, Copy, PartialEq, Eq)]
 pub struct PnRange {
@@ -18,6 +29,15 @@ pub struct PnRange {
 pub struct AckRanges {
     /// Sorted ascending, non-adjacent, non-overlapping.
     ranges: Vec<PnRange>,
+    /// Ranges evicted by the [`MAX_ACK_RANGES`] cap (adversarial-load
+    /// gauge; 0 in any honest exchange).
+    evicted: u64,
+    /// Replay floor: every pn below this was once tracked and then
+    /// evicted by the cap. Such pns must keep reporting "duplicate" on
+    /// re-insert — otherwise a replayed old datagram (same nonce, same
+    /// pn) would be accepted and processed a second time once its range
+    /// fell out of the set.
+    floor: u64,
 }
 
 impl AckRanges {
@@ -26,9 +46,17 @@ impl AckRanges {
         Self::default()
     }
 
-    /// Insert one packet number. Returns `false` if it was already present
-    /// (i.e. the packet is a duplicate).
+    /// Insert one packet number. Returns `false` if the packet must be
+    /// treated as a duplicate: already present, below the replay floor
+    /// (its range was evicted — a replay must not be reprocessed), or
+    /// refused because the set is at capacity and this pn would become
+    /// the oldest range (admitting it would evict it again immediately;
+    /// to the peer the refusal is indistinguishable from loss, and
+    /// retransmission always uses fresh packet numbers).
     pub fn insert(&mut self, pn: u64) -> bool {
+        if pn < self.floor {
+            return false; // evicted history: treat replays as duplicates
+        }
         // Find first range with start > pn.
         let idx = self.ranges.partition_point(|r| r.start <= pn);
         // Check containment in the predecessor.
@@ -52,13 +80,34 @@ impl AckRanges {
             self.ranges[idx].start = pn;
             return true;
         }
+        if idx == 0 && self.ranges.len() >= MAX_ACK_RANGES {
+            return false; // would be evicted straight away: refuse instead
+        }
         self.ranges.insert(idx, PnRange { start: pn, end: pn });
+        self.enforce_cap();
         true
+    }
+
+    /// Evict lowest ranges until the set respects [`MAX_ACK_RANGES`],
+    /// raising the replay floor past everything forgotten.
+    fn enforce_cap(&mut self) {
+        while self.ranges.len() > MAX_ACK_RANGES {
+            let gone = self.ranges.remove(0);
+            self.floor = self.floor.max(gone.end.saturating_add(1));
+            self.evicted += 1;
+        }
+    }
+
+    /// How many ranges the [`MAX_ACK_RANGES`] cap has evicted so far.
+    pub fn evicted(&self) -> u64 {
+        self.evicted
     }
 
     /// Insert an inclusive range of packet numbers, merging as needed.
     /// Far cheaper than per-value insertion for large spans.
     pub fn insert_range(&mut self, start: u64, end: u64) {
+        // Evicted history stays forgotten (see `insert`).
+        let start = start.max(self.floor);
         if start > end {
             return;
         }
@@ -74,6 +123,7 @@ impl AckRanges {
             j += 1;
         }
         self.ranges.splice(i..j, std::iter::once(PnRange { start: new_start, end: new_end }));
+        self.enforce_cap();
     }
 
     /// True if `pn` is in the set.
@@ -157,6 +207,26 @@ mod tests {
     }
 
     #[test]
+    fn evicted_history_stays_duplicate() {
+        // Saturate the cap with gapped pns, forcing the lowest ranges out.
+        let mut s = AckRanges::new();
+        for i in 0..(MAX_ACK_RANGES as u64 + 50) {
+            assert!(s.insert(i * 2));
+        }
+        assert!(s.evicted() > 0);
+        assert_eq!(s.range_count(), MAX_ACK_RANGES);
+        // pn 0 was received, evicted, and must still count as a duplicate:
+        // accepting a replayed datagram (same pn, same nonce) would
+        // reprocess it.
+        assert!(!s.contains(0));
+        assert!(!s.insert(0));
+        // A brand-new pn below the lowest retained range is refused
+        // rather than admitted-and-immediately-evicted.
+        assert!(!s.insert(1));
+        assert_eq!(s.range_count(), MAX_ACK_RANGES);
+    }
+
+    #[test]
     fn contains_and_largest() {
         let mut s = AckRanges::new();
         for pn in [10, 11, 12, 20, 0] {
@@ -226,6 +296,31 @@ mod tests {
         a.insert_range(7, 7);
         assert!(a.contains(7));
         assert_eq!(a.len(), 1);
+    }
+
+    #[test]
+    fn cap_evicts_oldest_ranges() {
+        let mut s = AckRanges::new();
+        for i in 0..(MAX_ACK_RANGES as u64 + 50) {
+            s.insert(i * 10); // every insert opens a new range
+        }
+        assert_eq!(s.range_count(), MAX_ACK_RANGES);
+        assert_eq!(s.evicted(), 50);
+        // Newest packet numbers survive; the oldest were forgotten.
+        assert!(s.contains((MAX_ACK_RANGES as u64 + 49) * 10));
+        assert!(!s.contains(0));
+        // Retained ranges are exact: nothing in between was fabricated.
+        assert!(!s.contains(15));
+    }
+
+    #[test]
+    fn cap_applies_to_insert_range() {
+        let mut s = AckRanges::new();
+        for i in 0..(MAX_ACK_RANGES as u64 * 2) {
+            s.insert_range(i * 10, i * 10 + 2);
+        }
+        assert_eq!(s.range_count(), MAX_ACK_RANGES);
+        assert_eq!(s.evicted(), MAX_ACK_RANGES as u64);
     }
 
     #[test]

@@ -178,12 +178,33 @@ pub struct Connection {
     /// PTO probes sent while suspected (reported on revalidation).
     suspect_probes: u32,
     close_frame_pending: Option<(TransportError, String)>,
+    /// The CONNECTION_CLOSE we sent, retained for rate-limited replay
+    /// while closing (RFC 9000 §10.2.1).
+    close_replay: Option<Frame>,
+    /// A replay is due (set at power-of-two received-packet counts).
+    close_replay_pending: bool,
+    /// Packets received since entering the closing state.
+    closing_recv_count: u64,
+    /// When the closing/draining period ends (3×PTO after entry).
+    drain_deadline: Option<Instant>,
+    /// Peer initiated the close: drain silently, never reply.
+    draining: bool,
+    /// The drain period ended and remaining state was freed.
+    drained: bool,
+    /// PATH_RESPONSEs dropped by the pending-response cap (§10 gauge).
+    path_responses_dropped: u64,
     stats: ConnectionStats,
     idle_timeout: Duration,
     /// How many hello flights have gone out (first + retransmissions).
     hello_sends: u32,
     tracer: Tracer,
 }
+
+/// Cap on PATH_RESPONSEs queued at once (§10 adversarial bound). A
+/// challenge flood would otherwise grow the control queue without limit;
+/// past the cap the oldest pending response is dropped — an honest peer
+/// retransmits any challenge it still cares about.
+pub const MAX_PENDING_PATH_RESPONSES: usize = 8;
 
 impl std::fmt::Debug for Connection {
     fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
@@ -259,6 +280,13 @@ impl Connection {
             suspected: false,
             suspect_probes: 0,
             close_frame_pending: None,
+            close_replay: None,
+            close_replay_pending: false,
+            closing_recv_count: 0,
+            drain_deadline: None,
+            draining: false,
+            drained: false,
+            path_responses_dropped: 0,
             stats: ConnectionStats::default(),
             state: State::Handshaking,
             idle_timeout,
@@ -287,6 +315,60 @@ impl Connection {
     /// True when closed.
     pub fn is_closed(&self) -> bool {
         matches!(self.state, State::Closed(_))
+    }
+
+    /// True once the closing/draining period has expired and all
+    /// peer-growable state has been freed (§10.2 lifecycle).
+    pub fn is_drained(&self) -> bool {
+        self.drained
+    }
+
+    /// The error this connection closed with, if closed.
+    pub fn close_error(&self) -> Option<&ConnectionError> {
+        match &self.state {
+            State::Closed(e) => Some(e),
+            _ => None,
+        }
+    }
+
+    /// Largest received-pn range count across spaces (§10 gauge; bounded
+    /// by [`crate::ackranges::MAX_ACK_RANGES`]).
+    pub fn recv_range_count(&self) -> usize {
+        self.init_recv.range_count().max(self.app_recv.range_count())
+    }
+
+    /// Received-pn ranges evicted by the cap across spaces (§10 gauge).
+    pub fn recv_ranges_evicted(&self) -> u64 {
+        self.init_recv.evicted() + self.app_recv.evicted()
+    }
+
+    /// Queued control frames (§10 gauge; PATH_RESPONSE entries bounded by
+    /// [`MAX_PENDING_PATH_RESPONSES`]).
+    pub fn control_queue_len(&self) -> usize {
+        self.control_queue.len()
+    }
+
+    /// Queued PATH_RESPONSE frames (§10 gauge; bounded by
+    /// [`MAX_PENDING_PATH_RESPONSES`]).
+    pub fn pending_responses(&self) -> usize {
+        self.control_queue.iter().filter(|f| matches!(f, Frame::PathResponse(_))).count()
+    }
+
+    /// PATH_RESPONSEs dropped by the pending-response cap (§10 gauge).
+    pub fn path_responses_dropped(&self) -> u64 {
+        self.path_responses_dropped
+    }
+
+    /// Largest out-of-order segment count over open streams (§10 gauge;
+    /// bounded by [`crate::stream::MAX_STREAM_SEGMENTS`]).
+    pub fn max_stream_segments(&self) -> usize {
+        self.streams.iter().map(|s| s.recv.segment_count()).max().unwrap_or(0)
+    }
+
+    /// Total buffered receive bytes over open streams (§10 gauge; bounded
+    /// by the advertised flow-control windows).
+    pub fn buffered_recv_bytes(&self) -> u64 {
+        self.streams.iter().map(|s| s.recv.buffered_bytes()).sum()
     }
 
     /// Statistics snapshot.
@@ -337,6 +419,8 @@ impl Connection {
 
     /// Write data on a stream; `fin` marks the end.
     pub fn stream_send(&mut self, id: u64, data: &[u8], fin: bool) {
+        // Invariant: `id` came from open_stream/readable_streams on this
+        // connection — an application bug, never peer-reachable input.
         let stream = self.streams.get_mut(id).expect("unknown stream");
         if !data.is_empty() {
             stream.send.write(data);
@@ -370,12 +454,32 @@ impl Connection {
             .collect()
     }
 
-    /// Begin closing the connection.
+    /// Begin closing the connection. The CONNECTION_CLOSE goes out on
+    /// the next [`Connection::poll_transmit`], which also starts the
+    /// 3×PTO closing period (§10.2).
     pub fn close(&mut self, error: TransportError, reason: &str) {
         if !self.is_closed() {
             self.close_frame_pending = Some((error, reason.to_string()));
             self.state = State::Closed(ConnectionError::LocallyClosed(error));
         }
+    }
+
+    /// Start the closing/draining countdown: 3×PTO from `now` (§10.2).
+    fn arm_drain(&mut self, now: Instant) {
+        if self.drain_deadline.is_none() {
+            let pto = self.rtt.pto(self.cfg.params.max_ack_delay);
+            self.drain_deadline = Some(now + pto * 3);
+        }
+    }
+
+    /// Free peer-growable state once the closing/draining period ends.
+    fn free_state(&mut self) {
+        self.drained = true;
+        self.close_replay = None;
+        self.close_replay_pending = false;
+        self.control_queue = Vec::new();
+        let _ = self.init_recovery.drain_all();
+        let _ = self.app_recovery.drain_all();
     }
 
     /// Connection migration (the CM baseline, §7.3): reset congestion
@@ -404,6 +508,18 @@ impl Connection {
     /// Ingest one datagram.
     pub fn handle_datagram(&mut self, now: Instant, datagram: &[u8]) {
         self.stats.bytes_received += datagram.len() as u64;
+        if self.is_closed() {
+            // §10.2: a closing endpoint answers further packets with a
+            // rate-limited CONNECTION_CLOSE replay (here: at power-of-two
+            // received-packet counts); a draining endpoint stays silent.
+            if !self.draining && !self.drained && self.close_frame_pending.is_none() {
+                self.closing_recv_count += 1;
+                if self.closing_recv_count.is_power_of_two() {
+                    self.close_replay_pending = true;
+                }
+            }
+            return;
+        }
         let Ok((header, payload_off)) = Header::decode(datagram) else {
             self.stats.packets_dropped += 1;
             return;
@@ -518,9 +634,15 @@ impl Connection {
             Frame::Stream { stream_id, offset, data, fin } => {
                 let prev_high;
                 {
-                    let Ok(stream) = self.streams.get_or_open_peer(stream_id) else {
-                        self.close(TransportError::StreamStateError, "bad stream");
-                        return;
+                    let stream = match self.streams.get_or_open_peer(stream_id) {
+                        Ok(s) => s,
+                        // Propagate the map's verdict: STREAM_LIMIT_ERROR
+                        // for exhaustion, STREAM_STATE_ERROR for frames on
+                        // streams we never opened.
+                        Err(e) => {
+                            self.close(e, "bad stream");
+                            return;
+                        }
                     };
                     prev_high = stream.recv.highest_recv();
                     if let Err(e) = stream.recv.on_data(offset, &data, fin) {
@@ -562,6 +684,23 @@ impl Connection {
             Frame::NewConnectionId(ic) => self.cids.store_remote(ic),
             Frame::RetireConnectionId { .. } => {}
             Frame::PathChallenge(data) => {
+                // §10: cap queued responses so a challenge flood cannot
+                // grow the control queue without bound. Drop the oldest
+                // pending response — an honest peer retransmits any
+                // challenge it still cares about.
+                let pending = self
+                    .control_queue
+                    .iter()
+                    .filter(|f| matches!(f, Frame::PathResponse(_)))
+                    .count();
+                if pending >= MAX_PENDING_PATH_RESPONSES {
+                    if let Some(idx) =
+                        self.control_queue.iter().position(|f| matches!(f, Frame::PathResponse(_)))
+                    {
+                        self.control_queue.remove(idx);
+                        self.path_responses_dropped += 1;
+                    }
+                }
                 self.control_queue.push(Frame::PathResponse(data));
             }
             Frame::PathResponse(_) => {}
@@ -569,9 +708,15 @@ impl Connection {
                 self.handshake_confirmed = true;
             }
             Frame::ConnectionClose { error_code, .. } => {
+                // §10.2: a peer-initiated close moves us to draining —
+                // stay silent and expire 3×PTO from now.
                 self.state = State::Closed(ConnectionError::PeerClosed(TransportError::from_code(
                     error_code,
                 )));
+                self.close_frame_pending = None;
+                self.draining = true;
+                self.arm_drain(now);
+                self.tracer.emit(now, Event::ConnectionClosed { error_code, locally: false });
             }
             Frame::PathStatus { .. } | Frame::QoeControlSignals(_) => {
                 self.close(TransportError::ProtocolViolation, "MP frame on single path");
@@ -597,6 +742,19 @@ impl Connection {
     }
 
     fn on_ack(&mut self, now: Instant, space: Space, ack: AckFrame) {
+        // Protocol police (§10): an ACK covering a packet number we never
+        // sent is the optimistic-ACK attack — close, never feed it to
+        // recovery or congestion control.
+        {
+            let recovery = match space {
+                Space::Initial => &self.init_recovery,
+                Space::App => &self.app_recovery,
+            };
+            if recovery.validate_ack(ack.ranges_ascending().map(|r| (r.start, r.end))).is_err() {
+                self.close(TransportError::ProtocolViolation, "optimistic ack");
+                return;
+            }
+        }
         let recovery = match space {
             Space::Initial => &mut self.init_recovery,
             Space::App => &mut self.app_recovery,
@@ -720,14 +878,28 @@ impl Connection {
 
     /// Produce the next datagram to send, if any.
     pub fn poll_transmit(&mut self, now: Instant) -> Option<Vec<u8>> {
-        // Closing: emit the CONNECTION_CLOSE once.
+        // Closing (§10.2): send the CONNECTION_CLOSE, start the 3×PTO
+        // closing period, and keep the frame for rate-limited replay.
         if let Some((err, reason)) = self.close_frame_pending.take() {
             let frame =
                 Frame::ConnectionClose { error_code: err.code(), reason: reason.into_bytes() };
+            self.close_replay = Some(frame.clone());
+            self.arm_drain(now);
+            self.tracer
+                .emit(now, Event::ConnectionClosed { error_code: err.code(), locally: true });
             let space = if self.keys.is_some() { Space::App } else { Space::Initial };
             return Some(self.build_packet(now, space, vec![frame], false));
         }
         if self.is_closed() {
+            // Replay the close if incoming packets warranted one; a
+            // draining or drained endpoint stays silent.
+            if self.close_replay_pending && !self.drained {
+                self.close_replay_pending = false;
+                if let Some(frame) = self.close_replay.clone() {
+                    let space = if self.keys.is_some() { Space::App } else { Space::Initial };
+                    return Some(self.build_packet(now, space, vec![frame], false));
+                }
+            }
             return None;
         }
         // Handshake transmission. A server stays quiet until it has the
@@ -797,6 +969,8 @@ impl Connection {
                 break;
             }
             let conn_credit = self.streams.conn_send_credit();
+            // Invariant: sendable_ids() only yields ids present in the
+            // map and nothing removes streams between the two calls.
             let stream = self.streams.get_mut(id).expect("sendable id");
             // Reserve frame header overhead ~ 1+8+8+4.
             let max_payload = remaining.saturating_sub(24);
@@ -907,6 +1081,9 @@ impl Connection {
                 }
             }
             Space::App => {
+                // Invariant: every App-space send site is gated on
+                // is_established()/keys.is_some(); no peer input reaches
+                // here before the handshake completes.
                 let kp = self.keys.as_ref().expect("1-RTT keys");
                 if send_is_client_data {
                     kp.client.clone()
@@ -935,7 +1112,10 @@ impl Connection {
     /// Earliest time at which [`Connection::on_timeout`] must be called.
     pub fn poll_timeout(&self) -> Option<Instant> {
         if self.is_closed() {
-            return None;
+            // Closing/draining: the only timer left is the drain
+            // deadline (armed when the close frame goes out or the
+            // peer's close arrives).
+            return if self.drained { None } else { self.drain_deadline };
         }
         let mad = self.cfg.params.max_ack_delay;
         let mut t = self.last_activity + self.idle_timeout; // idle
@@ -951,10 +1131,20 @@ impl Connection {
     /// Handle a timer expiry.
     pub fn on_timeout(&mut self, now: Instant) {
         if self.is_closed() {
+            // End of the closing/draining period: free remaining state.
+            if let Some(d) = self.drain_deadline {
+                if now >= d && !self.drained {
+                    self.free_state();
+                }
+            }
             return;
         }
         if now >= self.last_activity + self.idle_timeout {
+            // Idle timeout (§10.1): discard state silently — there is no
+            // close frame to replay, so drain immediately.
             self.state = State::Closed(ConnectionError::TimedOut);
+            self.tracer.emit(now, Event::ConnectionClosed { error_code: 0, locally: true });
+            self.free_state();
             return;
         }
         let mad = self.cfg.params.max_ack_delay;
@@ -1127,6 +1317,88 @@ mod tests {
             s.state(),
             State::Closed(ConnectionError::PeerClosed(TransportError::NoError))
         ));
+    }
+
+    #[test]
+    fn closing_replays_close_then_drains() {
+        let (mut c, mut s, mut now) = pair();
+        pump(&mut now, &mut c, &mut s);
+        c.close(TransportError::NoError, "done");
+        let first = c.poll_transmit(now).expect("close frame");
+        assert!(c.poll_transmit(now).is_none(), "closing sends nothing unprompted");
+        // Incoming packets while closing provoke rate-limited replays:
+        // counts 1, 2, 4, 8 out of 10 arrivals.
+        let mut replays = 0;
+        for _ in 0..10 {
+            c.handle_datagram(now, &first); // any datagram counts
+            if c.poll_transmit(now).is_some() {
+                replays += 1;
+            }
+        }
+        assert_eq!(replays, 4);
+        // The drain deadline expires 3×PTO after the close was sent.
+        let deadline = c.poll_timeout().expect("drain deadline");
+        assert!(deadline > now);
+        now = deadline;
+        c.on_timeout(now);
+        assert!(c.is_drained());
+        assert!(c.poll_timeout().is_none());
+        // Further packets provoke nothing once drained.
+        c.handle_datagram(now, &first);
+        assert!(c.poll_transmit(now).is_none());
+    }
+
+    #[test]
+    fn draining_endpoint_is_silent_and_expires() {
+        let (mut c, mut s, mut now) = pair();
+        pump(&mut now, &mut c, &mut s);
+        c.close(TransportError::NoError, "done");
+        let close = c.poll_transmit(now).expect("close frame");
+        s.handle_datagram(now, &close);
+        assert!(matches!(
+            s.state(),
+            State::Closed(ConnectionError::PeerClosed(TransportError::NoError))
+        ));
+        // Draining: silent no matter what arrives.
+        assert!(s.poll_transmit(now).is_none());
+        for _ in 0..5 {
+            s.handle_datagram(now, &close);
+            assert!(s.poll_transmit(now).is_none());
+        }
+        let deadline = s.poll_timeout().expect("drain deadline");
+        now = deadline;
+        s.on_timeout(now);
+        assert!(s.is_drained());
+        assert!(s.poll_timeout().is_none());
+    }
+
+    #[test]
+    fn optimistic_ack_closes_with_protocol_violation() {
+        let (mut c, mut s, mut now) = pair();
+        pump(&mut now, &mut c, &mut s);
+        // ACK a packet number the client never sent.
+        let mut set = AckRanges::new();
+        set.insert_range(900, 1000);
+        let ack = AckFrame::from_ranges(0, &set, Duration::ZERO).unwrap();
+        c.on_frame(now, Space::App, Frame::Ack(ack));
+        assert!(matches!(
+            c.state(),
+            State::Closed(ConnectionError::LocallyClosed(TransportError::ProtocolViolation))
+        ));
+        let _ = s;
+    }
+
+    #[test]
+    fn path_challenge_flood_is_capped() {
+        let (mut c, mut s, mut now) = pair();
+        pump(&mut now, &mut c, &mut s);
+        for i in 0..100u64 {
+            c.on_frame(now, Space::App, Frame::PathChallenge(i.to_le_bytes()));
+        }
+        assert!(c.control_queue_len() <= MAX_PENDING_PATH_RESPONSES);
+        assert_eq!(c.path_responses_dropped(), 100 - MAX_PENDING_PATH_RESPONSES as u64);
+        assert!(!c.is_closed());
+        let _ = s;
     }
 
     #[test]

@@ -477,11 +477,21 @@ fn encode_ack(w: &mut Writer, ack: &AckFrame, mp: bool) {
     }
 }
 
+/// Wire-level cap on the number of ACK ranges a single frame may carry
+/// (§10 adversarial bound). Mirrors [`crate::ackranges::MAX_ACK_RANGES`]:
+/// an honest sender can never report more ranges than its receive set
+/// tracks, so any frame above the cap is hostile or corrupt and is
+/// rejected before allocating range storage.
+pub const MAX_WIRE_ACK_RANGES: u64 = 256;
+
 fn decode_ack(r: &mut Reader, mp: bool, with_qoe: bool) -> Result<AckFrame, CodecError> {
     let path_id = if mp { r.varint()? } else { 0 };
     let largest = r.varint()?;
     let ack_delay = Duration::from_millis(r.varint()?);
     let extra_ranges = r.varint()?;
+    if extra_ranges >= MAX_WIRE_ACK_RANGES {
+        return Err(CodecError::InvalidValue);
+    }
     let first_len = r.varint()?;
     if first_len > largest {
         return Err(CodecError::InvalidValue);
@@ -595,6 +605,39 @@ mod tests {
             let asc: Vec<_> = a.ranges_ascending().collect();
             assert_eq!(asc[0], PnRange { start: 0, end: 2 });
             assert_eq!(asc[3], PnRange { start: 15, end: 15 });
+        }
+    }
+
+    #[test]
+    fn ack_with_oversized_range_count_rejected() {
+        // Hand-build an ACK claiming MAX_WIRE_ACK_RANGES extra ranges: the
+        // decoder must reject it before trying to materialise the ranges.
+        let mut w = Writer::new();
+        w.varint(ty::ACK);
+        w.varint(10_000); // largest
+        w.varint(0); // ack delay
+        w.varint(MAX_WIRE_ACK_RANGES); // extra range count: over the cap
+        w.varint(0); // first range length
+        let bytes = w.into_bytes();
+        let mut r = Reader::new(&bytes);
+        assert_eq!(Frame::decode(&mut r), Err(CodecError::InvalidValue));
+        // One under the cap decodes fine (given enough gap/len pairs).
+        let mut w = Writer::new();
+        w.varint(ty::ACK);
+        w.varint(10_000);
+        w.varint(0);
+        w.varint(MAX_WIRE_ACK_RANGES - 1);
+        w.varint(0);
+        for _ in 0..MAX_WIRE_ACK_RANGES - 1 {
+            w.varint(0); // gap
+            w.varint(0); // len
+        }
+        let bytes = w.into_bytes();
+        let mut r = Reader::new(&bytes);
+        let got = Frame::decode(&mut r).expect("cap-1 ranges decode");
+        match got {
+            Frame::Ack(a) => assert_eq!(a.ranges.len(), MAX_WIRE_ACK_RANGES as usize),
+            other => panic!("expected ACK, got {other:?}"),
         }
     }
 

@@ -9,6 +9,7 @@
 //! in-flight, not-yet-acked packets *is* the `unacked_q` that XLINK's
 //! scheduler consults when deciding what to clone onto a faster path.
 
+use crate::error::TransportError;
 use crate::rtt::RttEstimator;
 use std::collections::BTreeMap;
 use xlink_clock::{Duration, Instant};
@@ -188,6 +189,26 @@ impl<T> Recovery<T> {
             },
         );
         pn
+    }
+
+    /// Protocol police (§10): an ACK may only cover packet numbers this
+    /// space has actually allocated. A range that claims a packet we
+    /// never sent (`end >= next_pn`) is the optimistic-ACK attack — a
+    /// hostile receiver pre-acknowledging future packets to inflate the
+    /// sender's RTT/cwnd estimates — and must close the connection with
+    /// `PROTOCOL_VIOLATION` rather than feed the congestion controller.
+    /// Call this before [`Recovery::on_ack_received`] with the same
+    /// ranges.
+    pub fn validate_ack(
+        &self,
+        ranges: impl Iterator<Item = (u64, u64)>,
+    ) -> Result<(), TransportError> {
+        for (start, end) in ranges {
+            if start > end || end >= self.next_pn {
+                return Err(TransportError::ProtocolViolation);
+            }
+        }
+        Ok(())
     }
 
     /// Process acknowledged ranges (ascending iterator of inclusive
@@ -378,6 +399,29 @@ mod tests {
         assert_eq!(out.acked.len(), 3);
         assert_eq!(rec.bytes_in_flight(), 2400);
         assert_eq!(rec.largest_acked(), Some(2));
+    }
+
+    #[test]
+    fn optimistic_ack_rejected_by_validate() {
+        let mut rec: Recovery<()> = Recovery::new();
+        for i in 0..3 {
+            rec.on_packet_sent(t(i), 1000, true, ());
+        }
+        // Everything actually sent validates.
+        assert!(rec.validate_ack([(0u64, 2u64)].into_iter()).is_ok());
+        // Claiming a never-sent pn is the optimistic-ACK attack.
+        assert_eq!(
+            rec.validate_ack([(0u64, 3u64)].into_iter()),
+            Err(TransportError::ProtocolViolation)
+        );
+        // Inverted ranges are equally malformed.
+        assert_eq!(
+            rec.validate_ack([(2u64, 1u64)].into_iter()),
+            Err(TransportError::ProtocolViolation)
+        );
+        // An empty space has sent nothing: any ACK is a violation.
+        let empty: Recovery<()> = Recovery::new();
+        assert!(empty.validate_ack([(0u64, 0u64)].into_iter()).is_err());
     }
 
     #[test]

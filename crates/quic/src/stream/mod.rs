@@ -4,7 +4,7 @@
 pub mod recv;
 pub mod send;
 
-pub use recv::{RecvState, RecvStream};
+pub use recv::{RecvState, RecvStream, MAX_STREAM_SEGMENTS};
 pub use send::{FramePriority, SendRange, SendState, SendStream, DEFAULT_FRAME_PRIORITY};
 
 use crate::error::TransportError;

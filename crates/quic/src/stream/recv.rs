@@ -5,6 +5,15 @@
 use crate::error::TransportError;
 use std::collections::BTreeMap;
 
+/// Hard cap on buffered out-of-order segments per stream (§10 adversarial
+/// bound). An honest sender is limited by the stream flow-control window:
+/// with the default 4 MB window and ≥1200-byte datagrams it can open at
+/// most ~3500 gaps. A peer spraying 1-byte segments at alternating
+/// offsets would otherwise grow one map entry (plus allocation overhead)
+/// per byte of window; past this cap the stream errors with
+/// `FLOW_CONTROL_ERROR` and the connection closes.
+pub const MAX_STREAM_SEGMENTS: usize = 4096;
+
 /// Receive-stream states (RFC 9000 §3.2, abridged).
 #[derive(Debug, Clone, Copy, PartialEq, Eq)]
 pub enum RecvState {
@@ -82,6 +91,9 @@ impl RecvStream {
         self.highest_recv = self.highest_recv.max(end);
         self.ingest(offset, data);
         self.drain_contiguous();
+        if self.segments.len() > MAX_STREAM_SEGMENTS {
+            return Err(TransportError::FlowControlError);
+        }
         if let Some(fs) = self.final_size {
             if self.read_offset + self.ready.len() as u64 == fs
                 && self.segments.is_empty()
@@ -169,6 +181,18 @@ impl RecvStream {
     /// Highest received offset (possibly non-contiguous).
     pub fn highest_recv(&self) -> u64 {
         self.highest_recv
+    }
+
+    /// Buffered out-of-order segments (adversarial-load gauge; bounded by
+    /// [`MAX_STREAM_SEGMENTS`]).
+    pub fn segment_count(&self) -> usize {
+        self.segments.len()
+    }
+
+    /// Bytes buffered for this stream (ready + out-of-order), bounded by
+    /// the advertised flow-control window.
+    pub fn buffered_bytes(&self) -> u64 {
+        self.ready.len() as u64 + self.segments.values().map(|v| v.len() as u64).sum::<u64>()
     }
 
     /// Total duplicate bytes received (receiver-side redundancy metric).
@@ -342,6 +366,33 @@ mod tests {
         assert_eq!(s.read(3), b"def");
         assert_eq!(s.readable(), 2);
         assert_eq!(s.contiguous_offset(), 8);
+    }
+
+    #[test]
+    fn segment_cap_closes_gap_spray() {
+        // 1-byte segments at alternating offsets: every other byte opens a
+        // new gap. The cap must trip long before the 1 GB window fills.
+        let mut s = RecvStream::new(1 << 30);
+        let mut err = None;
+        for i in 0..(MAX_STREAM_SEGMENTS as u64 + 10) {
+            // Offsets 1, 3, 5, ... are never contiguous with 0.
+            if let Err(e) = s.on_data(i * 2 + 1, b"x", false) {
+                err = Some((i, e));
+                break;
+            }
+        }
+        let (at, e) = err.expect("cap should trip");
+        assert_eq!(e, TransportError::FlowControlError);
+        assert_eq!(at as usize, MAX_STREAM_SEGMENTS);
+        assert!(s.segment_count() <= MAX_STREAM_SEGMENTS + 1);
+        // An honest bulk transfer never trips it: contiguous delivery
+        // keeps the map empty.
+        let mut h = RecvStream::new(1 << 30);
+        for i in 0..10_000u64 {
+            h.on_data(i * 10, &[0u8; 10], false).unwrap();
+        }
+        assert_eq!(h.segment_count(), 0);
+        assert_eq!(h.buffered_bytes(), 100_000);
     }
 
     /// Deliver a message as arbitrarily fragmented, duplicated,

@@ -1,0 +1,78 @@
+//! The adversary outcome matrix: run every scripted hostile-peer attack
+//! from `harness::adversary` against single-path QUIC, XLINK multipath,
+//! and the MPTCP baseline, and print one row per attack × transport —
+//! close code (or "absorbed"), time to close, drain status, and the peak
+//! of the §10 bounded-state gauges. Companion to `tests/adversary.rs`:
+//! same scripts, human-readable output.
+//!
+//! ```sh
+//! cargo run --release --example attack_matrix
+//! ```
+
+use xlink::harness::{run_attack, run_attack_mptcp, AttackKind, Scheme};
+
+const SEED: u64 = 7;
+
+fn code_name(code: u64) -> &'static str {
+    match code {
+        0x0 => "NO_ERROR",
+        0x3 => "FLOW_CONTROL_ERROR",
+        0x4 => "STREAM_LIMIT_ERROR",
+        0x5 => "STREAM_STATE_ERROR",
+        0x6 => "FINAL_SIZE_ERROR",
+        0x7 => "FRAME_ENCODING_ERROR",
+        0xa => "PROTOCOL_VIOLATION",
+        _ => "OTHER",
+    }
+}
+
+fn main() {
+    println!(
+        "{:<28} {:<10} {:>24} {:>12} {:>8} {:>12}",
+        "attack", "transport", "outcome", "close-ms", "drained", "peak-gauge"
+    );
+    for kind in AttackKind::all() {
+        for scheme in [Scheme::Sp { path: 0 }, Scheme::Xlink] {
+            let out = run_attack(kind, scheme, SEED);
+            let outcome = match out.close_code {
+                Some((code, by_peer)) => {
+                    format!("{} ({})", code_name(code), if by_peer { "peer" } else { "local" })
+                }
+                None => "absorbed".to_string(),
+            };
+            let ttc = out
+                .time_to_close
+                .map_or("-".to_string(), |d| format!("{:.1}", d.as_micros() as f64 / 1000.0));
+            // The gauge the attack leans on hardest, against its cap.
+            let peak = match kind {
+                AttackKind::AckRangeFlood | AttackKind::OptimisticAck => {
+                    format!("{} rng", out.peak.recv_ranges)
+                }
+                AttackKind::PathChallengeFlood => {
+                    format!("{} chl", out.peak.pending_path_responses)
+                }
+                _ => format!("{} seg", out.peak.stream_segments),
+            };
+            println!(
+                "{:<28} {:<10} {:>24} {:>12} {:>8} {:>12}",
+                kind.label(),
+                out.transport,
+                outcome,
+                ttc,
+                if out.drained { "yes" } else { "no" },
+                peak,
+            );
+            assert!(out.matches_expectation(), "{}: contract violated: {out:?}", kind.label());
+        }
+        let m = run_attack_mptcp(kind, SEED);
+        println!(
+            "{:<28} {:<10} {:>24} {:>12} {:>8} {:>12}",
+            kind.label(),
+            "mptcp",
+            if m.absorbed { "absorbed" } else { "NOT ABSORBED" },
+            "-",
+            "-",
+            format!("{} ooo", m.ooo_peak),
+        );
+    }
+}

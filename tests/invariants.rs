@@ -313,3 +313,87 @@ fn sessions_are_deterministic() {
     };
     assert_eq!(run(), run());
 }
+
+/// Adversarial gap patterns against the received-packet-number set: no
+/// matter how a hostile peer spaces its packet numbers, the range set
+/// stays under [`MAX_ACK_RANGES`](xlink::quic::ackranges::MAX_ACK_RANGES)
+/// (evict-oldest), stays sorted and disjoint, and always keeps the most
+/// recently inserted packet number covered (the eviction policy must
+/// sacrifice history, never the live edge).
+#[test]
+fn ackranges_bounded_under_adversarial_gaps() {
+    use xlink::quic::ackranges::{AckRanges, MAX_ACK_RANGES};
+    check(
+        "ackranges_bounded_under_adversarial_gaps",
+        (vec_of(0u64..100_000, 1..700), any_bool(), 1u64..64),
+        |&(ref raw, descending, stride)| {
+            // Two adversary shapes from one draw: arbitrary scatter, and
+            // a strided sweep (every `stride+1`-th pn) which maximises
+            // range count per packet; optionally delivered newest-first.
+            let mut pns: Vec<u64> = raw.iter().map(|&p| p * stride).collect();
+            if descending {
+                pns.sort_unstable();
+                pns.reverse();
+            }
+            let mut set = AckRanges::new();
+            for &pn in &pns {
+                let added = set.insert(pn);
+                prop_assert!(
+                    set.range_count() <= MAX_ACK_RANGES,
+                    "range count {} over cap",
+                    set.range_count()
+                );
+                // An accepted pn must be covered; a refused one is either
+                // a duplicate or below the evicted-history floor.
+                prop_assert!(!added || set.contains(pn), "accepted pn {pn} not covered");
+            }
+            // Sorted, disjoint, non-adjacent (adjacent ranges must merge).
+            let ranges: Vec<_> = set.iter().collect();
+            for w in ranges.windows(2) {
+                prop_assert!(
+                    w[0].end + 1 < w[1].start,
+                    "ranges not disjoint/merged: {:?} then {:?}",
+                    w[0],
+                    w[1]
+                );
+            }
+            // The largest pn ever inserted is never evicted.
+            let largest = pns.iter().copied().max().unwrap();
+            prop_assert_eq!(set.largest(), Some(largest));
+            prop_assert!(set.contains(largest));
+            // Eviction accounting matches reality: evictions happen iff
+            // more distinct ranges were created than the cap holds.
+            if set.evicted() == 0 {
+                prop_assert!(set.range_count() <= MAX_ACK_RANGES);
+            } else {
+                prop_assert_eq!(set.range_count(), MAX_ACK_RANGES);
+            }
+            Ok(())
+        },
+    );
+}
+
+/// Duplicate suppression is stable under replay: re-inserting any
+/// already-covered pn reports `false` and leaves the set unchanged —
+/// the property the re-injection amplifier attack leans on.
+#[test]
+fn ackranges_replay_is_idempotent() {
+    use xlink::quic::ackranges::AckRanges;
+    check("ackranges_replay_is_idempotent", vec_of(0u64..10_000, 1..300), |pns: &Vec<u64>| {
+        let mut set = AckRanges::new();
+        for &pn in pns {
+            set.insert(pn);
+        }
+        let before: Vec<_> = set.iter().collect();
+        let evicted = set.evicted();
+        for &pn in pns {
+            if set.contains(pn) {
+                prop_assert!(!set.insert(pn), "covered pn {pn} accepted twice");
+            }
+        }
+        let after: Vec<_> = set.iter().collect();
+        prop_assert_eq!(before, after);
+        prop_assert_eq!(evicted, set.evicted());
+        Ok(())
+    });
+}
