@@ -31,9 +31,13 @@ cargo test -q --offline --test observability
 echo "==> adversary suite (8 seeds)"
 XLINK_SWEEP_SEEDS=8 cargo test -q --offline --test adversary
 
-echo "==> benches (smoke mode: 1 iteration/sample, JSON schema check only)"
-cargo bench -p xlink-bench --offline --bench micro -- --smoke
-cargo bench -p xlink-bench --offline --bench end_to_end -- --smoke
-cargo bench -p xlink-bench --offline --bench obs_overhead -- --smoke
+echo "==> fleet engine: 10k concurrent sessions, bit-identical across shard counts (release)"
+XLINK_FLEET_SESSIONS=10000 cargo test -q --offline --release --test fleet
+
+echo "==> benches (smoke mode: 1 iteration/sample), emitting BENCH_*.json"
+cargo bench -p xlink-bench --offline --bench micro -- --smoke > BENCH_micro.json
+cargo bench -p xlink-bench --offline --bench end_to_end -- --smoke > BENCH_end_to_end.json
+cargo bench -p xlink-bench --offline --bench obs_overhead -- --smoke > BENCH_obs_overhead.json
+cargo bench -p xlink-bench --offline --bench fleet -- --smoke > BENCH_fleet.json
 
 echo "==> ci.sh: all green"

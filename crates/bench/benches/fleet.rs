@@ -1,0 +1,56 @@
+//! Fleet-engine benches (xlink-lab bench harness): a whole population
+//! A/B run per iteration, reporting wall-clock cost plus the fleet's
+//! native rates — sessions/sec and simulated packets/sec.
+//!
+//! Sessions advance virtual time internally; the harness measures the
+//! wall cost of hosting the population. Sizes stay modest so non-smoke
+//! runs finish in seconds; the 10k-session scale check lives in
+//! `tests/fleet.rs` (driven by ci.sh in release mode).
+//!
+//! Run: `cargo bench -p xlink-bench --bench fleet` (add `-- --smoke`
+//! for a one-iteration CI smoke pass).
+
+use xlink_clock::Duration;
+use xlink_harness::fleet::{run_fleet, FleetConfig};
+use xlink_harness::Scheme;
+use xlink_lab::bench::Suite;
+use xlink_video::Video;
+
+fn fleet(users: u64, shards: u32, seed: u64) -> FleetConfig {
+    let mut cfg = FleetConfig::new(Scheme::Sp { path: 0 }, Scheme::Xlink);
+    cfg.users_per_day = users;
+    cfg.days = 1;
+    cfg.shards = shards;
+    cfg.seed = seed;
+    cfg.video = Video::synth(2, 25, 300_000, 8.0);
+    cfg.deadline = Duration::from_secs(30);
+    cfg.arrival_window = Duration::from_secs(2);
+    cfg.trace_pool = 8;
+    cfg
+}
+
+fn main() {
+    let mut s = Suite::from_args();
+    let users = if s.is_smoke() { 8 } else { 64 };
+
+    for (name, shards) in [("fleet_ab/1shard", 1u32), ("fleet_ab/4shards", 4)] {
+        let mut seed = 0u64;
+        s.bench_rate(&format!("{name}/{users}users"), "sessions", users, || {
+            seed += 1;
+            let r = run_fleet(&fleet(users, shards, seed));
+            assert_eq!(r.arm_a.sessions + r.arm_b.sessions, users);
+            r.digest()
+        });
+        // Re-run once at a fixed seed to report the packet rate for a
+        // known population (rates are per-iteration work, so the
+        // counter must be iteration-independent).
+        let r = run_fleet(&fleet(users, shards, 1));
+        s.bench_rate(
+            &format!("{name}/{users}users/packets"),
+            "sim_packets",
+            r.counters.packets,
+            || run_fleet(&fleet(users, shards, 1)).counters.packets,
+        );
+    }
+    s.finish();
+}

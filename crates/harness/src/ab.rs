@@ -11,44 +11,99 @@ use crate::stats::{improvement_pct, percentile, secs};
 use crate::transport::{Scheme, TransportTuning};
 use crate::video_session::{run_session, SessionConfig, SessionResult};
 use xlink_clock::Duration;
+use xlink_lab::stream::{LogHistogram, StreamStat};
 use xlink_video::Video;
 
-/// Aggregated results for one arm of one day.
+/// Opt-in raw sample retention (see [`AbConfig::exact_samples`]): the
+/// pre-streaming representation, kept for studies that need exact
+/// percentiles or full distributions rather than histogram-resolution
+/// ones. Off by default — population runs should stream.
 #[derive(Debug, Clone, Default)]
-pub struct ArmDay {
+pub struct ExactSamples {
     /// All chunk RCT samples (seconds).
     pub rct_s: Vec<f64>,
-    /// Per-session rebuffer time (s) and play time (s).
-    pub rebuffer_s: Vec<f64>,
-    /// Play-time samples.
-    pub play_s: Vec<f64>,
     /// First-frame latency samples (s).
     pub first_frame_s: Vec<f64>,
-    /// Redundancy ratios per session (server side).
-    pub redundancy: Vec<f64>,
-    /// Play-time-left (buffer) samples in seconds, collected at QoE
-    /// cadence (for the Fig. 10 buffer-level distributions).
-    pub buffer_level_s: Vec<f64>,
+    /// Per-session rebuffer time (s).
+    pub rebuffer_s: Vec<f64>,
+}
+
+/// Aggregated results for one arm of one day — constant-memory streaming
+/// accumulators ([`xlink_lab::stream`]); day aggregates merge exactly.
+#[derive(Debug, Clone, Default)]
+pub struct ArmDay {
+    /// Chunk RCT distribution (seconds).
+    pub rct: LogHistogram,
+    /// First-frame latency distribution (seconds).
+    pub first_frame: LogHistogram,
+    /// Per-session rebuffer time (seconds).
+    pub rebuffer: StreamStat,
+    /// Per-session play time (seconds).
+    pub play: StreamStat,
+    /// Per-session redundancy ratio (server side).
+    pub redundancy: StreamStat,
+    /// Raw samples, retained only when the study asked for exact mode.
+    pub exact: Option<ExactSamples>,
 }
 
 impl ArmDay {
     /// The paper's rebuffer rate: total stall over total play.
     pub fn rebuffer_rate(&self) -> f64 {
-        let play: f64 = self.play_s.iter().sum();
+        let play = self.play.sum();
         if play <= 0.0 {
             return 0.0;
         }
-        self.rebuffer_s.iter().sum::<f64>() / play
+        self.rebuffer.sum() / play
+    }
+
+    /// Exact integer merge with another aggregate (exact samples are
+    /// concatenated when both sides carry them).
+    pub fn merge(&mut self, other: &ArmDay) {
+        self.rct.merge(&other.rct);
+        self.first_frame.merge(&other.first_frame);
+        self.rebuffer.merge(&other.rebuffer);
+        self.play.merge(&other.play);
+        self.redundancy.merge(&other.redundancy);
+        if let (Some(mine), Some(theirs)) = (self.exact.as_mut(), other.exact.as_ref()) {
+            mine.rct_s.extend_from_slice(&theirs.rct_s);
+            mine.first_frame_s.extend_from_slice(&theirs.first_frame_s);
+            mine.rebuffer_s.extend_from_slice(&theirs.rebuffer_s);
+        }
+    }
+
+    /// Order-independent digest of the streamed state.
+    pub fn digest(&self) -> u64 {
+        let mut h = 0xcbf2_9ce4_8422_2325u64;
+        for w in [
+            self.rct.digest(),
+            self.first_frame.digest(),
+            self.rebuffer.digest(),
+            self.play.digest(),
+            self.redundancy.digest(),
+        ] {
+            h ^= w;
+            h = h.wrapping_mul(0x0000_0100_0000_01b3);
+        }
+        h
     }
 
     fn absorb(&mut self, r: &SessionResult, video: &Video) {
-        self.rct_s.extend(secs(&r.chunk_rct));
-        self.rebuffer_s.push(r.player.rebuffer_time.as_secs_f64());
-        self.play_s.push(r.player.play_time.as_secs_f64().max(0.01));
-        if let Some(ff) = r.first_frame_latency {
-            self.first_frame_s.push(ff.as_secs_f64());
+        for s in secs(&r.chunk_rct) {
+            self.rct.record(s);
         }
-        self.redundancy.push(r.server_transport.redundancy_ratio());
+        self.rebuffer.record(r.player.rebuffer_time.as_secs_f64());
+        self.play.record(r.player.play_time.as_secs_f64().max(0.01));
+        if let Some(ff) = r.first_frame_latency {
+            self.first_frame.record(ff.as_secs_f64());
+        }
+        self.redundancy.record(r.server_transport.redundancy_ratio());
+        if let Some(exact) = self.exact.as_mut() {
+            exact.rct_s.extend(secs(&r.chunk_rct));
+            if let Some(ff) = r.first_frame_latency {
+                exact.first_frame_s.push(ff.as_secs_f64());
+            }
+            exact.rebuffer_s.push(r.player.rebuffer_time.as_secs_f64());
+        }
         let _ = video;
     }
 }
@@ -65,10 +120,15 @@ pub struct DayOutcome {
 }
 
 impl DayOutcome {
-    /// RCT percentile for an arm.
+    /// RCT percentile for an arm. Reads the streaming histogram (within
+    /// one log-bin of exact); with [`AbConfig::exact_samples`] set, the
+    /// exact retained samples are used instead.
     pub fn rct_pct(&self, arm_b: bool, p: f64) -> f64 {
         let arm = if arm_b { &self.b } else { &self.a };
-        percentile(&arm.rct_s, p)
+        match &arm.exact {
+            Some(exact) => percentile(&exact.rct_s, p),
+            None => arm.rct.percentile(p),
+        }
     }
 
     /// Improvement of B over A at an RCT percentile (positive = B faster).
@@ -103,6 +163,10 @@ pub struct AbConfig {
     pub video: Video,
     /// Session deadline.
     pub deadline: Duration,
+    /// Retain raw per-session samples alongside the streaming
+    /// aggregates (exact percentiles at O(sessions) memory). Off by
+    /// default: population studies read the histograms.
+    pub exact_samples: bool,
 }
 
 impl AbConfig {
@@ -121,6 +185,7 @@ impl AbConfig {
             // react before the buffer drains.
             video: Video::synth(18, 25, 3_000_000, 10.0),
             deadline: Duration::from_secs(90),
+            exact_samples: false,
         }
     }
 }
@@ -131,6 +196,10 @@ pub fn run_ab(cfg: &AbConfig) -> Vec<DayOutcome> {
         .map(|day| {
             let mut a = ArmDay::default();
             let mut b = ArmDay::default();
+            if cfg.exact_samples {
+                a.exact = Some(ExactSamples::default());
+                b.exact = Some(ExactSamples::default());
+            }
             for user in 0..cfg.users_per_day {
                 let (wifi, lte) = draw_user_paths(day, user);
                 let seed = day * 10_000 + user;
@@ -171,10 +240,12 @@ mod tests {
         let out = run_ab(&tiny_ab(Scheme::Xlink));
         assert_eq!(out.len(), 1);
         let d = &out[0];
-        assert!(!d.a.rct_s.is_empty());
-        assert!(!d.b.rct_s.is_empty());
-        assert_eq!(d.a.rebuffer_s.len(), 3);
-        assert_eq!(d.b.rebuffer_s.len(), 3);
+        assert!(d.a.rct.count() > 0);
+        assert!(d.b.rct.count() > 0);
+        assert_eq!(d.a.rebuffer.count(), 3);
+        assert_eq!(d.b.rebuffer.count(), 3);
+        // Streaming mode retains no raw samples.
+        assert!(d.a.exact.is_none() && d.b.exact.is_none());
         // Improvement metrics are finite.
         assert!(d.rct_improvement(50.0).is_finite());
         assert!(d.rebuffer_improvement().is_finite());
@@ -184,7 +255,26 @@ mod tests {
     fn paired_runs_are_reproducible() {
         let a = run_ab(&tiny_ab(Scheme::Xlink));
         let b = run_ab(&tiny_ab(Scheme::Xlink));
-        assert_eq!(a[0].a.rct_s, b[0].a.rct_s);
-        assert_eq!(a[0].b.rct_s, b[0].b.rct_s);
+        assert_eq!(a[0].a.digest(), b[0].a.digest());
+        assert_eq!(a[0].b.digest(), b[0].b.digest());
+    }
+
+    #[test]
+    fn exact_mode_retains_samples_and_brackets_streamed_percentile() {
+        let mut cfg = tiny_ab(Scheme::Xlink);
+        cfg.exact_samples = true;
+        let out = run_ab(&cfg);
+        let d = &out[0];
+        let exact = d.a.exact.as_ref().expect("exact mode on");
+        assert_eq!(exact.rct_s.len() as u64, d.a.rct.count());
+        assert_eq!(exact.rebuffer_s.len(), 3);
+        // Streamed percentile is within one log-bin of the exact one.
+        let streamed = d.a.rct.percentile(50.0);
+        let precise = crate::stats::percentile(&exact.rct_s, 50.0);
+        let width = xlink_lab::stream::bin_width_factor();
+        assert!(
+            streamed <= precise * width && streamed >= precise / width,
+            "streamed {streamed} vs exact {precise}"
+        );
     }
 }

@@ -478,7 +478,7 @@ mod tests {
     fn deadline_caps_a_dead_network() {
         // Paths that never deliver.
         let dead = vec![Path::symmetric(LinkConfig {
-            trace_ms: vec![],
+            trace_ms: Vec::new().into(),
             delay: Duration::ZERO,
             queue_bytes: 1000,
             loss: 0.0,

@@ -77,8 +77,8 @@ pub fn print(r: &AbReport) {
         &["Day", "Improv (%)"],
         &rows,
     );
-    let redundancy: f64 = r.days.iter().flat_map(|d| d.b.redundancy.iter()).sum::<f64>()
-        / r.days.iter().map(|d| d.b.redundancy.len()).sum::<usize>().max(1) as f64;
+    let redundancy: f64 = r.days.iter().map(|d| d.b.redundancy.sum()).sum::<f64>()
+        / r.days.iter().map(|d| d.b.redundancy.count()).sum::<u64>().max(1) as f64;
     println!("\nMean {} redundancy (cost): {:.2}%", r.label_b, redundancy * 100.0);
 }
 

@@ -1,0 +1,30 @@
+//! `harness::fleet` — the population-scale A/B engine.
+//!
+//! One deterministic world hosting tens of thousands of concurrent video
+//! sessions: a shared time-ordered event queue interleaves independent
+//! client/server worlds ([`xlink_netsim::World::step_to`]), the
+//! population is sharded by a stable `(user, day)` hash, and per-arm
+//! results stream into constant-memory aggregates
+//! ([`xlink_lab::stream`]) whose shard partials merge exactly. The net
+//! guarantees, enforced by `tests/fleet.rs` and the invariants suite:
+//!
+//! * **Bit-identical** reports across repeated runs *and* across shard
+//!   counts (1, 4, 16, …).
+//! * **Peak memory independent of population size**: O(live sessions +
+//!   trace pool), with finished sessions reduced to histogram bins.
+//! * **Analytic confidence intervals** (normal/binomial) with no
+//!   bootstrap resampling and no retained samples.
+//!
+//! This is the simulation analogue of the paper's production deployment
+//! loop (§7): users are randomized into contrast arms at user
+//! granularity, each day's cohort arrives Poisson-style, and the
+//! population differential (Table 1 / Fig. 6) is read off the merged
+//! aggregates.
+
+mod agg;
+mod plan;
+mod world;
+
+pub use agg::{ArmAgg, ConcurrencyTrack, FleetReport, ShardCounters, Z95};
+pub use plan::{shard_of, stable_hash, FleetConfig, PlanIter, SessionPlan, TracePool};
+pub use world::{fleet_metrics, run_fleet};

@@ -1,0 +1,268 @@
+//! The fleet world: N servers × M clients in one deterministic
+//! discrete-event timeline.
+//!
+//! Sessions are independent simulated worlds (client + server + paths)
+//! interleaved on a shared clock by a time-ordered event heap: the fleet
+//! always services the session with the earliest pending wake time via
+//! [`World::step_to`]. The population is partitioned across worker
+//! shards by a stable `(user, day)` hash; each shard replays the same
+//! canonical arrival stream and keeps only its own sessions, folds every
+//! finished session into constant-memory aggregates, and the shard
+//! partials merge exactly — so fleet results are bit-identical for any
+//! shard count.
+//!
+//! Memory is O(live sessions + trace pool), never O(total sessions):
+//! session state is created at arrival and dropped at finalization, all
+//! link traces come from the bounded shared [`TracePool`], and finished
+//! sessions leave behind only histogram-bin increments.
+
+use std::cmp::Reverse;
+use std::collections::BinaryHeap;
+
+use super::agg::{ArmAgg, ConcurrencyTrack, FleetReport, ShardCounters};
+use super::plan::{shard_of, FleetConfig, PlanIter, SessionPlan, TracePool};
+use crate::video_session::{
+    client_endpoint_for_probe, server_endpoint_for_probe, SessionConfig, SessionResult,
+    VideoClientEndpoint, VideoServerEndpoint,
+};
+use xlink_clock::{Duration, Instant};
+use xlink_netsim::{StepOutcome, World};
+use xlink_obs::MetricsRegistry;
+
+/// Concurrency-track bin width: fine enough to resolve arrival windows,
+/// coarse enough that a multi-minute horizon stays a few KB.
+const CONCURRENCY_BIN: Duration = Duration::from_millis(100);
+
+/// One live session pinned to a heap slot.
+struct LiveSession {
+    plan: SessionPlan,
+    world: World<VideoClientEndpoint, VideoServerEndpoint>,
+    /// Global instant at which the session is force-finalized.
+    deadline: Instant,
+}
+
+impl LiveSession {
+    /// Map a global fleet instant to this session's local clock.
+    fn local(&self, global: Instant) -> Instant {
+        Instant::ZERO + global.saturating_duration_since(self.plan.arrival)
+    }
+}
+
+/// Everything one shard produces; merged exactly into the fleet report.
+struct ShardResult {
+    arm_a: ArmAgg,
+    arm_b: ArmAgg,
+    concurrency: ConcurrencyTrack,
+    counters: ShardCounters,
+}
+
+fn session_config(cfg: &FleetConfig, plan: &SessionPlan) -> SessionConfig {
+    let (scheme, tuning, ffa) = if plan.arm_b {
+        (cfg.scheme_b, cfg.tuning_b.clone(), cfg.first_frame_accel_b)
+    } else {
+        (cfg.scheme_a, cfg.tuning_a.clone(), true)
+    };
+    let mut s = SessionConfig::short_video(scheme, plan.seed);
+    s.video = cfg.video.clone();
+    s.tuning = tuning;
+    s.first_frame_accel = ffa;
+    s.deadline = cfg.deadline;
+    s.chunk_bytes = cfg.chunk_bytes;
+    s
+}
+
+/// Tear a finished world down into a [`SessionResult`] and fold it into
+/// the owning arm.
+fn finalize(
+    sess: LiveSession,
+    ended_global: Instant,
+    arm_a: &mut ArmAgg,
+    arm_b: &mut ArmAgg,
+    counters: &mut ShardCounters,
+) {
+    let mut world = sess.world;
+    let ended_local = Instant::ZERO + ended_global.saturating_duration_since(sess.plan.arrival);
+    let completed = world.client.video_finished();
+    let player = world.client.finish(ended_local);
+    counters.packets += world.total_packets_enqueued();
+    let r = SessionResult {
+        chunk_rct: world.client.sorted_chunk_rct(),
+        first_frame_latency: player
+            .first_frame_at
+            .map(|t| t.saturating_duration_since(Instant::ZERO)),
+        player,
+        client_transport: world.client.transport_stats(),
+        server_transport: world.server.transport_stats(),
+        server_bytes_per_path: world.server.bytes_per_path(),
+        ended_at: ended_local,
+        completed,
+    };
+    if sess.plan.arm_b {
+        arm_b.absorb(&r)
+    } else {
+        arm_a.absorb(&r)
+    }
+}
+
+/// Run one shard: replay the canonical plan stream, keep this shard's
+/// sessions, and drive them on the shared timeline.
+fn run_shard(cfg: &FleetConfig, pool: &TracePool, shard: u32) -> ShardResult {
+    let mut plans =
+        PlanIter::new(cfg).filter(|p| shard_of(p.user, p.day, cfg.shards) == shard).peekable();
+    // (global wake time, slot); each live session owns exactly one entry.
+    let mut heap: BinaryHeap<Reverse<(Instant, usize)>> = BinaryHeap::new();
+    let mut slots: Vec<Option<LiveSession>> = Vec::new();
+    let mut free: Vec<usize> = Vec::new();
+    let mut live = 0u64;
+
+    let mut arm_a = ArmAgg::default();
+    let mut arm_b = ArmAgg::default();
+    let mut concurrency = ConcurrencyTrack::new(cfg.horizon(), CONCURRENCY_BIN);
+    let mut counters = ShardCounters::default();
+
+    loop {
+        let next_arrival = plans.peek().map(|p| p.arrival);
+        let next_event = heap.peek().map(|Reverse((t, _))| *t);
+        let admit = match (next_arrival, next_event) {
+            (None, None) => break,
+            (Some(a), Some(e)) => a < e,
+            (Some(_), None) => true,
+            (None, Some(_)) => false,
+        };
+        if admit {
+            let plan = plans.next().expect("peeked");
+            let scfg = session_config(cfg, &plan);
+            let client = client_endpoint_for_probe(&scfg, Instant::ZERO);
+            let server = server_endpoint_for_probe(&scfg, Instant::ZERO);
+            let (wifi, lte) = pool.draw_user_paths(cfg.seed, plan.day, plan.user);
+            let world = World::new(client, server, vec![wifi.build(), lte.build()]);
+            let sess = LiveSession { plan, world, deadline: plan.arrival + cfg.deadline };
+            let slot = free.pop().unwrap_or_else(|| {
+                slots.push(None);
+                slots.len() - 1
+            });
+            slots[slot] = Some(sess);
+            heap.push(Reverse((plan.arrival, slot)));
+            live += 1;
+            counters.peak_live_sessions = counters.peak_live_sessions.max(live);
+            counters.peak_queue_depth = counters.peak_queue_depth.max(heap.len() as u64);
+            continue;
+        }
+        let Reverse((t, slot)) = heap.pop().expect("non-empty");
+        counters.events += 1;
+        let sess = slots[slot].as_mut().expect("live slot");
+        let at_deadline = t >= sess.deadline;
+        let outcome = sess.world.step_to(sess.local(t));
+        let done = at_deadline
+            || match outcome {
+                StepOutcome::Done | StepOutcome::Quiescent => true,
+                StepOutcome::NextAt(local_next) => {
+                    let global_next =
+                        sess.plan.arrival + local_next.saturating_duration_since(Instant::ZERO);
+                    // Clamp to the deadline: the final step runs there.
+                    heap.push(Reverse((global_next.min(sess.deadline), slot)));
+                    false
+                }
+            };
+        if done {
+            let sess = slots[slot].take().expect("live slot");
+            concurrency.record(sess.plan.arrival, t);
+            finalize(sess, t, &mut arm_a, &mut arm_b, &mut counters);
+            free.push(slot);
+            live -= 1;
+        }
+    }
+    ShardResult { arm_a, arm_b, concurrency, counters }
+}
+
+/// Run the whole fleet: every shard in turn, then an exact merge of the
+/// shard partials. The merged report is bit-identical for any
+/// `cfg.shards ≥ 1` (see `tests/fleet.rs` and the `invariants` suite).
+pub fn run_fleet(cfg: &FleetConfig) -> FleetReport {
+    let pool = TracePool::generate(cfg.seed, cfg.trace_pool, 30_000);
+    let mut arm_a = ArmAgg::default();
+    let mut arm_b = ArmAgg::default();
+    let mut concurrency = ConcurrencyTrack::new(cfg.horizon(), CONCURRENCY_BIN);
+    let mut counters = ShardCounters::default();
+    for shard in 0..cfg.shards.max(1) {
+        let r = run_shard(cfg, &pool, shard);
+        arm_a.merge(&r.arm_a);
+        arm_b.merge(&r.arm_b);
+        concurrency.merge(&r.concurrency);
+        counters.merge(&r.counters);
+    }
+    FleetReport {
+        arm_a,
+        arm_b,
+        peak_concurrent: concurrency.peak(),
+        counters,
+        shards: cfg.shards.max(1),
+        trace_pool_bytes: pool.approx_bytes(),
+    }
+}
+
+/// Fleet gauges for the observability registry: live-session peak, event
+/// queue depth, and the per-shard memory proxy (trace pool plus peak
+/// session footprint).
+pub fn fleet_metrics(report: &FleetReport) -> MetricsRegistry {
+    let mut m = MetricsRegistry::new();
+    let mut f = m.scope("fleet");
+    f.counter("sessions", report.arm_a.sessions + report.arm_b.sessions);
+    f.counter("peak_concurrent", report.peak_concurrent);
+    f.counter("events", report.counters.events);
+    f.counter("packets", report.counters.packets);
+    f.counter("shards", report.shards as u64);
+    f.gauge("peak_queue_depth", report.counters.peak_queue_depth as f64);
+    f.gauge("peak_live_sessions", report.counters.peak_live_sessions as f64);
+    f.gauge("trace_pool_bytes", report.trace_pool_bytes as f64);
+    drop(f);
+    m
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::transport::Scheme;
+    use xlink_video::Video;
+
+    fn tiny_fleet(shards: u32) -> FleetConfig {
+        let mut cfg = FleetConfig::new(Scheme::Sp { path: 0 }, Scheme::Xlink);
+        cfg.users_per_day = 24;
+        cfg.days = 1;
+        cfg.shards = shards;
+        cfg.video = Video::synth(2, 25, 300_000, 8.0);
+        cfg.deadline = Duration::from_secs(30);
+        cfg.arrival_window = Duration::from_secs(2);
+        cfg.trace_pool = 4;
+        cfg
+    }
+
+    #[test]
+    fn fleet_runs_all_sessions() {
+        let r = run_fleet(&tiny_fleet(2));
+        assert_eq!(r.arm_a.sessions + r.arm_b.sessions, 24);
+        assert!(r.arm_a.sessions > 0 && r.arm_b.sessions > 0);
+        assert!(r.peak_concurrent >= 2, "peak {}", r.peak_concurrent);
+        assert!(r.counters.events > 0 && r.counters.packets > 0);
+    }
+
+    #[test]
+    fn fleet_is_shard_invariant() {
+        let one = run_fleet(&tiny_fleet(1));
+        let three = run_fleet(&tiny_fleet(3));
+        assert_eq!(one.digest(), three.digest());
+        assert_eq!(
+            one.to_json().split("\"shards\"").next(),
+            three.to_json().split("\"shards\"").next()
+        );
+    }
+
+    #[test]
+    fn fleet_metrics_registry_has_gauges() {
+        let r = run_fleet(&tiny_fleet(1));
+        let m = fleet_metrics(&r);
+        let json = m.to_json();
+        assert!(json.contains("fleet.peak_concurrent"));
+        assert!(json.contains("fleet.trace_pool_bytes"));
+    }
+}

@@ -9,6 +9,7 @@ pub mod ab;
 pub mod adversary;
 pub mod bulk;
 pub mod chaos;
+pub mod fleet;
 pub mod scenario;
 pub mod stats;
 pub mod transport;
@@ -29,6 +30,7 @@ pub use chaos::{
     failover_timeline, handover_flaps, handover_paths, run_bulk_quic_chaos, run_bulk_quic_handover,
     ChaosPlan,
 };
+pub use fleet::{run_fleet, FleetConfig, FleetReport};
 pub use scenario::{draw_user_paths, PathSpec};
 pub use transport::{
     BoundedState, Conn, Scheme, TransportStats, TransportTuning, REINJECTION_COST_CAP,

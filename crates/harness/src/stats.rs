@@ -5,3 +5,4 @@
 pub use xlink_lab::stats::{
     improvement_pct, mean, median, percentile, print_table, secs, stddev, Summary,
 };
+pub use xlink_lab::stream::{bin_width_factor, LogHistogram, StreamStat};

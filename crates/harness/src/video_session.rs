@@ -89,8 +89,10 @@ pub struct VideoClientEndpoint {
     prefetch: usize,
     /// stream id → request state.
     inflight: HashMap<u64, ChunkReq>,
-    /// Completed chunk bodies by chunk index.
-    done: HashMap<u64, Vec<u8>>,
+    /// Completed chunk body *lengths* by chunk index. Only the length
+    /// feeds the player's contiguous prefix, so fleets of thousands of
+    /// concurrent sessions don't hold every finished body in memory.
+    done: HashMap<u64, u64>,
     player: Player,
     last_tick: Instant,
     tick: Duration,
@@ -182,7 +184,7 @@ impl VideoClientEndpoint {
                         .push((req.chunk_index, now.saturating_duration_since(req.requested_at)));
                 }
                 let req = self.inflight.remove(&id).expect("present");
-                self.done.insert(req.chunk_index, req.body);
+                self.done.insert(req.chunk_index, req.body.len() as u64);
             }
         }
         // Feed the player the contiguous video prefix.
@@ -195,8 +197,8 @@ impl VideoClientEndpoint {
     fn contiguous_prefix(&self) -> u64 {
         let mut prefix = 0u64;
         for (i, c) in self.chunks.iter().enumerate() {
-            if let Some(body) = self.done.get(&(i as u64)) {
-                prefix = c.start + body.len() as u64;
+            if let Some(&len) = self.done.get(&(i as u64)) {
+                prefix = c.start + len;
                 continue;
             }
             // Partial in-flight body still counts toward the prefix.
@@ -231,6 +233,19 @@ impl VideoClientEndpoint {
     /// Current player buffer occupancy in bytes (Fig. 6 probe).
     pub fn player_cached_bytes(&self) -> u64 {
         self.player.cached_bytes()
+    }
+
+    /// Whether the video played to the end (fleet completion check —
+    /// [`Endpoint::is_done`] also fires on transport close).
+    pub fn video_finished(&self) -> bool {
+        self.player.is_finished()
+    }
+
+    /// Sorted per-chunk request completion times (fleet finalization).
+    pub fn sorted_chunk_rct(&self) -> Vec<Duration> {
+        let mut rct = self.chunk_rct.clone();
+        rct.sort_by_key(|&(i, _)| i);
+        rct.into_iter().map(|(_, d)| d).collect()
     }
 }
 

@@ -71,6 +71,11 @@ pub struct BenchResult {
     pub sample_ns: Vec<f64>,
     pub summary: Summary,
     pub bytes_per_iter: Option<u64>,
+    /// Generic work-rate annotation: (unit name, units per iteration).
+    /// Adds `"<unit>_per_iter"` and `"<unit>_per_sec"` to the JSON line
+    /// (e.g. the fleet bench reports `sessions_per_sec` and
+    /// `sim_packets_per_sec`).
+    pub rate: Option<(String, u64)>,
 }
 
 impl BenchResult {
@@ -95,6 +100,11 @@ impl BenchResult {
         if let Some(bytes) = self.bytes_per_iter {
             let mbps = if s.median > 0.0 { bytes as f64 * 8000.0 / s.median } else { 0.0 };
             line.push_str(&format!(",\"bytes_per_iter\":{bytes},\"throughput_mbps\":{mbps:.3}"));
+        }
+        if let Some((unit, n)) = &self.rate {
+            let per_sec = if s.median > 0.0 { *n as f64 * 1e9 / s.median } else { 0.0 };
+            let unit = json_escape(unit);
+            line.push_str(&format!(",\"{unit}_per_iter\":{n},\"{unit}_per_sec\":{per_sec:.3}"));
         }
         line.push('}');
         line
@@ -142,7 +152,7 @@ impl Suite {
 
     /// Measure `f`, print its JSON line, and record the result.
     pub fn bench<T>(&mut self, name: &str, f: impl FnMut() -> T) -> &BenchResult {
-        self.bench_inner(name, None, f)
+        self.bench_inner(name, None, None, f)
     }
 
     /// As [`Suite::bench`], tagging each iteration as processing
@@ -153,16 +163,29 @@ impl Suite {
         bytes: u64,
         f: impl FnMut() -> T,
     ) -> &BenchResult {
-        self.bench_inner(name, Some(bytes), f)
+        self.bench_inner(name, Some(bytes), None, f)
+    }
+
+    /// As [`Suite::bench`], tagging each iteration as completing `count`
+    /// units of `unit` so the JSON line carries `<unit>_per_sec`.
+    pub fn bench_rate<T>(
+        &mut self,
+        name: &str,
+        unit: &str,
+        count: u64,
+        f: impl FnMut() -> T,
+    ) -> &BenchResult {
+        self.bench_inner(name, None, Some((unit.to_string(), count)), f)
     }
 
     fn bench_inner<T>(
         &mut self,
         name: &str,
         bytes_per_iter: Option<u64>,
+        rate: Option<(String, u64)>,
         mut f: impl FnMut() -> T,
     ) -> &BenchResult {
-        let result = run_bench(&self.cfg, name, bytes_per_iter, &mut f);
+        let result = run_bench(&self.cfg, name, bytes_per_iter, rate, &mut f);
         println!("{}", result.json_line());
         eprintln!("{}", result.human_line());
         self.results.push(result);
@@ -188,6 +211,7 @@ fn run_bench<T>(
     cfg: &BenchConfig,
     name: &str,
     bytes_per_iter: Option<u64>,
+    rate: Option<(String, u64)>,
     f: &mut impl FnMut() -> T,
 ) -> BenchResult {
     let iters = if cfg.smoke {
@@ -214,6 +238,7 @@ fn run_bench<T>(
         summary: Summary::of(&sample_ns),
         sample_ns,
         bytes_per_iter,
+        rate,
     }
 }
 
@@ -224,7 +249,7 @@ mod tests {
     fn smoke_result(name: &str, bytes: Option<u64>) -> BenchResult {
         let cfg = BenchConfig::smoke();
         let mut n = 0u64;
-        run_bench(&cfg, name, bytes, &mut || {
+        run_bench(&cfg, name, bytes, None, &mut || {
             n = n.wrapping_add(1);
             n
         })
@@ -234,7 +259,7 @@ mod tests {
     fn smoke_runs_exactly_one_iteration_per_sample() {
         let cfg = BenchConfig::smoke();
         let mut calls = 0u64;
-        let r = run_bench(&cfg, "count", None, &mut || calls += 1);
+        let r = run_bench(&cfg, "count", None, None, &mut || calls += 1);
         assert_eq!(r.iters_per_sample, 1);
         assert_eq!(r.sample_ns.len(), 1);
         assert_eq!(calls, 1);
@@ -266,6 +291,16 @@ mod tests {
     }
 
     #[test]
+    fn rate_fields_use_the_unit_name() {
+        let cfg = BenchConfig::smoke();
+        let r = run_bench(&cfg, "fleet", None, Some(("sessions".to_string(), 250)), &mut || 1);
+        let line = r.json_line();
+        assert!(line.contains("\"sessions_per_iter\":250"), "{line}");
+        assert!(line.contains("\"sessions_per_sec\":"), "{line}");
+        assert!(!line.contains("bytes_per_iter"));
+    }
+
+    #[test]
     fn throughput_omitted_without_bytes() {
         let line = smoke_result("plain", None).json_line();
         assert!(!line.contains("throughput_mbps"));
@@ -288,7 +323,7 @@ mod tests {
     #[test]
     fn calibration_caps_iterations() {
         let cfg = BenchConfig { samples: 2, smoke: false, ..BenchConfig::default() };
-        let r = run_bench(&cfg, "cap", None, &mut || std::hint::black_box(1 + 1));
+        let r = run_bench(&cfg, "cap", None, None, &mut || std::hint::black_box(1 + 1));
         assert!(r.iters_per_sample >= 1);
         assert!(r.iters_per_sample <= cfg.max_iters_per_sample);
         assert_eq!(r.sample_ns.len(), 2);

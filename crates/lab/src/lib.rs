@@ -13,10 +13,13 @@
 //!   one-line-JSON output per bench, `--smoke` mode for CI.
 //! * [`stats`] — percentiles/means/spreads shared by the experiment
 //!   harness and the bench harness.
+//! * [`stream`] — constant-memory streaming aggregation (log-scale
+//!   histograms, exactly-mergeable moments) for fleet-scale runs.
 
 pub mod bench;
 pub mod prop;
 pub mod rng;
 pub mod stats;
+pub mod stream;
 
 pub use rng::Rng;

@@ -44,8 +44,9 @@ pub struct Delivered {
 #[derive(Debug, Clone)]
 pub struct LinkConfig {
     /// Delivery-opportunity timestamps in ms (one MTU each); loops.
-    /// An empty trace means the link never delivers.
-    pub trace_ms: Vec<u64>,
+    /// An empty trace means the link never delivers. Shared (`Arc`) so
+    /// thousands of concurrent links can replay one trace allocation.
+    pub trace_ms: std::sync::Arc<[u64]>,
     /// One-way propagation delay.
     pub delay: Duration,
     /// DropTail queue limit in bytes.
@@ -431,7 +432,7 @@ impl Link {
         let first_loop = start_ms / period;
         let last_loop = end_ms / period;
         for l in first_loop..=last_loop {
-            for &t in &self.cfg.trace_ms {
+            for &t in self.cfg.trace_ms.iter() {
                 let abs = l * period + t;
                 if abs >= start_ms && abs < end_ms {
                     count += 1;
@@ -527,7 +528,7 @@ mod tests {
     #[test]
     fn trace_loops() {
         let mut l = Link::new(LinkConfig {
-            trace_ms: vec![0, 500],
+            trace_ms: vec![0, 500].into(),
             delay: Duration::ZERO,
             queue_bytes: 100_000,
             loss: 0.0,
@@ -545,7 +546,7 @@ mod tests {
     #[test]
     fn droptail_queue_overflows() {
         let mut l = Link::new(LinkConfig {
-            trace_ms: vec![0],
+            trace_ms: vec![0].into(),
             delay: Duration::ZERO,
             queue_bytes: 3000,
             loss: 0.0,
@@ -621,7 +622,7 @@ mod tests {
     #[test]
     fn empty_trace_never_delivers() {
         let mut l = Link::new(LinkConfig {
-            trace_ms: vec![],
+            trace_ms: Vec::new().into(),
             delay: Duration::ZERO,
             queue_bytes: 1000,
             loss: 0.0,

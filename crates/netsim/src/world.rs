@@ -177,6 +177,107 @@ impl<C: Endpoint, S: Endpoint> World<C, S> {
         self.now
     }
 
+    /// One scheduling round at the current instant: apply scripted path
+    /// events and flap steps due now, deliver arrived datagrams, fire
+    /// timers, run housekeeping ticks, and drain up to 64 transmissions.
+    /// Returns true if anything happened.
+    fn round(&mut self) -> bool {
+        // Apply scripted path events due now.
+        while self.next_event_idx < self.events.len()
+            && self.events[self.next_event_idx].at <= self.now
+        {
+            let e = self.events[self.next_event_idx];
+            self.next_event_idx += 1;
+            if let Some(p) = self.paths.get_mut(e.path) {
+                p.set_down(e.down);
+                self.trace_link_state(e.path, if e.down { LinkState::Down } else { LinkState::Up });
+            }
+        }
+        // Apply flap-schedule steps due now.
+        let mut flapped: Vec<(usize, LinkState)> = Vec::new();
+        for (path, sched, idx) in &mut self.flaps {
+            while let Some(step) = sched.steps().get(*idx).filter(|s| s.at <= self.now) {
+                if let Some(p) = self.paths.get_mut(*path) {
+                    p.set_state(step.state);
+                    flapped.push((*path, step.state));
+                }
+                *idx += 1;
+            }
+        }
+        for (path, state) in flapped {
+            self.trace_link_state(path, state);
+        }
+        // Deliver arrived datagrams.
+        let mut activity = false;
+        for (i, path) in self.paths.iter_mut().enumerate() {
+            for d in path.up.recv(self.now) {
+                self.server.on_datagram(self.now, i, &d.payload);
+                activity = true;
+            }
+            for d in path.down.recv(self.now) {
+                self.client.on_datagram(self.now, i, &d.payload);
+                activity = true;
+            }
+        }
+        // Timers.
+        if self.client.poll_timeout().is_some_and(|t| t <= self.now) {
+            self.client.on_timeout(self.now);
+            activity = true;
+        }
+        if self.server.poll_timeout().is_some_and(|t| t <= self.now) {
+            self.server.on_timeout(self.now);
+            activity = true;
+        }
+        // Housekeeping ticks.
+        self.client.on_tick(self.now);
+        self.server.on_tick(self.now);
+        // Transmissions (bounded per iteration to interleave fairly).
+        for _ in 0..64 {
+            let mut sent = false;
+            if let Some(tx) = self.client.poll_transmit(self.now) {
+                if let Some(p) = self.paths.get_mut(tx.path) {
+                    p.up.send(self.now, tx.payload);
+                }
+                sent = true;
+            }
+            if let Some(tx) = self.server.poll_transmit(self.now) {
+                if let Some(p) = self.paths.get_mut(tx.path) {
+                    p.down.send(self.now, tx.payload);
+                }
+                sent = true;
+            }
+            if !sent {
+                break;
+            }
+            activity = true;
+        }
+        activity
+    }
+
+    /// Earliest future event across links, endpoint timers, scripted
+    /// events, and flap schedules. `None` means fully quiescent.
+    fn next_wake(&self) -> Option<Instant> {
+        let mut next: Option<Instant> = None;
+        let mut consider = |t: Option<Instant>| {
+            if let Some(t) = t {
+                next = Some(next.map_or(t, |n: Instant| n.min(t)));
+            }
+        };
+        for p in &self.paths {
+            consider(p.up.next_event(self.now));
+            consider(p.down.next_event(self.now));
+        }
+        consider(self.client.poll_timeout());
+        consider(self.server.poll_timeout());
+        if self.next_event_idx < self.events.len() {
+            consider(Some(self.events[self.next_event_idx].at));
+        }
+        for (_, sched, idx) in &self.flaps {
+            consider(sched.steps().get(*idx).map(|s| s.at));
+        }
+        next
+    }
+
     /// Run until `deadline`, both endpoints report done, or quiescence.
     /// Returns the time the loop stopped.
     pub fn run_until(&mut self, deadline: Instant) -> Instant {
@@ -186,78 +287,7 @@ impl<C: Endpoint, S: Endpoint> World<C, S> {
             if iterations > self.max_iterations {
                 panic!("simulation exceeded {} iterations", self.max_iterations);
             }
-            // Apply scripted path events due now.
-            while self.next_event_idx < self.events.len()
-                && self.events[self.next_event_idx].at <= self.now
-            {
-                let e = self.events[self.next_event_idx];
-                self.next_event_idx += 1;
-                if let Some(p) = self.paths.get_mut(e.path) {
-                    p.set_down(e.down);
-                    self.trace_link_state(
-                        e.path,
-                        if e.down { LinkState::Down } else { LinkState::Up },
-                    );
-                }
-            }
-            // Apply flap-schedule steps due now.
-            let mut flapped: Vec<(usize, LinkState)> = Vec::new();
-            for (path, sched, idx) in &mut self.flaps {
-                while let Some(step) = sched.steps().get(*idx).filter(|s| s.at <= self.now) {
-                    if let Some(p) = self.paths.get_mut(*path) {
-                        p.set_state(step.state);
-                        flapped.push((*path, step.state));
-                    }
-                    *idx += 1;
-                }
-            }
-            for (path, state) in flapped {
-                self.trace_link_state(path, state);
-            }
-            // Deliver arrived datagrams.
-            let mut activity = false;
-            for (i, path) in self.paths.iter_mut().enumerate() {
-                for d in path.up.recv(self.now) {
-                    self.server.on_datagram(self.now, i, &d.payload);
-                    activity = true;
-                }
-                for d in path.down.recv(self.now) {
-                    self.client.on_datagram(self.now, i, &d.payload);
-                    activity = true;
-                }
-            }
-            // Timers.
-            if self.client.poll_timeout().is_some_and(|t| t <= self.now) {
-                self.client.on_timeout(self.now);
-                activity = true;
-            }
-            if self.server.poll_timeout().is_some_and(|t| t <= self.now) {
-                self.server.on_timeout(self.now);
-                activity = true;
-            }
-            // Housekeeping ticks.
-            self.client.on_tick(self.now);
-            self.server.on_tick(self.now);
-            // Transmissions (bounded per iteration to interleave fairly).
-            for _ in 0..64 {
-                let mut sent = false;
-                if let Some(tx) = self.client.poll_transmit(self.now) {
-                    if let Some(p) = self.paths.get_mut(tx.path) {
-                        p.up.send(self.now, tx.payload);
-                    }
-                    sent = true;
-                }
-                if let Some(tx) = self.server.poll_transmit(self.now) {
-                    if let Some(p) = self.paths.get_mut(tx.path) {
-                        p.down.send(self.now, tx.payload);
-                    }
-                    sent = true;
-                }
-                if !sent {
-                    break;
-                }
-                activity = true;
-            }
+            let activity = self.round();
             if self.client.is_done() && self.server.is_done() {
                 return self.now;
             }
@@ -268,25 +298,7 @@ impl<C: Endpoint, S: Endpoint> World<C, S> {
                 continue; // re-run at the same instant until quiescent
             }
             // Jump to the next interesting time.
-            let mut next: Option<Instant> = None;
-            let mut consider = |t: Option<Instant>| {
-                if let Some(t) = t {
-                    next = Some(next.map_or(t, |n: Instant| n.min(t)));
-                }
-            };
-            for p in &self.paths {
-                consider(p.up.next_event(self.now));
-                consider(p.down.next_event(self.now));
-            }
-            consider(self.client.poll_timeout());
-            consider(self.server.poll_timeout());
-            if self.next_event_idx < self.events.len() {
-                consider(Some(self.events[self.next_event_idx].at));
-            }
-            for (_, sched, idx) in &self.flaps {
-                consider(sched.steps().get(*idx).map(|s| s.at));
-            }
-            match next {
+            match self.next_wake() {
                 Some(t) if t > self.now => {
                     self.now = t.min(deadline);
                 }
@@ -298,6 +310,70 @@ impl<C: Endpoint, S: Endpoint> World<C, S> {
                 None => return self.now, // fully quiescent
             }
         }
+    }
+}
+
+/// Outcome of one externally-scheduled [`World::step_to`] call.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum StepOutcome {
+    /// Both endpoints report done; the world needs no more steps.
+    Done,
+    /// Nothing is queued anywhere; the world is quiescent.
+    Quiescent,
+    /// The world next needs service at this instant.
+    NextAt(Instant),
+}
+
+impl<C: Endpoint, S: Endpoint> World<C, S> {
+    /// Multi-world scheduling hook: advance virtual time to `now`
+    /// (saturating at the current clock — time never runs backwards) and
+    /// run rounds until this world is quiescent at that instant. An
+    /// external scheduler (e.g. the fleet engine's shared event queue)
+    /// interleaves many worlds on one timeline by always servicing the
+    /// world with the earliest [`StepOutcome::NextAt`].
+    ///
+    /// Uses the same round/next-wake machinery as [`run_until`], so a
+    /// world stepped through `step_to` at its own wake times behaves
+    /// bit-identically to one driven by `run_until`.
+    ///
+    /// [`run_until`]: World::run_until
+    pub fn step_to(&mut self, now: Instant) -> StepOutcome {
+        if now > self.now {
+            self.now = now;
+        }
+        let mut iterations = 0u64;
+        loop {
+            iterations += 1;
+            if iterations > self.max_iterations {
+                panic!("step_to exceeded {} rounds at one instant", self.max_iterations);
+            }
+            let activity = self.round();
+            if self.client.is_done() && self.server.is_done() {
+                return StepOutcome::Done;
+            }
+            if !activity {
+                break;
+            }
+        }
+        match self.next_wake() {
+            Some(t) if t > self.now => StepOutcome::NextAt(t),
+            // An event at or before now that produced no activity: ask to
+            // be rescheduled one microsecond later (run_until's nudge).
+            Some(_) => StepOutcome::NextAt(self.now + Duration::from_micros(1)),
+            None => StepOutcome::Quiescent,
+        }
+    }
+
+    /// Total packets offered to the wire across every path and both
+    /// directions (the fleet bench's simulated-packet counter).
+    pub fn total_packets_enqueued(&self) -> u64 {
+        self.paths
+            .iter()
+            .map(|p| {
+                let (up, down) = p.stats();
+                up.enqueued + down.enqueued
+            })
+            .sum()
     }
 }
 
@@ -409,6 +485,34 @@ mod tests {
         assert!(w.server.received[0].0 >= Instant::from_millis(200));
         let (up, _) = w.paths[0].stats();
         assert!(up.is_conserved());
+    }
+
+    #[test]
+    fn step_to_matches_run_until() {
+        // Drive one world with run_until and a twin via the external
+        // scheduling hook; both must see identical arrivals.
+        let mut a = World::new(blaster(10, 0, 0), blaster(0, 0, 10), vec![fast_path(5)]);
+        a.run_until(Instant::from_secs(10));
+        let mut b = World::new(blaster(10, 0, 0), blaster(0, 0, 10), vec![fast_path(5)]);
+        let mut t = Instant::ZERO;
+        loop {
+            match b.step_to(t) {
+                StepOutcome::Done | StepOutcome::Quiescent => break,
+                StepOutcome::NextAt(next) => t = next,
+            }
+        }
+        assert_eq!(a.server.received, b.server.received);
+        assert_eq!(a.total_packets_enqueued(), b.total_packets_enqueued());
+        assert_eq!(b.server.received.len(), 10);
+    }
+
+    #[test]
+    fn step_to_reports_done_and_quiescent() {
+        let mut w = World::new(blaster(0, 0, 1), blaster(0, 0, 1), vec![fast_path(1)]);
+        // Endpoints never receive anything: world is idle but not done.
+        assert_eq!(w.step_to(Instant::ZERO), StepOutcome::Quiescent);
+        let mut w = World::new(blaster(0, 0, 0), blaster(0, 0, 0), vec![fast_path(1)]);
+        assert_eq!(w.step_to(Instant::ZERO), StepOutcome::Done);
     }
 
     #[test]

@@ -8,7 +8,7 @@ use crate::Trace;
 /// Serialize a trace to the Mahimahi text format.
 pub fn to_mahimahi(trace: &Trace) -> String {
     let mut out = String::with_capacity(trace.opportunities_ms.len() * 6);
-    for t in &trace.opportunities_ms {
+    for t in trace.opportunities_ms.iter() {
         out.push_str(&t.to_string());
         out.push('\n');
     }
@@ -46,7 +46,7 @@ mod tests {
     fn parse_tolerates_comments_and_blanks() {
         let text = "# header\n\n3\n1\n\n2\n";
         let t = parse_mahimahi("c", text).unwrap();
-        assert_eq!(t.opportunities_ms, vec![1, 2, 3]);
+        assert_eq!(&t.opportunities_ms[..], &[1, 2, 3]);
     }
 
     #[test]

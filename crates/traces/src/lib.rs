@@ -27,10 +27,15 @@ pub use io::{parse_mahimahi, to_mahimahi};
 
 /// A delivery-opportunity trace (sorted ms timestamps; loops forever when
 /// replayed).
+///
+/// The timestamps live behind an `Arc` so cloning a trace — and wiring it
+/// into any number of simulated links — shares one allocation. The fleet
+/// engine leans on this: 10k+ concurrent sessions draw their paths from a
+/// bounded trace pool, so link memory is O(pool), not O(sessions).
 #[derive(Debug, Clone, PartialEq, Eq)]
 pub struct Trace {
     /// Sorted millisecond timestamps; each grants one 1500-byte quantum.
-    pub opportunities_ms: Vec<u64>,
+    pub opportunities_ms: std::sync::Arc<[u64]>,
     /// Human-readable label ("walking-wifi", "hsr-cellular-3", …).
     pub label: String,
 }
@@ -39,7 +44,7 @@ impl Trace {
     /// Build from raw timestamps (sorted on construction).
     pub fn new(label: &str, mut opportunities_ms: Vec<u64>) -> Self {
         opportunities_ms.sort_unstable();
-        Trace { opportunities_ms, label: label.to_string() }
+        Trace { opportunities_ms: opportunities_ms.into(), label: label.to_string() }
     }
 
     /// Duration covered by the trace in ms (period when looped).
@@ -85,7 +90,7 @@ mod tests {
     #[test]
     fn construction_sorts() {
         let t = Trace::new("x", vec![5, 1, 3]);
-        assert_eq!(t.opportunities_ms, vec![1, 3, 5]);
+        assert_eq!(&t.opportunities_ms[..], &[1, 3, 5]);
         assert_eq!(t.duration_ms(), 6);
     }
 

@@ -397,3 +397,111 @@ fn ackranges_replay_is_idempotent() {
         Ok(())
     });
 }
+
+/// Streaming percentiles agree with exact order statistics to within
+/// one log-histogram bin (multiplicative error ≤ the bin width factor)
+/// for any in-range sample set and any percentile.
+#[test]
+fn streaming_percentile_within_bin_error_of_exact() {
+    use xlink::lab::stats::percentile;
+    use xlink::lab::stream::{bin_width_factor, LogHistogram};
+    check(
+        "streaming_percentile_within_bin_error_of_exact",
+        (vec_of(1u64..10_000_000, 1..400), 0.0f64..100.0),
+        |(raw, p)| {
+            // Map to f64 samples spanning ~0.001..10_000 s (inside the
+            // histogram's resolved range).
+            let xs: Vec<f64> = raw.iter().map(|&v| v as f64 / 1000.0).collect();
+            let mut h = LogHistogram::new();
+            for &x in &xs {
+                h.record(x);
+            }
+            let exact = percentile(&xs, *p);
+            let streamed = h.percentile(*p);
+            let w = bin_width_factor();
+            prop_assert!(
+                streamed <= exact * w + 1e-12 && streamed >= exact / w - 1e-12,
+                "p{p:.1}: streamed {streamed} vs exact {exact} (bin width {w})"
+            );
+            Ok(())
+        },
+    );
+}
+
+/// Streaming aggregates merge exactly: any partition of a sample set
+/// into shards, merged in any order, is bit-identical (same digest) to
+/// the single-pass aggregate — the mechanism behind the fleet engine's
+/// shard-count invariance.
+#[test]
+fn streaming_merge_is_partition_invariant() {
+    use xlink::lab::stream::{LogHistogram, StreamStat};
+    check(
+        "streaming_merge_is_partition_invariant",
+        (vec_of(0u64..100_000_000, 1..300), 1u64..7),
+        |(raw, nshards)| {
+            let xs: Vec<f64> = raw.iter().map(|&v| v as f64 / 10_000.0).collect();
+            let mut whole_h = LogHistogram::new();
+            let mut whole_s = StreamStat::new();
+            for &x in &xs {
+                whole_h.record(x);
+                whole_s.record(x);
+            }
+            let n = *nshards as usize;
+            let mut hs = vec![LogHistogram::new(); n];
+            let mut ss = vec![StreamStat::new(); n];
+            for (i, &x) in xs.iter().enumerate() {
+                // Shard by a hash-like stride so shards interleave.
+                let shard = (i * 7 + 3) % n;
+                hs[shard].record(x);
+                ss[shard].record(x);
+            }
+            // Merge in reverse order to stress commutativity.
+            let mut merged_h = LogHistogram::new();
+            let mut merged_s = StreamStat::new();
+            for i in (0..n).rev() {
+                merged_h.merge(&hs[i]);
+                merged_s.merge(&ss[i]);
+            }
+            prop_assert_eq!(whole_h.digest(), merged_h.digest());
+            prop_assert_eq!(whole_s.digest(), merged_s.digest());
+            prop_assert_eq!(whole_s.sum(), merged_s.sum());
+            prop_assert_eq!(whole_s.variance(), merged_s.variance());
+            Ok(())
+        },
+    );
+}
+
+/// Fleet shard invariance as a randomized property: the same small
+/// population, partitioned across 1, 4, and 16 shards, yields
+/// bit-identical reports for any fleet seed.
+#[test]
+fn fleet_report_is_shard_count_invariant() {
+    use xlink::clock::Duration;
+    use xlink::harness::fleet::{run_fleet, FleetConfig};
+    use xlink::harness::Scheme;
+    use xlink::video::Video;
+    let mut cfg_env = Config::from_env("fleet_report_is_shard_count_invariant");
+    cfg_env.cases = cfg_env.cases.min(3); // each case is three fleet runs
+    check_with(&cfg_env, "fleet_report_is_shard_count_invariant", &(0u64..10_000), |&seed| {
+        let mut cfg = FleetConfig::new(Scheme::Sp { path: 0 }, Scheme::Xlink);
+        cfg.users_per_day = 10;
+        cfg.seed = seed;
+        cfg.video = Video::synth(2, 25, 300_000, 8.0);
+        cfg.deadline = Duration::from_secs(30);
+        cfg.arrival_window = Duration::from_secs(2);
+        cfg.trace_pool = 4;
+        let mut digests = Vec::new();
+        let mut jsons = Vec::new();
+        for shards in [1u32, 4, 16] {
+            cfg.shards = shards;
+            let r = run_fleet(&cfg);
+            digests.push(r.digest());
+            jsons.push(r.to_json().split("\"shards\"").next().unwrap().to_string());
+        }
+        prop_assert_eq!(digests[0], digests[1]);
+        prop_assert_eq!(digests[0], digests[2]);
+        prop_assert_eq!(&jsons[0], &jsons[1]);
+        prop_assert_eq!(&jsons[0], &jsons[2]);
+        Ok(())
+    });
+}
