@@ -34,10 +34,24 @@ XLINK_SWEEP_SEEDS=8 cargo test -q --offline --test adversary
 echo "==> fleet engine: 10k concurrent sessions, bit-identical across shard counts (release)"
 XLINK_FLEET_SESSIONS=10000 cargo test -q --offline --release --test fleet
 
-echo "==> benches (smoke mode: 1 iteration/sample), emitting BENCH_*.json"
+echo "==> benches (smoke mode: 5 samples x 1 iteration), emitting BENCH_*.json"
+# Keep the committed ledgers as .prev so perfgate can diff against them.
+for f in BENCH_micro.json BENCH_end_to_end.json BENCH_obs_overhead.json BENCH_fleet.json \
+    BENCH_prof.json; do
+    [ -f "$f" ] && cp "$f" "$f.prev"
+done
 cargo bench -p xlink-bench --offline --bench micro -- --smoke > BENCH_micro.json
 cargo bench -p xlink-bench --offline --bench end_to_end -- --smoke > BENCH_end_to_end.json
 cargo bench -p xlink-bench --offline --bench obs_overhead -- --smoke > BENCH_obs_overhead.json
 cargo bench -p xlink-bench --offline --bench fleet -- --smoke > BENCH_fleet.json
+
+echo "==> hot-path profile at 10k sessions, emitting BENCH_prof.json + fleet gate rates"
+XLINK_FLEET_SESSIONS=10000 cargo run -q --release --offline --example prof_dump -- \
+    --json --gate-out BENCH_fleet.json > BENCH_prof.json
+
+echo "==> perfgate: perf ledger vs previous run (warn-only, +/-30%)"
+cargo run -q --release --offline -p xlink-bench --bin perfgate -- --tolerance 0.30 \
+    BENCH_micro.json BENCH_end_to_end.json BENCH_obs_overhead.json BENCH_fleet.json \
+    BENCH_prof.json
 
 echo "==> ci.sh: all green"

@@ -9,7 +9,7 @@
 
 use xlink_clock::Instant;
 use xlink_lab::bench::{black_box, Suite};
-use xlink_obs::{Event, MetricsRegistry, TraceLog, Tracer};
+use xlink_obs::{prof, Event, MetricsRegistry, TraceLog, Tracer};
 
 fn ev(pn: u64) -> Event {
     Event::PacketSent { path: 0, pn, bytes: 1200, ack_eliciting: true }
@@ -55,9 +55,32 @@ fn bench_export(s: &mut Suite) {
     s.bench("obs/metrics_to_json_128", || black_box(m.to_json()).len());
 }
 
+fn bench_prof(s: &mut Suite) {
+    // The Off case is what every production hot path pays: one relaxed
+    // atomic load of the mode plus a dead guard.
+    prof::set_mode(prof::Mode::Off);
+    s.bench("obs/prof_span_off", || {
+        let _g = prof::span!("bench/prof_off");
+        black_box(0u64)
+    });
+    prof::set_mode(prof::Mode::Noop);
+    s.bench("obs/prof_span_noop", || {
+        let _g = prof::span!("bench/prof_noop");
+        black_box(0u64)
+    });
+    prof::set_mode(prof::Mode::Record);
+    s.bench("obs/prof_span_record", || {
+        let _g = prof::span!("bench/prof_record");
+        black_box(0u64)
+    });
+    prof::set_mode(prof::Mode::Off);
+    let _ = prof::take_report();
+}
+
 fn main() {
     let mut s = Suite::from_args();
     bench_emit(&mut s);
     bench_export(&mut s);
+    bench_prof(&mut s);
     s.finish();
 }

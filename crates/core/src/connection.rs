@@ -23,7 +23,7 @@ use crate::sched::{
 };
 use crate::wireless::{PrimaryPathPolicy, WirelessTech};
 use xlink_clock::{Duration, Instant};
-use xlink_obs::{Event, Tracer};
+use xlink_obs::{prof, Event, Tracer};
 use xlink_quic::ackranges::AckRanges;
 use xlink_quic::cc::{CcAlgorithm, CongestionController, MAX_DATAGRAM_SIZE};
 use xlink_quic::cid::{CidManager, ConnectionId};
@@ -1742,6 +1742,7 @@ impl MpConnection {
         if self.cfg.scheduler == SchedulerKind::Redundant {
             return self.poll_data_redundant(now);
         }
+        let sched_prof = prof::span!("core/sched_decide");
         let candidates: Vec<(usize, Duration, bool)> = self
             .paths
             .iter()
@@ -1757,6 +1758,7 @@ impl MpConnection {
             // poll_data_redundant() at the top of this function.
             SchedulerKind::Redundant => unreachable!(),
         }?;
+        drop(sched_prof);
         let policy = match self.cfg.scheduler {
             SchedulerKind::MinRtt => "minrtt",
             SchedulerKind::RoundRobin => "roundrobin",
@@ -1773,6 +1775,7 @@ impl MpConnection {
         // QoE gate is overridden for every re-injecting scheme. Schemes
         // with re-injection disabled outright (vanilla-MP) keep their
         // semantics and recover via the probation requeue instead.
+        let gate_prof = prof::span!("core/qoe_gate");
         let failover = self.liveness_active()
             && self.paths.iter().any(|p| p.state == PathState::Suspect)
             && !matches!(self.cfg.qoe_control, QoeControl::AlwaysOff);
@@ -1781,6 +1784,7 @@ impl MpConnection {
             self.gate_seen = Some(reinjection_on);
             self.tr_core.emit(now, Event::ReinjectionGate { enabled: reinjection_on });
         }
+        drop(gate_prof);
         if reinjection_on && (failover || self.reinject_preempts_new_data(path)) {
             if let Some(tx) = self.try_reinject(now, path) {
                 return Some(tx);
@@ -1976,6 +1980,7 @@ impl MpConnection {
     /// Re-inject unacked data from other paths onto `path`, ordered by the
     /// configured mode (paper Fig. 4).
     fn try_reinject(&mut self, now: Instant, path: usize) -> Option<(usize, Vec<u8>)> {
+        let _prof = prof::span!("core/reinject");
         let mut cands = self.reinject_candidates(path);
         if cands.is_empty() {
             return None;

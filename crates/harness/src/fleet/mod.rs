@@ -27,4 +27,4 @@ mod world;
 
 pub use agg::{ArmAgg, ConcurrencyTrack, FleetReport, ShardCounters, Z95};
 pub use plan::{shard_of, stable_hash, FleetConfig, PlanIter, SessionPlan, TracePool};
-pub use world::{fleet_metrics, run_fleet};
+pub use world::{fleet_metrics, run_fleet, run_fleet_profiled};

@@ -27,6 +27,7 @@ use crate::video_session::{
 };
 use xlink_clock::{Duration, Instant};
 use xlink_netsim::{StepOutcome, World};
+use xlink_obs::prof::{self, ProfReport};
 use xlink_obs::MetricsRegistry;
 
 /// Concurrency-track bin width: fine enough to resolve arrival windows,
@@ -130,6 +131,7 @@ fn run_shard(cfg: &FleetConfig, pool: &TracePool, shard: u32) -> ShardResult {
             (None, Some(_)) => false,
         };
         if admit {
+            let _prof = prof::span!("fleet/admit");
             let plan = plans.next().expect("peeked");
             let scfg = session_config(cfg, &plan);
             let client = client_endpoint_for_probe(&scfg, Instant::ZERO);
@@ -148,11 +150,16 @@ fn run_shard(cfg: &FleetConfig, pool: &TracePool, shard: u32) -> ShardResult {
             counters.peak_queue_depth = counters.peak_queue_depth.max(heap.len() as u64);
             continue;
         }
-        let Reverse((t, slot)) = heap.pop().expect("non-empty");
+        let Reverse((t, slot)) = {
+            let _prof = prof::span!("fleet/heap_pop");
+            heap.pop().expect("non-empty")
+        };
         counters.events += 1;
         let sess = slots[slot].as_mut().expect("live slot");
         let at_deadline = t >= sess.deadline;
+        let step_prof = prof::span!("fleet/session_step");
         let outcome = sess.world.step_to(sess.local(t));
+        drop(step_prof);
         let done = at_deadline
             || match outcome {
                 StepOutcome::Done | StepOutcome::Quiescent => true,
@@ -165,6 +172,7 @@ fn run_shard(cfg: &FleetConfig, pool: &TracePool, shard: u32) -> ShardResult {
                 }
             };
         if done {
+            let _prof = prof::span!("fleet/finalize");
             let sess = slots[slot].take().expect("live slot");
             concurrency.record(sess.plan.arrival, t);
             finalize(sess, t, &mut arm_a, &mut arm_b, &mut counters);
@@ -179,6 +187,26 @@ fn run_shard(cfg: &FleetConfig, pool: &TracePool, shard: u32) -> ShardResult {
 /// shard partials. The merged report is bit-identical for any
 /// `cfg.shards ≥ 1` (see `tests/fleet.rs` and the `invariants` suite).
 pub fn run_fleet(cfg: &FleetConfig) -> FleetReport {
+    run_fleet_inner(cfg, None)
+}
+
+/// [`run_fleet`] with hot-path profiling: runs the fleet in
+/// [`prof::Mode::Record`], draining this thread's span tree after each
+/// shard and folding the per-shard profiles with the same exact integer
+/// merge as the fleet aggregates. The simulation outcome is bit-identical
+/// to an unprofiled run (the off/noop/record gate in `tests/fleet.rs`);
+/// the previous profiling mode is restored on return.
+pub fn run_fleet_profiled(cfg: &FleetConfig) -> (FleetReport, ProfReport) {
+    let prev = prof::mode();
+    prof::set_mode(prof::Mode::Record);
+    let _stale = prof::take_report(); // drop spans recorded before the run
+    let mut profile = ProfReport::default();
+    let report = run_fleet_inner(cfg, Some(&mut profile));
+    prof::set_mode(prev);
+    (report, profile)
+}
+
+fn run_fleet_inner(cfg: &FleetConfig, mut profile: Option<&mut ProfReport>) -> FleetReport {
     let pool = TracePool::generate(cfg.seed, cfg.trace_pool, 30_000);
     let mut arm_a = ArmAgg::default();
     let mut arm_b = ArmAgg::default();
@@ -186,10 +214,20 @@ pub fn run_fleet(cfg: &FleetConfig) -> FleetReport {
     let mut counters = ShardCounters::default();
     for shard in 0..cfg.shards.max(1) {
         let r = run_shard(cfg, &pool, shard);
+        if let Some(p) = profile.as_deref_mut() {
+            // Per-shard drain: the final profile is a merge of shard
+            // partials, exercising the same partition-invariance
+            // discipline as the aggregates below.
+            p.merge(&prof::take_report());
+        }
+        let _prof = prof::span!("fleet/merge");
         arm_a.merge(&r.arm_a);
         arm_b.merge(&r.arm_b);
         concurrency.merge(&r.concurrency);
         counters.merge(&r.counters);
+    }
+    if let Some(p) = profile.as_deref_mut() {
+        p.merge(&prof::take_report()); // merge-phase spans
     }
     FleetReport {
         arm_a,

@@ -30,7 +30,7 @@ pub use chaos::{
     failover_timeline, handover_flaps, handover_paths, run_bulk_quic_chaos, run_bulk_quic_handover,
     ChaosPlan,
 };
-pub use fleet::{run_fleet, FleetConfig, FleetReport};
+pub use fleet::{run_fleet, run_fleet_profiled, FleetConfig, FleetReport};
 pub use scenario::{draw_user_paths, PathSpec};
 pub use transport::{
     BoundedState, Conn, Scheme, TransportStats, TransportTuning, REINJECTION_COST_CAP,

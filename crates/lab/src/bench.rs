@@ -13,12 +13,19 @@
 //! tight codec loops.
 //!
 //! Smoke mode (`--smoke` argv flag or `XLINK_BENCH_SMOKE=1`) runs one
-//! warmup-free iteration per bench — CI uses it to prove every bench
-//! body still executes without paying measurement time.
+//! warmup-free iteration per sample over [`SMOKE_SAMPLES`] samples —
+//! enough for non-degenerate stddev/p95 in the committed ledger while
+//! still proving every bench body executes cheaply. `XLINK_BENCH_SAMPLES`
+//! overrides the sample count in either mode.
 
 use crate::stats::Summary;
 pub use std::hint::black_box;
 use std::time::Instant;
+
+/// Samples collected per bench in smoke mode. More than one so the
+/// ledger's stddev/p95 columns carry real spread (a single sample made
+/// them structurally zero); small enough that CI smoke stays cheap.
+pub const SMOKE_SAMPLES: usize = 5;
 
 /// Measurement parameters.
 #[derive(Debug, Clone)]
@@ -47,19 +54,21 @@ impl Default for BenchConfig {
 
 impl BenchConfig {
     pub fn smoke() -> Self {
-        BenchConfig { samples: 1, smoke: true, ..BenchConfig::default() }
+        BenchConfig { samples: SMOKE_SAMPLES, smoke: true, ..BenchConfig::default() }
     }
 
-    /// Parse argv (`--smoke`, cargo's `--bench` flag is ignored) and
-    /// the `XLINK_BENCH_SMOKE` environment variable.
+    /// Parse argv (`--smoke`, cargo's `--bench` flag is ignored) and the
+    /// `XLINK_BENCH_SMOKE` / `XLINK_BENCH_SAMPLES` environment variables.
     pub fn from_args() -> Self {
         let smoke = std::env::args().any(|a| a == "--smoke")
             || std::env::var("XLINK_BENCH_SMOKE").map_or(false, |v| v == "1");
-        if smoke {
-            BenchConfig::smoke()
-        } else {
-            BenchConfig::default()
+        let mut cfg = if smoke { BenchConfig::smoke() } else { BenchConfig::default() };
+        if let Some(n) =
+            std::env::var("XLINK_BENCH_SAMPLES").ok().and_then(|v| v.parse::<usize>().ok())
+        {
+            cfg.samples = n.max(1);
         }
+        cfg
     }
 }
 
@@ -261,8 +270,8 @@ mod tests {
         let mut calls = 0u64;
         let r = run_bench(&cfg, "count", None, None, &mut || calls += 1);
         assert_eq!(r.iters_per_sample, 1);
-        assert_eq!(r.sample_ns.len(), 1);
-        assert_eq!(calls, 1);
+        assert_eq!(r.sample_ns.len(), SMOKE_SAMPLES);
+        assert_eq!(calls, SMOKE_SAMPLES as u64, "no warmup/calibration call in smoke mode");
     }
 
     #[test]
@@ -275,7 +284,7 @@ mod tests {
         for key in [
             "\"schema\":\"xlink-bench-v1\"",
             "\"name\":\"group/case\"",
-            "\"samples\":1",
+            "\"samples\":5",
             "\"iters_per_sample\":1",
             "\"mean_ns\":",
             "\"median_ns\":",

@@ -14,7 +14,7 @@ use crate::impair::{Impairments, LinkState, Pipeline};
 use crate::rng::Rng;
 use std::collections::VecDeque;
 use xlink_clock::{Duration, Instant};
-use xlink_obs::{Event, Tracer};
+use xlink_obs::{prof, Event, Tracer};
 
 /// Bytes one delivery opportunity can carry (Mahimahi's MTU).
 pub const OPPORTUNITY_BYTES: usize = 1500;
@@ -274,7 +274,10 @@ impl Link {
             self.tracer.emit(now, Event::LinkDrop { reason: "dead", bytes: payload.len() as u32 });
             return;
         }
-        let ing = self.pipeline.on_ingress(&mut payload);
+        let ing = {
+            let _prof = prof::span!("netsim/impair");
+            self.pipeline.on_ingress(&mut payload)
+        };
         if ing.drop {
             self.drop_packet(payload.len());
             self.tracer

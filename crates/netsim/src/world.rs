@@ -8,7 +8,7 @@
 use crate::impair::{FlapSchedule, LinkState};
 use crate::link::{Link, LinkConfig, Stats};
 use xlink_clock::{Duration, Instant};
-use xlink_obs::{Event, TraceLog, Tracer};
+use xlink_obs::{prof, Event, TraceLog, Tracer};
 
 /// A datagram an endpoint wants to transmit.
 #[derive(Debug, Clone)]
@@ -209,14 +209,17 @@ impl<C: Endpoint, S: Endpoint> World<C, S> {
         }
         // Deliver arrived datagrams.
         let mut activity = false;
-        for (i, path) in self.paths.iter_mut().enumerate() {
-            for d in path.up.recv(self.now) {
-                self.server.on_datagram(self.now, i, &d.payload);
-                activity = true;
-            }
-            for d in path.down.recv(self.now) {
-                self.client.on_datagram(self.now, i, &d.payload);
-                activity = true;
+        {
+            let _prof = prof::span!("netsim/link_delivery");
+            for (i, path) in self.paths.iter_mut().enumerate() {
+                for d in path.up.recv(self.now) {
+                    self.server.on_datagram(self.now, i, &d.payload);
+                    activity = true;
+                }
+                for d in path.down.recv(self.now) {
+                    self.client.on_datagram(self.now, i, &d.payload);
+                    activity = true;
+                }
             }
         }
         // Timers.
@@ -338,6 +341,7 @@ impl<C: Endpoint, S: Endpoint> World<C, S> {
     ///
     /// [`run_until`]: World::run_until
     pub fn step_to(&mut self, now: Instant) -> StepOutcome {
+        let _prof = prof::span!("netsim/step_to");
         if now > self.now {
             self.now = now;
         }

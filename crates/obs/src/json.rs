@@ -131,6 +131,13 @@ impl JsonWriter {
         JsonWriter::default()
     }
 
+    /// Fresh writer with a pre-sized output buffer. Exports that know
+    /// their approximate size (qlog, profiles) avoid repeated buffer
+    /// growth this way.
+    pub fn with_capacity(bytes: usize) -> Self {
+        JsonWriter { out: String::with_capacity(bytes), ..JsonWriter::default() }
+    }
+
     fn before_value(&mut self) {
         if let Some((is_obj, count)) = self.stack.last_mut() {
             if *is_obj {
@@ -155,6 +162,26 @@ impl JsonWriter {
         *count += 1;
         escape_into(&mut self.out, k);
         self.out.push(':');
+        self.have_key = true;
+    }
+
+    /// Emit a static object key known to need no escaping (no quotes,
+    /// backslashes, or control characters). Skips the per-character
+    /// escape scan — the hot-loop fast path for schema-fixed keys.
+    pub fn key_static(&mut self, k: &'static str) {
+        debug_assert!(
+            k.bytes().all(|b| b != b'"' && b != b'\\' && b >= 0x20),
+            "key_static key requires escaping: {k:?}"
+        );
+        let (is_obj, count) = self.stack.last_mut().expect("key outside any container");
+        debug_assert!(*is_obj && !self.have_key, "key misplaced");
+        if *count > 0 {
+            self.out.push(',');
+        }
+        *count += 1;
+        self.out.push('"');
+        self.out.push_str(k);
+        self.out.push_str("\":");
         self.have_key = true;
     }
 
@@ -190,6 +217,17 @@ impl JsonWriter {
     pub fn string(&mut self, v: &str) {
         self.before_value();
         escape_into(&mut self.out, v);
+    }
+
+    /// Emit one string value assembled from `parts`, escaping each part
+    /// in place — no intermediate concatenation allocation.
+    pub fn string_parts(&mut self, parts: &[&str]) {
+        self.before_value();
+        self.out.push('"');
+        for p in parts {
+            escape_body_into(&mut self.out, p);
+        }
+        self.out.push('"');
     }
 
     /// Emit an unsigned integer.
@@ -229,27 +267,28 @@ impl JsonWriter {
         self.out.push_str("null");
     }
 
-    /// Shorthand: `key` + `string`.
-    pub fn field_str(&mut self, k: &str, v: &str) {
-        self.key(k);
+    /// Shorthand: `key_static` + `string`. The key must be a clean
+    /// static literal; use [`key`](Self::key) for runtime keys.
+    pub fn field_str(&mut self, k: &'static str, v: &str) {
+        self.key_static(k);
         self.string(v);
     }
 
-    /// Shorthand: `key` + `uint`.
-    pub fn field_u64(&mut self, k: &str, v: u64) {
-        self.key(k);
+    /// Shorthand: `key_static` + `uint`.
+    pub fn field_u64(&mut self, k: &'static str, v: u64) {
+        self.key_static(k);
         self.uint(v);
     }
 
-    /// Shorthand: `key` + `float`.
-    pub fn field_f64(&mut self, k: &str, v: f64) {
-        self.key(k);
+    /// Shorthand: `key_static` + `float`.
+    pub fn field_f64(&mut self, k: &'static str, v: f64) {
+        self.key_static(k);
         self.float(v);
     }
 
-    /// Shorthand: `key` + `bool`.
-    pub fn field_bool(&mut self, k: &str, v: bool) {
-        self.key(k);
+    /// Shorthand: `key_static` + `bool`.
+    pub fn field_bool(&mut self, k: &'static str, v: bool) {
+        self.key_static(k);
         self.bool(v);
     }
 
@@ -260,25 +299,43 @@ impl JsonWriter {
     }
 }
 
-/// Append `s` as a quoted, escaped JSON string.
+/// Append `s` as a quoted, escaped JSON string. Clean runs (no quote,
+/// backslash, or control byte) are copied in bulk; typical event names
+/// and paths take the single-`push_str` path.
 fn escape_into(out: &mut String, s: &str) {
     out.push('"');
-    for c in s.chars() {
-        match c {
-            '"' => out.push_str("\\\""),
-            '\\' => out.push_str("\\\\"),
-            '\n' => out.push_str("\\n"),
-            '\r' => out.push_str("\\r"),
-            '\t' => out.push_str("\\t"),
-            '\u{08}' => out.push_str("\\b"),
-            '\u{0c}' => out.push_str("\\f"),
-            c if (c as u32) < 0x20 => {
-                let _ = write!(out, "\\u{:04x}", c as u32);
+    escape_body_into(out, s);
+    out.push('"');
+}
+
+/// Escape `s` into `out` without the surrounding quotes.
+fn escape_body_into(out: &mut String, s: &str) {
+    let bytes = s.as_bytes();
+    let mut start = 0;
+    let mut i = 0;
+    while i < bytes.len() {
+        let b = bytes[i];
+        if b == b'"' || b == b'\\' || b < 0x20 {
+            out.push_str(&s[start..i]);
+            match b {
+                b'"' => out.push_str("\\\""),
+                b'\\' => out.push_str("\\\\"),
+                b'\n' => out.push_str("\\n"),
+                b'\r' => out.push_str("\\r"),
+                b'\t' => out.push_str("\\t"),
+                0x08 => out.push_str("\\b"),
+                0x0c => out.push_str("\\f"),
+                _ => {
+                    let _ = write!(out, "\\u{:04x}", b);
+                }
             }
-            c => out.push(c),
+            i += 1;
+            start = i;
+        } else {
+            i += 1;
         }
     }
-    out.push('"');
+    out.push_str(&s[start..]);
 }
 
 /// Parse error with a byte offset for diagnostics.

@@ -14,6 +14,10 @@
 //!   and gauges (bytes re-injected vs. total — the paper's Table 5
 //!   cost ratio — spurious losses, handshake retransmits, stall time)
 //!   the harness serialises after each run.
+//! * **Profiling** ([`prof`]): a hierarchical wall-clock + allocation
+//!   profiler (`prof::span!("quic/aead_open")`) whose monotonic-clock
+//!   measurements live entirely outside the simulated clock, feeding
+//!   the `BENCH_prof.json` perf ledger.
 //!
 //! ## Determinism contract
 //!
@@ -28,6 +32,7 @@
 pub mod event;
 pub mod json;
 pub mod metrics;
+pub mod prof;
 pub mod qlog;
 pub mod sink;
 

@@ -91,9 +91,10 @@ impl MetricsRegistry {
         let mut w = JsonWriter::new();
         w.begin_object();
         for (name, metric) in &self.entries {
+            w.key(name); // runtime key: goes through the escaping path
             match metric {
-                Metric::Counter(v) => w.field_u64(name, *v),
-                Metric::Gauge(v) => w.field_f64(name, *v),
+                Metric::Counter(v) => w.uint(*v),
+                Metric::Gauge(v) => w.float(*v),
             }
         }
         w.end_object();

@@ -1,0 +1,718 @@
+//! Hot-path profiler: deterministic span/cost attribution with
+//! allocation accounting.
+//!
+//! `prof` answers "where does the wall-clock budget of a simulated
+//! fleet go?" without perturbing the simulation itself. It is built
+//! from three pieces:
+//!
+//! * **Scoped spans** ([`span!`](crate::prof_span)): RAII guards that
+//!   attribute wall time to an interned, hierarchical span name
+//!   (`prof::span!("quic/aead_open")`). Nesting is tracked by a
+//!   thread-local stack, so a span opened inside another becomes its
+//!   child in the profile tree.
+//! * **Allocation accounting**: the crate installs a counting
+//!   [`GlobalAlloc`] wrapper around the system allocator. When a
+//!   thread is recording, every heap allocation bumps two thread-local
+//!   counters; span enter/exit snapshots the counters, attributing
+//!   allocs/bytes to the innermost open span. When no thread records,
+//!   the wrapper costs one thread-local flag check per allocation.
+//! * **Reports** ([`ProfReport`]): per-span totals (calls, inclusive /
+//!   exclusive nanoseconds, allocations, allocated bytes) with an
+//!   exact integer [`merge`](ProfReport::merge) — the same
+//!   partition-invariance discipline as the fleet aggregates — plus
+//!   folded-stack and JSON export for flamegraph tooling and the
+//!   `BENCH_prof.json` perf ledger.
+//!
+//! ## Determinism contract
+//!
+//! The profiler reads the **monotonic OS clock**, never the simulated
+//! [`xlink_clock`] time, and writes only thread-local profiler state.
+//! It draws no randomness, arms no simulated timers, and never feeds a
+//! value back into transport or scheduler logic — so enabling it
+//! cannot change any simulation outcome. `tests/fleet.rs` enforces
+//! this with an off/noop/recording A/B bit-determinism gate at fleet
+//! scale.
+//!
+//! ## Modes
+//!
+//! * [`Mode::Off`] (default): a span is one thread-local mode check.
+//! * [`Mode::Noop`]: the guard path runs (including a monotonic clock
+//!   read) but nothing is aggregated — the A/B middle rung proving the
+//!   instrumented path itself is side-effect free.
+//! * [`Mode::Record`]: full tree aggregation plus alloc accounting.
+//!
+//! ## Accounting caveats
+//!
+//! * Allocation counts are *requests to the allocator* (`alloc`,
+//!   `alloc_zeroed`, and growth via `realloc`); frees are not tracked,
+//!   so the numbers measure churn, not live footprint.
+//! * Profiler-internal bookkeeping pauses the counters, so growing the
+//!   span tree never pollutes the numbers it reports.
+//! * Counters are per-thread. The fleet runs shards on one thread and
+//!   takes a report per shard; a future multi-threaded driver would
+//!   take one report per worker and [`merge`](ProfReport::merge) them.
+
+use crate::json::{parse, JsonWriter, Value};
+use std::alloc::{GlobalAlloc, Layout, System};
+use std::cell::{Cell, RefCell};
+use std::collections::BTreeMap;
+use std::sync::atomic::{AtomicU32, Ordering};
+use std::sync::Mutex;
+use std::time::Instant as WallInstant;
+
+// ---------------------------------------------------------------------------
+// Counting allocator
+// ---------------------------------------------------------------------------
+
+/// System-allocator wrapper counting per-thread allocation requests
+/// while that thread's profiler is recording.
+pub struct CountingAlloc;
+
+struct AllocCounters {
+    on: Cell<bool>,
+    allocs: Cell<u64>,
+    bytes: Cell<u64>,
+}
+
+thread_local! {
+    static ALLOCS: AllocCounters = const {
+        AllocCounters { on: Cell::new(false), allocs: Cell::new(0), bytes: Cell::new(0) }
+    };
+}
+
+#[inline]
+fn note_alloc(bytes: usize) {
+    // `try_with`: the TLS slot may already be gone during thread
+    // teardown; allocations there are simply not counted.
+    let _ = ALLOCS.try_with(|a| {
+        if a.on.get() {
+            a.allocs.set(a.allocs.get().wrapping_add(1));
+            a.bytes.set(a.bytes.get().wrapping_add(bytes as u64));
+        }
+    });
+}
+
+#[inline]
+fn alloc_snapshot() -> (u64, u64) {
+    ALLOCS.with(|a| (a.allocs.get(), a.bytes.get()))
+}
+
+/// Pause alloc accounting on this thread; returns the previous state.
+#[inline]
+fn pause_alloc_tracking() -> bool {
+    ALLOCS.with(|a| a.on.replace(false))
+}
+
+#[inline]
+fn set_alloc_tracking(on: bool) {
+    ALLOCS.with(|a| a.on.set(on));
+}
+
+unsafe impl GlobalAlloc for CountingAlloc {
+    unsafe fn alloc(&self, layout: Layout) -> *mut u8 {
+        note_alloc(layout.size());
+        System.alloc(layout)
+    }
+    unsafe fn alloc_zeroed(&self, layout: Layout) -> *mut u8 {
+        note_alloc(layout.size());
+        System.alloc_zeroed(layout)
+    }
+    unsafe fn realloc(&self, ptr: *mut u8, layout: Layout, new_size: usize) -> *mut u8 {
+        // Growth counts as one request for the grown size; shrinks are
+        // free (they cannot be the source of churn we hunt).
+        if new_size > layout.size() {
+            note_alloc(new_size);
+        }
+        System.realloc(ptr, layout, new_size)
+    }
+    unsafe fn dealloc(&self, ptr: *mut u8, layout: Layout) {
+        System.dealloc(ptr, layout)
+    }
+}
+
+#[global_allocator]
+static GLOBAL_COUNTING_ALLOC: CountingAlloc = CountingAlloc;
+
+// ---------------------------------------------------------------------------
+// Span-name interning (global, shared across threads)
+// ---------------------------------------------------------------------------
+
+static NAMES: Mutex<Vec<&'static str>> = Mutex::new(Vec::new());
+
+fn intern_cached(name: &'static str, cache: &AtomicU32) -> u32 {
+    let hit = cache.load(Ordering::Relaxed);
+    if hit != 0 {
+        return hit - 1;
+    }
+    let mut names = NAMES.lock().expect("prof name table poisoned");
+    let id = match names.iter().position(|n| *n == name) {
+        Some(i) => i as u32,
+        None => {
+            names.push(name);
+            (names.len() - 1) as u32
+        }
+    };
+    cache.store(id + 1, Ordering::Relaxed);
+    id
+}
+
+fn name_table() -> Vec<&'static str> {
+    NAMES.lock().expect("prof name table poisoned").clone()
+}
+
+// ---------------------------------------------------------------------------
+// Thread-local profile tree
+// ---------------------------------------------------------------------------
+
+/// Profiler state for the current thread.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Default)]
+pub enum Mode {
+    /// Spans compile to a single mode check (the production default).
+    #[default]
+    Off,
+    /// The guard path runs (one monotonic clock read) but nothing is
+    /// recorded — the A/B determinism middle rung.
+    Noop,
+    /// Full span-tree aggregation plus allocation accounting.
+    Record,
+}
+
+struct Node {
+    name: u32,
+    children: Vec<u32>,
+    calls: u64,
+    incl_ns: u64,
+    allocs: u64,
+    alloc_bytes: u64,
+}
+
+impl Node {
+    fn new(name: u32) -> Node {
+        Node { name, children: Vec::new(), calls: 0, incl_ns: 0, allocs: 0, alloc_bytes: 0 }
+    }
+}
+
+struct Frame {
+    node: u32,
+    start: WallInstant,
+    allocs0: u64,
+    bytes0: u64,
+}
+
+struct ThreadProf {
+    mode: Cell<Mode>,
+    nodes: RefCell<Vec<Node>>,
+    stack: RefCell<Vec<Frame>>,
+}
+
+thread_local! {
+    static PROF: ThreadProf = const {
+        ThreadProf {
+            mode: Cell::new(Mode::Off),
+            nodes: RefCell::new(Vec::new()),
+            stack: RefCell::new(Vec::new()),
+        }
+    };
+}
+
+/// Set this thread's profiling mode. Call with no spans open: open
+/// guards from a previous mode finish as inert.
+pub fn set_mode(mode: Mode) {
+    PROF.with(|p| {
+        p.mode.set(mode);
+        if p.mode.get() == Mode::Record && p.nodes.borrow().is_empty() {
+            p.nodes.borrow_mut().push(Node::new(u32::MAX)); // root
+        }
+    });
+    set_alloc_tracking(mode == Mode::Record);
+}
+
+/// This thread's current profiling mode.
+pub fn mode() -> Mode {
+    PROF.with(|p| p.mode.get())
+}
+
+/// RAII span guard: closes (and attributes cost) on drop.
+#[must_use = "a span guard dropped immediately measures nothing"]
+pub struct SpanGuard {
+    active: bool,
+}
+
+impl Drop for SpanGuard {
+    #[inline]
+    fn drop(&mut self) {
+        if self.active {
+            exit_span();
+        }
+    }
+}
+
+/// Open a span (macro backend — use [`span!`](crate::prof_span)).
+/// `cache` is the per-callsite interning slot.
+#[inline]
+pub fn span_interned(name: &'static str, cache: &AtomicU32) -> SpanGuard {
+    PROF.with(|p| match p.mode.get() {
+        Mode::Off => SpanGuard { active: false },
+        Mode::Noop => {
+            // Pay the clock read so the instrumented path is exercised,
+            // then drop the value: records nothing, perturbs nothing.
+            std::hint::black_box(WallInstant::now());
+            SpanGuard { active: false }
+        }
+        Mode::Record => {
+            pause_alloc_tracking();
+            let id = intern_cached(name, cache);
+            let mut nodes = p.nodes.borrow_mut();
+            if nodes.is_empty() {
+                nodes.push(Node::new(u32::MAX));
+            }
+            let mut stack = p.stack.borrow_mut();
+            let parent = stack.last().map_or(0, |f| f.node) as usize;
+            let node = match nodes[parent].children.iter().find(|&&c| nodes[c as usize].name == id)
+            {
+                Some(&c) => c,
+                None => {
+                    let c = nodes.len() as u32;
+                    nodes.push(Node::new(id));
+                    nodes[parent].children.push(c);
+                    c
+                }
+            };
+            let (allocs0, bytes0) = alloc_snapshot();
+            stack.push(Frame { node, start: WallInstant::now(), allocs0, bytes0 });
+            set_alloc_tracking(true);
+            SpanGuard { active: true }
+        }
+    })
+}
+
+fn exit_span() {
+    PROF.with(|p| {
+        let end = WallInstant::now();
+        let (allocs1, bytes1) = alloc_snapshot();
+        pause_alloc_tracking();
+        {
+            let mut nodes = p.nodes.borrow_mut();
+            let mut stack = p.stack.borrow_mut();
+            if let Some(f) = stack.pop() {
+                let n = &mut nodes[f.node as usize];
+                n.calls += 1;
+                n.incl_ns += end.duration_since(f.start).as_nanos() as u64;
+                n.allocs += allocs1.wrapping_sub(f.allocs0);
+                n.alloc_bytes += bytes1.wrapping_sub(f.bytes0);
+            }
+        }
+        if p.mode.get() == Mode::Record {
+            set_alloc_tracking(true);
+        }
+    });
+}
+
+/// Drain this thread's profile tree into a report, resetting the tree
+/// (mode is left unchanged). Call with no spans open.
+pub fn take_report() -> ProfReport {
+    PROF.with(|p| {
+        let tracking = pause_alloc_tracking();
+        debug_assert!(p.stack.borrow().is_empty(), "take_report with open spans");
+        let mut nodes = p.nodes.borrow_mut();
+        let tree: Vec<Node> = std::mem::take(&mut *nodes);
+        if p.mode.get() == Mode::Record {
+            nodes.push(Node::new(u32::MAX));
+        }
+        drop(nodes);
+        let names = name_table();
+        let mut rows = Vec::new();
+        if !tree.is_empty() {
+            let mut path = String::new();
+            collect_rows(&tree, &names, 0, &mut path, &mut rows);
+        }
+        rows.sort_by(|a, b| a.path.cmp(&b.path));
+        set_alloc_tracking(tracking);
+        ProfReport { rows }
+    })
+}
+
+/// Run `f` with this thread recording, returning its result plus the
+/// profile captured during the call. The previous mode is restored.
+pub fn with_recording<T>(f: impl FnOnce() -> T) -> (T, ProfReport) {
+    let prev = mode();
+    set_mode(Mode::Record);
+    let out = f();
+    let report = take_report();
+    set_mode(prev);
+    (out, report)
+}
+
+fn collect_rows(
+    tree: &[Node],
+    names: &[&'static str],
+    node: usize,
+    path: &mut String,
+    rows: &mut Vec<ProfRow>,
+) {
+    let n = &tree[node];
+    let base_len = path.len();
+    if node != 0 {
+        if !path.is_empty() {
+            path.push(';');
+        }
+        // Span names use '/' separators; folded stacks use ';'.
+        let name = names.get(n.name as usize).copied().unwrap_or("?");
+        for part in name.split('/') {
+            path.push_str(part);
+            path.push(';');
+        }
+        path.pop(); // trailing ';'
+        let child_incl: u64 = n.children.iter().map(|&c| tree[c as usize].incl_ns).sum();
+        rows.push(ProfRow {
+            path: path.clone(),
+            calls: n.calls,
+            incl_ns: n.incl_ns,
+            excl_ns: n.incl_ns.saturating_sub(child_incl),
+            allocs: n.allocs,
+            alloc_bytes: n.alloc_bytes,
+        });
+    }
+    for &c in &n.children {
+        collect_rows(tree, names, c as usize, path, rows);
+    }
+    path.truncate(base_len);
+}
+
+// ---------------------------------------------------------------------------
+// Reports
+// ---------------------------------------------------------------------------
+
+/// One profile-tree node flattened to its full folded path.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct ProfRow {
+    /// Folded stack path, components joined by `;`
+    /// (e.g. `netsim;step_to;quic;packet_decode`).
+    pub path: String,
+    /// Times the span closed.
+    pub calls: u64,
+    /// Wall nanoseconds inside the span, children included.
+    pub incl_ns: u64,
+    /// Wall nanoseconds not attributed to any child span.
+    pub excl_ns: u64,
+    /// Heap allocation requests while the span was innermost.
+    pub allocs: u64,
+    /// Bytes requested by those allocations.
+    pub alloc_bytes: u64,
+}
+
+impl ProfRow {
+    /// Last path component (the leaf span's own name tail).
+    pub fn leaf(&self) -> &str {
+        self.path.rsplit(';').next().unwrap_or(&self.path)
+    }
+}
+
+/// A set of per-span totals; merges exactly (integer sums keyed by
+/// path), so any partition of shard profiles folds to the same totals.
+#[derive(Debug, Clone, Default, PartialEq, Eq)]
+pub struct ProfReport {
+    /// Rows sorted by path.
+    pub rows: Vec<ProfRow>,
+}
+
+impl ProfReport {
+    /// Exact integer merge: rows join by path, every counter sums.
+    pub fn merge(&mut self, other: &ProfReport) {
+        let mut by_path: BTreeMap<String, ProfRow> =
+            self.rows.drain(..).map(|r| (r.path.clone(), r)).collect();
+        for r in &other.rows {
+            match by_path.get_mut(&r.path) {
+                Some(m) => {
+                    m.calls += r.calls;
+                    m.incl_ns += r.incl_ns;
+                    m.excl_ns += r.excl_ns;
+                    m.allocs += r.allocs;
+                    m.alloc_bytes += r.alloc_bytes;
+                }
+                None => {
+                    by_path.insert(r.path.clone(), r.clone());
+                }
+            }
+        }
+        self.rows = by_path.into_values().collect();
+    }
+
+    /// Row lookup by exact folded path.
+    pub fn get(&self, path: &str) -> Option<&ProfRow> {
+        self.rows.iter().find(|r| r.path == path)
+    }
+
+    /// Total inclusive time of root spans (nodes with no `;` ancestor
+    /// among the rows) — the profiled wall clock.
+    pub fn total_incl_ns(&self) -> u64 {
+        self.rows
+            .iter()
+            .filter(|r| {
+                !self
+                    .rows
+                    .iter()
+                    .any(|p| r.path.len() > p.path.len() && is_stack_prefix(&p.path, &r.path))
+            })
+            .map(|r| r.incl_ns)
+            .sum()
+    }
+
+    /// Folded-stack output (`path excl_ns` per line, flamegraph.pl
+    /// compatible). Exclusive time is used as the sample weight so
+    /// stacks sum correctly.
+    pub fn folded(&self) -> String {
+        let mut out = String::with_capacity(self.rows.len() * 48);
+        for r in &self.rows {
+            out.push_str(&r.path);
+            out.push(' ');
+            out.push_str(&r.excl_ns.to_string());
+            out.push('\n');
+        }
+        out
+    }
+
+    /// JSON document (schema `xlink-prof-v1`) — the `BENCH_prof.json`
+    /// payload.
+    pub fn to_json(&self) -> String {
+        let mut w = JsonWriter::with_capacity(64 + self.rows.len() * 128);
+        w.begin_object();
+        w.field_str("schema", "xlink-prof-v1");
+        w.key("spans");
+        w.begin_array();
+        for r in &self.rows {
+            w.begin_object();
+            w.field_str("path", &r.path);
+            w.field_u64("calls", r.calls);
+            w.field_u64("incl_ns", r.incl_ns);
+            w.field_u64("excl_ns", r.excl_ns);
+            w.field_u64("allocs", r.allocs);
+            w.field_u64("alloc_bytes", r.alloc_bytes);
+            w.end_object();
+        }
+        w.end_array();
+        w.end_object();
+        w.finish()
+    }
+
+    /// Parse a `to_json` document back (perfgate's reader).
+    pub fn from_json(doc: &str) -> Result<ProfReport, String> {
+        let v = parse(doc).map_err(|e| e.to_string())?;
+        if v.get("schema").and_then(Value::as_str) != Some("xlink-prof-v1") {
+            return Err("not an xlink-prof-v1 document".into());
+        }
+        let spans = v.get("spans").and_then(Value::as_arr).ok_or("missing spans array")?;
+        let mut rows = Vec::with_capacity(spans.len());
+        for s in spans {
+            let field = |k: &str| s.get(k).and_then(Value::as_u64).ok_or(format!("missing {k}"));
+            rows.push(ProfRow {
+                path: s.get("path").and_then(Value::as_str).ok_or("missing path")?.to_string(),
+                calls: field("calls")?,
+                incl_ns: field("incl_ns")?,
+                excl_ns: field("excl_ns")?,
+                allocs: field("allocs")?,
+                alloc_bytes: field("alloc_bytes")?,
+            });
+        }
+        rows.sort_by(|a, b| a.path.cmp(&b.path));
+        Ok(ProfReport { rows })
+    }
+
+    /// Order-independent digest over the run-deterministic part of the
+    /// profile: span paths, call counts, and allocation counts. Wall
+    /// times are machine noise and deliberately excluded.
+    pub fn counts_digest(&self) -> u64 {
+        let mut h = 0x8422_2325_cbf2_9ce4u64;
+        for r in &self.rows {
+            for b in r.path.bytes() {
+                h ^= u64::from(b);
+                h = h.wrapping_mul(0x0000_0100_0000_01b3);
+            }
+            for w in [r.calls, r.allocs, r.alloc_bytes] {
+                h ^= w;
+                h = h.wrapping_mul(0x0000_0100_0000_01b3);
+            }
+        }
+        h
+    }
+}
+
+/// True when `prefix` is a proper stack ancestor path of `path`.
+pub fn is_stack_prefix(prefix: &str, path: &str) -> bool {
+    path.len() > prefix.len() && path.starts_with(prefix) && path.as_bytes()[prefix.len()] == b';'
+}
+
+/// Open a profiling span for the current scope.
+///
+/// ```ignore
+/// let _s = prof::span!("quic/aead_open");
+/// ```
+///
+/// The name must be a string literal (or `'static`); `/` separators
+/// become nesting levels in folded-stack output. Costs one thread-local
+/// mode check when profiling is off.
+#[macro_export]
+macro_rules! prof_span {
+    ($name:expr) => {{
+        static __PROF_ID: ::std::sync::atomic::AtomicU32 = ::std::sync::atomic::AtomicU32::new(0);
+        $crate::prof::span_interned($name, &__PROF_ID)
+    }};
+}
+
+pub use crate::prof_span as span;
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    /// Serialize the (process-global, thread-local) profiler tests.
+    static TEST_LOCK: Mutex<()> = Mutex::new(());
+
+    fn locked() -> std::sync::MutexGuard<'static, ()> {
+        TEST_LOCK.lock().unwrap_or_else(|e| e.into_inner())
+    }
+
+    fn spin(n: u64) -> u64 {
+        let mut x = 0u64;
+        for i in 0..n {
+            x = x.wrapping_add(std::hint::black_box(i));
+        }
+        x
+    }
+
+    #[test]
+    fn off_mode_records_nothing() {
+        let _g = locked();
+        set_mode(Mode::Off);
+        {
+            let _s = span!("test/off");
+            spin(10);
+        }
+        assert!(take_report().rows.is_empty());
+    }
+
+    #[test]
+    fn noop_mode_records_nothing_but_runs() {
+        let _g = locked();
+        set_mode(Mode::Noop);
+        {
+            let _s = span!("test/noop");
+            spin(10);
+        }
+        assert!(take_report().rows.is_empty());
+        set_mode(Mode::Off);
+    }
+
+    #[test]
+    fn record_builds_nested_tree() {
+        let _g = locked();
+        let ((), r) = with_recording(|| {
+            for _ in 0..3 {
+                let _outer = span!("test/outer");
+                spin(100);
+                {
+                    let _inner = span!("test/inner");
+                    spin(100);
+                }
+                {
+                    let _inner = span!("test/inner");
+                    spin(100);
+                }
+            }
+        });
+        let outer = r.get("test;outer").expect("outer row");
+        let inner = r.get("test;outer;test;inner").expect("nested inner row");
+        assert_eq!(outer.calls, 3);
+        assert_eq!(inner.calls, 6);
+        assert!(outer.incl_ns >= inner.incl_ns, "child time within parent");
+        assert_eq!(outer.excl_ns, outer.incl_ns - inner.incl_ns);
+        assert!(r.get("test;inner").is_none(), "inner only exists under outer");
+    }
+
+    #[test]
+    fn allocations_attribute_to_innermost_span() {
+        let _g = locked();
+        let ((), r) = with_recording(|| {
+            let _outer = span!("test/alloc_outer");
+            let _v: Vec<u64> = std::hint::black_box(Vec::with_capacity(32));
+            {
+                let _inner = span!("test/alloc_inner");
+                let _w: Vec<u64> = std::hint::black_box(Vec::with_capacity(1000));
+            }
+        });
+        let outer = r.get("test;alloc_outer").expect("outer");
+        let inner = r.get("test;alloc_outer;test;alloc_inner").expect("inner");
+        assert!(inner.allocs >= 1, "inner saw its Vec");
+        assert!(inner.alloc_bytes >= 8000, "inner bytes {}", inner.alloc_bytes);
+        assert!(outer.allocs >= inner.allocs + 1, "outer includes inner plus its own");
+    }
+
+    #[test]
+    fn report_merge_is_partition_invariant() {
+        let _g = locked();
+        let mk = |calls: u64| {
+            let ((), r) = with_recording(|| {
+                for _ in 0..calls {
+                    let _s = span!("test/merge");
+                    spin(10);
+                }
+            });
+            r
+        };
+        let parts = [mk(1), mk(2), mk(3), mk(4)];
+        let mut left = ProfReport::default();
+        for p in &parts {
+            left.merge(p);
+        }
+        let mut right = ProfReport::default();
+        for p in parts.iter().rev() {
+            right.merge(p);
+        }
+        assert_eq!(left, right);
+        assert_eq!(left.get("test;merge").unwrap().calls, 10);
+    }
+
+    #[test]
+    fn folded_and_json_round_trip() {
+        let _g = locked();
+        let ((), r) = with_recording(|| {
+            let _a = span!("test/fold_a");
+            let _b = span!("test/fold_b");
+            spin(50);
+        });
+        for line in r.folded().lines() {
+            let (path, ns) = line.rsplit_once(' ').expect("path ns");
+            assert!(!path.is_empty() && path.split(';').all(|c| !c.is_empty()));
+            ns.parse::<u64>().expect("numeric weight");
+        }
+        let back = ProfReport::from_json(&r.to_json()).expect("parses");
+        assert_eq!(back, r);
+    }
+
+    #[test]
+    fn counts_digest_ignores_time() {
+        let a = ProfReport {
+            rows: vec![ProfRow {
+                path: "x".into(),
+                calls: 2,
+                incl_ns: 100,
+                excl_ns: 100,
+                allocs: 1,
+                alloc_bytes: 64,
+            }],
+        };
+        let mut b = a.clone();
+        b.rows[0].incl_ns = 999_999;
+        b.rows[0].excl_ns = 999_999;
+        assert_eq!(a.counts_digest(), b.counts_digest());
+        b.rows[0].calls = 3;
+        assert_ne!(a.counts_digest(), b.counts_digest());
+    }
+
+    #[test]
+    fn stack_prefix_requires_component_boundary() {
+        assert!(is_stack_prefix("a;b", "a;b;c"));
+        assert!(!is_stack_prefix("a;b", "a;bc"));
+        assert!(!is_stack_prefix("a;b", "a;b"));
+    }
+}

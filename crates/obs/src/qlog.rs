@@ -14,7 +14,9 @@ use crate::json::JsonWriter;
 /// Serialise `events` (with their interned `sources` table) to a qlog
 /// JSON document titled `title`.
 pub fn export(title: &str, sources: &[String], events: &[TraceEvent]) -> String {
-    let mut w = JsonWriter::new();
+    // ~96 bytes per event covers the common variants; pre-sizing avoids
+    // repeated buffer growth over thousand-event traces.
+    let mut w = JsonWriter::with_capacity(256 + events.len() * 96);
     w.begin_object();
     w.field_str("qlog_version", "0.3");
     w.field_str("qlog_format", "JSON");
@@ -37,13 +39,9 @@ pub fn export(title: &str, sources: &[String], events: &[TraceEvent]) -> String 
     for ev in events {
         w.begin_object();
         w.field_f64("time", ev.time.as_micros() as f64 / 1000.0);
-        w.key("name");
-        let mut name = String::with_capacity(40);
-        name.push_str(ev.body.category());
-        name.push(':');
-        name.push_str(ev.body.name());
-        w.string(&name);
-        w.key("data");
+        w.key_static("name");
+        w.string_parts(&[ev.body.category(), ":", ev.body.name()]);
+        w.key_static("data");
         w.begin_object();
         let source = sources.get(ev.source as usize).map(String::as_str).unwrap_or("");
         w.field_str("source", source);

@@ -15,6 +15,8 @@
 /// in-flight window far below this.
 pub const MAX_ACK_RANGES: usize = 256;
 
+use xlink_obs::prof;
+
 /// An inclusive packet-number range.
 #[derive(Debug, Clone, Copy, PartialEq, Eq)]
 pub struct PnRange {
@@ -54,6 +56,7 @@ impl AckRanges {
     /// to the peer the refusal is indistinguishable from loss, and
     /// retransmission always uses fresh packet numbers).
     pub fn insert(&mut self, pn: u64) -> bool {
+        let _prof = prof::span!("quic/ackranges");
         if pn < self.floor {
             return false; // evicted history: treat replays as duplicates
         }

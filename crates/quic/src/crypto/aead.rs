@@ -14,6 +14,7 @@
 use super::chacha;
 use super::poly1305;
 use crate::error::TransportError;
+use xlink_obs::prof;
 
 /// Length of the authentication tag appended to every protected payload.
 pub const TAG_LEN: usize = 16;
@@ -53,6 +54,7 @@ impl AeadKey {
     /// Encrypt `plain` in place semantics: returns ciphertext || tag.
     /// `aad` is the packet header (authenticated but not encrypted).
     pub fn seal(&self, path_cid_seq: u32, packet_number: u64, aad: &[u8], plain: &[u8]) -> Vec<u8> {
+        let _prof = prof::span!("quic/aead_seal");
         let nonce = self.nonce(path_cid_seq, packet_number);
         let mut out = plain.to_vec();
         chacha::xor_keystream(&self.key, 1, &nonce, &mut out);
@@ -70,6 +72,7 @@ impl AeadKey {
         aad: &[u8],
         sealed: &[u8],
     ) -> Result<Vec<u8>, TransportError> {
+        let _prof = prof::span!("quic/aead_open");
         if sealed.len() < TAG_LEN {
             return Err(TransportError::CryptoError);
         }

@@ -9,6 +9,7 @@
 use crate::cid::{ConnectionId, CID_LEN};
 use crate::error::CodecError;
 use crate::varint::{Reader, Writer};
+use xlink_obs::prof;
 
 /// Packet type / encryption level.
 #[derive(Debug, Clone, Copy, PartialEq, Eq, Hash)]
@@ -85,6 +86,7 @@ impl Header {
     /// payload extends to the end of the datagram (documented deviation
     /// that does not affect transport behaviour).
     pub fn encode(&self) -> Vec<u8> {
+        let _prof = prof::span!("quic/packet_encode");
         let mut w = Writer::with_capacity(32);
         match self.ty {
             PacketType::Initial | PacketType::Handshake => {
@@ -112,6 +114,7 @@ impl Header {
     /// Decode a header from the start of a datagram. Returns the header
     /// and the offset where the protected payload begins.
     pub fn decode(datagram: &[u8]) -> Result<(Header, usize), CodecError> {
+        let _prof = prof::span!("quic/packet_decode");
         let mut r = Reader::new(datagram);
         let first = r.u8()?;
         if first & 0x40 == 0 {

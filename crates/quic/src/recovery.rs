@@ -13,6 +13,7 @@ use crate::error::TransportError;
 use crate::rtt::RttEstimator;
 use std::collections::BTreeMap;
 use xlink_clock::{Duration, Instant};
+use xlink_obs::prof;
 
 /// Initial reordering threshold in packets (RFC 9002 §6.1.1). The
 /// threshold adapts upward (RACK-style) when spurious losses reveal
@@ -220,6 +221,7 @@ impl<T> Recovery<T> {
         rtt: &mut RttEstimator,
         ack_delay: Duration,
     ) -> AckOutcome<T> {
+        let _prof = prof::span!("quic/recovery_ack");
         let mut out = AckOutcome { acked: Vec::new(), lost: Vec::new(), rtt_sample: None };
         let mut largest_newly_acked: Option<(u64, Instant, bool)> = None;
         for (start, end) in ranges {
@@ -270,6 +272,7 @@ impl<T> Recovery<T> {
     /// Detect lost packets by packet threshold and time threshold, and
     /// re-arm the loss timer.
     pub fn detect_lost(&mut self, now: Instant, rtt: &RttEstimator) -> Vec<SentPacket<T>> {
+        let _prof = prof::span!("quic/recovery_detect_lost");
         let mut lost = Vec::new();
         self.loss_time = None;
         let Some(largest_acked) = self.largest_acked else {

@@ -7,8 +7,9 @@
 //! release mode at 10,000 sessions for the full-scale guarantee.
 
 use xlink::clock::Duration;
-use xlink::harness::fleet::{run_fleet, shard_of, FleetConfig, PlanIter};
+use xlink::harness::fleet::{run_fleet, run_fleet_profiled, shard_of, FleetConfig, PlanIter};
 use xlink::harness::Scheme;
+use xlink::obs::prof;
 use xlink::video::Video;
 
 fn sessions_env() -> u64 {
@@ -126,4 +127,67 @@ fn peak_state_is_independent_of_total_sessions() {
         three_days.counters.peak_live_sessions
     );
     assert_eq!(one_day.trace_pool_bytes, three_days.trace_pool_bytes);
+}
+
+/// The profiler's determinism contract: running the fleet with
+/// profiling Off, Noop (timestamps taken, nothing recorded), or fully
+/// Recording yields a bit-identical `FleetReport`. The profiler reads
+/// the wall clock, never the simulated clock, so it cannot perturb
+/// results.
+#[test]
+fn fleet_report_is_invariant_under_profiling_mode() {
+    let users = sessions_env();
+    let cfg = fleet_cfg(users, 4);
+
+    prof::set_mode(prof::Mode::Off);
+    let off = run_fleet(&cfg);
+
+    prof::set_mode(prof::Mode::Noop);
+    let noop = run_fleet(&cfg);
+    prof::set_mode(prof::Mode::Off);
+
+    let (recorded, profile) = run_fleet_profiled(&cfg);
+
+    assert_eq!(off.digest(), noop.digest(), "noop profiling must not change the report");
+    assert_eq!(off.digest(), recorded.digest(), "recording must not change the report");
+    assert_eq!(off.to_json(), recorded.to_json());
+
+    // The recorded profile itself is non-trivial: spans from every
+    // instrumented layer, with sane nesting totals.
+    assert!(profile.rows.len() >= 12, "expected ≥12 spans, got {}", profile.rows.len());
+    for span in ["fleet;session_step", "netsim;step_to", "quic;packet_encode", "core;sched_decide"]
+    {
+        assert!(profile.rows.iter().any(|r| r.path.contains(span)), "missing span {span}");
+    }
+}
+
+/// Profile *counts* (span calls, allocation totals) are themselves
+/// deterministic: repeated profiled runs agree exactly, and per-session
+/// span counts don't depend on the shard count. Only the `fleet;merge`
+/// spans — one per shard by construction — are excluded from the
+/// cross-shard comparison.
+#[test]
+fn profile_counts_are_deterministic_and_shard_invariant() {
+    let users = sessions_env().min(1_000);
+
+    let (_, p1) = run_fleet_profiled(&fleet_cfg(users, 4));
+    let (_, p2) = run_fleet_profiled(&fleet_cfg(users, 4));
+    assert_eq!(
+        p1.counts_digest(),
+        p2.counts_digest(),
+        "same partition ⇒ identical span calls and alloc attribution"
+    );
+
+    let (_, p8) = run_fleet_profiled(&fleet_cfg(users, 8));
+    let shard_free = |p: &prof::ProfReport| {
+        let mut rows: Vec<(String, u64)> = p
+            .rows
+            .iter()
+            .filter(|r| !r.path.starts_with("fleet;merge"))
+            .map(|r| (r.path.clone(), r.calls))
+            .collect();
+        rows.sort();
+        rows
+    };
+    assert_eq!(shard_free(&p1), shard_free(&p8), "span calls must not depend on shard count");
 }

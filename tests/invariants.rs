@@ -505,3 +505,92 @@ fn fleet_report_is_shard_count_invariant() {
         Ok(())
     });
 }
+
+/// Profiler structural invariants under randomized span workloads: the
+/// folded-stack output is parsable line-by-line, every descendant
+/// span's inclusive time is bounded by its ancestor's (grouped via
+/// [`prof::is_stack_prefix`]), exclusive time never exceeds inclusive,
+/// and report merging is partition-invariant.
+#[test]
+fn profiler_reports_are_well_formed_and_merge_partition_invariant() {
+    use xlink::obs::prof;
+
+    // Random span trees over a single-component name vocabulary (so the
+    // stack-prefix relation coincides with tree ancestry).
+    fn record_tree(rng: &mut Rng, depth: u32) {
+        let _g = match rng.below(4) {
+            0 => prof::span!("alpha"),
+            1 => prof::span!("beta"),
+            2 => prof::span!("gamma"),
+            _ => prof::span!("delta"),
+        };
+        if rng.chance(0.5) {
+            let v = vec![0u8; 16 + rng.below(64) as usize];
+            std::hint::black_box(&v);
+        }
+        if depth > 0 {
+            for _ in 0..rng.below(3) {
+                record_tree(rng, depth - 1);
+            }
+        }
+    }
+    fn one_report(seed: u64) -> prof::ProfReport {
+        prof::set_mode(prof::Mode::Record);
+        let _stale = prof::take_report();
+        let mut rng = Rng::new(seed);
+        for _ in 0..4 {
+            record_tree(&mut rng, 3);
+        }
+        let r = prof::take_report();
+        prof::set_mode(prof::Mode::Off);
+        r
+    }
+
+    check("profiler_reports_well_formed", 0u64..1_000_000, |&seed| {
+        let r = one_report(seed);
+        prop_assert!(!r.rows.is_empty(), "workload always records at least one span");
+
+        // Folded output: every line is `path<space>weight`, with
+        // non-empty `;`-separated components and a u64 weight.
+        for line in r.folded().lines() {
+            let (path, weight) = line.rsplit_once(' ').ok_or(format!("unsplittable: {line}"))?;
+            weight.parse::<u64>().map_err(|e| format!("bad weight in {line:?}: {e}"))?;
+            prop_assert!(
+                !path.is_empty() && path.split(';').all(|c| !c.is_empty()),
+                "empty path component in {line:?}"
+            );
+        }
+
+        for a in &r.rows {
+            prop_assert!(a.excl_ns <= a.incl_ns, "{}: excl > incl", a.path);
+            for b in &r.rows {
+                if prof::is_stack_prefix(&a.path, &b.path) {
+                    prop_assert!(
+                        b.incl_ns <= a.incl_ns,
+                        "descendant {} ({} ns) exceeds ancestor {} ({} ns)",
+                        b.path,
+                        b.incl_ns,
+                        a.path,
+                        a.incl_ns
+                    );
+                }
+            }
+        }
+
+        // Partition invariance: fold three shard-reports in different
+        // groupings/orders; the merged ledger must be byte-identical.
+        let (r1, r2, r3) = (one_report(seed ^ 1), one_report(seed ^ 2), one_report(seed ^ 3));
+        let mut seq = prof::ProfReport::default();
+        seq.merge(&r1);
+        seq.merge(&r2);
+        seq.merge(&r3);
+        let mut regrouped = prof::ProfReport::default();
+        regrouped.merge(&r3);
+        let mut pair = prof::ProfReport::default();
+        pair.merge(&r2);
+        pair.merge(&r1);
+        regrouped.merge(&pair);
+        prop_assert_eq!(seq.to_json(), regrouped.to_json(), "merge must be partition-invariant");
+        Ok(())
+    });
+}

@@ -244,3 +244,39 @@ fn session_metrics_capture_cost_and_stalls() {
     let doc = parse(&m.to_json()).expect("metrics serialise to valid JSON");
     assert!(matches!(doc, Value::Obj(_)));
 }
+
+/// Profiling composes with tracing without perturbing either: the full
+/// traced event stream (every event, byte for byte via qlog) and the
+/// session outcome are identical whether the profiler is off, in noop
+/// mode (timestamps taken, nothing recorded), or fully recording.
+#[test]
+fn profiling_leaves_traced_event_stream_bit_identical() {
+    use xlink::obs::prof;
+
+    let run = || {
+        let (log, r) = traced_session();
+        (log.to_qlog("prof-ab"), summary(&r))
+    };
+
+    prof::set_mode(prof::Mode::Off);
+    let (qlog_off, sum_off) = run();
+
+    prof::set_mode(prof::Mode::Noop);
+    let (qlog_noop, sum_noop) = run();
+
+    prof::set_mode(prof::Mode::Record);
+    let (qlog_rec, sum_rec) = run();
+    let profile = prof::take_report();
+    prof::set_mode(prof::Mode::Off);
+
+    assert_eq!(sum_off, sum_noop, "noop profiling changed session behaviour");
+    assert_eq!(sum_off, sum_rec, "recording profiler changed session behaviour");
+    assert_eq!(qlog_off, qlog_noop, "noop profiling changed the traced event stream");
+    assert_eq!(qlog_off, qlog_rec, "recording profiler changed the traced event stream");
+    for layer in ["netsim;link_delivery", "quic;aead_", "core;sched_decide"] {
+        assert!(
+            profile.rows.iter().any(|r| r.path.contains(layer)),
+            "recording run missing {layer} spans"
+        );
+    }
+}
