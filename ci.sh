@@ -31,6 +31,9 @@ cargo test -q --offline --test observability
 echo "==> adversary suite (8 seeds)"
 XLINK_SWEEP_SEEDS=8 cargo test -q --offline --test adversary
 
+echo "==> edge tier: 1k-user PoP floods + drain, 8 seeds (release)"
+XLINK_SWEEP_SEEDS=8 XLINK_POP_USERS=1000 cargo test -q --offline --release --test edge
+
 echo "==> fleet engine: 10k concurrent sessions, bit-identical across shard counts (release)"
 XLINK_FLEET_SESSIONS=10000 cargo test -q --offline --release --test fleet
 

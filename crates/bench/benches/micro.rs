@@ -7,8 +7,10 @@
 //! for a one-iteration CI smoke pass). Each bench prints one JSON line
 //! (schema `xlink-bench-v1`) on stdout.
 
-use xlink_clock::Duration;
+use xlink_clock::{Duration, Instant};
+use xlink_core::lb::encode_cid;
 use xlink_core::{play_time_left, reinjection_decision, QoeControl, QoeSignal};
+use xlink_edge::{classify, mint, verify, EdgeRouter};
 use xlink_lab::bench::{black_box, Suite};
 use xlink_quic::ackranges::AckRanges;
 use xlink_quic::crypto::AeadKey;
@@ -91,6 +93,37 @@ fn bench_qoe_controller(s: &mut Suite) {
     s.bench("play_time_left", || play_time_left(black_box(&q)));
 }
 
+fn bench_edge(s: &mut Suite) {
+    // Per-datagram edge hot path: classify the short header, then demux
+    // the DCID through a router holding a realistic table.
+    let shards: Vec<u16> = (1..=8).collect();
+    let mut router = EdgeRouter::new(&shards);
+    let cids: Vec<_> = (0..1024u64).map(|i| encode_cid(shards[(i % 8) as usize], 0, i)).collect();
+    for (i, cid) in cids.iter().enumerate() {
+        router.bind(*cid, i);
+    }
+    let mut dg = vec![0x40u8];
+    dg.extend_from_slice(&cids[513].0);
+    dg.push(0); // 1-byte packet number
+    s.bench("edge_route", || {
+        let c = classify(black_box(&dg));
+        match c {
+            xlink_edge::Classified::Short { dcid } => router.route(black_box(&dcid)),
+            _ => unreachable!("short header"),
+        }
+    });
+
+    // Stateless admission check: full token MAC + lifetime verification.
+    let key = 0xed6e_70b5_0bad_cafeu64;
+    let minted = Instant::from_millis(100);
+    let tok = mint(key, 3, 7, minted);
+    let now = minted + Duration::from_millis(40);
+    let life = Duration::from_secs(2);
+    s.bench("token_verify", || {
+        verify(black_box(key), black_box(3), now, life, black_box(&tok)).expect("valid")
+    });
+}
+
 fn main() {
     let mut s = Suite::from_args();
     bench_frame_codec(&mut s);
@@ -98,5 +131,6 @@ fn main() {
     bench_ackranges(&mut s);
     bench_reassembly(&mut s);
     bench_qoe_controller(&mut s);
+    bench_edge(&mut s);
     s.finish();
 }

@@ -1208,7 +1208,11 @@ impl MpConnection {
                 }
             }
             Frame::NewConnectionId(ic) => {
-                self.cids.store_remote(ic);
+                // Acknowledge any Retire Prior To the frame carries so the
+                // issuer can free the old routing entries.
+                for seq in self.cids.store_remote(ic) {
+                    self.control_queue.push(Frame::RetireConnectionId { seq });
+                }
                 // Bind the CID with seq == path id to that path.
                 let seq = ic.seq as usize;
                 if seq < self.paths.len() {
@@ -2140,6 +2144,7 @@ impl MpConnection {
             scid: self.local_cid0,
             pn: pn_truncate(pn, pn_len),
             pn_len,
+            token: Vec::new(),
         };
         let hdr = header.encode();
         let mut payload = Writer::new();

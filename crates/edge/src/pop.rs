@@ -1,0 +1,833 @@
+//! A deterministic CDN point of presence: one netsim [`Endpoint`]
+//! fronting a fleet of backend shards behind a CID router.
+//!
+//! Every inbound datagram is classified allocation-free
+//! ([`crate::router::classify`]) and either routed to an existing
+//! backend connection, put through Retry-token admission, or dropped
+//! with an accounted reason. The PoP enforces the paper-style edge
+//! robustness properties end to end:
+//!
+//! - **Stateless admission** (RFC 9000 §8.1): unknown addresses get a
+//!   Retry with a self-authenticating token; only Initials echoing a
+//!   fresh, address-bound token create state. Replays are rejected from
+//!   a bounded ring.
+//! - **Anti-amplification**: pre-validation the PoP never sends more
+//!   than [`AMP_FACTOR`]× the bytes an address has sent it — both at
+//!   the PoP level (Retry egress) and inside each unvalidated backend
+//!   connection (`xlink_quic`'s gate).
+//! - **Bounded state**: connections, demux entries, queued Retries,
+//!   replay entries, and address accounts are all hard-capped; floods
+//!   hit the caps, not the allocator. [`Pop::bounded_state`] exposes
+//!   the gauges.
+//! - **Graceful drain** ([`Pop::drain_shard`]): live connections on a
+//!   draining shard are steered to survivors with NEW_CONNECTION_ID +
+//!   Retire Prior To; clients migrate mid-stream with zero stream-byte
+//!   loss, and the old routes disappear when the client's
+//!   RETIRE_CONNECTION_ID lands.
+
+use std::collections::{BTreeMap, BTreeSet, VecDeque};
+use xlink_clock::{Duration, Instant};
+use xlink_core::lb::{encode_cid, ServerId};
+use xlink_netsim::{Endpoint, Transmit};
+use xlink_obs::{Event, Tracer};
+use xlink_quic::cid::ConnectionId;
+use xlink_quic::connection::{Config, Connection, ConnectionStats, AMP_FACTOR};
+use xlink_quic::packet::{Header, PacketType};
+
+use crate::router::{classify, Classified, EdgeRouter};
+use crate::token::{self, splitmix, TokenError};
+
+/// Reject reasons (also the `reason` field of [`Event::EdgeReject`]).
+pub mod reject {
+    /// Initial with no token while admission control is on.
+    pub const NO_TOKEN: &str = "no_token";
+    /// Token MAC/address mismatch: forged or stolen cross-address.
+    pub const BAD_TOKEN: &str = "bad_token";
+    /// Token older than the configured lifetime.
+    pub const EXPIRED_TOKEN: &str = "expired_token";
+    /// Token already spent once.
+    pub const REPLAYED_TOKEN: &str = "replayed_token";
+    /// Sending a Retry would exceed the 3× pre-validation budget.
+    pub const AMPLIFICATION: &str = "amplification";
+    /// A bounded table (address accounts, Retry queue) is full.
+    pub const TABLE_FULL: &str = "table_full";
+    /// The concurrent-connection cap is reached.
+    pub const CONN_CAP: &str = "conn_cap";
+    /// No route: unknown CID (grinding) or no active shard.
+    pub const NO_ROUTE: &str = "no_route";
+}
+
+/// PoP configuration. Every table is explicitly capped; the caps are
+/// what the flood experiments audit via [`Pop::bounded_state`].
+#[derive(Debug, Clone)]
+pub struct PopConfig {
+    /// Backend shard ids (QUIC-LB server ids). Must be non-empty.
+    pub shards: Vec<ServerId>,
+    /// Retry-token admission control for new connections.
+    pub admission: bool,
+    /// Token MAC key (shared by nothing — the PoP is the only minter).
+    pub token_key: u64,
+    /// Token validity window.
+    pub token_lifetime: Duration,
+    /// Seed for backend CID/handshake derivation.
+    pub seed: u64,
+    /// Concurrent backend connections.
+    pub max_conns: usize,
+    /// Queued outbound Retry datagrams.
+    pub max_pending_retries: usize,
+    /// Spent-token replay ring entries.
+    pub max_replay_entries: usize,
+    /// Tracked per-address byte accounts.
+    pub max_addr_entries: usize,
+    /// Per-request response-body cap (a hostile but admitted client
+    /// cannot ask the PoP to materialise unbounded bytes).
+    pub max_response_bytes: u64,
+}
+
+impl Default for PopConfig {
+    fn default() -> Self {
+        PopConfig {
+            shards: vec![1, 2],
+            admission: true,
+            token_key: 0xed6e_70b5_0bad_cafe,
+            token_lifetime: Duration::from_secs(2),
+            seed: 1,
+            max_conns: 2048,
+            max_pending_retries: 256,
+            max_replay_entries: 8192,
+            max_addr_entries: 4096,
+            max_response_bytes: 4 * 1024 * 1024,
+        }
+    }
+}
+
+/// Monotone PoP counters.
+#[derive(Debug, Clone, Default)]
+pub struct PopStats {
+    /// Datagrams handed to the PoP.
+    pub datagrams_in: u64,
+    /// Connections admitted (backend created).
+    pub admitted: u64,
+    /// Retry datagrams queued for transmission.
+    pub retries_sent: u64,
+    /// Drain-steered shard migrations.
+    pub migrations: u64,
+    /// Datagrams with unparseable or inbound-Retry headers.
+    pub malformed: u64,
+    /// Rejected datagrams by reason (see [`reject`]).
+    pub rejects: BTreeMap<&'static str, u64>,
+}
+
+impl PopStats {
+    /// Reject count for one reason.
+    pub fn rejected(&self, reason: &str) -> u64 {
+        self.rejects.get(reason).copied().unwrap_or(0)
+    }
+
+    /// Total rejects across reasons.
+    pub fn rejected_total(&self) -> u64 {
+        self.rejects.values().sum()
+    }
+}
+
+/// Per-shard occupancy and drain bookkeeping.
+#[derive(Debug, Clone, Copy, Default)]
+pub struct ShardStats {
+    /// Live connections currently on the shard.
+    pub live: u32,
+    /// Connections originally placed here by admission.
+    pub admitted: u64,
+    /// Connections steered away during this shard's drain.
+    pub migrated_out: u64,
+    /// Connections steered here from draining shards.
+    pub migrated_in: u64,
+    /// Shard no longer accepts new placements.
+    pub draining: bool,
+}
+
+/// Snapshot of every capped PoP resource, in the same spirit as the
+/// transport-level `BoundedState`: values plus the caps they must
+/// respect, so flood tests can assert `within_caps()` at any instant.
+#[derive(Debug, Clone, Copy)]
+pub struct PopBoundedState {
+    /// Live backend connections.
+    pub conns: usize,
+    /// High-water mark of live connections.
+    pub peak_conns: usize,
+    /// Cap on live connections.
+    pub max_conns: usize,
+    /// Live CID demux entries.
+    pub demux: usize,
+    /// High-water mark of demux entries.
+    pub peak_demux: usize,
+    /// Cap on demux entries (each conn holds at most a few live CIDs).
+    pub max_demux: usize,
+    /// Queued Retry datagrams.
+    pub pending_retries: usize,
+    /// High-water mark of queued Retries.
+    pub peak_pending_retries: usize,
+    /// Cap on queued Retries.
+    pub max_pending_retries: usize,
+    /// Spent tokens remembered for replay rejection.
+    pub replay_entries: usize,
+    /// Cap on the replay ring.
+    pub max_replay_entries: usize,
+    /// Tracked address accounts.
+    pub addr_entries: usize,
+    /// Cap on address accounts.
+    pub max_addr_entries: usize,
+}
+
+impl PopBoundedState {
+    /// True when every gauge (including its peak) respects its cap.
+    pub fn within_caps(&self) -> bool {
+        self.peak_conns <= self.max_conns
+            && self.peak_demux <= self.max_demux
+            && self.peak_pending_retries <= self.max_pending_retries
+            && self.replay_entries <= self.max_replay_entries
+            && self.addr_entries <= self.max_addr_entries
+    }
+}
+
+/// Pre-validation byte account for one address.
+#[derive(Debug, Clone, Copy, Default)]
+struct AddrAccount {
+    received: u64,
+    sent: u64,
+}
+
+/// Per-stream request state on a backend connection.
+#[derive(Debug, Default)]
+struct ReqState {
+    buf: Vec<u8>,
+    answered: bool,
+}
+
+/// One backend connection slot.
+struct Backend {
+    conn: Connection,
+    shard: ServerId,
+    /// Client address (world path index) — where replies go.
+    addr: usize,
+    /// The client's CID: stable demux key for long headers and the
+    /// rehash key for drain placement.
+    client_scid: ConnectionId,
+    streams: BTreeMap<u64, ReqState>,
+}
+
+fn mix(a: u64, b: u64) -> u64 {
+    splitmix(a ^ splitmix(b))
+}
+
+fn cid_u64(cid: &ConnectionId) -> u64 {
+    u64::from_be_bytes(cid.0)
+}
+
+/// Replay-ring key: a spent token's (nonce, MAC) pair, unique per mint.
+/// Only called on tokens that already passed `verify`.
+fn replay_key(tok: &[u8]) -> u128 {
+    let n = u64::from_be_bytes(tok[16..24].try_into().expect("8-byte slice"));
+    let m = u64::from_be_bytes(tok[24..32].try_into().expect("8-byte slice"));
+    (u128::from(n) << 64) | u128::from(m)
+}
+
+/// The PoP endpoint.
+pub struct Pop {
+    cfg: PopConfig,
+    router: EdgeRouter,
+    /// Long-header demux: client SCID → slot (stable for a conn's life).
+    client_map: BTreeMap<ConnectionId, usize>,
+    conns: Vec<Option<Backend>>,
+    /// Round-robin transmit cursor (slot order = admission order, which
+    /// is shard-count independent — the trace-invariance property).
+    rr: usize,
+    /// Outbound Retry datagrams: (address, bytes).
+    pending: VecDeque<(usize, Vec<u8>)>,
+    peak_pending: usize,
+    replay_order: VecDeque<u128>,
+    replay_seen: BTreeSet<u128>,
+    addr_acct: BTreeMap<usize, AddrAccount>,
+    /// Monotone counter feeding backend-CID entropy: admission order,
+    /// so CID *values* are unique and shard-count independent.
+    cid_counter: u64,
+    /// Monotone mint nonce: keeps same-instant same-address tokens
+    /// distinct (clients behind one NAT'd address must not collide in
+    /// the replay ring).
+    mint_counter: u64,
+    live: usize,
+    peak_live: usize,
+    shard_stats: BTreeMap<ServerId, ShardStats>,
+    stats: PopStats,
+    tracer: Tracer,
+}
+
+impl Pop {
+    /// Build a PoP over the configured shard set.
+    pub fn new(cfg: PopConfig) -> Self {
+        assert!(!cfg.shards.is_empty(), "a PoP needs at least one shard");
+        let router = EdgeRouter::new(&cfg.shards);
+        let shard_stats = cfg.shards.iter().map(|&s| (s, ShardStats::default())).collect();
+        Pop {
+            router,
+            client_map: BTreeMap::new(),
+            conns: Vec::new(),
+            rr: 0,
+            pending: VecDeque::new(),
+            peak_pending: 0,
+            replay_order: VecDeque::new(),
+            replay_seen: BTreeSet::new(),
+            addr_acct: BTreeMap::new(),
+            cid_counter: 0,
+            mint_counter: 0,
+            live: 0,
+            peak_live: 0,
+            shard_stats,
+            stats: PopStats::default(),
+            tracer: Tracer::disabled(),
+            cfg,
+        }
+    }
+
+    /// Attach a trace handle for edge events (admit/reject/drain/migrate).
+    pub fn set_tracer(&mut self, tracer: Tracer) {
+        self.tracer = tracer;
+    }
+
+    /// Monotone counters.
+    pub fn stats(&self) -> &PopStats {
+        &self.stats
+    }
+
+    /// Per-shard occupancy.
+    pub fn shard_stats(&self) -> &BTreeMap<ServerId, ShardStats> {
+        &self.shard_stats
+    }
+
+    /// Live backend connections.
+    pub fn live_conns(&self) -> usize {
+        self.live
+    }
+
+    /// Capped-resource snapshot.
+    pub fn bounded_state(&self) -> PopBoundedState {
+        PopBoundedState {
+            conns: self.live,
+            peak_conns: self.peak_live,
+            max_conns: self.cfg.max_conns,
+            demux: self.router.table_len(),
+            peak_demux: self.router.peak_table(),
+            // A conn holds its original CID plus at most a handful of
+            // live migration/replacement CIDs at any instant.
+            max_demux: 4 * self.cfg.max_conns,
+            pending_retries: self.pending.len(),
+            peak_pending_retries: self.peak_pending,
+            max_pending_retries: self.cfg.max_pending_retries,
+            replay_entries: self.replay_seen.len(),
+            max_replay_entries: self.cfg.max_replay_entries,
+            addr_entries: self.addr_acct.len(),
+            max_addr_entries: self.cfg.max_addr_entries,
+        }
+    }
+
+    /// True while every pre-validation address account respects the
+    /// [`AMP_FACTOR`]× send budget (RFC 9000 §8.1 at the PoP level).
+    pub fn amp_ok(&self) -> bool {
+        self.addr_acct.values().all(|a| a.sent <= a.received.saturating_mul(AMP_FACTOR))
+    }
+
+    /// The shard currently serving a client's connection.
+    pub fn shard_of(&self, client_scid: &ConnectionId) -> Option<ServerId> {
+        let slot = *self.client_map.get(client_scid)?;
+        self.conns[slot].as_ref().map(|b| b.shard)
+    }
+
+    /// Transport counters of a client's backend connection.
+    pub fn backend_stats(&self, client_scid: &ConnectionId) -> Option<ConnectionStats> {
+        let slot = *self.client_map.get(client_scid)?;
+        self.conns[slot].as_ref().map(|b| b.conn.stats())
+    }
+
+    /// True once a client's backend finished the handshake.
+    pub fn backend_established(&self, client_scid: &ConnectionId) -> bool {
+        self.client_map
+            .get(client_scid)
+            .and_then(|&s| self.conns[s].as_ref())
+            .is_some_and(|b| b.conn.is_established())
+    }
+
+    /// Drain a shard: stop placing new connections on it and steer every
+    /// live connection to a surviving shard via NEW_CONNECTION_ID with
+    /// Retire Prior To. The old CIDs stay routable until each client's
+    /// RETIRE_CONNECTION_ID lands, so in-flight packets never black-hole.
+    pub fn drain_shard(&mut self, now: Instant, shard: ServerId) {
+        self.router.deactivate_shard(shard);
+        if let Some(s) = self.shard_stats.get_mut(&shard) {
+            s.draining = true;
+        }
+        let slots: Vec<usize> = self
+            .conns
+            .iter()
+            .enumerate()
+            .filter(|(_, b)| b.as_ref().is_some_and(|b| b.shard == shard && !b.conn.is_closed()))
+            .map(|(i, _)| i)
+            .collect();
+        self.tracer.emit(now, Event::ShardDrain { shard, conns: slots.len() as u32 });
+        for slot in slots {
+            let Some(b) = self.conns[slot].as_mut() else { continue };
+            // No survivors → nothing to steer to; the shard must finish
+            // its sessions before going away.
+            let Some(target) = self.router.place(&b.client_scid) else { continue };
+            let entropy = mix(self.cfg.seed ^ 0xc1d, self.cid_counter);
+            self.cid_counter += 1;
+            let cid = encode_cid(target, 0, entropy);
+            b.conn.issue_migration_cid(cid);
+            let from = b.shard;
+            b.shard = target;
+            self.router.bind(cid, slot);
+            if let Some(s) = self.shard_stats.get_mut(&from) {
+                s.live = s.live.saturating_sub(1);
+                s.migrated_out += 1;
+            }
+            if let Some(s) = self.shard_stats.get_mut(&target) {
+                s.live += 1;
+                s.migrated_in += 1;
+            }
+            self.stats.migrations += 1;
+            self.tracer.emit(now, Event::ConnMigrated { from_shard: from, to_shard: target });
+        }
+    }
+
+    fn reject(&mut self, now: Instant, reason: &'static str) {
+        *self.stats.rejects.entry(reason).or_insert(0) += 1;
+        self.tracer.emit(now, Event::EdgeReject { reason });
+    }
+
+    /// Queue a Retry for `scid` at `addr`, within the pre-validation
+    /// amplification budget and the Retry-queue cap.
+    fn queue_retry(&mut self, now: Instant, addr: usize, scid: ConnectionId) {
+        let tok = token::mint(self.cfg.token_key, addr as u64, self.mint_counter, now);
+        self.mint_counter += 1;
+        let header = Header {
+            ty: PacketType::Retry,
+            dcid: scid,
+            // Stand-in SCID: the client readdresses its tokened Initial
+            // to this, which is the same placeholder all Initials carry.
+            scid: ConnectionId::derive(0x1317, 0),
+            pn: 0,
+            pn_len: 1,
+            token: tok.to_vec(),
+        };
+        let bytes = header.encode();
+        let acct = self.addr_acct.entry(addr).or_default();
+        if acct.sent + bytes.len() as u64 > acct.received.saturating_mul(AMP_FACTOR) {
+            self.reject(now, reject::AMPLIFICATION);
+            return;
+        }
+        if self.pending.len() >= self.cfg.max_pending_retries {
+            self.reject(now, reject::TABLE_FULL);
+            return;
+        }
+        acct.sent += bytes.len() as u64;
+        self.pending.push_back((addr, bytes));
+        self.peak_pending = self.peak_pending.max(self.pending.len());
+        self.stats.retries_sent += 1;
+    }
+
+    /// Admission path for an Initial whose SCID matches no connection.
+    fn on_new_initial(
+        &mut self,
+        now: Instant,
+        addr: usize,
+        scid: ConnectionId,
+        tok: &[u8],
+        payload: &[u8],
+    ) {
+        // Account pre-validation bytes (bounded table; overflow = drop).
+        if !self.addr_acct.contains_key(&addr) && self.addr_acct.len() >= self.cfg.max_addr_entries
+        {
+            self.reject(now, reject::TABLE_FULL);
+            return;
+        }
+        self.addr_acct.entry(addr).or_default().received += payload.len() as u64;
+
+        let validated = if self.cfg.admission {
+            if tok.is_empty() {
+                self.reject(now, reject::NO_TOKEN);
+                self.queue_retry(now, addr, scid);
+                return;
+            }
+            match token::verify(self.cfg.token_key, addr as u64, now, self.cfg.token_lifetime, tok)
+            {
+                Err(TokenError::Malformed) | Err(TokenError::BadMac) => {
+                    self.reject(now, reject::BAD_TOKEN);
+                    return;
+                }
+                Err(TokenError::Expired) => {
+                    self.reject(now, reject::EXPIRED_TOKEN);
+                    self.queue_retry(now, addr, scid);
+                    return;
+                }
+                Ok(()) => {
+                    let key = replay_key(tok);
+                    if !self.replay_seen.insert(key) {
+                        self.reject(now, reject::REPLAYED_TOKEN);
+                        return;
+                    }
+                    self.replay_order.push_back(key);
+                    if self.replay_order.len() > self.cfg.max_replay_entries {
+                        if let Some(old) = self.replay_order.pop_front() {
+                            self.replay_seen.remove(&old);
+                        }
+                    }
+                    true
+                }
+            }
+        } else {
+            false
+        };
+
+        if self.live >= self.cfg.max_conns {
+            self.reject(now, reject::CONN_CAP);
+            return;
+        }
+        let Some(shard) = self.router.place(&scid) else {
+            self.reject(now, reject::NO_ROUTE);
+            return;
+        };
+
+        // Backend seed mixes the PoP seed with the client's CID — never
+        // the shard id, so handshakes (and therefore everything the
+        // client observes) are identical across shard counts.
+        let seed = mix(self.cfg.seed, cid_u64(&scid));
+        let mut conn = Connection::new(Config::server(seed), now);
+        if !validated {
+            // Without token admission the quic-level 3× gate holds until
+            // the handshake validates the address.
+            conn.set_address_unvalidated();
+        }
+        let entropy = mix(self.cfg.seed ^ 0xc1d, self.cid_counter);
+        self.cid_counter += 1;
+        let cid = encode_cid(shard, 0, entropy);
+        conn.rebind_local_cid(cid);
+
+        let slot = match self.conns.iter().position(Option::is_none) {
+            Some(free) => free,
+            None => {
+                self.conns.push(None);
+                self.conns.len() - 1
+            }
+        };
+        self.router.bind(cid, slot);
+        self.client_map.insert(scid, slot);
+        self.live += 1;
+        self.peak_live = self.peak_live.max(self.live);
+        let st = self.shard_stats.entry(shard).or_default();
+        st.live += 1;
+        st.admitted += 1;
+        self.stats.admitted += 1;
+        self.tracer.emit(now, Event::EdgeAdmit { shard });
+        self.conns[slot] =
+            Some(Backend { conn, shard, addr, client_scid: scid, streams: BTreeMap::new() });
+        self.forward(now, slot, payload);
+    }
+
+    /// Hand a datagram to a backend, serve any completed requests, and
+    /// sync CID issuance/retirement into the router.
+    fn forward(&mut self, now: Instant, slot: usize, payload: &[u8]) {
+        let Some(b) = self.conns[slot].as_mut() else { return };
+        b.conn.handle_datagram(now, payload);
+        // Serve the PoP's toy origin protocol: an 8-byte little-endian
+        // length N on a stream is answered with N bytes of the fixed
+        // `i % 251` pattern plus FIN — byte-identical regardless of
+        // which shard serves it.
+        for id in b.conn.readable_streams() {
+            let st = b.streams.entry(id).or_default();
+            let data = b.conn.stream_recv(id, usize::MAX);
+            if st.answered {
+                continue;
+            }
+            st.buf.extend_from_slice(&data);
+            if st.buf.len() >= 8 {
+                let n = u64::from_le_bytes(st.buf[..8].try_into().expect("8-byte slice"))
+                    .min(self.cfg.max_response_bytes);
+                st.answered = true;
+                st.buf = Vec::new();
+                let body: Vec<u8> = (0..n).map(|i| (i % 251) as u8).collect();
+                b.conn.stream_send(id, &body, true);
+            }
+        }
+        let issued: Vec<ConnectionId> = b.conn.local_cids().collect();
+        let retired = b.conn.take_retired_local();
+        let drained = b.conn.is_drained();
+        for cid in issued {
+            self.router.bind(cid, slot);
+        }
+        for cid in retired {
+            self.router.unbind(&cid);
+        }
+        if drained {
+            self.reap(slot);
+        }
+    }
+
+    /// Tear down a fully drained backend and free its routes.
+    fn reap(&mut self, slot: usize) {
+        let Some(b) = self.conns[slot].take() else { return };
+        self.router.unbind_slot(slot);
+        self.client_map.remove(&b.client_scid);
+        self.live -= 1;
+        if let Some(s) = self.shard_stats.get_mut(&b.shard) {
+            s.live = s.live.saturating_sub(1);
+        }
+    }
+}
+
+impl Endpoint for Pop {
+    fn on_datagram(&mut self, now: Instant, path: usize, payload: &[u8]) {
+        self.stats.datagrams_in += 1;
+        match classify(payload) {
+            Classified::Short { dcid } => match self.router.route(&dcid) {
+                Some(slot) => self.forward(now, slot, payload),
+                None => self.reject(now, reject::NO_ROUTE),
+            },
+            Classified::Initial { scid, token, .. } => {
+                if let Some(&slot) = self.client_map.get(&scid) {
+                    // Handshake continuation of an admitted connection.
+                    self.forward(now, slot, payload);
+                } else {
+                    self.on_new_initial(now, path, scid, token, payload);
+                }
+            }
+            Classified::Handshake { dcid, scid } => {
+                if let Some(&slot) = self.client_map.get(&scid) {
+                    self.forward(now, slot, payload);
+                } else if let Some(slot) = self.router.route(&dcid) {
+                    self.forward(now, slot, payload);
+                } else {
+                    self.reject(now, reject::NO_ROUTE);
+                }
+            }
+            // The PoP mints Retries; it never accepts one.
+            Classified::Retry { .. } | Classified::Malformed => self.stats.malformed += 1,
+        }
+    }
+
+    fn poll_transmit(&mut self, now: Instant) -> Option<Transmit> {
+        if let Some((path, payload)) = self.pending.pop_front() {
+            return Some(Transmit { path, payload });
+        }
+        let n = self.conns.len();
+        for i in 0..n {
+            let slot = (self.rr + i) % n;
+            if let Some(b) = self.conns[slot].as_mut() {
+                if let Some(payload) = b.conn.poll_transmit(now) {
+                    self.rr = (slot + 1) % n;
+                    return Some(Transmit { path: b.addr, payload });
+                }
+            }
+        }
+        None
+    }
+
+    fn poll_timeout(&self) -> Option<Instant> {
+        self.conns.iter().flatten().filter_map(|b| b.conn.poll_timeout()).min()
+    }
+
+    fn on_timeout(&mut self, now: Instant) {
+        let mut drained = Vec::new();
+        for (slot, b) in self.conns.iter_mut().enumerate() {
+            let Some(b) = b else { continue };
+            if b.conn.poll_timeout().is_some_and(|t| t <= now) {
+                b.conn.on_timeout(now);
+            }
+            if b.conn.is_drained() {
+                drained.push(slot);
+            }
+        }
+        for slot in drained {
+            self.reap(slot);
+        }
+    }
+
+    fn is_done(&self) -> bool {
+        true // passive: session end is the clients' call
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use xlink_core::lb::server_id;
+
+    const LIFE: Duration = Duration::from_secs(2);
+
+    fn pop(admission: bool, shards: &[ServerId]) -> Pop {
+        Pop::new(PopConfig {
+            shards: shards.to_vec(),
+            admission,
+            token_lifetime: LIFE,
+            ..PopConfig::default()
+        })
+    }
+
+    /// Drive one client against the PoP until quiescent or `rounds` out.
+    fn pump(now: &mut Instant, clients: &mut [(usize, &mut Connection)], p: &mut Pop, rounds: u32) {
+        for _ in 0..rounds {
+            let mut moved = false;
+            for (addr, c) in clients.iter_mut() {
+                while let Some(d) = c.poll_transmit(*now) {
+                    p.on_datagram(*now, *addr, &d);
+                    moved = true;
+                }
+            }
+            while let Some(t) = Endpoint::poll_transmit(p, *now) {
+                moved = true;
+                for (addr, c) in clients.iter_mut() {
+                    if *addr == t.path {
+                        c.handle_datagram(*now, &t.payload);
+                        break;
+                    }
+                }
+            }
+            *now = *now + Duration::from_millis(5);
+            for (_, c) in clients.iter_mut() {
+                if c.poll_timeout().is_some_and(|t| t <= *now) {
+                    c.on_timeout(*now);
+                }
+            }
+            Endpoint::on_timeout(p, *now);
+            if !moved {
+                break;
+            }
+        }
+    }
+
+    #[test]
+    fn tokenless_flood_creates_no_connection_state() {
+        let mut p = pop(true, &[1, 2]);
+        let now = Instant::from_millis(1);
+        for i in 0..100u64 {
+            let mut c = Connection::new(Config::client(0x9000 + i), now);
+            let d = c.poll_transmit(now).expect("client hello");
+            p.on_datagram(now, i as usize, &d);
+        }
+        assert_eq!(p.live_conns(), 0);
+        assert_eq!(p.stats().rejected(reject::NO_TOKEN), 100);
+        assert_eq!(p.stats().retries_sent, 100);
+        assert!(p.bounded_state().within_caps());
+        assert!(p.amp_ok());
+    }
+
+    #[test]
+    fn retry_then_tokened_initial_admits_and_serves() {
+        let mut p = pop(true, &[1, 2, 3]);
+        let mut c = Connection::new(Config::client(0x51), Instant::from_millis(1));
+        let scid = c.local_cid();
+        let mut now = Instant::from_millis(1);
+        pump(&mut now, &mut [(0, &mut c)], &mut p, 50);
+        assert!(c.retry_seen(), "client should have honoured a Retry");
+        assert!(c.is_established() && p.backend_established(&scid));
+        assert_eq!(p.stats().admitted, 1);
+        // The server's CID encodes the shard the router placed us on.
+        assert_eq!(server_id(&c.remote_cid()), p.shard_of(&scid).unwrap());
+        // Request 100 bytes; the PoP answers with the fixed pattern.
+        let id = c.open_stream(0);
+        c.stream_send(id, &100u64.to_le_bytes(), true);
+        pump(&mut now, &mut [(0, &mut c)], &mut p, 200);
+        let body = c.stream_recv(id, usize::MAX);
+        assert_eq!(body.len(), 100);
+        assert!(body.iter().enumerate().all(|(i, &b)| b == (i % 251) as u8));
+    }
+
+    #[test]
+    fn replayed_and_cross_address_tokens_rejected() {
+        let mut p = pop(true, &[1]);
+        let now = Instant::from_millis(1);
+        // Get a genuine Retry for address 0.
+        let mut a = Connection::new(Config::client(0xa0), now);
+        let hello = a.poll_transmit(now).expect("hello");
+        p.on_datagram(now, 0, &hello);
+        let retry = Endpoint::poll_transmit(&mut p, now).expect("retry queued");
+        assert_eq!(retry.path, 0);
+        let tok = retry.payload[19..].to_vec(); // header is 19 bytes, token is the rest
+        assert_eq!(tok.len(), token::TOKEN_LEN);
+
+        // Splice the token into a *different* client's Initial.
+        let splice = |conn: &mut Connection| {
+            let d = conn.poll_transmit(now).expect("hello");
+            let mut out = d[..19].to_vec();
+            out.push(token::TOKEN_LEN as u8);
+            out.extend_from_slice(&tok);
+            out.extend_from_slice(&d[20..]); // skip the empty token length
+            out
+        };
+        let mut b = Connection::new(Config::client(0xb0), now);
+        p.on_datagram(now, 0, &splice(&mut b));
+        assert_eq!(p.stats().admitted, 1, "first spend of a valid token admits");
+        // Same token again, new client: replay.
+        let mut c2 = Connection::new(Config::client(0xc0), now);
+        p.on_datagram(now, 0, &splice(&mut c2));
+        assert_eq!(p.stats().rejected(reject::REPLAYED_TOKEN), 1);
+        // A fresh token is address-bound: spending it from addr 7 fails.
+        let mut d2 = Connection::new(Config::client(0xd0), now);
+        let hello2 = d2.poll_transmit(now).expect("hello");
+        p.on_datagram(now, 1, &hello2);
+        let retry2 = Endpoint::poll_transmit(&mut p, now).expect("retry");
+        let tok2 = retry2.payload[19..].to_vec();
+        let mut e = Connection::new(Config::client(0xe0), now);
+        let de = e.poll_transmit(now).expect("hello");
+        let mut spliced = de[..19].to_vec();
+        spliced.push(token::TOKEN_LEN as u8);
+        spliced.extend_from_slice(&tok2);
+        spliced.extend_from_slice(&de[20..]);
+        p.on_datagram(now, 7, &spliced);
+        assert_eq!(p.stats().rejected(reject::BAD_TOKEN), 1);
+        assert_eq!(p.stats().admitted, 1);
+    }
+
+    #[test]
+    fn drain_steers_live_conns_to_survivors() {
+        let mut p = pop(false, &[1, 2]);
+        let mut a = Connection::new(Config::client(0x111), Instant::from_millis(1));
+        let mut b = Connection::new(Config::client(0x222), Instant::from_millis(1));
+        let (sa, sb) = (a.local_cid(), b.local_cid());
+        let mut now = Instant::from_millis(1);
+        pump(&mut now, &mut [(0, &mut a), (1, &mut b)], &mut p, 100);
+        assert!(a.is_established() && b.is_established());
+        let (ha, hb) = (p.shard_of(&sa).unwrap(), p.shard_of(&sb).unwrap());
+
+        // Drain shard 1: every conn on it must move to shard 2.
+        p.drain_shard(now, 1);
+        let moved = [(sa, ha), (sb, hb)].iter().filter(|(_, h)| *h == 1).count() as u64;
+        assert_eq!(p.stats().migrations, moved);
+        pump(&mut now, &mut [(0, &mut a), (1, &mut b)], &mut p, 100);
+        assert_eq!(p.shard_of(&sa), Some(if ha == 1 { 2 } else { ha }));
+        assert_eq!(p.shard_of(&sb), Some(if hb == 1 { 2 } else { hb }));
+        // The clients followed: their DCIDs now encode the new shard,
+        // and both connections still work end to end.
+        assert_ne!(server_id(&a.remote_cid()), 1);
+        assert_ne!(server_id(&b.remote_cid()), 1);
+        let ida = a.open_stream(0);
+        a.stream_send(ida, &64u64.to_le_bytes(), true);
+        let idb = b.open_stream(0);
+        b.stream_send(idb, &64u64.to_le_bytes(), true);
+        pump(&mut now, &mut [(0, &mut a), (1, &mut b)], &mut p, 200);
+        assert_eq!(a.stream_recv(ida, usize::MAX).len(), 64, "post-drain serve a");
+        assert_eq!(b.stream_recv(idb, usize::MAX).len(), 64, "post-drain serve b");
+    }
+
+    #[test]
+    fn cid_grinding_is_rejected_without_state_growth() {
+        let mut p = pop(true, &[1, 2]);
+        let now = Instant::from_millis(1);
+        for i in 0..500u64 {
+            let mut d = vec![0b0100_0000u8];
+            d.extend_from_slice(&ConnectionId::derive(0xbad, i).0);
+            d.extend_from_slice(&[0, 0, 0, 0]);
+            p.on_datagram(now, 3, &d);
+        }
+        assert_eq!(p.stats().rejected(reject::NO_ROUTE), 500);
+        assert_eq!(p.live_conns(), 0);
+        assert!(p.bounded_state().within_caps());
+    }
+}

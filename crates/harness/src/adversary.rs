@@ -168,6 +168,7 @@ impl QuicAttacker {
             scid: ConnectionId::derive(0xad5a, 0),
             pn: 0,
             pn_len: 1,
+            token: Vec::new(),
         };
         let mut w = Writer::new();
         Frame::Crypto { offset: 0, data: self.hs.local_hello().encode() }.encode(&mut w);
@@ -188,6 +189,7 @@ impl QuicAttacker {
             scid: ConnectionId([0; CID_LEN]),
             pn,
             pn_len: 4,
+            token: Vec::new(),
         };
         let seq = if self.mp { path as u32 } else { 0 };
         let mut dg = hdr.encode();
@@ -782,6 +784,151 @@ pub fn run_attack_mptcp(kind: AttackKind, seed: u64) -> MptcpAdversaryOutcome {
     }
     ooo_peak = ooo_peak.max(victim.ooo_count());
     MptcpAdversaryOutcome { absorbed, ooo_peak }
+}
+
+/// Edge-tier attack catalogue: floods aimed at the CDN PoP's admission
+/// and routing layers rather than an established connection. Run via
+/// `crate::pop::run_edge_attack`, which mixes one of these into an
+/// honest client fleet.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum EdgeAttackKind {
+    /// Tokenless Initials with a fresh SCID each — a handshake flood
+    /// trying to make the PoP allocate connection state. Every one must
+    /// bounce off admission with only a (amplification-capped) Retry.
+    InitialFlood,
+    /// Obtain one genuine Retry token, then spend it over and over under
+    /// different SCIDs. Exactly one spend may admit; the rest must hit
+    /// the replay ring.
+    TokenReplay,
+    /// Short-header datagrams with ground pseudo-random CIDs, probing
+    /// for routable values. All must miss the demux table and be
+    /// dropped without state growth.
+    CidGrind,
+}
+
+impl EdgeAttackKind {
+    /// Every edge attack in the catalogue.
+    pub fn all() -> [EdgeAttackKind; 3] {
+        [EdgeAttackKind::InitialFlood, EdgeAttackKind::TokenReplay, EdgeAttackKind::CidGrind]
+    }
+
+    /// Human-readable label for experiment output.
+    pub fn label(self) -> &'static str {
+        match self {
+            EdgeAttackKind::InitialFlood => "initial-flood",
+            EdgeAttackKind::TokenReplay => "token-replay",
+            EdgeAttackKind::CidGrind => "cid-grind",
+        }
+    }
+}
+
+/// A scripted PoP flooder. Unlike [`QuicAttacker`] it is not a netsim
+/// endpoint itself — `crate::pop::PopFleet` hosts it on a dedicated
+/// address next to the honest sessions, calling [`next_datagram`] /
+/// [`on_datagram`] on its behalf.
+///
+/// [`next_datagram`]: EdgeAttacker::next_datagram
+/// [`on_datagram`]: EdgeAttacker::on_datagram
+pub struct EdgeAttacker {
+    kind: EdgeAttackKind,
+    seed: u64,
+    budget: u64,
+    emitted: u64,
+    probe_sent: bool,
+    token: Option<Vec<u8>>,
+    /// Retries the PoP answered with (amplification-capped upstream).
+    pub retries_seen: u64,
+}
+
+impl EdgeAttacker {
+    /// Build a flooder that will emit `budget` attack datagrams.
+    pub fn new(kind: EdgeAttackKind, seed: u64, budget: u64) -> Self {
+        EdgeAttacker {
+            kind,
+            seed,
+            budget,
+            emitted: 0,
+            probe_sent: false,
+            token: None,
+            retries_seen: 0,
+        }
+    }
+
+    /// The script has nothing left to send.
+    pub fn exhausted(&self) -> bool {
+        match self.kind {
+            EdgeAttackKind::InitialFlood | EdgeAttackKind::CidGrind => self.emitted >= self.budget,
+            // Until the probe's Retry arrives the replayer idles but is
+            // not done.
+            EdgeAttackKind::TokenReplay => self.token.is_some() && self.emitted >= self.budget,
+        }
+    }
+
+    fn initial(&self, scid: ConnectionId, token: Vec<u8>) -> Vec<u8> {
+        let hdr = Header {
+            ty: PacketType::Initial,
+            dcid: ConnectionId::derive(0x1317, 0),
+            scid,
+            pn: 0,
+            pn_len: 1,
+            token,
+        };
+        let mut dg = hdr.encode();
+        // Fake sealed payload: admission never decrypts, and a created
+        // backend (one per first token spend) just drops it on AEAD.
+        dg.extend_from_slice(&[0xab; 24]);
+        dg
+    }
+
+    /// Ingest a datagram the PoP sent to the attacker's address
+    /// (token capture for the replay script).
+    pub fn on_datagram(&mut self, payload: &[u8]) {
+        if let xlink_edge::Classified::Retry { .. } = xlink_edge::classify(payload) {
+            self.retries_seen += 1;
+            // Retry wire layout: 19 header bytes, then the raw token.
+            if self.kind == EdgeAttackKind::TokenReplay && self.token.is_none() {
+                self.token = Some(payload[19..].to_vec());
+            }
+        }
+    }
+
+    /// Produce the next attack datagram, if the script has one ready.
+    pub fn next_datagram(&mut self) -> Option<Vec<u8>> {
+        match self.kind {
+            EdgeAttackKind::InitialFlood => {
+                if self.emitted >= self.budget {
+                    return None;
+                }
+                let scid = ConnectionId::derive(self.seed ^ 0xf100d, self.emitted);
+                self.emitted += 1;
+                Some(self.initial(scid, Vec::new()))
+            }
+            EdgeAttackKind::TokenReplay => {
+                if !self.probe_sent {
+                    self.probe_sent = true;
+                    let scid = ConnectionId::derive(self.seed ^ 0x7e91, 0);
+                    return Some(self.initial(scid, Vec::new()));
+                }
+                let tok = self.token.clone()?;
+                if self.emitted >= self.budget {
+                    return None;
+                }
+                let scid = ConnectionId::derive(self.seed ^ 0x7e91, self.emitted + 1);
+                self.emitted += 1;
+                Some(self.initial(scid, tok))
+            }
+            EdgeAttackKind::CidGrind => {
+                if self.emitted >= self.budget {
+                    return None;
+                }
+                let mut dg = vec![0b0100_0000u8];
+                dg.extend_from_slice(&ConnectionId::derive(self.seed ^ 0x9f1d, self.emitted).0);
+                dg.extend_from_slice(&[0; 4]);
+                self.emitted += 1;
+                Some(dg)
+            }
+        }
+    }
 }
 
 #[cfg(test)]

@@ -10,6 +10,7 @@ pub mod adversary;
 pub mod bulk;
 pub mod chaos;
 pub mod fleet;
+pub mod pop;
 pub mod scenario;
 pub mod stats;
 pub mod transport;
@@ -20,7 +21,7 @@ pub mod experiments;
 pub use ab::{run_ab, AbConfig, DayOutcome};
 pub use adversary::{
     run_attack, run_attack_mptcp, run_attack_traced, run_path_hijack, AdversaryOutcome, AttackKind,
-    HijackOutcome, MptcpAdversaryOutcome, QuicAttacker, VictimPeer,
+    EdgeAttackKind, EdgeAttacker, HijackOutcome, MptcpAdversaryOutcome, QuicAttacker, VictimPeer,
 };
 pub use bulk::{
     run_bulk_mptcp, run_bulk_mptcp_flapped, run_bulk_quic, run_bulk_quic_flapped,
@@ -31,6 +32,7 @@ pub use chaos::{
     ChaosPlan,
 };
 pub use fleet::{run_fleet, run_fleet_profiled, FleetConfig, FleetReport};
+pub use pop::{run_edge_attack, run_pop, run_pop_traced, PopReport, PopRunConfig};
 pub use scenario::{draw_user_paths, PathSpec};
 pub use transport::{
     BoundedState, Conn, Scheme, TransportStats, TransportTuning, REINJECTION_COST_CAP,

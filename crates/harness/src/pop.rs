@@ -1,0 +1,372 @@
+//! Fleet-vs-PoP runner: a population of honest single-path clients
+//! (optionally laced with an [`EdgeAttacker`]) against one
+//! [`xlink_edge::Pop`] under the netsim emulator.
+//!
+//! Each honest session is a real `xlink_quic` client that passes
+//! Retry-token admission, downloads one patterned object from its
+//! backend shard, and byte-verifies every chunk — so the drain
+//! experiments can assert *zero stream-byte loss*, not just "it
+//! finished". The runner supports mid-run shard drain
+//! ([`PopRunConfig::drain`]) and flood mixing
+//! ([`PopRunConfig::attack`]), and reports the PoP's bounded-state
+//! gauges alongside population completion.
+
+use crate::adversary::{EdgeAttackKind, EdgeAttacker};
+use std::collections::BTreeMap;
+use xlink_clock::{Duration, Instant};
+use xlink_core::lb::ServerId;
+use xlink_edge::{classify, Classified, Pop, PopBoundedState, PopConfig, PopStats, ShardStats};
+use xlink_netsim::{Endpoint, LinkConfig, Path, Transmit, World};
+use xlink_obs::TraceLog;
+use xlink_quic::cid::ConnectionId;
+use xlink_quic::connection::{Config, Connection};
+
+fn mix(a: u64, b: u64) -> u64 {
+    let mut x = a ^ b.wrapping_mul(0x9e37_79b9_7f4a_7c15);
+    x ^= x >> 30;
+    x = x.wrapping_mul(0xbf58_476d_1ce4_e5b9);
+    x ^= x >> 27;
+    x = x.wrapping_mul(0x94d0_49bb_1331_11eb);
+    x ^ (x >> 31)
+}
+
+/// One fleet-vs-PoP run.
+#[derive(Debug, Clone)]
+pub struct PopRunConfig {
+    /// Honest sessions.
+    pub users: usize,
+    /// Client addresses (world paths) the sessions are spread over —
+    /// several users share an address, like a NAT'd population.
+    pub addrs: usize,
+    /// Backend shard ids.
+    pub shards: Vec<ServerId>,
+    /// Retry-token admission at the PoP.
+    pub admission: bool,
+    /// Bytes each session requests.
+    pub request_bytes: u64,
+    /// Run seed (session handshakes, PoP derivations).
+    pub seed: u64,
+    /// Virtual-time budget.
+    pub deadline: Duration,
+    /// Session start spacing (session `i` starts at `i × stagger`).
+    pub stagger: Duration,
+    /// Drain shard `.1` at virtual time `.0`.
+    pub drain: Option<(Duration, ServerId)>,
+    /// Mix in `budget` datagrams of an edge attack from a dedicated
+    /// address.
+    pub attack: Option<(EdgeAttackKind, u64)>,
+    /// Per-path link rate.
+    pub link_mbps: f64,
+    /// Per-path one-way delay.
+    pub link_delay: Duration,
+}
+
+impl Default for PopRunConfig {
+    fn default() -> Self {
+        PopRunConfig {
+            users: 50,
+            addrs: 8,
+            shards: vec![1, 2],
+            admission: true,
+            request_bytes: 20_000,
+            seed: 1,
+            deadline: Duration::from_secs(30),
+            stagger: Duration::from_millis(2),
+            drain: None,
+            attack: None,
+            link_mbps: 50.0,
+            link_delay: Duration::from_millis(10),
+        }
+    }
+}
+
+/// What a run produced.
+#[derive(Debug, Clone)]
+pub struct PopReport {
+    /// Honest sessions in the run.
+    pub users: usize,
+    /// Sessions that downloaded their full object with every byte
+    /// matching the pattern.
+    pub completed: usize,
+    /// No completed session saw a corrupt byte (stream-byte integrity
+    /// across admission, routing, and drain migration).
+    pub bytes_ok: bool,
+    /// PoP counters (admits, rejects by reason, migrations).
+    pub stats: PopStats,
+    /// PoP capped-resource gauges at run end (peaks included).
+    pub bounded: PopBoundedState,
+    /// The PoP respected the 3× pre-validation send budget throughout.
+    pub amp_ok: bool,
+    /// Per-shard occupancy and drain bookkeeping.
+    pub shard_stats: BTreeMap<ServerId, ShardStats>,
+    /// Retries the attacker's address received (amplification-capped).
+    pub attacker_retries_seen: u64,
+    /// Virtual time when the run ended.
+    pub end: Duration,
+}
+
+impl PopReport {
+    /// Completion ratio over the honest population.
+    pub fn completion(&self) -> f64 {
+        if self.users == 0 {
+            return 1.0;
+        }
+        self.completed as f64 / self.users as f64
+    }
+}
+
+/// One honest download session.
+struct Session {
+    conn: Connection,
+    addr: usize,
+    start: Instant,
+    stream: Option<u64>,
+    want: u64,
+    received: u64,
+    ok: bool,
+    done_at: Option<Instant>,
+}
+
+impl Session {
+    /// Open the request stream once the handshake lands.
+    fn drive(&mut self) {
+        if self.stream.is_none() && self.conn.is_established() {
+            let id = self.conn.open_stream(0);
+            self.conn.stream_send(id, &self.want.to_le_bytes(), true);
+            self.stream = Some(id);
+        }
+    }
+
+    /// Read and byte-verify response data.
+    fn absorb(&mut self, now: Instant) {
+        let Some(id) = self.stream else { return };
+        for b in self.conn.stream_recv(id, usize::MAX) {
+            if b != (self.received % 251) as u8 {
+                self.ok = false;
+            }
+            self.received += 1;
+        }
+        if self.received >= self.want && self.done_at.is_none() {
+            self.done_at = Some(now);
+        }
+    }
+
+    fn is_done(&self) -> bool {
+        self.done_at.is_some() || self.conn.is_closed()
+    }
+}
+
+/// The client-side endpoint: every honest session plus the optional
+/// attacker, demuxed by client CID (sessions) or address (attacker).
+pub struct PopFleet {
+    sessions: Vec<Session>,
+    by_cid: BTreeMap<ConnectionId, usize>,
+    attacker: Option<EdgeAttacker>,
+    /// The attacker's dedicated world path.
+    attack_addr: usize,
+    rr: usize,
+}
+
+impl Endpoint for PopFleet {
+    fn on_datagram(&mut self, now: Instant, path: usize, payload: &[u8]) {
+        if path == self.attack_addr {
+            if let Some(a) = self.attacker.as_mut() {
+                a.on_datagram(payload);
+            }
+            return;
+        }
+        // Everything the PoP sends a client carries that client's CID as
+        // the DCID — including Retries.
+        let dcid = match classify(payload) {
+            Classified::Short { dcid }
+            | Classified::Initial { dcid, .. }
+            | Classified::Handshake { dcid, .. }
+            | Classified::Retry { dcid, .. } => dcid,
+            Classified::Malformed => return,
+        };
+        if let Some(&i) = self.by_cid.get(&dcid) {
+            let s = &mut self.sessions[i];
+            s.conn.handle_datagram(now, payload);
+            s.absorb(now);
+        }
+    }
+
+    fn poll_transmit(&mut self, now: Instant) -> Option<Transmit> {
+        let slots = self.sessions.len() + usize::from(self.attacker.is_some());
+        for i in 0..slots {
+            let slot = (self.rr + i) % slots;
+            if slot == self.sessions.len() {
+                if let Some(d) = self.attacker.as_mut().and_then(|a| a.next_datagram()) {
+                    self.rr = (slot + 1) % slots;
+                    return Some(Transmit { path: self.attack_addr, payload: d });
+                }
+                continue;
+            }
+            let s = &mut self.sessions[slot];
+            if now < s.start {
+                continue;
+            }
+            s.drive();
+            if let Some(d) = s.conn.poll_transmit(now) {
+                self.rr = (slot + 1) % slots;
+                return Some(Transmit { path: s.addr, payload: d });
+            }
+        }
+        None
+    }
+
+    fn poll_timeout(&self) -> Option<Instant> {
+        self.sessions
+            .iter()
+            .filter(|s| !s.is_done())
+            .filter_map(|s| {
+                // An unstarted session wakes the world at its start time.
+                if s.stream.is_none() && !s.conn.is_established() {
+                    Some(s.conn.poll_timeout().map_or(s.start, |t| t.max(s.start)))
+                } else {
+                    s.conn.poll_timeout()
+                }
+            })
+            .min()
+    }
+
+    fn on_timeout(&mut self, now: Instant) {
+        for s in &mut self.sessions {
+            if now >= s.start && s.conn.poll_timeout().is_some_and(|t| t <= now) {
+                s.conn.on_timeout(now);
+            }
+        }
+    }
+
+    fn is_done(&self) -> bool {
+        self.sessions.iter().all(Session::is_done)
+            && self.attacker.as_ref().is_none_or(EdgeAttacker::exhausted)
+    }
+}
+
+/// Run an honest fleet (plus optional attack) against a PoP.
+pub fn run_pop(cfg: &PopRunConfig) -> PopReport {
+    run_pop_full(cfg, None)
+}
+
+/// [`run_pop`] with tracing: PoP edge events under `edge.pop`, each
+/// session under `client<i>`, links under `netsim.*`.
+pub fn run_pop_traced(cfg: &PopRunConfig, log: &TraceLog) -> PopReport {
+    run_pop_full(cfg, Some(log))
+}
+
+/// Run `kind` with `budget` datagrams mixed into an otherwise honest
+/// population (the flood-resilience experiments).
+pub fn run_edge_attack(kind: EdgeAttackKind, budget: u64, base: &PopRunConfig) -> PopReport {
+    let cfg = PopRunConfig { attack: Some((kind, budget)), ..base.clone() };
+    run_pop_full(&cfg, None)
+}
+
+fn run_pop_full(cfg: &PopRunConfig, log: Option<&TraceLog>) -> PopReport {
+    assert!(cfg.addrs > 0 && !cfg.shards.is_empty());
+    let zero = Instant::ZERO;
+    let mut pop = Pop::new(PopConfig {
+        shards: cfg.shards.clone(),
+        admission: cfg.admission,
+        seed: mix(cfg.seed, 0x0e09_0e09),
+        max_conns: (cfg.users * 2).max(256),
+        ..PopConfig::default()
+    });
+    if let Some(log) = log {
+        pop.set_tracer(log.tracer("edge.pop"));
+    }
+    let mut sessions = Vec::with_capacity(cfg.users);
+    let mut by_cid = BTreeMap::new();
+    for i in 0..cfg.users {
+        let mut conn = Connection::new(Config::client(mix(cfg.seed, 0xc11e_0000 + i as u64)), zero);
+        if let Some(log) = log {
+            conn.set_tracer(log.tracer(&format!("client{i}")));
+        }
+        let prev = by_cid.insert(conn.local_cid(), i);
+        debug_assert!(prev.is_none(), "client CID collision");
+        sessions.push(Session {
+            conn,
+            addr: i % cfg.addrs,
+            start: zero + cfg.stagger * i as u32,
+            stream: None,
+            want: cfg.request_bytes,
+            received: 0,
+            ok: true,
+            done_at: None,
+        });
+    }
+    let attacker = cfg.attack.map(|(kind, budget)| EdgeAttacker::new(kind, cfg.seed, budget));
+    let fleet = PopFleet { sessions, by_cid, attacker, attack_addr: cfg.addrs, rr: 0 };
+    let n_paths = cfg.addrs + usize::from(cfg.attack.is_some());
+    let paths = (0..n_paths)
+        .map(|_| Path::symmetric(LinkConfig::constant_rate(cfg.link_mbps, cfg.link_delay)))
+        .collect();
+    let mut world = World::new(fleet, pop, paths);
+    if let Some(log) = log {
+        world.set_tracer(log);
+    }
+    if let Some((at, shard)) = cfg.drain {
+        world.run_until(zero + at);
+        let now = world.now();
+        world.server.drain_shard(now, shard);
+    }
+    let end = world.run_until(zero + cfg.deadline);
+    let pop = &world.server;
+    let fleet = &world.client;
+    let completed = fleet.sessions.iter().filter(|s| s.done_at.is_some() && s.ok).count();
+    PopReport {
+        users: cfg.users,
+        completed,
+        bytes_ok: fleet.sessions.iter().all(|s| s.ok),
+        stats: pop.stats().clone(),
+        bounded: pop.bounded_state(),
+        amp_ok: pop.amp_ok(),
+        shard_stats: pop.shard_stats().clone(),
+        attacker_retries_seen: fleet.attacker.as_ref().map_or(0, |a| a.retries_seen),
+        end: end.saturating_duration_since(zero),
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn small() -> PopRunConfig {
+        PopRunConfig { users: 12, addrs: 4, request_bytes: 5_000, ..PopRunConfig::default() }
+    }
+
+    #[test]
+    fn honest_fleet_completes_through_admission() {
+        let r = run_pop(&small());
+        assert_eq!(r.completed, 12, "{r:?}");
+        assert!(r.bytes_ok && r.amp_ok && r.bounded.within_caps(), "{r:?}");
+        assert_eq!(r.stats.admitted, 12);
+        // Admission-on means every session ate exactly one Retry.
+        assert_eq!(r.stats.rejected("no_token"), 12);
+    }
+
+    #[test]
+    fn mid_run_drain_loses_no_bytes() {
+        let cfg = PopRunConfig {
+            drain: Some((Duration::from_millis(300), 1)),
+            request_bytes: 200_000,
+            ..small()
+        };
+        let r = run_pop(&cfg);
+        assert_eq!(r.completed, 12, "{r:?}");
+        assert!(r.bytes_ok, "drain corrupted a stream: {r:?}");
+        let drained = r.shard_stats[&1];
+        assert!(drained.draining && drained.live == 0, "{drained:?}");
+        assert_eq!(r.stats.migrations, u64::from(drained.migrated_out));
+    }
+
+    #[test]
+    fn initial_flood_leaves_fleet_standing() {
+        let r = run_edge_attack(EdgeAttackKind::InitialFlood, 400, &small());
+        assert_eq!(r.completed, 12, "{r:?}");
+        assert!(r.bounded.within_caps() && r.amp_ok, "{r:?}");
+        assert_eq!(r.stats.rejected("no_token"), 12 + 400);
+        // The flood created no backend connections.
+        assert_eq!(r.stats.admitted, 12);
+    }
+}

@@ -218,6 +218,37 @@ pub enum Event {
         stage: &'static str,
     },
 
+    // ---- edge (CDN PoP: admission, routing, drain) ----
+    /// The edge admitted a new connection onto a backend shard (after
+    /// Retry-token validation when admission control is on).
+    EdgeAdmit {
+        /// Backend shard (QUIC-LB server id) the connection landed on.
+        shard: u16,
+    },
+    /// The edge refused or dropped an incoming datagram.
+    EdgeReject {
+        /// Why: `no_token`, `bad_token`, `expired_token`, `replayed_token`,
+        /// `amplification`, `table_full`, `conn_cap`, or `no_route`.
+        reason: &'static str,
+    },
+    /// A shard began draining: its live connections are being steered to
+    /// survivors.
+    ShardDrain {
+        /// Draining shard id.
+        shard: u16,
+        /// Live connections on the shard at drain start.
+        conns: u32,
+    },
+    /// A connection migrated between shards (drain steering), or — at
+    /// the client — followed a retire-prior-to onto a fresh CID (both
+    /// shard ids are 0 in the client-side event).
+    ConnMigrated {
+        /// Shard the connection left.
+        from_shard: u16,
+        /// Shard the connection landed on.
+        to_shard: u16,
+    },
+
     // ---- video (player) ----
     /// First video frame decoded (the paper's first-frame metric).
     FirstFrame {},
@@ -264,6 +295,9 @@ impl Event {
             | QoeSignal { .. } => "xlink",
             SubflowEstablished { .. } | SegmentSent { .. } | SegmentLost { .. } => "mptcp",
             LinkStateChange { .. } | LinkDrop { .. } | ImpairmentHit { .. } => "netsim",
+            EdgeAdmit { .. } | EdgeReject { .. } | ShardDrain { .. } | ConnMigrated { .. } => {
+                "edge"
+            }
             FirstFrame {}
             | PlaybackStarted {}
             | RebufferStart {}
@@ -299,6 +333,10 @@ impl Event {
             LinkStateChange { .. } => "link_state_change",
             LinkDrop { .. } => "link_drop",
             ImpairmentHit { .. } => "impairment_hit",
+            EdgeAdmit { .. } => "edge_admit",
+            EdgeReject { .. } => "edge_reject",
+            ShardDrain { .. } => "shard_drain",
+            ConnMigrated { .. } => "conn_migrated",
             FirstFrame {} => "first_frame",
             PlaybackStarted {} => "playback_started",
             RebufferStart {} => "rebuffer_start",
@@ -422,6 +460,16 @@ impl Event {
                 w.field_u64("bytes", u64::from(*bytes));
             }
             ImpairmentHit { stage } => w.field_str("stage", stage),
+            EdgeAdmit { shard } => w.field_u64("shard", u64::from(*shard)),
+            EdgeReject { reason } => w.field_str("reason", reason),
+            ShardDrain { shard, conns } => {
+                w.field_u64("shard", u64::from(*shard));
+                w.field_u64("conns", u64::from(*conns));
+            }
+            ConnMigrated { from_shard, to_shard } => {
+                w.field_u64("from_shard", u64::from(*from_shard));
+                w.field_u64("to_shard", u64::from(*to_shard));
+            }
             FirstFrame {} | PlaybackStarted {} | RebufferStart {} | PlaybackFinished {} => {}
             RebufferEnd { stall_us } => w.field_u64("stall_us", *stall_us),
             PlayerBuffer { cached_frames, cached_bytes } => {

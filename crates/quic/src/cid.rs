@@ -60,6 +60,10 @@ impl fmt::Debug for ConnectionId {
 pub struct IssuedCid {
     /// Sequence number assigned by the issuer; seq 0 is the handshake CID.
     pub seq: u64,
+    /// RFC 9000 §19.15 Retire Prior To: on receipt, all peer-issued CIDs
+    /// with sequence numbers below this value must be retired. Must be
+    /// ≤ `seq`; the common (non-migration) case is 0.
+    pub retire_prior_to: u64,
     /// The connection ID value.
     pub cid: ConnectionId,
 }
@@ -68,6 +72,7 @@ impl IssuedCid {
     /// Encode as part of a NEW_CONNECTION_ID frame body.
     pub fn encode(&self, w: &mut Writer) {
         w.varint(self.seq);
+        w.varint(self.retire_prior_to);
         w.u8(CID_LEN as u8);
         w.bytes(&self.cid.0);
     }
@@ -75,6 +80,12 @@ impl IssuedCid {
     /// Decode the body written by [`IssuedCid::encode`].
     pub fn decode(r: &mut Reader) -> Result<Self, CodecError> {
         let seq = r.varint()?;
+        let retire_prior_to = r.varint()?;
+        if retire_prior_to > seq {
+            // §19.15: Retire Prior To larger than Sequence Number is a
+            // FRAME_ENCODING_ERROR; surface as an invalid value here.
+            return Err(CodecError::InvalidValue);
+        }
         let len = r.u8()? as usize;
         if len != CID_LEN {
             return Err(CodecError::InvalidValue);
@@ -82,7 +93,7 @@ impl IssuedCid {
         let raw = r.bytes(len)?;
         let mut cid = [0u8; CID_LEN];
         cid.copy_from_slice(raw);
-        Ok(IssuedCid { seq, cid: ConnectionId(cid) })
+        Ok(IssuedCid { seq, retire_prior_to, cid: ConnectionId(cid) })
     }
 }
 
@@ -119,7 +130,8 @@ impl CidManager {
     pub fn issue_local(&mut self) -> IssuedCid {
         let seq = self.next_local_seq;
         self.next_local_seq += 1;
-        let issued = IssuedCid { seq, cid: ConnectionId::derive(self.seed, seq) };
+        let issued =
+            IssuedCid { seq, retire_prior_to: 0, cid: ConnectionId::derive(self.seed, seq) };
         self.local.push(issued);
         issued
     }
@@ -129,9 +141,26 @@ impl CidManager {
     pub fn issue_local_with(&mut self, cid: ConnectionId) -> IssuedCid {
         let seq = self.next_local_seq;
         self.next_local_seq += 1;
-        let issued = IssuedCid { seq, cid };
+        let issued = IssuedCid { seq, retire_prior_to: 0, cid };
         self.local.push(issued);
         issued
+    }
+
+    /// Issue a caller-supplied local CID that orders the peer to retire
+    /// every earlier CID (`retire_prior_to` = the new CID's own sequence
+    /// number). Used for shard drain: the replacement CID routes to a
+    /// surviving shard and the peer must stop using the old route.
+    pub fn issue_local_migration(&mut self, cid: ConnectionId) -> IssuedCid {
+        let seq = self.next_local_seq;
+        self.next_local_seq += 1;
+        let issued = IssuedCid { seq, retire_prior_to: seq, cid };
+        self.local.push(issued);
+        issued
+    }
+
+    /// Sequence number the next locally issued CID will get.
+    pub fn next_local_seq(&self) -> u64 {
+        self.next_local_seq
     }
 
     /// All CIDs we have issued.
@@ -144,15 +173,65 @@ impl CidManager {
         self.local.iter().find(|c| &c.cid == cid).map(|c| c.seq)
     }
 
+    /// Remove a locally issued CID in response to the peer's
+    /// RETIRE_CONNECTION_ID; returns its value, or `None` if we never
+    /// issued (or already retired) that sequence number.
+    pub fn retire_local(&mut self, seq: u64) -> Option<ConnectionId> {
+        let idx = self.local.iter().position(|c| c.seq == seq)?;
+        Some(self.local.remove(idx).cid)
+    }
+
+    /// Replace the value of the handshake-era (seq 0) local CID before the
+    /// peer has learned it — a server rebinding onto a routable QUIC-LB
+    /// encoded CID. Panics if seq 0 was never issued.
+    pub fn rebind_initial_local(&mut self, cid: ConnectionId) {
+        let slot = self
+            .local
+            .iter_mut()
+            .find(|c| c.seq == 0)
+            .expect("rebind_initial_local: seq 0 not issued");
+        slot.cid = cid;
+    }
+
+    /// Record the peer's handshake-era CID (sequence 0) as in use. It is
+    /// learned from the long-header SCID rather than a NEW_CONNECTION_ID
+    /// frame, but still participates in Retire Prior To bookkeeping.
+    pub fn bind_initial_remote(&mut self, cid: ConnectionId) {
+        let known = self.remote_unused.iter().chain(self.remote_used.iter()).any(|c| c.seq == 0);
+        if !known {
+            self.remote_used.push(IssuedCid { seq: 0, retire_prior_to: 0, cid });
+        }
+    }
+
     /// Record a CID received from the peer in NEW_CONNECTION_ID. Duplicate
-    /// retransmissions are ignored.
-    pub fn store_remote(&mut self, issued: IssuedCid) {
+    /// retransmissions are ignored. Applies the frame's Retire Prior To:
+    /// every stored peer CID (used or unused) with a lower sequence number
+    /// is dropped, and the retired sequence numbers are returned so the
+    /// caller can acknowledge with RETIRE_CONNECTION_ID frames.
+    pub fn store_remote(&mut self, issued: IssuedCid) -> Vec<u64> {
         let known =
             self.remote_unused.iter().chain(self.remote_used.iter()).any(|c| c.seq == issued.seq);
         if !known {
             self.remote_unused.push(issued);
             self.remote_unused.sort_by_key(|c| c.seq);
         }
+        let rpt = issued.retire_prior_to;
+        if rpt == 0 {
+            return Vec::new();
+        }
+        let mut retired = Vec::new();
+        for list in [&mut self.remote_unused, &mut self.remote_used] {
+            list.retain(|c| {
+                if c.seq < rpt {
+                    retired.push(c.seq);
+                    false
+                } else {
+                    true
+                }
+            });
+        }
+        retired.sort_unstable();
+        retired
     }
 
     /// Number of unused peer CIDs available for new paths.
@@ -188,13 +267,25 @@ mod tests {
 
     #[test]
     fn issued_cid_roundtrip() {
-        let ic = IssuedCid { seq: 77, cid: ConnectionId::derive(9, 77) };
+        for rpt in [0, 40, 77] {
+            let ic = IssuedCid { seq: 77, retire_prior_to: rpt, cid: ConnectionId::derive(9, 77) };
+            let mut w = Writer::new();
+            ic.encode(&mut w);
+            let bytes = w.into_bytes();
+            let mut r = Reader::new(&bytes);
+            assert_eq!(IssuedCid::decode(&mut r).unwrap(), ic);
+            assert!(r.is_empty());
+        }
+    }
+
+    #[test]
+    fn decode_rejects_retire_prior_to_above_seq() {
+        let ic = IssuedCid { seq: 3, retire_prior_to: 4, cid: ConnectionId::derive(9, 3) };
         let mut w = Writer::new();
         ic.encode(&mut w);
         let bytes = w.into_bytes();
         let mut r = Reader::new(&bytes);
-        assert_eq!(IssuedCid::decode(&mut r).unwrap(), ic);
-        assert!(r.is_empty());
+        assert_eq!(IssuedCid::decode(&mut r), Err(CodecError::InvalidValue));
     }
 
     #[test]
@@ -212,18 +303,58 @@ mod tests {
     #[test]
     fn remote_store_dedups_and_takes_in_order() {
         let mut m = CidManager::new(1);
-        let c1 = IssuedCid { seq: 1, cid: ConnectionId::derive(5, 1) };
-        let c0 = IssuedCid { seq: 0, cid: ConnectionId::derive(5, 0) };
-        m.store_remote(c1);
-        m.store_remote(c0);
-        m.store_remote(c1); // duplicate
+        let c1 = IssuedCid { seq: 1, retire_prior_to: 0, cid: ConnectionId::derive(5, 1) };
+        let c0 = IssuedCid { seq: 0, retire_prior_to: 0, cid: ConnectionId::derive(5, 0) };
+        assert!(m.store_remote(c1).is_empty());
+        assert!(m.store_remote(c0).is_empty());
+        assert!(m.store_remote(c1).is_empty()); // duplicate
         assert_eq!(m.unused_remote(), 2);
         assert_eq!(m.take_unused_remote().unwrap().seq, 0);
         assert_eq!(m.take_unused_remote().unwrap().seq, 1);
         assert!(m.take_unused_remote().is_none());
         // a used CID is still known → re-store is a no-op
-        m.store_remote(c0);
+        assert!(m.store_remote(c0).is_empty());
         assert_eq!(m.unused_remote(), 0);
+    }
+
+    #[test]
+    fn store_remote_applies_retire_prior_to() {
+        let mut m = CidManager::new(1);
+        let c0 = IssuedCid { seq: 0, retire_prior_to: 0, cid: ConnectionId::derive(5, 0) };
+        let c1 = IssuedCid { seq: 1, retire_prior_to: 0, cid: ConnectionId::derive(5, 1) };
+        m.store_remote(c0);
+        m.store_remote(c1);
+        m.take_unused_remote(); // bind seq 0 to a path
+        let c2 = IssuedCid { seq: 2, retire_prior_to: 2, cid: ConnectionId::derive(5, 2) };
+        let retired = m.store_remote(c2);
+        // Both the used seq-0 and the unused seq-1 are retired.
+        assert_eq!(retired, vec![0, 1]);
+        assert_eq!(m.unused_remote(), 1);
+        assert_eq!(m.take_unused_remote().unwrap().seq, 2);
+    }
+
+    #[test]
+    fn retire_local_and_migration_issue() {
+        let mut m = CidManager::new(7);
+        let a = m.issue_local();
+        assert_eq!(m.next_local_seq(), 1);
+        let mig = m.issue_local_migration(ConnectionId::new([9; 8]));
+        assert_eq!(mig.seq, 1);
+        assert_eq!(mig.retire_prior_to, 1);
+        assert_eq!(m.retire_local(a.seq), Some(a.cid));
+        assert_eq!(m.retire_local(a.seq), None); // already gone
+        assert_eq!(m.local_seq_of(&a.cid), None);
+        assert_eq!(m.local_seq_of(&mig.cid), Some(1));
+    }
+
+    #[test]
+    fn rebind_initial_local_replaces_seq0_value() {
+        let mut m = CidManager::new(3);
+        let orig = m.issue_local();
+        let routable = ConnectionId::new([0xee; 8]);
+        m.rebind_initial_local(routable);
+        assert_eq!(m.local_seq_of(&orig.cid), None);
+        assert_eq!(m.local_seq_of(&routable), Some(0));
     }
 
     #[test]

@@ -197,8 +197,33 @@ pub struct Connection {
     idle_timeout: Duration,
     /// How many hello flights have gone out (first + retransmissions).
     hello_sends: u32,
+    /// Address-validation state (§8.1). Servers reached through the edge
+    /// tier may start unvalidated and then respect the 3× amplification
+    /// limit until the client's address is proven (token or handshake).
+    address_validated: bool,
+    /// Token to echo in Initial packets (clients; learned from a Retry).
+    token: Vec<u8>,
+    /// A Retry was already honoured (§17.2.5: at most one per connection).
+    retry_done: bool,
+    /// Sequence number of the peer CID currently used as destination.
+    remote_cid_seq: u64,
+    /// The peer's handshake SCID has been recorded in the CID manager.
+    initial_remote_bound: bool,
+    /// Local CID values retired at the peer's request — drained by the
+    /// edge router to unmap stale routing entries.
+    retired_local: Vec<ConnectionId>,
     tracer: Tracer,
 }
+
+/// Anti-amplification factor (RFC 9000 §8.1): an address-unvalidated
+/// server may send at most this multiple of the bytes received from the
+/// client's address.
+pub const AMP_FACTOR: u64 = 3;
+
+/// Conservative per-send headroom for the amplification gate: a datagram
+/// is withheld unless it is guaranteed to fit under the limit whatever
+/// its final size (header + payload + tag).
+pub const AMP_HEADROOM: u64 = MAX_DATAGRAM_SIZE + 64;
 
 /// Cap on PATH_RESPONSEs queued at once (§10 adversarial bound). A
 /// challenge flood would otherwise grow the control queue without limit;
@@ -291,6 +316,12 @@ impl Connection {
             state: State::Handshaking,
             idle_timeout,
             hello_sends: 0,
+            address_validated: true,
+            token: Vec::new(),
+            retry_done: false,
+            remote_cid_seq: 0,
+            initial_remote_bound: false,
+            retired_local: Vec::new(),
             tracer: Tracer::disabled(),
             cfg,
         }
@@ -502,6 +533,79 @@ impl Connection {
     }
 
     // ------------------------------------------------------------------
+    // Edge-tier hooks: routable CIDs, migration, address validation
+    // ------------------------------------------------------------------
+
+    /// The CID the peer currently routes to us with.
+    pub fn local_cid(&self) -> ConnectionId {
+        self.local_cid
+    }
+
+    /// The CID we currently use as destination.
+    pub fn remote_cid(&self) -> ConnectionId {
+        self.remote_cid
+    }
+
+    /// All local CIDs currently routing to this connection (the edge
+    /// router's demux set).
+    pub fn local_cids(&self) -> impl Iterator<Item = ConnectionId> + '_ {
+        self.cids.local_cids().iter().map(|c| c.cid)
+    }
+
+    /// Replace the handshake-era (seq 0) local CID before the peer has
+    /// learned it — a server adopting a routable QUIC-LB encoded CID.
+    pub fn rebind_local_cid(&mut self, cid: ConnectionId) {
+        self.cids.rebind_initial_local(cid);
+        self.local_cid = cid;
+    }
+
+    /// Issue a caller-supplied CID that orders the peer to retire every
+    /// earlier one (shard drain: the new CID routes to a surviving
+    /// shard). Returns the new CID's sequence number. The old CID keeps
+    /// routing here until the peer's RETIRE_CONNECTION_ID lands — drain
+    /// it via [`Connection::take_retired_local`].
+    pub fn issue_migration_cid(&mut self, cid: ConnectionId) -> u64 {
+        let issued = self.cids.issue_local_migration(cid);
+        // Future §19.16 in-use checks apply to the replacement.
+        self.local_cid = cid;
+        self.control_queue.push(Frame::NewConnectionId(issued));
+        issued.seq
+    }
+
+    /// CID values retired at the peer's request since the last call.
+    pub fn take_retired_local(&mut self) -> Vec<ConnectionId> {
+        std::mem::take(&mut self.retired_local)
+    }
+
+    /// Mark the peer's address as unvalidated: the §8.1 3× amplification
+    /// limit gates every send until validation (token or handshake).
+    pub fn set_address_unvalidated(&mut self) {
+        self.address_validated = false;
+    }
+
+    /// The peer's address has been validated (e.g. by a Retry token
+    /// checked at the edge).
+    pub fn mark_address_validated(&mut self) {
+        self.address_validated = true;
+    }
+
+    /// §8.1 address-validation state.
+    pub fn is_address_validated(&self) -> bool {
+        self.address_validated
+    }
+
+    /// Supply a token to echo in Initial packets (clients that learned
+    /// one out of band; a Retry installs it automatically).
+    pub fn set_token(&mut self, token: Vec<u8>) {
+        self.token = token;
+    }
+
+    /// True once a Retry has been honoured (§17.2.5 allows at most one).
+    pub fn retry_seen(&self) -> bool {
+        self.retry_done
+    }
+
+    // ------------------------------------------------------------------
     // Receive path
     // ------------------------------------------------------------------
 
@@ -524,9 +628,15 @@ impl Connection {
             self.stats.packets_dropped += 1;
             return;
         };
+        if header.ty == PacketType::Retry {
+            // Retry carries no packet number and no AEAD payload; it is
+            // consumed entirely by the header parser.
+            self.on_retry(now, header);
+            return;
+        }
         let space = match header.ty {
             PacketType::Initial | PacketType::Handshake => Space::Initial,
-            PacketType::OneRtt => Space::App,
+            PacketType::OneRtt | PacketType::Retry => Space::App,
         };
         let largest = match space {
             Space::Initial => self.init_recv.largest(),
@@ -576,12 +686,16 @@ impl Connection {
         }
         self.stats.packets_received += 1;
         self.last_activity = now;
-        if header.ty.is_long() && self.cfg.side == Side::Client {
-            // Learn the server's real CID from its SCID.
+        if header.ty.is_long() {
+            // Learn the peer's real CID from its SCID (both sides), and
+            // record it as the implicit seq-0 peer CID so Retire Prior To
+            // bookkeeping covers it during shard drain.
             self.remote_cid = header.scid;
-        }
-        if header.ty.is_long() && self.cfg.side == Side::Server {
-            self.remote_cid = header.scid;
+            if !self.initial_remote_bound {
+                self.initial_remote_bound = true;
+                self.remote_cid_seq = 0;
+                self.cids.bind_initial_remote(header.scid);
+            }
         }
         let frames = match Frame::decode_all(&plain) {
             Ok(f) => f,
@@ -607,6 +721,26 @@ impl Connection {
             }
             self.last_recv_time = now;
         }
+    }
+
+    /// Process a Retry packet (RFC 9000 §17.2.5): install the token,
+    /// adopt the server's SCID, and re-fire the hello. Clients honour at
+    /// most one Retry per connection; servers drop them.
+    fn on_retry(&mut self, now: Instant, header: Header) {
+        if self.cfg.side != Side::Client
+            || self.retry_done
+            || self.handshake.is_complete()
+            || header.token.is_empty()
+        {
+            self.stats.packets_dropped += 1;
+            return;
+        }
+        self.retry_done = true;
+        self.token = header.token;
+        self.remote_cid = header.scid;
+        // Re-send the hello, now carrying the token.
+        self.handshake_sent = false;
+        self.last_activity = now;
     }
 
     fn on_frame(&mut self, now: Instant, space: Space, frame: Frame) {
@@ -681,8 +815,37 @@ impl Connection {
                     });
                 }
             }
-            Frame::NewConnectionId(ic) => self.cids.store_remote(ic),
-            Frame::RetireConnectionId { .. } => {}
+            Frame::NewConnectionId(ic) => {
+                let retired = self.cids.store_remote(ic);
+                for &seq in &retired {
+                    self.control_queue.push(Frame::RetireConnectionId { seq });
+                }
+                if retired.contains(&self.remote_cid_seq) {
+                    // Our destination CID was retired out from under us
+                    // (shard drain): migrate onto the lowest-sequence
+                    // surviving peer CID.
+                    if let Some(next) = self.cids.take_unused_remote() {
+                        self.remote_cid = next.cid;
+                        self.remote_cid_seq = next.seq;
+                        self.tracer.emit(now, Event::ConnMigrated { from_shard: 0, to_shard: 0 });
+                    }
+                }
+            }
+            Frame::RetireConnectionId { seq } => {
+                // §19.16: the peer cannot retire the CID its packets are
+                // currently routed by, nor a sequence never issued.
+                if seq >= self.cids.next_local_seq() {
+                    self.close(TransportError::ProtocolViolation, "retire of unissued cid");
+                } else if self.cids.local_seq_of(&self.local_cid) == Some(seq) {
+                    self.close(TransportError::ProtocolViolation, "retire of cid in use");
+                } else if let Some(cid) = self.cids.retire_local(seq) {
+                    self.retired_local.push(cid);
+                    // Keep the peer supplied with a spare CID.
+                    let issued = self.cids.issue_local();
+                    self.control_queue.push(Frame::NewConnectionId(issued));
+                }
+                // Retiring an already-retired seq is a harmless duplicate.
+            }
             Frame::PathChallenge(data) => {
                 // §10: cap queued responses so a challenge flood cannot
                 // grow the control queue without bound. Drop the oldest
@@ -728,6 +891,9 @@ impl Connection {
     fn on_handshake_complete(&mut self, now: Instant, kp: KeyPair) {
         self.tracer.emit(now, Event::HandshakeComplete { multipath: false });
         self.keys = Some(kp);
+        // Completing the handshake proves the peer can receive at its
+        // address (§8.1): lift the amplification limit.
+        self.address_validated = true;
         // Correct the peer-advertised limits now that we have them.
         if let Some(p) = self.handshake.peer_params() {
             self.streams.on_max_data(p.initial_max_data);
@@ -878,6 +1044,17 @@ impl Connection {
 
     /// Produce the next datagram to send, if any.
     pub fn poll_transmit(&mut self, now: Instant) -> Option<Vec<u8>> {
+        // §8.1 anti-amplification: an unvalidated server withholds any
+        // datagram that could push sent bytes past 3× received bytes.
+        // The check is conservative (worst-case datagram size), so the
+        // limit holds whatever the packet ends up containing.
+        if !self.address_validated
+            && self.cfg.side == Side::Server
+            && self.stats.bytes_sent + AMP_HEADROOM
+                > self.stats.bytes_received.saturating_mul(AMP_FACTOR)
+        {
+            return None;
+        }
         // Closing (§10.2): send the CONNECTION_CLOSE, start the 3×PTO
         // closing period, and keep the frame for rate-limited replay.
         if let Some((err, reason)) = self.close_frame_pending.take() {
@@ -1059,12 +1236,19 @@ impl Connection {
             Space::Initial => PacketType::Initial,
             Space::App => PacketType::OneRtt,
         };
+        // Clients echo their address-validation token on every Initial.
+        let token = if ty == PacketType::Initial && self.cfg.side == Side::Client {
+            self.token.clone()
+        } else {
+            Vec::new()
+        };
         let header = Header {
             ty,
             dcid: self.remote_cid,
             scid: self.local_cid,
             pn: pn_truncate(pn, pn_len),
             pn_len,
+            token,
         };
         let hdr_bytes = header.encode();
         let mut payload = Writer::new();

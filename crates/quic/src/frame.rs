@@ -655,7 +655,11 @@ mod tests {
     #[test]
     fn new_connection_id_roundtrip() {
         use crate::cid::ConnectionId;
-        let f = Frame::NewConnectionId(IssuedCid { seq: 2, cid: ConnectionId::derive(7, 2) });
+        let f = Frame::NewConnectionId(IssuedCid {
+            seq: 2,
+            retire_prior_to: 0,
+            cid: ConnectionId::derive(7, 2),
+        });
         assert_eq!(roundtrip(&f), f);
     }
 

@@ -18,6 +18,10 @@ pub enum PacketType {
     Initial,
     /// Long header: handshake completion.
     Handshake,
+    /// Long header: server's stateless address-validation challenge
+    /// (RFC 9000 §17.2.5). Carries only a token, no packet number and no
+    /// protected payload.
+    Retry,
     /// Short header: application data (1-RTT).
     OneRtt,
 }
@@ -28,6 +32,11 @@ impl PacketType {
         !matches!(self, PacketType::OneRtt)
     }
 }
+
+/// Wire cap on the address-validation token carried by Initial and Retry
+/// packets (§13 adversarial bound: a peer must not be able to grow header
+/// buffers without limit; our edge tokens are 24 bytes).
+pub const MAX_TOKEN_LEN: usize = 64;
 
 /// A decoded packet header plus payload boundaries.
 #[derive(Debug, Clone, PartialEq, Eq)]
@@ -42,6 +51,10 @@ pub struct Header {
     pub pn: u64,
     /// Number of bytes used to encode the packet number (1..=4).
     pub pn_len: u8,
+    /// Address-validation token (RFC 9000 §8.1): the payload of a Retry
+    /// packet, echoed in the header of subsequent Initials. Empty
+    /// everywhere else; bounded by [`MAX_TOKEN_LEN`].
+    pub token: Vec<u8>,
 }
 
 /// Number of bytes needed to encode `pn` such that the receiver can
@@ -97,6 +110,22 @@ impl Header {
                 w.bytes(&self.dcid.0);
                 w.u8(CID_LEN as u8);
                 w.bytes(&self.scid.0);
+                if self.ty == PacketType::Initial {
+                    debug_assert!(self.token.len() <= MAX_TOKEN_LEN);
+                    w.varint(self.token.len() as u64);
+                    w.bytes(&self.token);
+                }
+            }
+            PacketType::Retry => {
+                // Retry: 1 | fixed=1 | type=11 | unused(4). No packet
+                // number; the token is the entire remaining datagram.
+                w.u8(0b1111_0000);
+                w.u8(CID_LEN as u8);
+                w.bytes(&self.dcid.0);
+                w.u8(CID_LEN as u8);
+                w.bytes(&self.scid.0);
+                w.bytes(&self.token);
+                return w.into_bytes();
             }
             PacketType::OneRtt => {
                 // Short header: 0 | fixed=1 | spin=0 | reserved(2) | key=0 | pn_len-1 (2)
@@ -126,6 +155,7 @@ impl Header {
             let ty = match (first >> 4) & 0x03 {
                 0b00 => PacketType::Initial,
                 0b10 => PacketType::Handshake,
+                0b11 => PacketType::Retry,
                 _ => return Err(CodecError::InvalidHeader),
             };
             let dlen = r.u8()? as usize;
@@ -140,12 +170,47 @@ impl Header {
             }
             let mut scid = [0u8; CID_LEN];
             scid.copy_from_slice(r.bytes(slen)?);
+            if ty == PacketType::Retry {
+                // The token extends to the end of the datagram; there is
+                // no packet number and no protected payload.
+                let token = r.bytes(r.remaining())?.to_vec();
+                if token.len() > MAX_TOKEN_LEN {
+                    return Err(CodecError::InvalidHeader);
+                }
+                return Ok((
+                    Header {
+                        ty,
+                        dcid: ConnectionId(dcid),
+                        scid: ConnectionId(scid),
+                        pn: 0,
+                        pn_len: 1,
+                        token,
+                    },
+                    r.position(),
+                ));
+            }
+            let token = if ty == PacketType::Initial {
+                let tlen = r.varint()? as usize;
+                if tlen > MAX_TOKEN_LEN {
+                    return Err(CodecError::InvalidHeader);
+                }
+                r.bytes(tlen)?.to_vec()
+            } else {
+                Vec::new()
+            };
             let mut pn = 0u64;
             for _ in 0..pn_len {
                 pn = (pn << 8) | u64::from(r.u8()?);
             }
             Ok((
-                Header { ty, dcid: ConnectionId(dcid), scid: ConnectionId(scid), pn, pn_len },
+                Header {
+                    ty,
+                    dcid: ConnectionId(dcid),
+                    scid: ConnectionId(scid),
+                    pn,
+                    pn_len,
+                    token,
+                },
                 r.position(),
             ))
         } else {
@@ -162,6 +227,7 @@ impl Header {
                     scid: ConnectionId([0; CID_LEN]),
                     pn,
                     pn_len,
+                    token: Vec::new(),
                 },
                 r.position(),
             ))
@@ -180,8 +246,14 @@ mod tests {
 
     #[test]
     fn short_header_roundtrip() {
-        let h =
-            Header { ty: PacketType::OneRtt, dcid: cid(7), scid: cid(0), pn: 0x1234, pn_len: 2 };
+        let h = Header {
+            ty: PacketType::OneRtt,
+            dcid: cid(7),
+            scid: cid(0),
+            pn: 0x1234,
+            pn_len: 2,
+            token: Vec::new(),
+        };
         let bytes = h.encode();
         let (got, off) = Header::decode(&bytes).unwrap();
         assert_eq!(got.ty, PacketType::OneRtt);
@@ -194,7 +266,7 @@ mod tests {
     #[test]
     fn long_header_roundtrip() {
         for ty in [PacketType::Initial, PacketType::Handshake] {
-            let h = Header { ty, dcid: cid(1), scid: cid(2), pn: 0, pn_len: 1 };
+            let h = Header { ty, dcid: cid(1), scid: cid(2), pn: 0, pn_len: 1, token: Vec::new() };
             let bytes = h.encode();
             let (got, off) = Header::decode(&bytes).unwrap();
             assert_eq!(got.ty, ty);
@@ -203,6 +275,59 @@ mod tests {
             assert_eq!(got.pn, 0);
             assert_eq!(off, bytes.len());
         }
+    }
+
+    #[test]
+    fn initial_token_roundtrip() {
+        let h = Header {
+            ty: PacketType::Initial,
+            dcid: cid(1),
+            scid: cid(2),
+            pn: 3,
+            pn_len: 1,
+            token: vec![0xab; 24],
+        };
+        let bytes = h.encode();
+        let (got, off) = Header::decode(&bytes).unwrap();
+        assert_eq!(got, h);
+        assert_eq!(off, bytes.len());
+        // Both encodings carry a one-byte token length; the difference is
+        // exactly the token bytes.
+        let bare = Header { token: Vec::new(), ..h };
+        assert_eq!(bare.encode().len() + 24, bytes.len());
+    }
+
+    #[test]
+    fn retry_roundtrip_carries_token_as_payload() {
+        let h = Header {
+            ty: PacketType::Retry,
+            dcid: cid(5),
+            scid: cid(6),
+            pn: 0,
+            pn_len: 1,
+            token: (0u8..24).collect(),
+        };
+        let bytes = h.encode();
+        let (got, off) = Header::decode(&bytes).unwrap();
+        assert_eq!(got.ty, PacketType::Retry);
+        assert_eq!(got.dcid, cid(5));
+        assert_eq!(got.scid, cid(6));
+        assert_eq!(got.token, h.token);
+        // The whole datagram is header: nothing follows the token.
+        assert_eq!(off, bytes.len());
+    }
+
+    #[test]
+    fn oversized_token_rejected() {
+        let h = Header {
+            ty: PacketType::Retry,
+            dcid: cid(5),
+            scid: cid(6),
+            pn: 0,
+            pn_len: 1,
+            token: vec![0; MAX_TOKEN_LEN + 1],
+        };
+        assert!(Header::decode(&h.encode()).is_err());
     }
 
     #[test]
@@ -259,7 +384,14 @@ mod tests {
     fn header_is_aad_stable() {
         // Encoding must be deterministic: same header → same bytes (the
         // header is the AEAD's associated data).
-        let h = Header { ty: PacketType::OneRtt, dcid: cid(9), scid: cid(0), pn: 77, pn_len: 1 };
+        let h = Header {
+            ty: PacketType::OneRtt,
+            dcid: cid(9),
+            scid: cid(0),
+            pn: 77,
+            pn_len: 1,
+            token: Vec::new(),
+        };
         assert_eq!(h.encode(), h.encode());
     }
 
@@ -275,6 +407,7 @@ mod tests {
                     scid: cid(0),
                     pn: pn_truncate(pn, pn_len),
                     pn_len,
+                    token: Vec::new(),
                 };
                 let bytes = h.encode();
                 let (got, _) = Header::decode(&bytes).unwrap();

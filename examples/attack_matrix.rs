@@ -2,14 +2,18 @@
 //! from `harness::adversary` against single-path QUIC, XLINK multipath,
 //! and the MPTCP baseline, and print one row per attack × transport —
 //! close code (or "absorbed"), time to close, drain status, and the peak
-//! of the §10 bounded-state gauges. Companion to `tests/adversary.rs`:
-//! same scripts, human-readable output.
+//! of the §10 bounded-state gauges. A second section runs the edge-tier
+//! floods (DESIGN §13) against a CID-routed PoP with an honest fleet in
+//! the mix. Companion to `tests/adversary.rs` and `tests/edge.rs`: same
+//! scripts, human-readable output.
 //!
 //! ```sh
 //! cargo run --release --example attack_matrix
 //! ```
 
-use xlink::harness::{run_attack, run_attack_mptcp, AttackKind, Scheme};
+use xlink::harness::{
+    run_attack, run_attack_mptcp, run_edge_attack, AttackKind, EdgeAttackKind, PopRunConfig, Scheme,
+};
 
 const SEED: u64 = 7;
 
@@ -73,6 +77,40 @@ fn main() {
             "-",
             "-",
             format!("{} ooo", m.ooo_peak),
+        );
+    }
+
+    // ---- edge tier: floods against the PoP with an honest fleet ----
+    println!();
+    println!(
+        "{:<28} {:>8} {:>10} {:>10} {:>9} {:>7} {:>12}",
+        "edge attack", "budget", "complete", "rejected", "admitted", "amp-ok", "peak-conns"
+    );
+    let base = PopRunConfig {
+        users: 40,
+        addrs: 8,
+        request_bytes: 20_000,
+        seed: SEED,
+        ..PopRunConfig::default()
+    };
+    for kind in EdgeAttackKind::all() {
+        let budget = 400;
+        let r = run_edge_attack(kind, budget, &base);
+        println!(
+            "{:<28} {:>8} {:>9.1}% {:>10} {:>9} {:>7} {:>6}/{:<5}",
+            kind.label(),
+            budget,
+            100.0 * r.completion(),
+            r.stats.rejected_total(),
+            r.stats.admitted,
+            if r.amp_ok { "yes" } else { "NO" },
+            r.bounded.peak_conns,
+            r.bounded.max_conns,
+        );
+        assert!(
+            r.completion() >= 0.95 && r.amp_ok && r.bounded.within_caps(),
+            "{}: edge contract violated: {r:?}",
+            kind.label()
         );
     }
 }

@@ -21,6 +21,8 @@
 //!   generators for the paper's trace shapes.
 //! * [`video`] (`xlink-video`) — the short-video model, player, and media
 //!   server with QoE signal capture.
+//! * [`edge`] (`xlink-edge`) — the CDN edge tier: a CID-routed PoP with
+//!   Retry-token admission, graceful shard drain, and flood resilience.
 //! * [`mptcp`] (`xlink-mptcp`) — the MPTCP-like baseline.
 //! * [`energy`] (`xlink-energy`) — the radio energy model.
 //! * [`harness`] (`xlink-harness`) — sessions, A/B populations, and one
@@ -52,6 +54,7 @@
 
 pub use xlink_clock as clock;
 pub use xlink_core as core;
+pub use xlink_edge as edge;
 pub use xlink_energy as energy;
 pub use xlink_harness as harness;
 pub use xlink_lab as lab;

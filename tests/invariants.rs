@@ -594,3 +594,148 @@ fn profiler_reports_are_well_formed_and_merge_partition_invariant() {
         Ok(())
     });
 }
+
+/// RFC 9000 §8.1 at the connection level: an unvalidated server never
+/// sends more than [`AMP_FACTOR`]× the bytes it has received, no matter
+/// how the client's first flight is sliced or how often transmit is
+/// polled — and validation lifts the gate so the handshake completes.
+///
+/// [`AMP_FACTOR`]: xlink::quic::connection::AMP_FACTOR
+#[test]
+fn unvalidated_server_respects_amplification_budget() {
+    use xlink::quic::connection::{Config, Connection, AMP_FACTOR};
+
+    check(
+        "unvalidated_server_respects_amplification_budget",
+        (1u64..10_000, 1u64..10_000, 1usize..5, 0usize..8),
+        |&(cseed, sseed, slices, extra_polls)| {
+            let now = Instant::ZERO;
+            let mut c = Connection::new(Config::client(cseed), now);
+            let mut s = Connection::new(Config::server(sseed), now);
+            s.set_address_unvalidated();
+
+            let hello = c.poll_transmit(now).expect("client first flight");
+            let mut received = 0u64;
+            let mut sent = 0u64;
+            // Prefix fragments are undecryptable garbage the server must
+            // still count toward the §8.1 receive budget; the intact
+            // hello follows. Poll transmit aggressively in between.
+            let cut = hello.len() / slices.max(1);
+            for i in 0..slices.saturating_sub(1) {
+                s.handle_datagram(now, &hello[i * cut..(i + 1) * cut]);
+                received += cut as u64;
+            }
+            s.handle_datagram(now, &hello);
+            received += hello.len() as u64;
+            for _ in 0..=extra_polls {
+                while let Some(d) = s.poll_transmit(now) {
+                    sent += d.len() as u64;
+                }
+                prop_assert!(
+                    sent <= AMP_FACTOR * received,
+                    "unvalidated server sent {sent} on {received} received"
+                );
+            }
+            // Validation lifts the gate: the handshake can now finish.
+            s.mark_address_validated();
+            let mut t = now;
+            for _ in 0..200 {
+                let mut any = false;
+                while let Some(d) = s.poll_transmit(t) {
+                    c.handle_datagram(t, &d);
+                    any = true;
+                }
+                while let Some(d) = c.poll_transmit(t) {
+                    s.handle_datagram(t, &d);
+                    any = true;
+                }
+                if !any {
+                    break;
+                }
+                t += Duration::from_micros(100);
+            }
+            prop_assert!(s.is_established(), "handshake dead after validation");
+            Ok(())
+        },
+    );
+}
+
+/// The PoP-level corollary under tokenless floods: however the flood
+/// interleaves arrivals and transmit polls across addresses, every
+/// per-address Retry reflection stays within the 3× budget and every
+/// bounded-state gauge stays within its cap.
+#[test]
+fn pop_amplification_and_caps_hold_under_arbitrary_floods() {
+    use xlink::edge::{Pop, PopConfig};
+    use xlink::netsim::Endpoint;
+    use xlink::quic::cid::ConnectionId;
+    use xlink::quic::connection::{Config, Connection};
+
+    check(
+        "pop_amplification_and_caps_hold_under_arbitrary_floods",
+        (1u64..100_000, vec_of(0u64..1_000, 1..60)),
+        |&(seed, ref ops)| {
+            let mut pop = Pop::new(PopConfig { seed, ..PopConfig::default() });
+            let mut now = Instant::ZERO;
+            for (i, op) in ops.iter().enumerate() {
+                if op % 3 == 0 {
+                    // Drain pending Retries (counts toward sent bytes).
+                    while Endpoint::poll_transmit(&mut pop, now).is_some() {}
+                } else {
+                    // A fresh tokenless hello from one of 6 addresses.
+                    let mut c = Connection::new(Config::client(seed ^ (i as u64) << 16 | op), now);
+                    let hello = c.poll_transmit(now).expect("hello");
+                    pop.on_datagram(now, (op % 6) as usize, &hello);
+                }
+                prop_assert!(pop.amp_ok(), "3x budget violated after op {i}");
+                let b = pop.bounded_state();
+                prop_assert!(b.within_caps(), "gauges out of cap after op {i}: {b:?}");
+                now += Duration::from_micros(50);
+            }
+            // Garbage short headers never mint state at all.
+            let before = pop.bounded_state();
+            let junk = ConnectionId::derive(seed, 0xdead);
+            let mut dg = vec![0x40];
+            dg.extend_from_slice(&junk.0);
+            dg.push(0);
+            pop.on_datagram(now, 0, &dg);
+            prop_assert_eq!(pop.bounded_state().conns, before.conns);
+            Ok(())
+        },
+    );
+}
+
+/// Retry-token algebra: a token verifies exactly within its lifetime
+/// window from the address it was minted for, any single byte-flip
+/// breaks it, and distinct mint nonces yield distinct tokens.
+#[test]
+fn retry_token_verifies_only_in_window_and_untampered() {
+    use xlink::edge::{mint, verify, TokenError, TOKEN_LEN};
+
+    check(
+        "retry_token_verifies_only_in_window_and_untampered",
+        (1u64..u64::MAX, 0u64..10_000, 1u64..5_000, 0u64..u64::MAX),
+        |&(key, mint_ms, life_ms, packed)| {
+            // Unpack the remaining dimensions from one word (the tuple
+            // strategy tops out at arity 4).
+            let addr = packed % 1_000;
+            let dt_ms = (packed >> 10) % 10_000;
+            let flip = (packed >> 32) as usize % 256;
+            let minted = Instant::from_millis(mint_ms);
+            let life = Duration::from_millis(life_ms);
+            let tok = mint(key, addr, mint_ms ^ key, minted);
+            let later = minted + Duration::from_millis(dt_ms);
+            let want = if dt_ms <= life_ms { Ok(()) } else { Err(TokenError::Expired) };
+            prop_assert_eq!(verify(key, addr, later, life, &tok), want);
+            // Address binding.
+            prop_assert_eq!(verify(key, addr + 1, later, life, &tok), Err(TokenError::BadMac));
+            // Tamper resistance: flipping any one bit never verifies.
+            let mut t = tok;
+            t[flip % TOKEN_LEN] ^= 1 << (flip / TOKEN_LEN % 8);
+            prop_assert_ne!(verify(key, addr, later, life, &t), Ok(()));
+            // Nonce uniqueness: same instant, same address, new nonce.
+            prop_assert_ne!(mint(key, addr, (mint_ms ^ key) + 1, minted), tok);
+            Ok(())
+        },
+    );
+}

@@ -280,3 +280,50 @@ fn profiling_leaves_traced_event_stream_bit_identical() {
         );
     }
 }
+
+/// The edge tier under the same A/B gate: a fleet-vs-PoP run (drain and
+/// flood included) with tracing disabled, noop, and recording must
+/// produce a bit-identical report — and the recorded qlog must carry
+/// well-formed `edge`-category events from the `edge.pop` source
+/// alongside the per-client quic events.
+#[test]
+fn tracing_is_behaviourally_invisible_for_edge_pop_runs() {
+    use xlink::harness::{run_pop, run_pop_traced, EdgeAttackKind, PopRunConfig};
+
+    let cfg = PopRunConfig {
+        users: 12,
+        addrs: 4,
+        request_bytes: 30_000,
+        drain: Some((Duration::from_millis(120), 2)),
+        attack: Some((EdgeAttackKind::InitialFlood, 40)),
+        ..PopRunConfig::default()
+    };
+    let off = run_pop(&cfg);
+    let noop = run_pop_traced(&cfg, &TraceLog::noop());
+    let log = TraceLog::recording();
+    let rec = run_pop_traced(&cfg, &log);
+    assert!(log.len() > 0, "recording run captured nothing");
+    assert_eq!(format!("{off:?}"), format!("{noop:?}"), "noop sink changed an edge run");
+    assert_eq!(format!("{off:?}"), format!("{rec:?}"), "recording sink changed an edge run");
+
+    let doc = parse(&log.to_qlog("edge-pop")).expect("qlog must parse");
+    let events = qlog_events(&doc);
+    let mut edge_names = BTreeSet::new();
+    for e in &events {
+        assert!(e.get("time").and_then(|t| t.as_f64()).is_some());
+        let name = e.get("name").and_then(|n| n.as_str()).unwrap();
+        let source = e.get("data").and_then(|d| d.get("source")).and_then(|s| s.as_str()).unwrap();
+        if let Some(n) = name.strip_prefix("edge:") {
+            assert_eq!(source, "edge.pop", "edge event from a non-edge source");
+            edge_names.insert(n.to_string());
+        }
+    }
+    for expected in ["edge_admit", "edge_reject", "shard_drain", "conn_migrated"] {
+        assert!(edge_names.contains(expected), "missing {expected}; have {edge_names:?}");
+    }
+    let sources: BTreeSet<&str> = events
+        .iter()
+        .map(|e| e.get("data").unwrap().get("source").unwrap().as_str().unwrap())
+        .collect();
+    assert!(sources.contains("client0"), "per-client sources missing: {sources:?}");
+}

@@ -226,6 +226,70 @@ fn replayed_datagrams_are_no_ops() {
     assert_eq!(dup, 0, "pn-level dedup should reject replays before streams");
 }
 
+/// Single-path QUIC pump for the CID-lifecycle regressions below.
+fn pump_quic(
+    now: &mut Instant,
+    a: &mut xlink::quic::connection::Connection,
+    b: &mut xlink::quic::connection::Connection,
+) {
+    for _ in 0..2000 {
+        let mut any = false;
+        while let Some(d) = a.poll_transmit(*now) {
+            b.handle_datagram(*now, &d);
+            any = true;
+        }
+        while let Some(d) = b.poll_transmit(*now) {
+            a.handle_datagram(*now, &d);
+            any = true;
+        }
+        if !any {
+            break;
+        }
+        *now += Duration::from_micros(100);
+    }
+}
+
+/// Regression: RETIRE_CONNECTION_ID must be *handled*, not silently
+/// dropped (RFC 9000 §19.16). A migration CID with `retire_prior_to`
+/// makes the peer (a) adopt the new destination CID, and (b) send a
+/// retirement the issuer acts on: the retired value surfaces via
+/// `take_retired_local` (the edge router's unbind signal) and a
+/// replacement NEW_CONNECTION_ID keeps the peer's pool stocked —
+/// with neither side closing.
+#[test]
+fn retire_connection_id_retires_replaces_and_unbinds() {
+    use xlink::quic::cid::ConnectionId;
+    use xlink::quic::connection::{Config, Connection};
+
+    let mut now = Instant::ZERO;
+    let mut c = Connection::new(Config::client(0x10), now);
+    let mut s = Connection::new(Config::server(0x20), now);
+    pump_quic(&mut now, &mut c, &mut s);
+    assert!(c.is_established() && s.is_established());
+
+    let old = s.local_cid();
+    let fresh = ConnectionId::derive(0xd1a1, 9);
+    s.issue_migration_cid(fresh);
+    pump_quic(&mut now, &mut c, &mut s);
+
+    // The client migrated onto the new CID and retired the old one.
+    assert_eq!(c.remote_cid(), fresh, "client kept routing to the retired CID");
+    let retired = s.take_retired_local();
+    assert!(retired.contains(&old), "issuer never saw the retirement: {retired:?}");
+    // The issuer replaced the retired CID, so its routable set is back
+    // to full strength and excludes the dead value.
+    let locals: Vec<ConnectionId> = s.local_cids().collect();
+    assert!(locals.contains(&fresh) && !locals.contains(&old), "{locals:?}");
+    assert_eq!(locals.len(), 2, "retired CID not replaced: {locals:?}");
+    assert!(!c.is_closed() && !s.is_closed());
+
+    // Still a working connection on the migrated CID.
+    let id = c.open_stream(0);
+    c.stream_send(id, b"post-retire", true);
+    pump_quic(&mut now, &mut c, &mut s);
+    assert_eq!(s.stream_recv(id, 100), b"post-retire");
+}
+
 #[test]
 fn graceful_close_propagates_both_ways() {
     let (mut c, mut s, mut now) = pair();
