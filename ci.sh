@@ -31,7 +31,7 @@ cargo test -q --offline --test observability
 echo "==> adversary suite (8 seeds)"
 XLINK_SWEEP_SEEDS=8 cargo test -q --offline --test adversary
 
-echo "==> edge tier: 1k-user PoP floods + drain, 8 seeds (release)"
+echo "==> edge tier: 1k-user PoP floods, drain + crash-restart sweep, 8 seeds (release)"
 XLINK_SWEEP_SEEDS=8 XLINK_POP_USERS=1000 cargo test -q --offline --release --test edge
 
 echo "==> fleet engine: 10k concurrent sessions, bit-identical across shard counts (release)"
@@ -51,6 +51,10 @@ cargo bench -p xlink-bench --offline --bench fleet -- --smoke > BENCH_fleet.json
 echo "==> hot-path profile at 10k sessions, emitting BENCH_prof.json + fleet gate rates"
 XLINK_FLEET_SESSIONS=10000 cargo run -q --release --offline --example prof_dump -- \
     --json --gate-out BENCH_fleet.json > BENCH_prof.json
+
+echo "==> crash-recovery RCT at 1k users, appending recovery percentiles to BENCH_fleet.json"
+XLINK_POP_USERS=1000 cargo run -q --release --offline --example crash_rct -- \
+    --gate-out BENCH_fleet.json
 
 echo "==> perfgate: perf ledger vs previous run (warn-only, +/-30%)"
 cargo run -q --release --offline -p xlink-bench --bin perfgate -- --tolerance 0.30 \

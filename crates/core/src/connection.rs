@@ -27,7 +27,7 @@ use xlink_obs::{prof, Event, Tracer};
 use xlink_quic::ackranges::AckRanges;
 use xlink_quic::cc::{CcAlgorithm, CongestionController, MAX_DATAGRAM_SIZE};
 use xlink_quic::cid::{CidManager, ConnectionId};
-use xlink_quic::connection::MAX_PENDING_PATH_RESPONSES;
+use xlink_quic::connection::{MAX_PENDING_PATH_RESPONSES, MAX_RESET_TOKENS};
 use xlink_quic::crypto::{derive_keys, KeyPair};
 use xlink_quic::error::{ConnectionError, TransportError};
 use xlink_quic::frame::{AckFrame, Frame, PathStatusKind};
@@ -35,6 +35,7 @@ use xlink_quic::handshake::{Handshake, Hello};
 use xlink_quic::packet::{pn_decode, pn_encode_len, pn_truncate, Header, PacketType};
 use xlink_quic::params::TransportParams;
 use xlink_quic::recovery::{Recovery, SentPacket, TimeoutOutcome};
+use xlink_quic::reset;
 use xlink_quic::rtt::RttEstimator;
 use xlink_quic::stream::{SendRange, Side, StreamMap};
 use xlink_quic::varint::Writer;
@@ -76,6 +77,10 @@ pub struct MpConfig {
     pub standalone_qoe_frames: bool,
     /// Blackhole detection / automatic failover tunables (§9).
     pub liveness: LivenessConfig,
+    /// When set, CIDs advertised for extra paths carry RFC 9000 §10.3
+    /// stateless-reset tokens derived from this secret, giving the peer
+    /// a per-path death oracle (crash detection without PTO exhaustion).
+    pub reset_secret: Option<u64>,
 }
 
 impl MpConfig {
@@ -97,6 +102,7 @@ impl MpConfig {
             coupled_cc: false,
             standalone_qoe_frames: false,
             liveness: LivenessConfig::default(),
+            reset_secret: None,
         }
     }
 
@@ -317,6 +323,9 @@ pub struct MpStats {
     pub path_revalidations: u64,
     /// Keepalive PINGs sent to refresh idle paths.
     pub keepalives_sent: u64,
+    /// Stateless resets recognised (each is an authoritative per-path
+    /// death signal; the path went straight to probation).
+    pub stateless_resets: u64,
 }
 
 impl MpStats {
@@ -405,6 +414,12 @@ pub struct MpConnection {
     /// Time-series probe: (time, path, cwnd, bytes_in_flight) recorded on
     /// each send when enabled (Fig. 1 dynamics experiment).
     pub probe_cwnd: Option<Vec<(Instant, usize, u64, u64)>>,
+    /// §10.3 oracle: (reset token, path) pairs the peer attached to the
+    /// CIDs in use per path. A matching unintelligible datagram is an
+    /// authoritative "that path's endpoint lost its state" — stronger
+    /// than the PTO/ack-silence heuristics, so the path skips Suspect
+    /// dwell time and goes straight to probation.
+    reset_tokens: Vec<([u8; 16], usize)>,
 }
 
 impl std::fmt::Debug for MpConnection {
@@ -505,6 +520,7 @@ impl MpConnection {
             tr_core: Tracer::disabled(),
             gate_seen: None,
             probe_cwnd: None,
+            reset_tokens: Vec::new(),
             cfg,
         }
     }
@@ -935,6 +951,53 @@ impl MpConnection {
         self.tr_core.emit(now, Event::PathRevalidated { path: path as u8, probes });
     }
 
+    /// Remember a §10.3 reset token for `path` (dedup'd, FIFO-capped).
+    /// Tokens usually arrive on NEW_CONNECTION_ID frames; this is also
+    /// public so a harness can arm the oracle out of band.
+    pub fn register_reset_token(&mut self, path: usize, token: [u8; 16]) {
+        if self.reset_tokens.iter().any(|(t, p)| *t == token && *p == path) {
+            return;
+        }
+        if self.reset_tokens.len() >= MAX_RESET_TOKENS {
+            self.reset_tokens.remove(0);
+        }
+        self.reset_tokens.push((token, path));
+    }
+
+    /// Reset tokens currently armed.
+    pub fn reset_token_count(&self) -> usize {
+        self.reset_tokens.len()
+    }
+
+    /// §10.3 oracle check for an unintelligible datagram on `path`.
+    /// A match is an authoritative path-death signal: unlike a whole-
+    /// connection reset, losing one path's peer state kills only that
+    /// path, which is sent straight to probation (no Suspect dwell, no
+    /// PTO counting) while traffic fails over to the survivors.
+    fn probe_stateless_reset(&mut self, now: Instant, path: usize, datagram: &[u8]) -> bool {
+        if !reset::plausible_reset(datagram) {
+            return false;
+        }
+        let hit = self
+            .reset_tokens
+            .iter()
+            .any(|(token, p)| *p == path && reset::token_matches(token, datagram));
+        if !hit {
+            return false;
+        }
+        self.stats.stateless_resets += 1;
+        self.tr_core.emit(now, Event::StatelessReset { path: path as u8 });
+        match self.paths[path].state {
+            PathState::Active | PathState::Standby => {
+                self.suspect_path(now, path);
+                self.enter_probation(now, path);
+            }
+            PathState::Suspect => self.enter_probation(now, path),
+            _ => {}
+        }
+        true
+    }
+
     /// Run the suspicion / escalation checks. Called from `on_timeout`
     /// after per-path recovery timers have fired.
     fn liveness_pass(&mut self, now: Instant) {
@@ -1013,7 +1076,9 @@ impl MpConnection {
             return;
         }
         let Ok((header, payload_off)) = Header::decode(datagram) else {
-            self.stats.packets_dropped += 1;
+            if !self.probe_stateless_reset(now, path, datagram) {
+                self.stats.packets_dropped += 1;
+            }
             return;
         };
         let is_initial = header.ty.is_long();
@@ -1038,7 +1103,9 @@ impl MpConnection {
                     }
                 }
                 None => {
-                    self.stats.packets_dropped += 1;
+                    if !self.probe_stateless_reset(now, path, datagram) {
+                        self.stats.packets_dropped += 1;
+                    }
                     return;
                 }
             }
@@ -1047,7 +1114,12 @@ impl MpConnection {
         let plain = match key.open(path as u32, pn, aad, sealed) {
             Ok(p) => p,
             Err(_) => {
-                self.stats.packets_dropped += 1;
+                // Undecryptable: either noise or a §10.3 stateless reset
+                // (which is built to look like a short-header packet we
+                // cannot decrypt).
+                if !self.probe_stateless_reset(now, path, datagram) {
+                    self.stats.packets_dropped += 1;
+                }
                 return;
             }
         };
@@ -1217,6 +1289,11 @@ impl MpConnection {
                 let seq = ic.seq as usize;
                 if seq < self.paths.len() {
                     self.paths[seq].dcid = ic.cid;
+                    // Arm the per-path death oracle with the token the
+                    // issuer bound to this CID.
+                    if let Some(tok) = ic.reset_token {
+                        self.register_reset_token(seq, tok);
+                    }
                 }
             }
             Frame::RetireConnectionId { .. } => {}
@@ -1572,7 +1649,13 @@ impl MpConnection {
         if self.multipath && !self.cids_advertised {
             self.cids_advertised = true;
             for _ in 1..self.paths.len() {
-                let issued = self.cids.issue_local();
+                let mut issued = self.cids.issue_local();
+                // Attach a §10.3 token so the peer can recognise this
+                // endpoint losing the path's state (derivable again from
+                // the secret — nothing extra is stored here).
+                if let Some(secret) = self.cfg.reset_secret {
+                    issued.reset_token = Some(reset::reset_token(secret, &issued.cid));
+                }
                 self.control_queue.push(Frame::NewConnectionId(issued));
             }
         }
@@ -2397,6 +2480,48 @@ mod tests {
         assert_eq!(c.paths()[0].state, PathState::Active);
         assert_eq!(c.paths()[1].state, PathState::Active, "client path 1 should validate");
         assert_eq!(s.paths()[1].state, PathState::Active, "server path 1 should activate");
+    }
+
+    #[test]
+    fn stateless_reset_is_an_authoritative_path_death_signal() {
+        let start = Instant::ZERO;
+        let secret = 0x5eed_0dd5_ec4e_0001;
+        let mut scfg = server_cfg(2);
+        scfg.reset_secret = Some(secret);
+        let mut c = MpConnection::new(client_cfg(1), start);
+        let mut s = MpConnection::new(scfg, start);
+        let mut now = start;
+        pump(&mut now, &mut c, &mut s);
+        assert!(c.is_established() && c.multipath_negotiated());
+        assert_eq!(c.paths()[1].state, PathState::Active);
+        assert_eq!(c.reset_token_count(), 1, "server NCID must arm the path-1 oracle");
+
+        // The server's path-1 state evaporates (say, its shard was
+        // crash-restarted): it answers the client's next path-1 packet
+        // with a stateless reset built from that path's DCID.
+        let dcid = c.paths()[1].dcid;
+        let dgram = reset::build_stateless_reset(secret, &dcid);
+        let before = c.stats().packets_dropped;
+        c.handle_datagram(now, 1, &dgram);
+        assert_eq!(c.stats().stateless_resets, 1);
+        assert_eq!(c.stats().packets_dropped, before, "a recognised reset is not a plain drop");
+        assert_eq!(
+            c.paths()[1].state,
+            PathState::Probation,
+            "reset skips Suspect dwell and PTO counting entirely"
+        );
+        assert!(!c.is_closed(), "losing one path must not kill the connection");
+
+        // A reset-shaped datagram under the wrong secret is mere noise...
+        let noise = reset::build_stateless_reset(secret ^ 1, &dcid);
+        c.handle_datagram(now, 1, &noise);
+        assert_eq!(c.stats().stateless_resets, 1);
+        assert_eq!(c.stats().packets_dropped, before + 1);
+        // ...and a genuine reset replayed onto the wrong path does not
+        // fire either: the oracle is armed per path.
+        c.handle_datagram(now, 0, &dgram);
+        assert_eq!(c.stats().stateless_resets, 1);
+        assert_eq!(c.paths()[0].state, PathState::Active);
     }
 
     #[test]

@@ -14,9 +14,12 @@
 //!   HMAC-shaped — so admission control needs no per-client state.
 //! - [`pop`]: the [`pop::Pop`] netsim endpoint tying it together:
 //!   admission, anti-amplification, bounded tables, graceful
-//!   [`pop::Pop::drain_shard`], and per-shard metrics, emitting
-//!   `edge_admit` / `edge_reject` / `shard_drain` / `conn_migrated`
-//!   trace events.
+//!   [`pop::Pop::drain_shard`], crash faults
+//!   ([`pop::Pop::crash_shard`] / [`pop::Pop::restart_shard`] with
+//!   RFC 9000 §10.3 stateless resets for the orphaned clients), and
+//!   per-shard metrics, emitting `edge_admit` / `edge_reject` /
+//!   `shard_drain` / `conn_migrated` / `shard_crash` /
+//!   `stateless_reset` trace events.
 //!
 //! The invariants this crate exists to uphold (exercised in
 //! `tests/edge.rs` and the adversary suite):
@@ -28,11 +31,14 @@
 //!    with zero stream-byte loss.
 //! 4. The byte stream a client observes is bit-identical regardless of
 //!    the PoP's shard count.
+//! 5. A crashed shard loses every byte of its state, yet clients resume
+//!    their downloads with zero stream-byte loss after reconnecting —
+//!    detected via stateless reset, not idle-timeout exhaustion.
 
 pub mod pop;
 pub mod router;
 pub mod token;
 
-pub use pop::{reject, Pop, PopBoundedState, PopConfig, PopStats, ShardStats};
+pub use pop::{reject, Pop, PopBoundedState, PopConfig, PopStats, ShardOutcome, ShardStats};
 pub use router::{classify, Classified, EdgeRouter};
-pub use token::{mint, verify, TokenError, TOKEN_LEN};
+pub use token::{mint, verify, TokenError, TokenKey, TOKEN_LEN};

@@ -24,8 +24,14 @@
 //!   Retire Prior To; clients migrate mid-stream with zero stream-byte
 //!   loss, and the old routes disappear when the client's
 //!   RETIRE_CONNECTION_ID lands.
+//! - **Crash-fault tier** ([`Pop::crash_shard`]): a shard can die with
+//!   no drain window — its conn/demux/replay state is destroyed
+//!   atomically. After [`Pop::restart_shard`] the shard answers the
+//!   orphaned clients' short-header datagrams with RFC 9000 §10.3
+//!   stateless resets minted from the pre-restart epoch secret, so
+//!   clients fail over to reconnection instead of idling out.
 
-use std::collections::{BTreeMap, BTreeSet, VecDeque};
+use std::collections::{BTreeMap, VecDeque};
 use xlink_clock::{Duration, Instant};
 use xlink_core::lb::{encode_cid, ServerId};
 use xlink_netsim::{Endpoint, Transmit};
@@ -35,7 +41,8 @@ use xlink_quic::connection::{Config, Connection, ConnectionStats, AMP_FACTOR};
 use xlink_quic::packet::{Header, PacketType};
 
 use crate::router::{classify, Classified, EdgeRouter};
-use crate::token::{self, splitmix, TokenError};
+use crate::token::{splitmix, TokenError, TokenKey};
+use xlink_quic::reset;
 
 /// Reject reasons (also the `reason` field of [`Event::EdgeReject`]).
 pub mod reject {
@@ -82,6 +89,12 @@ pub struct PopConfig {
     /// Per-request response-body cap (a hostile but admitted client
     /// cannot ask the PoP to materialise unbounded bytes).
     pub max_response_bytes: u64,
+    /// Base secret for per-shard, per-epoch stateless-reset tokens.
+    pub reset_secret: u64,
+    /// Answer unroutable short-header datagrams with stateless resets
+    /// (§10.3). Off = the PTO/idle-exhaustion baseline the crash
+    /// experiments compare against.
+    pub stateless_reset: bool,
 }
 
 impl Default for PopConfig {
@@ -97,6 +110,8 @@ impl Default for PopConfig {
             max_replay_entries: 8192,
             max_addr_entries: 4096,
             max_response_bytes: 4 * 1024 * 1024,
+            reset_secret: 0x0dd5_ec4e_77e1_1ef7,
+            stateless_reset: true,
         }
     }
 }
@@ -112,6 +127,12 @@ pub struct PopStats {
     pub retries_sent: u64,
     /// Drain-steered shard migrations.
     pub migrations: u64,
+    /// Shards crashed (state destroyed with no drain window).
+    pub shard_crashes: u64,
+    /// Stateless resets queued for transmission (§10.3).
+    pub resets_sent: u64,
+    /// Retry-token MAC key rotations.
+    pub token_rotations: u64,
     /// Datagrams with unparseable or inbound-Retry headers.
     pub malformed: u64,
     /// Rejected datagrams by reason (see [`reject`]).
@@ -143,6 +164,41 @@ pub struct ShardStats {
     pub migrated_in: u64,
     /// Shard no longer accepts new placements.
     pub draining: bool,
+    /// Shard is down: state destroyed, not yet restarted. A crashed
+    /// shard is silent — stateless resets only start once it restarts.
+    pub crashed: bool,
+    /// Reset-secret epoch; bumped on every restart, so tokens minted
+    /// for pre-crash CIDs stay derivable (`epoch - 1`) while the new
+    /// incarnation issues under a disjoint secret.
+    pub epoch: u64,
+}
+
+/// Typed outcome of a shard lifecycle action ([`Pop::drain_shard`],
+/// [`Pop::crash_shard`], [`Pop::restart_shard`]). Acting on a shard in
+/// the wrong state is reported, never silently misrouted.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum ShardOutcome {
+    /// Drain applied: this many live connections were steered away.
+    Drained {
+        /// Connections migrated to surviving shards.
+        migrated: u32,
+    },
+    /// Crash applied: this many live connections were destroyed.
+    Crashed {
+        /// Connections destroyed with the shard.
+        conns: u32,
+    },
+    /// Restart applied: the shard rejoined placement under this epoch.
+    Restarted {
+        /// The shard's new reset-secret epoch.
+        epoch: u64,
+    },
+    /// The shard id is not part of this PoP.
+    UnknownShard,
+    /// The shard was already draining or crashed; nothing was done.
+    AlreadyInactive,
+    /// Restart of a shard that is not crashed; nothing was done.
+    NotCrashed,
 }
 
 /// Snapshot of every capped PoP resource, in the same spirit as the
@@ -245,7 +301,14 @@ pub struct Pop {
     pending: VecDeque<(usize, Vec<u8>)>,
     peak_pending: usize,
     replay_order: VecDeque<u128>,
-    replay_seen: BTreeSet<u128>,
+    /// Spent token → the shard that admitted the spend. Keyed by shard
+    /// so a crash can destroy exactly its shard's slice of the ledger:
+    /// a re-spend after the admitting shard crashed is a legitimate
+    /// reconnection, while a re-spend against a live shard stays a
+    /// replay (same SCID hashes to the same shard).
+    replay_seen: BTreeMap<u128, ServerId>,
+    /// Epoch-tagged Retry-token MAC key (current + previous verify).
+    token_key: TokenKey,
     addr_acct: BTreeMap<usize, AddrAccount>,
     /// Monotone counter feeding backend-CID entropy: admission order,
     /// so CID *values* are unique and shard-count independent.
@@ -275,7 +338,8 @@ impl Pop {
             pending: VecDeque::new(),
             peak_pending: 0,
             replay_order: VecDeque::new(),
-            replay_seen: BTreeSet::new(),
+            replay_seen: BTreeMap::new(),
+            token_key: TokenKey::new(cfg.token_key),
             addr_acct: BTreeMap::new(),
             cid_counter: 0,
             mint_counter: 0,
@@ -291,6 +355,30 @@ impl Pop {
     /// Attach a trace handle for edge events (admit/reject/drain/migrate).
     pub fn set_tracer(&mut self, tracer: Tracer) {
         self.tracer = tracer;
+    }
+
+    /// Rotate the Retry-token MAC key to a fresh epoch. Tokens of the
+    /// previous epoch keep verifying (see [`TokenKey`]); older epochs
+    /// become indistinguishable from forgeries. Returns the new epoch.
+    pub fn rotate_token_key(&mut self) -> u64 {
+        self.stats.token_rotations += 1;
+        self.token_key.rotate()
+    }
+
+    /// Current Retry-token key epoch.
+    pub fn token_epoch(&self) -> u64 {
+        self.token_key.epoch()
+    }
+
+    /// Reset secret for `shard` under an explicit epoch.
+    fn secret_for(&self, shard: ServerId, epoch: u64) -> u64 {
+        mix(self.cfg.reset_secret, mix(shard as u64, epoch))
+    }
+
+    /// Reset secret a shard's *current* incarnation issues under.
+    fn shard_secret(&self, shard: ServerId) -> u64 {
+        let epoch = self.shard_stats.get(&shard).map_or(0, |s| s.epoch);
+        self.secret_for(shard, epoch)
     }
 
     /// Monotone counters.
@@ -359,11 +447,16 @@ impl Pop {
     /// live connection to a surviving shard via NEW_CONNECTION_ID with
     /// Retire Prior To. The old CIDs stay routable until each client's
     /// RETIRE_CONNECTION_ID lands, so in-flight packets never black-hole.
-    pub fn drain_shard(&mut self, now: Instant, shard: ServerId) {
-        self.router.deactivate_shard(shard);
-        if let Some(s) = self.shard_stats.get_mut(&shard) {
-            s.draining = true;
+    ///
+    /// Idempotent: draining an already-inactive (draining or crashed)
+    /// shard is a typed no-op, never a double-migration.
+    pub fn drain_shard(&mut self, now: Instant, shard: ServerId) -> ShardOutcome {
+        let Some(st) = self.shard_stats.get(&shard) else { return ShardOutcome::UnknownShard };
+        if st.draining || st.crashed {
+            return ShardOutcome::AlreadyInactive;
         }
+        self.router.deactivate_shard(shard);
+        self.shard_stats.get_mut(&shard).expect("checked above").draining = true;
         let slots: Vec<usize> = self
             .conns
             .iter()
@@ -372,15 +465,24 @@ impl Pop {
             .map(|(i, _)| i)
             .collect();
         self.tracer.emit(now, Event::ShardDrain { shard, conns: slots.len() as u32 });
+        let mut migrated = 0u32;
         for slot in slots {
-            let Some(b) = self.conns[slot].as_mut() else { continue };
             // No survivors → nothing to steer to; the shard must finish
             // its sessions before going away.
-            let Some(target) = self.router.place(&b.client_scid) else { continue };
+            let Some(scid) = self.conns[slot].as_ref().map(|b| b.client_scid) else { continue };
+            let Some(target) = self.router.place(&scid) else { continue };
             let entropy = mix(self.cfg.seed ^ 0xc1d, self.cid_counter);
             self.cid_counter += 1;
             let cid = encode_cid(target, 0, entropy);
-            b.conn.issue_migration_cid(cid);
+            // The migration CID carries a reset token under the *target*
+            // shard's current secret: if the survivor later crashes, the
+            // migrated client's oracle still fires.
+            let tok = self
+                .cfg
+                .stateless_reset
+                .then(|| reset::reset_token(self.shard_secret(target), &cid));
+            let Some(b) = self.conns[slot].as_mut() else { continue };
+            b.conn.issue_migration_cid(cid, tok);
             let from = b.shard;
             b.shard = target;
             self.router.bind(cid, slot);
@@ -393,8 +495,129 @@ impl Pop {
                 s.migrated_in += 1;
             }
             self.stats.migrations += 1;
+            migrated += 1;
             self.tracer.emit(now, Event::ConnMigrated { from_shard: from, to_shard: target });
         }
+        ShardOutcome::Drained { migrated }
+    }
+
+    /// Crash a shard: destroy every backend connection, demux route, and
+    /// replay-ledger entry it owns, atomically and with **no drain
+    /// window** — no CONNECTION_CLOSE, no migration CIDs, nothing is
+    /// flushed. This is the process-kill fault the crash experiments
+    /// inject; recovery is entirely the clients' problem (stateless
+    /// resets after [`Pop::restart_shard`], then reconnection).
+    pub fn crash_shard(&mut self, now: Instant, shard: ServerId) -> ShardOutcome {
+        let Some(st) = self.shard_stats.get(&shard) else { return ShardOutcome::UnknownShard };
+        if st.crashed {
+            return ShardOutcome::AlreadyInactive;
+        }
+        self.router.deactivate_shard(shard);
+        let mut destroyed = 0u32;
+        for slot in 0..self.conns.len() {
+            if !self.conns[slot].as_ref().is_some_and(|b| b.shard == shard) {
+                continue;
+            }
+            let b = self.conns[slot].take().expect("checked above");
+            self.router.unbind_slot(slot);
+            self.client_map.remove(&b.client_scid);
+            self.live -= 1;
+            destroyed += 1;
+        }
+        // The crashed shard's slice of the spent-token ledger dies with
+        // it: its orphans' tokens become re-spendable (same SCID → same
+        // placement → same shard), while every other shard's entries
+        // keep rejecting replays.
+        self.replay_seen.retain(|_, &mut s| s != shard);
+        let seen = &self.replay_seen;
+        self.replay_order.retain(|k| seen.contains_key(k));
+        let st = self.shard_stats.get_mut(&shard).expect("checked above");
+        st.crashed = true;
+        st.draining = false;
+        st.live = 0;
+        self.stats.shard_crashes += 1;
+        self.tracer.emit(now, Event::ShardCrash { shard, conns: destroyed });
+        ShardOutcome::Crashed { conns: destroyed }
+    }
+
+    /// Restart a crashed shard: it rejoins placement under a bumped
+    /// reset-secret epoch. From this point the shard answers short
+    /// headers bearing its pre-crash CIDs with stateless resets minted
+    /// under the *previous* epoch's secret — exactly the tokens the
+    /// orphaned clients hold.
+    pub fn restart_shard(&mut self, now: Instant, shard: ServerId) -> ShardOutcome {
+        let Some(st) = self.shard_stats.get_mut(&shard) else { return ShardOutcome::UnknownShard };
+        if !st.crashed {
+            return ShardOutcome::NotCrashed;
+        }
+        st.crashed = false;
+        st.draining = false;
+        st.epoch += 1;
+        let epoch = st.epoch;
+        self.router.activate_shard(shard);
+        self.tracer.emit(now, Event::ShardRestart { shard, epoch });
+        ShardOutcome::Restarted { epoch }
+    }
+
+    /// Crash-restart in one step: the kill-and-respawn fault where the
+    /// process dies and supervision brings it straight back. Returns the
+    /// crash outcome (connections destroyed); the restart epoch is
+    /// visible in [`Pop::shard_stats`].
+    pub fn crash_restart_shard(&mut self, now: Instant, shard: ServerId) -> ShardOutcome {
+        let crashed = self.crash_shard(now, shard);
+        if matches!(crashed, ShardOutcome::Crashed { .. }) {
+            self.restart_shard(now, shard);
+        }
+        crashed
+    }
+
+    /// Answer an unroutable short-header datagram with a stateless reset
+    /// (RFC 9000 §10.3), when it can be attributed to a restarted
+    /// shard's pre-crash CID space and the address's amplification
+    /// budget allows it.
+    fn maybe_stateless_reset(
+        &mut self,
+        now: Instant,
+        addr: usize,
+        dcid: &ConnectionId,
+        trigger_len: usize,
+    ) {
+        if !self.cfg.stateless_reset {
+            return;
+        }
+        // §10.3.3: the reset must be strictly smaller than the datagram
+        // that triggered it, or two stateless endpoints could volley
+        // resets at each other forever.
+        if trigger_len <= reset::RESET_DATAGRAM_LEN {
+            return;
+        }
+        let shard = EdgeRouter::claimed_shard(dcid);
+        let Some(st) = self.shard_stats.get(&shard) else { return };
+        // A crashed (down) shard is silent; resets come from the
+        // restarted incarnation.
+        if st.crashed {
+            return;
+        }
+        // CIDs this shard cannot route were issued before its most
+        // recent restart: mint under the epoch in force back then. For a
+        // never-restarted shard that is the current epoch (the datagram
+        // is then grinding noise and its "token" matches no client).
+        let secret = self.secret_for(shard, st.epoch.saturating_sub(1));
+        let dgram = reset::build_stateless_reset(secret, dcid);
+        let acct = self.addr_acct.entry(addr).or_default();
+        if acct.sent + dgram.len() as u64 > acct.received.saturating_mul(AMP_FACTOR) {
+            self.reject(now, reject::AMPLIFICATION);
+            return;
+        }
+        if self.pending.len() >= self.cfg.max_pending_retries {
+            self.reject(now, reject::TABLE_FULL);
+            return;
+        }
+        acct.sent += dgram.len() as u64;
+        self.pending.push_back((addr, dgram.to_vec()));
+        self.peak_pending = self.peak_pending.max(self.pending.len());
+        self.stats.resets_sent += 1;
+        self.tracer.emit(now, Event::StatelessReset { path: addr as u8 });
     }
 
     fn reject(&mut self, now: Instant, reason: &'static str) {
@@ -405,7 +628,7 @@ impl Pop {
     /// Queue a Retry for `scid` at `addr`, within the pre-validation
     /// amplification budget and the Retry-queue cap.
     fn queue_retry(&mut self, now: Instant, addr: usize, scid: ConnectionId) {
-        let tok = token::mint(self.cfg.token_key, addr as u64, self.mint_counter, now);
+        let tok = self.token_key.mint(addr as u64, self.mint_counter, now);
         self.mint_counter += 1;
         let header = Header {
             ty: PacketType::Retry,
@@ -456,8 +679,7 @@ impl Pop {
                 self.queue_retry(now, addr, scid);
                 return;
             }
-            match token::verify(self.cfg.token_key, addr as u64, now, self.cfg.token_lifetime, tok)
-            {
+            match self.token_key.verify(addr as u64, now, self.cfg.token_lifetime, tok) {
                 Err(TokenError::Malformed) | Err(TokenError::BadMac) => {
                     self.reject(now, reject::BAD_TOKEN);
                     return;
@@ -468,16 +690,13 @@ impl Pop {
                     return;
                 }
                 Ok(()) => {
-                    let key = replay_key(tok);
-                    if !self.replay_seen.insert(key) {
+                    // Spent-check here; the token is only *burned* below,
+                    // once admission actually succeeds, so a crash that
+                    // wipes the admitting shard's ledger slice lets the
+                    // orphaned client legitimately re-spend.
+                    if self.replay_seen.contains_key(&replay_key(tok)) {
                         self.reject(now, reject::REPLAYED_TOKEN);
                         return;
-                    }
-                    self.replay_order.push_back(key);
-                    if self.replay_order.len() > self.cfg.max_replay_entries {
-                        if let Some(old) = self.replay_order.pop_front() {
-                            self.replay_seen.remove(&old);
-                        }
                     }
                     true
                 }
@@ -495,19 +714,38 @@ impl Pop {
             return;
         };
 
+        if validated {
+            let key = replay_key(tok);
+            self.replay_seen.insert(key, shard);
+            self.replay_order.push_back(key);
+            if self.replay_order.len() > self.cfg.max_replay_entries {
+                if let Some(old) = self.replay_order.pop_front() {
+                    self.replay_seen.remove(&old);
+                }
+            }
+        }
+
         // Backend seed mixes the PoP seed with the client's CID — never
         // the shard id, so handshakes (and therefore everything the
         // client observes) are identical across shard counts.
         let seed = mix(self.cfg.seed, cid_u64(&scid));
-        let mut conn = Connection::new(Config::server(seed), now);
+        let entropy = mix(self.cfg.seed ^ 0xc1d, self.cid_counter);
+        self.cid_counter += 1;
+        let cid = encode_cid(shard, 0, entropy);
+        let mut sc = Config::server(seed);
+        if self.cfg.stateless_reset {
+            // The §10.3 oracle the client will hold for this connection,
+            // bound to the shard's current-epoch secret and the CID we
+            // are about to route by.
+            sc.params.stateless_reset_token =
+                Some(reset::reset_token(self.shard_secret(shard), &cid));
+        }
+        let mut conn = Connection::new(sc, now);
         if !validated {
             // Without token admission the quic-level 3× gate holds until
             // the handshake validates the address.
             conn.set_address_unvalidated();
         }
-        let entropy = mix(self.cfg.seed ^ 0xc1d, self.cid_counter);
-        self.cid_counter += 1;
-        let cid = encode_cid(shard, 0, entropy);
         conn.rebind_local_cid(cid);
 
         let slot = match self.conns.iter().position(Option::is_none) {
@@ -536,10 +774,12 @@ impl Pop {
     fn forward(&mut self, now: Instant, slot: usize, payload: &[u8]) {
         let Some(b) = self.conns[slot].as_mut() else { return };
         b.conn.handle_datagram(now, payload);
-        // Serve the PoP's toy origin protocol: an 8-byte little-endian
-        // length N on a stream is answered with N bytes of the fixed
-        // `i % 251` pattern plus FIN — byte-identical regardless of
-        // which shard serves it.
+        // Serve the PoP's toy origin protocol: a 16-byte little-endian
+        // `[offset | length]` request on a stream is answered with
+        // `length` bytes of the *absolute-position* pattern
+        // `(offset + i) % 251` plus FIN — byte-identical regardless of
+        // which shard serves it, and resumable at any verified offset
+        // after a crash reconnect (the zero-byte-loss check).
         for id in b.conn.readable_streams() {
             let st = b.streams.entry(id).or_default();
             let data = b.conn.stream_recv(id, usize::MAX);
@@ -547,12 +787,13 @@ impl Pop {
                 continue;
             }
             st.buf.extend_from_slice(&data);
-            if st.buf.len() >= 8 {
-                let n = u64::from_le_bytes(st.buf[..8].try_into().expect("8-byte slice"))
+            if st.buf.len() >= 16 {
+                let off = u64::from_le_bytes(st.buf[..8].try_into().expect("8-byte slice"));
+                let n = u64::from_le_bytes(st.buf[8..16].try_into().expect("8-byte slice"))
                     .min(self.cfg.max_response_bytes);
                 st.answered = true;
                 st.buf = Vec::new();
-                let body: Vec<u8> = (0..n).map(|i| (i % 251) as u8).collect();
+                let body: Vec<u8> = (0..n).map(|i| ((off + i) % 251) as u8).collect();
                 b.conn.stream_send(id, &body, true);
             }
         }
@@ -588,7 +829,10 @@ impl Endpoint for Pop {
         match classify(payload) {
             Classified::Short { dcid } => match self.router.route(&dcid) {
                 Some(slot) => self.forward(now, slot, payload),
-                None => self.reject(now, reject::NO_ROUTE),
+                None => {
+                    self.reject(now, reject::NO_ROUTE);
+                    self.maybe_stateless_reset(now, path, &dcid, payload.len());
+                }
             },
             Classified::Initial { scid, token, .. } => {
                 if let Some(&slot) = self.client_map.get(&scid) {
@@ -657,9 +901,18 @@ impl Endpoint for Pop {
 #[cfg(test)]
 mod tests {
     use super::*;
+    use crate::token;
     use xlink_core::lb::server_id;
 
     const LIFE: Duration = Duration::from_secs(2);
+
+    /// A toy-origin request: `len` bytes starting at `offset`.
+    fn req(offset: u64, len: u64) -> [u8; 16] {
+        let mut r = [0u8; 16];
+        r[..8].copy_from_slice(&offset.to_le_bytes());
+        r[8..].copy_from_slice(&len.to_le_bytes());
+        r
+    }
 
     fn pop(admission: bool, shards: &[ServerId]) -> Pop {
         Pop::new(PopConfig {
@@ -732,11 +985,20 @@ mod tests {
         assert_eq!(server_id(&c.remote_cid()), p.shard_of(&scid).unwrap());
         // Request 100 bytes; the PoP answers with the fixed pattern.
         let id = c.open_stream(0);
-        c.stream_send(id, &100u64.to_le_bytes(), true);
+        c.stream_send(id, &req(0, 100), true);
         pump(&mut now, &mut [(0, &mut c)], &mut p, 200);
         let body = c.stream_recv(id, usize::MAX);
         assert_eq!(body.len(), 100);
         assert!(body.iter().enumerate().all(|(i, &b)| b == (i % 251) as u8));
+        // A resumed request serves the same absolute positions: bytes
+        // [40, 100) of the object, not a restarted pattern.
+        let id2 = c.open_stream(0);
+        c.stream_send(id2, &req(40, 60), true);
+        pump(&mut now, &mut [(0, &mut c)], &mut p, 200);
+        let tail = c.stream_recv(id2, usize::MAX);
+        assert_eq!(tail.len(), 60);
+        assert!(tail.iter().enumerate().all(|(i, &b)| b == ((40 + i) % 251) as u8));
+        assert_eq!(&body[40..], &tail[..], "resume tail must splice losslessly");
     }
 
     #[test]
@@ -797,8 +1059,10 @@ mod tests {
         let (ha, hb) = (p.shard_of(&sa).unwrap(), p.shard_of(&sb).unwrap());
 
         // Drain shard 1: every conn on it must move to shard 2.
-        p.drain_shard(now, 1);
         let moved = [(sa, ha), (sb, hb)].iter().filter(|(_, h)| *h == 1).count() as u64;
+        assert_eq!(p.drain_shard(now, 1), ShardOutcome::Drained { migrated: moved as u32 });
+        assert_eq!(p.drain_shard(now, 1), ShardOutcome::AlreadyInactive, "drain is idempotent");
+        assert_eq!(p.drain_shard(now, 99), ShardOutcome::UnknownShard);
         assert_eq!(p.stats().migrations, moved);
         pump(&mut now, &mut [(0, &mut a), (1, &mut b)], &mut p, 100);
         assert_eq!(p.shard_of(&sa), Some(if ha == 1 { 2 } else { ha }));
@@ -808,9 +1072,9 @@ mod tests {
         assert_ne!(server_id(&a.remote_cid()), 1);
         assert_ne!(server_id(&b.remote_cid()), 1);
         let ida = a.open_stream(0);
-        a.stream_send(ida, &64u64.to_le_bytes(), true);
+        a.stream_send(ida, &req(0, 64), true);
         let idb = b.open_stream(0);
-        b.stream_send(idb, &64u64.to_le_bytes(), true);
+        b.stream_send(idb, &req(0, 64), true);
         pump(&mut now, &mut [(0, &mut a), (1, &mut b)], &mut p, 200);
         assert_eq!(a.stream_recv(ida, usize::MAX).len(), 64, "post-drain serve a");
         assert_eq!(b.stream_recv(idb, usize::MAX).len(), 64, "post-drain serve b");
@@ -829,5 +1093,131 @@ mod tests {
         assert_eq!(p.stats().rejected(reject::NO_ROUTE), 500);
         assert_eq!(p.live_conns(), 0);
         assert!(p.bounded_state().within_caps());
+        // Grind datagrams are tiny (≤ the reset size) and the grinder
+        // has no byte budget: not a single reset leaves the PoP.
+        assert_eq!(p.stats().resets_sent, 0);
+    }
+
+    #[test]
+    fn crash_destroys_state_and_restart_answers_with_resets() {
+        let mut p = pop(false, &[1]);
+        let mut c = Connection::new(Config::client(0x71), Instant::from_millis(1));
+        let mut now = Instant::from_millis(1);
+        pump(&mut now, &mut [(0, &mut c)], &mut p, 50);
+        assert!(c.is_established());
+        assert_eq!(c.reset_token_count(), 1, "handshake must deliver the reset oracle");
+
+        // Crash: all state gone atomically, no drain, no close frames.
+        assert_eq!(p.crash_shard(now, 1), ShardOutcome::Crashed { conns: 1 });
+        assert_eq!(p.live_conns(), 0);
+        assert_eq!(p.bounded_state().demux, 0);
+        assert_eq!(p.crash_shard(now, 1), ShardOutcome::AlreadyInactive, "crash is idempotent");
+        assert_eq!(p.drain_shard(now, 1), ShardOutcome::AlreadyInactive, "no draining the dead");
+        assert_eq!(p.crash_shard(now, 99), ShardOutcome::UnknownShard);
+
+        // While the shard is down it is silent: the client's datagrams
+        // fall on the floor (that is what PTO exhaustion would measure).
+        let id = c.open_stream(0);
+        c.stream_send(id, &req(0, 32), true);
+        let d = c.poll_transmit(now).expect("short packet");
+        p.on_datagram(now, 0, &d);
+        assert!(Endpoint::poll_transmit(&mut p, now).is_none(), "crashed shard answers nothing");
+
+        // Restart: epoch bumps, and the next orphaned short header gets
+        // a stateless reset minted under the pre-crash epoch's secret.
+        assert_eq!(p.restart_shard(now, 1), ShardOutcome::Restarted { epoch: 1 });
+        assert_eq!(p.restart_shard(now, 1), ShardOutcome::NotCrashed, "restart needs a crash");
+        let d2 = c.poll_transmit(now).unwrap_or(d);
+        p.on_datagram(now, 0, &d2);
+        let t = Endpoint::poll_transmit(&mut p, now).expect("stateless reset queued");
+        assert_eq!(t.path, 0);
+        assert!(t.payload.len() < d2.len(), "§10.3.3: reset smaller than its trigger");
+        assert_eq!(p.stats().resets_sent, 1);
+        c.handle_datagram(now, &t.payload);
+        assert!(c.is_closed(), "oracle match must kill the connection");
+        assert_eq!(c.close_error(), Some(&xlink_quic::error::ConnectionError::Reset));
+    }
+
+    #[test]
+    fn crash_clears_only_the_dead_shards_replay_slice() {
+        let mut p = pop(true, &[1]);
+        let now = Instant::from_millis(1);
+        // Earn a token the usual way.
+        let mut a = Connection::new(Config::client(0xa1), now);
+        let hello = a.poll_transmit(now).expect("hello");
+        p.on_datagram(now, 0, &hello);
+        let retry = Endpoint::poll_transmit(&mut p, now).expect("retry");
+        let tok = retry.payload[19..].to_vec();
+        let splice = |conn: &mut Connection| {
+            let d = conn.poll_transmit(now).expect("hello");
+            let mut out = d[..19].to_vec();
+            out.push(token::TOKEN_LEN as u8);
+            out.extend_from_slice(&tok);
+            out.extend_from_slice(&d[20..]);
+            out
+        };
+        // First spend admits and burns the token against shard 1.
+        let mut b = Connection::new(Config::client(0xb1), now);
+        p.on_datagram(now, 0, &splice(&mut b));
+        assert_eq!(p.stats().admitted, 1);
+        // Replay against the live shard is still a replay.
+        let mut c = Connection::new(Config::client(0xc1), now);
+        p.on_datagram(now, 0, &splice(&mut c));
+        assert_eq!(p.stats().rejected(reject::REPLAYED_TOKEN), 1);
+        // Crash-restart the admitting shard: its ledger slice died with
+        // it, so the orphan's token is legitimately re-spendable.
+        assert!(matches!(p.crash_restart_shard(now, 1), ShardOutcome::Crashed { conns: 1 }));
+        assert_eq!(p.shard_stats()[&1].epoch, 1);
+        let mut e = Connection::new(Config::client(0xe1), now);
+        p.on_datagram(now, 0, &splice(&mut e));
+        assert_eq!(p.stats().admitted, 2, "post-crash re-spend is a reconnection, not a replay");
+    }
+
+    #[test]
+    fn token_rotation_mid_flood_keeps_in_flight_tokens_spendable() {
+        let mut p = pop(true, &[1, 2]);
+        let now = Instant::from_millis(1);
+        let mut a = Connection::new(Config::client(0x3a), now);
+        let hello = a.poll_transmit(now).expect("hello");
+        p.on_datagram(now, 0, &hello);
+        let retry = Endpoint::poll_transmit(&mut p, now).expect("retry");
+        let tok = retry.payload[19..].to_vec();
+        let splice = |conn: &mut Connection, tok: &[u8]| {
+            let d = conn.poll_transmit(now).expect("hello");
+            let mut out = d[..19].to_vec();
+            out.push(token::TOKEN_LEN as u8);
+            out.extend_from_slice(tok);
+            out.extend_from_slice(&d[20..]);
+            out
+        };
+        // One rotation mid-flight: the token the client is about to
+        // spend was minted under the previous epoch and must still work.
+        assert_eq!(p.rotate_token_key(), 1);
+        let mut b = Connection::new(Config::client(0x3b), now);
+        p.on_datagram(now, 0, &splice(&mut b, &tok));
+        assert_eq!(p.stats().admitted, 1, "previous-epoch token spends after one rotation");
+        // Earn a current-epoch token, rotate twice more: two epochs back
+        // is indistinguishable from a forgery.
+        let mut c = Connection::new(Config::client(0x3c), now);
+        let hello2 = c.poll_transmit(now).expect("hello");
+        p.on_datagram(now, 1, &hello2);
+        let retry2 = Endpoint::poll_transmit(&mut p, now).expect("retry");
+        let tok2 = retry2.payload[19..].to_vec();
+        p.rotate_token_key();
+        p.rotate_token_key();
+        assert_eq!(p.token_epoch(), 3);
+        let mut e = Connection::new(Config::client(0x3e), now);
+        let spliced = {
+            let d = e.poll_transmit(now).expect("hello");
+            let mut out = d[..19].to_vec();
+            out.push(token::TOKEN_LEN as u8);
+            out.extend_from_slice(&tok2);
+            out.extend_from_slice(&d[20..]);
+            out
+        };
+        p.on_datagram(now, 1, &spliced);
+        assert_eq!(p.stats().rejected(reject::BAD_TOKEN), 1);
+        assert_eq!(p.stats().admitted, 1);
+        assert_eq!(p.stats().token_rotations, 3);
     }
 }

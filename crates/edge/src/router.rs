@@ -150,12 +150,32 @@ impl EdgeRouter {
         &self.active
     }
 
-    /// Remove a shard from new-connection placement (drain). Existing
-    /// table entries are untouched — live connections keep routing until
-    /// they are migrated and their old CIDs retired.
-    pub fn deactivate_shard(&mut self, shard: ServerId) {
-        self.active.retain(|&s| s != shard);
+    /// Remove a shard from new-connection placement (drain or crash).
+    /// Existing table entries are untouched — live connections keep
+    /// routing until they are migrated and their old CIDs retired.
+    /// Idempotent: returns whether the shard was active (false means it
+    /// was already out of placement, or never part of this router).
+    pub fn deactivate_shard(&mut self, shard: ServerId) -> bool {
+        let was = self.active.contains(&shard);
+        if was {
+            self.active.retain(|&s| s != shard);
+            self.lb = LoadBalancer::new(&self.active);
+        }
+        was
+    }
+
+    /// Return a shard to new-connection placement (crash restart).
+    /// Idempotent: returns whether the shard was actually re-added
+    /// (false means it was already active). Placement order is kept
+    /// sorted so activate/deactivate round-trips are hash-stable.
+    pub fn activate_shard(&mut self, shard: ServerId) -> bool {
+        if self.active.contains(&shard) {
+            return false;
+        }
+        self.active.push(shard);
+        self.active.sort_unstable();
         self.lb = LoadBalancer::new(&self.active);
+        true
     }
 
     /// Place a brand-new connection on an active shard by consistent
@@ -316,6 +336,26 @@ mod tests {
         }
         // ...but established routes keep working.
         assert_eq!(r.route(&old), Some(7));
+    }
+
+    #[test]
+    fn activate_deactivate_are_idempotent_and_hash_stable() {
+        let mut r = EdgeRouter::new(&[1, 2, 3]);
+        assert!(r.deactivate_shard(2));
+        assert!(!r.deactivate_shard(2), "double deactivate must be a no-op");
+        assert!(!r.deactivate_shard(9), "unknown shard is not active");
+        for i in 0..100u64 {
+            assert_ne!(r.place(&ConnectionId::derive(4, i)), Some(2));
+        }
+        assert!(r.activate_shard(2));
+        assert!(!r.activate_shard(2), "double activate must be a no-op");
+        // A deactivate/activate round-trip restores the original
+        // placement function exactly.
+        let fresh = EdgeRouter::new(&[1, 2, 3]);
+        for i in 0..200u64 {
+            let c = ConnectionId::derive(8, i);
+            assert_eq!(r.place(&c), fresh.place(&c));
+        }
     }
 
     #[test]

@@ -7,10 +7,16 @@
 //! machinery, which keeps the whole run on the virtual clock: the same
 //! seed replays the same outages, the same transitions, and (with a
 //! recording [`TraceLog`]) a bit-identical failover event stream.
+//!
+//! A [`CrashPlan`] is the edge-tier sibling: instead of links going
+//! dark, PoP *shards* die — state destroyed, no drain — and optionally
+//! come back. It scripts `Pop::crash_shard` / `Pop::restart_shard`
+//! calls for `run_pop` (see `harness::pop`).
 
 use crate::bulk::{run_bulk_quic_full, BulkResult};
 use crate::transport::{Scheme, TransportTuning};
 use xlink_clock::{Duration, Instant};
+use xlink_core::lb::ServerId;
 use xlink_netsim::{FlapSchedule, FlapStep, LinkConfig, LinkState, Path, Rng};
 use xlink_obs::TraceLog;
 
@@ -83,6 +89,66 @@ impl ChaosPlan {
     /// Virtual time at which the last scripted outage has healed.
     pub fn horizon(&self) -> Duration {
         self.start_after + (self.max_down + self.min_gap + self.gap_jitter) * self.outages
+    }
+}
+
+/// A scripted sequence of PoP shard crashes (and restarts) on the
+/// virtual clock. Unlike [`ChaosPlan`]'s link outages, a crash destroys
+/// *server state*: every connection, route, and replay-ledger entry on
+/// the shard evaporates with no drain window, and clients must recover
+/// by reconnecting.
+#[derive(Debug, Clone)]
+pub struct CrashPlan {
+    /// (virtual time, shard) crash events, in any order.
+    pub crashes: Vec<(Duration, ServerId)>,
+    /// Restart each crashed shard this long after its crash; `None`
+    /// leaves crashed shards down for the rest of the run.
+    pub restart_after: Option<Duration>,
+}
+
+impl CrashPlan {
+    /// Crash one shard at `at`, restarting it `restart_after` later.
+    pub fn single(at: Duration, shard: ServerId, restart_after: Option<Duration>) -> Self {
+        CrashPlan { crashes: vec![(at, shard)], restart_after }
+    }
+
+    /// Crash the *whole PoP* at `at` — every shard at the same instant,
+    /// restarted together `down` later. Because all shards share the
+    /// fault, the clients' experience is shard-count independent, which
+    /// is what the trace-invariance experiments script.
+    pub fn total_outage(at: Duration, shards: &[ServerId], down: Duration) -> Self {
+        CrashPlan { crashes: shards.iter().map(|&s| (at, s)).collect(), restart_after: Some(down) }
+    }
+
+    /// Seed-derived plan: `count` crashes of shards drawn from `shards`,
+    /// spread over `[start_after, start_after + window)`, each restarted
+    /// after `down`. Same seed → same crash script.
+    pub fn seeded(
+        seed: u64,
+        shards: &[ServerId],
+        count: u32,
+        start_after: Duration,
+        window: Duration,
+        down: Duration,
+    ) -> Self {
+        assert!(!shards.is_empty(), "a crash plan needs shards to crash");
+        let mut rng = Rng::new(seed ^ 0x0c4a_54ed);
+        let span = window.as_micros() as u64;
+        let crashes = (0..count)
+            .map(|_| {
+                let at =
+                    start_after + Duration::from_micros(if span > 0 { rng.below(span) } else { 0 });
+                let shard = shards[rng.below(shards.len() as u64) as usize];
+                (at, shard)
+            })
+            .collect();
+        CrashPlan { crashes, restart_after: Some(down) }
+    }
+
+    /// Virtual time by which every scripted crash has restarted.
+    pub fn horizon(&self) -> Duration {
+        let last = self.crashes.iter().map(|&(at, _)| at).max().unwrap_or(Duration::ZERO);
+        last + self.restart_after.unwrap_or(Duration::ZERO)
     }
 }
 
@@ -225,6 +291,43 @@ mod tests {
         assert_eq!(format!("{a:?}"), format!("{b:?}"));
         let c = ChaosPlan::new(8).flap_schedules(2);
         assert_ne!(format!("{a:?}"), format!("{c:?}"));
+    }
+
+    #[test]
+    fn crash_plan_is_deterministic_and_bounded() {
+        let mk = || {
+            CrashPlan::seeded(
+                5,
+                &[1, 2, 3],
+                4,
+                Duration::from_millis(200),
+                Duration::from_secs(1),
+                Duration::from_millis(50),
+            )
+        };
+        let (a, b) = (mk(), mk());
+        assert_eq!(format!("{a:?}"), format!("{b:?}"), "same seed, same script");
+        assert_eq!(a.crashes.len(), 4);
+        for &(at, shard) in &a.crashes {
+            assert!(at >= Duration::from_millis(200) && at < Duration::from_millis(1200));
+            assert!([1, 2, 3].contains(&shard));
+        }
+        let c = CrashPlan::seeded(
+            6,
+            &[1, 2, 3],
+            4,
+            Duration::from_millis(200),
+            Duration::from_secs(1),
+            Duration::from_millis(50),
+        );
+        assert_ne!(format!("{a:?}"), format!("{c:?}"), "different seed, different script");
+        let total =
+            CrashPlan::total_outage(Duration::from_millis(300), &[1, 2], Duration::from_millis(80));
+        assert_eq!(
+            total.crashes,
+            vec![(Duration::from_millis(300), 1), (Duration::from_millis(300), 2)]
+        );
+        assert_eq!(total.horizon(), Duration::from_millis(380));
     }
 
     #[test]

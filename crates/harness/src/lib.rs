@@ -29,10 +29,12 @@ pub use bulk::{
 };
 pub use chaos::{
     failover_timeline, handover_flaps, handover_paths, run_bulk_quic_chaos, run_bulk_quic_handover,
-    ChaosPlan,
+    ChaosPlan, CrashPlan,
 };
 pub use fleet::{run_fleet, run_fleet_profiled, FleetConfig, FleetReport};
-pub use pop::{run_edge_attack, run_pop, run_pop_traced, PopReport, PopRunConfig};
+pub use pop::{
+    run_crash_rct, run_edge_attack, run_pop, run_pop_traced, CrashRct, PopReport, PopRunConfig,
+};
 pub use scenario::{draw_user_paths, PathSpec};
 pub use transport::{
     BoundedState, Conn, Scheme, TransportStats, TransportTuning, REINJECTION_COST_CAP,

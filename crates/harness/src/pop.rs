@@ -4,22 +4,38 @@
 //!
 //! Each honest session is a real `xlink_quic` client that passes
 //! Retry-token admission, downloads one patterned object from its
-//! backend shard, and byte-verifies every chunk — so the drain
-//! experiments can assert *zero stream-byte loss*, not just "it
+//! backend shard, and byte-verifies every chunk — so the drain and
+//! crash experiments can assert *zero stream-byte loss*, not just "it
 //! finished". The runner supports mid-run shard drain
-//! ([`PopRunConfig::drain`]) and flood mixing
+//! ([`PopRunConfig::drain`]), scripted shard crashes
+//! ([`PopRunConfig::crash`]), and flood mixing
 //! ([`PopRunConfig::attack`]), and reports the PoP's bounded-state
 //! gauges alongside population completion.
+//!
+//! ## Crash recovery
+//!
+//! When a session's connection dies — a stateless reset recognised by
+//! the §10.3 token oracle, or idle-timeout exhaustion in the baseline
+//! arm — the session *reconnects*: a fresh client connection re-runs
+//! Retry-token admission and the download resumes at the exact byte
+//! offset already verified, using the PoP's `[offset | length]` request
+//! protocol. The pattern is absolute-position, so a single corrupt or
+//! repeated byte anywhere across the splice flips `bytes_ok`. Each
+//! session records when it noticed the death ([`PopReport::detect_times`])
+//! and how long re-establishment took ([`PopReport::recovery_times`]).
 
 use crate::adversary::{EdgeAttackKind, EdgeAttacker};
+use crate::chaos::CrashPlan;
 use std::collections::BTreeMap;
 use xlink_clock::{Duration, Instant};
 use xlink_core::lb::ServerId;
 use xlink_edge::{classify, Classified, Pop, PopBoundedState, PopConfig, PopStats, ShardStats};
 use xlink_netsim::{Endpoint, LinkConfig, Path, Transmit, World};
-use xlink_obs::TraceLog;
+use xlink_obs::{Event, TraceLog, Tracer};
 use xlink_quic::cid::ConnectionId;
 use xlink_quic::connection::{Config, Connection};
+use xlink_quic::error::ConnectionError;
+use xlink_quic::reset;
 
 fn mix(a: u64, b: u64) -> u64 {
     let mut x = a ^ b.wrapping_mul(0x9e37_79b9_7f4a_7c15);
@@ -52,9 +68,21 @@ pub struct PopRunConfig {
     pub stagger: Duration,
     /// Drain shard `.1` at virtual time `.0`.
     pub drain: Option<(Duration, ServerId)>,
+    /// Scripted shard crashes (state destroyed, no drain window).
+    pub crash: Option<CrashPlan>,
     /// Mix in `budget` datagrams of an edge attack from a dedicated
     /// address.
     pub attack: Option<(EdgeAttackKind, u64)>,
+    /// Client idle timeout override. The crash experiments set this to
+    /// a couple of seconds so the no-reset baseline arm (PTO/idle
+    /// exhaustion) resolves inside the run deadline.
+    pub idle_timeout: Option<Duration>,
+    /// PoP answers orphaned short-header datagrams with §10.3 stateless
+    /// resets. `false` = the detection baseline the crash experiments
+    /// compare against (clients must idle out on their own).
+    pub stateless_reset: bool,
+    /// Reconnection budget per session after its connection dies.
+    pub max_reconnects: u32,
     /// Per-path link rate.
     pub link_mbps: f64,
     /// Per-path one-way delay.
@@ -73,7 +101,11 @@ impl Default for PopRunConfig {
             deadline: Duration::from_secs(30),
             stagger: Duration::from_millis(2),
             drain: None,
+            crash: None,
             attack: None,
+            idle_timeout: None,
+            stateless_reset: true,
+            max_reconnects: 3,
             link_mbps: 50.0,
             link_delay: Duration::from_millis(10),
         }
@@ -89,18 +121,31 @@ pub struct PopReport {
     /// matching the pattern.
     pub completed: usize,
     /// No completed session saw a corrupt byte (stream-byte integrity
-    /// across admission, routing, and drain migration).
+    /// across admission, routing, drain migration, and crash resume).
     pub bytes_ok: bool,
-    /// PoP counters (admits, rejects by reason, migrations).
+    /// PoP counters (admits, rejects by reason, migrations, crashes).
     pub stats: PopStats,
     /// PoP capped-resource gauges at run end (peaks included).
     pub bounded: PopBoundedState,
     /// The PoP respected the 3× pre-validation send budget throughout.
     pub amp_ok: bool,
-    /// Per-shard occupancy and drain bookkeeping.
+    /// Per-shard occupancy and drain/crash bookkeeping.
     pub shard_stats: BTreeMap<ServerId, ShardStats>,
     /// Retries the attacker's address received (amplification-capped).
     pub attacker_retries_seen: u64,
+    /// Connection deaths recognised via the §10.3 reset oracle.
+    pub resets_detected: u64,
+    /// Reconnection attempts across the population.
+    pub reconnects: u64,
+    /// Sessions that finished their object after at least one
+    /// reconnection (crash survivors).
+    pub resumed: u64,
+    /// Crash → death-noticed, one entry per detection that followed a
+    /// scripted crash (the reset-vs-PTO differential metric).
+    pub detect_times: Vec<Duration>,
+    /// Death-noticed → resumed-and-established, one entry per
+    /// successful reconnection.
+    pub recovery_times: Vec<Duration>,
     /// Virtual time when the run ended.
     pub end: Duration,
 }
@@ -113,31 +158,97 @@ impl PopReport {
         }
         self.completed as f64 / self.users as f64
     }
+
+    /// Mean of a duration series, if any.
+    fn mean(xs: &[Duration]) -> Option<Duration> {
+        if xs.is_empty() {
+            return None;
+        }
+        let total: u64 = xs.iter().map(|d| d.as_micros() as u64).sum();
+        Some(Duration::from_micros(total / xs.len() as u64))
+    }
+
+    /// Mean crash-to-detection latency.
+    pub fn mean_detect(&self) -> Option<Duration> {
+        Self::mean(&self.detect_times)
+    }
+
+    /// Mean detection-to-resume latency.
+    pub fn mean_recovery(&self) -> Option<Duration> {
+        Self::mean(&self.recovery_times)
+    }
 }
 
-/// One honest download session.
+/// One honest download session: a (re)connectable client that verifies
+/// the absolute-position byte pattern across connection incarnations.
 struct Session {
     conn: Connection,
     addr: usize,
     start: Instant,
     stream: Option<u64>,
     want: u64,
+    /// Verified absolute byte offset — the resume point after a crash.
     received: u64,
     ok: bool,
     done_at: Option<Instant>,
+    /// Run seed + per-user salt: reconnect incarnation `a` derives its
+    /// handshake seed from (seed, salt, a), so reruns are deterministic.
+    seed_base: u64,
+    salt: u64,
+    idle_timeout: Option<Duration>,
+    /// Reconnections performed so far.
+    attempts: u32,
+    max_reconnects: u32,
+    /// Reconnection budget exhausted with bytes still missing.
+    gave_up: bool,
+    /// Deaths recognised via the reset oracle.
+    resets_seen: u32,
+    /// When each connection death was noticed.
+    detects: Vec<Instant>,
+    /// A reconnect is in flight: (death-noticed time, attempt number).
+    pending_resume: Option<(Instant, u32)>,
+    /// (death-noticed, resumed-established) per successful reconnect.
+    recoveries: Vec<(Instant, Instant)>,
+    tracer: Tracer,
 }
 
 impl Session {
-    /// Open the request stream once the handshake lands.
-    fn drive(&mut self) {
+    fn client_config(&self, incarnation: u32) -> Config {
+        let seed = if incarnation == 0 {
+            mix(self.seed_base, self.salt)
+        } else {
+            mix(self.seed_base, self.salt ^ (u64::from(incarnation) << 32))
+        };
+        let mut cfg = Config::client(seed);
+        if let Some(idle) = self.idle_timeout {
+            cfg.params.max_idle_timeout = idle;
+            // Keep an elicitable packet on the wire: a pure receiver
+            // whose server crashed has nothing in flight, so without
+            // keep-alives the death only surfaces at the idle timeout —
+            // even with the PoP answering resets.
+            cfg.keepalive = Some(idle / 8);
+        }
+        cfg
+    }
+
+    /// Open the request stream once the handshake lands; on a resumed
+    /// incarnation the request starts at the verified offset.
+    fn drive(&mut self, now: Instant) {
         if self.stream.is_none() && self.conn.is_established() {
             let id = self.conn.open_stream(0);
-            self.conn.stream_send(id, &self.want.to_le_bytes(), true);
+            let mut request = [0u8; 16];
+            request[..8].copy_from_slice(&self.received.to_le_bytes());
+            request[8..].copy_from_slice(&(self.want - self.received).to_le_bytes());
+            self.conn.stream_send(id, &request, true);
             self.stream = Some(id);
+            if let Some((detected, attempt)) = self.pending_resume.take() {
+                self.recoveries.push((detected, now));
+                self.tracer.emit(now, Event::SessionResumed { attempt, offset: self.received });
+            }
         }
     }
 
-    /// Read and byte-verify response data.
+    /// Read and byte-verify response data against the absolute pattern.
     fn absorb(&mut self, now: Instant) {
         let Some(id) = self.stream else { return };
         for b in self.conn.stream_recv(id, usize::MAX) {
@@ -152,7 +263,11 @@ impl Session {
     }
 
     fn is_done(&self) -> bool {
-        self.done_at.is_some() || self.conn.is_closed()
+        self.done_at.is_some() || self.gave_up || (self.conn.is_closed() && self.exhausted())
+    }
+
+    fn exhausted(&self) -> bool {
+        self.attempts >= self.max_reconnects
     }
 }
 
@@ -165,6 +280,54 @@ pub struct PopFleet {
     /// The attacker's dedicated world path.
     attack_addr: usize,
     rr: usize,
+}
+
+impl PopFleet {
+    /// A session's connection died. Record the detection, and — if the
+    /// object is unfinished and budget remains — replace the connection
+    /// with a fresh incarnation that re-runs admission and resumes the
+    /// download at the verified offset.
+    fn note_closed(&mut self, now: Instant, slot: usize) {
+        let old_cid;
+        {
+            let s = &mut self.sessions[slot];
+            if s.done_at.is_some() || s.gave_up || !s.conn.is_closed() {
+                return;
+            }
+            s.detects.push(now);
+            if s.conn.close_error() == Some(&ConnectionError::Reset) {
+                s.resets_seen += 1;
+            }
+            if s.received >= s.want {
+                // All bytes were already verified; nothing to resume.
+                return;
+            }
+            if s.exhausted() {
+                s.gave_up = true;
+                return;
+            }
+            s.attempts += 1;
+            old_cid = s.conn.local_cid();
+            let mut conn = Connection::new(s.client_config(s.attempts), now);
+            conn.set_tracer(s.tracer.clone());
+            s.pending_resume = Some((now, s.attempts));
+            s.stream = None;
+            s.conn = conn;
+        }
+        self.by_cid.remove(&old_cid);
+        let new_cid = self.sessions[slot].conn.local_cid();
+        let prev = self.by_cid.insert(new_cid, slot);
+        debug_assert!(prev.is_none(), "reconnect CID collision");
+    }
+
+    /// Sweep every started session for an unnoticed connection death.
+    fn reconnect_pass(&mut self, now: Instant) {
+        for slot in 0..self.sessions.len() {
+            if now >= self.sessions[slot].start {
+                self.note_closed(now, slot);
+            }
+        }
+    }
 }
 
 impl Endpoint for PopFleet {
@@ -188,6 +351,24 @@ impl Endpoint for PopFleet {
             let s = &mut self.sessions[i];
             s.conn.handle_datagram(now, payload);
             s.absorb(now);
+            self.note_closed(now, i);
+            return;
+        }
+        // No session owns that CID. A §10.3 stateless reset is built to
+        // be unattributable — its "DCID" bytes are scramble — so, like a
+        // real client stack, offer it to the sessions sharing the
+        // arrival address; only a token-oracle match kills anything.
+        if reset::plausible_reset(payload) {
+            for i in 0..self.sessions.len() {
+                let s = &mut self.sessions[i];
+                if s.addr != path || s.conn.is_closed() || now < s.start {
+                    continue;
+                }
+                if s.conn.probe_stateless_reset(now, payload) {
+                    self.note_closed(now, i);
+                    break;
+                }
+            }
         }
     }
 
@@ -206,7 +387,7 @@ impl Endpoint for PopFleet {
             if now < s.start {
                 continue;
             }
-            s.drive();
+            s.drive(now);
             if let Some(d) = s.conn.poll_transmit(now) {
                 self.rr = (slot + 1) % slots;
                 return Some(Transmit { path: s.addr, payload: d });
@@ -236,6 +417,8 @@ impl Endpoint for PopFleet {
                 s.conn.on_timeout(now);
             }
         }
+        // Idle-timeout deaths surface here, not on a datagram.
+        self.reconnect_pass(now);
     }
 
     fn is_done(&self) -> bool {
@@ -262,6 +445,52 @@ pub fn run_edge_attack(kind: EdgeAttackKind, budget: u64, base: &PopRunConfig) -
     run_pop_full(&cfg, None)
 }
 
+/// The four arms of the crash randomized controlled trial, all sharing
+/// one seed/population so differences are attributable to the fault
+/// model alone.
+#[derive(Debug, Clone)]
+pub struct CrashRct {
+    /// Shard crash-restarted mid-run; clients recover via stateless
+    /// resets and reconnection.
+    pub crash: PopReport,
+    /// Same crash, but the PoP stays mute (no §10.3 resets): clients
+    /// must exhaust their idle timeout before reconnecting.
+    pub crash_no_reset: PopReport,
+    /// The shard is gracefully drained instead (connection migration,
+    /// no reconnects needed).
+    pub drain: PopReport,
+    /// No fault at all.
+    pub baseline: PopReport,
+}
+
+/// Run the crash RCT: crash (with and without stateless resets) vs
+/// graceful drain vs no-fault, over the shared `base` population, with
+/// shard `shard` failing at `at` and restarting `down` later.
+pub fn run_crash_rct(
+    base: &PopRunConfig,
+    at: Duration,
+    shard: ServerId,
+    down: Duration,
+) -> CrashRct {
+    let crash =
+        PopRunConfig { crash: Some(CrashPlan::single(at, shard, Some(down))), ..base.clone() };
+    let crash_no_reset = PopRunConfig { stateless_reset: false, ..crash.clone() };
+    let drain = PopRunConfig { drain: Some((at, shard)), ..base.clone() };
+    CrashRct {
+        crash: run_pop(&crash),
+        crash_no_reset: run_pop(&crash_no_reset),
+        drain: run_pop(&drain),
+        baseline: run_pop(base),
+    }
+}
+
+/// A scheduled PoP fault.
+enum Fault {
+    Drain(ServerId),
+    Crash(ServerId),
+    Restart(ServerId),
+}
+
 fn run_pop_full(cfg: &PopRunConfig, log: Option<&TraceLog>) -> PopReport {
     assert!(cfg.addrs > 0 && !cfg.shards.is_empty());
     let zero = Instant::ZERO;
@@ -270,6 +499,7 @@ fn run_pop_full(cfg: &PopRunConfig, log: Option<&TraceLog>) -> PopReport {
         admission: cfg.admission,
         seed: mix(cfg.seed, 0x0e09_0e09),
         max_conns: (cfg.users * 2).max(256),
+        stateless_reset: cfg.stateless_reset,
         ..PopConfig::default()
     });
     if let Some(log) = log {
@@ -278,14 +508,9 @@ fn run_pop_full(cfg: &PopRunConfig, log: Option<&TraceLog>) -> PopReport {
     let mut sessions = Vec::with_capacity(cfg.users);
     let mut by_cid = BTreeMap::new();
     for i in 0..cfg.users {
-        let mut conn = Connection::new(Config::client(mix(cfg.seed, 0xc11e_0000 + i as u64)), zero);
-        if let Some(log) = log {
-            conn.set_tracer(log.tracer(&format!("client{i}")));
-        }
-        let prev = by_cid.insert(conn.local_cid(), i);
-        debug_assert!(prev.is_none(), "client CID collision");
-        sessions.push(Session {
-            conn,
+        let tracer = log.map_or_else(Tracer::disabled, |log| log.tracer(&format!("client{i}")));
+        let mut s = Session {
+            conn: Connection::new(Config::client(0), zero),
             addr: i % cfg.addrs,
             start: zero + cfg.stagger * i as u32,
             stream: None,
@@ -293,7 +518,28 @@ fn run_pop_full(cfg: &PopRunConfig, log: Option<&TraceLog>) -> PopReport {
             received: 0,
             ok: true,
             done_at: None,
-        });
+            seed_base: cfg.seed,
+            salt: 0xc11e_0000 + i as u64,
+            idle_timeout: cfg.idle_timeout,
+            attempts: 0,
+            max_reconnects: cfg.max_reconnects,
+            gave_up: false,
+            resets_seen: 0,
+            detects: Vec::new(),
+            pending_resume: None,
+            recoveries: Vec::new(),
+            tracer,
+        };
+        // Birth the connection at its own staggered start, not the
+        // world's zero: idle is receive-only, so a conn created at t=0
+        // but started late would begin life with its idle clock already
+        // part-spent.
+        let mut conn = Connection::new(s.client_config(0), s.start);
+        conn.set_tracer(s.tracer.clone());
+        let prev = by_cid.insert(conn.local_cid(), i);
+        debug_assert!(prev.is_none(), "client CID collision");
+        s.conn = conn;
+        sessions.push(s);
     }
     let attacker = cfg.attack.map(|(kind, budget)| EdgeAttacker::new(kind, cfg.seed, budget));
     let fleet = PopFleet { sessions, by_cid, attacker, attack_addr: cfg.addrs, rr: 0 };
@@ -305,15 +551,58 @@ fn run_pop_full(cfg: &PopRunConfig, log: Option<&TraceLog>) -> PopReport {
     if let Some(log) = log {
         world.set_tracer(log);
     }
+
+    // Time-ordered fault schedule: drains, crashes, and restarts run at
+    // their scripted virtual times (stable order on ties).
+    let mut faults: Vec<(Duration, Fault)> = Vec::new();
     if let Some((at, shard)) = cfg.drain {
+        faults.push((at, Fault::Drain(shard)));
+    }
+    let mut crash_times: Vec<Instant> = Vec::new();
+    if let Some(plan) = &cfg.crash {
+        for &(at, shard) in &plan.crashes {
+            faults.push((at, Fault::Crash(shard)));
+            if let Some(down) = plan.restart_after {
+                faults.push((at + down, Fault::Restart(shard)));
+            }
+        }
+    }
+    faults.sort_by_key(|&(at, _)| at);
+    for (at, fault) in faults {
         world.run_until(zero + at);
         let now = world.now();
-        world.server.drain_shard(now, shard);
+        match fault {
+            Fault::Drain(shard) => {
+                world.server.drain_shard(now, shard);
+            }
+            Fault::Crash(shard) => {
+                world.server.crash_shard(now, shard);
+                crash_times.push(now);
+            }
+            Fault::Restart(shard) => {
+                world.server.restart_shard(now, shard);
+            }
+        }
     }
     let end = world.run_until(zero + cfg.deadline);
     let pop = &world.server;
     let fleet = &world.client;
     let completed = fleet.sessions.iter().filter(|s| s.done_at.is_some() && s.ok).count();
+    // Attribute each detection to the most recent scripted crash before
+    // it (detections with no preceding crash — e.g. a stray close — are
+    // not part of the differential metric).
+    let mut detect_times = Vec::new();
+    let mut recovery_times = Vec::new();
+    for s in &fleet.sessions {
+        for &d in &s.detects {
+            if let Some(&c) = crash_times.iter().filter(|&&c| c <= d).last() {
+                detect_times.push(d.saturating_duration_since(c));
+            }
+        }
+        for &(det, res) in &s.recoveries {
+            recovery_times.push(res.saturating_duration_since(det));
+        }
+    }
     PopReport {
         users: cfg.users,
         completed,
@@ -323,6 +612,15 @@ fn run_pop_full(cfg: &PopRunConfig, log: Option<&TraceLog>) -> PopReport {
         amp_ok: pop.amp_ok(),
         shard_stats: pop.shard_stats().clone(),
         attacker_retries_seen: fleet.attacker.as_ref().map_or(0, |a| a.retries_seen),
+        resets_detected: fleet.sessions.iter().map(|s| u64::from(s.resets_seen)).sum(),
+        reconnects: fleet.sessions.iter().map(|s| u64::from(s.attempts)).sum(),
+        resumed: fleet
+            .sessions
+            .iter()
+            .filter(|s| s.attempts > 0 && s.done_at.is_some() && s.ok)
+            .count() as u64,
+        detect_times,
+        recovery_times,
         end: end.saturating_duration_since(zero),
     }
 }
@@ -343,6 +641,7 @@ mod tests {
         assert_eq!(r.stats.admitted, 12);
         // Admission-on means every session ate exactly one Retry.
         assert_eq!(r.stats.rejected("no_token"), 12);
+        assert_eq!(r.reconnects, 0, "no fault, no reconnects: {r:?}");
     }
 
     #[test]
@@ -368,5 +667,59 @@ mod tests {
         assert_eq!(r.stats.rejected("no_token"), 12 + 400);
         // The flood created no backend connections.
         assert_eq!(r.stats.admitted, 12);
+    }
+
+    #[test]
+    fn mid_run_crash_resumes_with_zero_byte_loss() {
+        let cfg = PopRunConfig {
+            crash: Some(CrashPlan::single(
+                Duration::from_millis(300),
+                1,
+                Some(Duration::from_millis(50)),
+            )),
+            request_bytes: 1_000_000,
+            idle_timeout: Some(Duration::from_secs(2)),
+            ..small()
+        };
+        let r = run_pop(&cfg);
+        assert_eq!(r.completed, 12, "{r:?}");
+        assert!(r.bytes_ok, "crash resume corrupted a stream: {r:?}");
+        assert_eq!(r.stats.shard_crashes, 1);
+        let crashed = r.shard_stats[&1];
+        assert!(!crashed.crashed && crashed.epoch == 1, "restarted: {crashed:?}");
+        // Someone was on shard 1 at crash time and had to reconnect.
+        assert!(r.reconnects > 0, "{r:?}");
+        assert_eq!(r.resumed, r.reconnects, "every reconnect must resume: {r:?}");
+        assert_eq!(r.resets_detected, r.reconnects, "deaths detected via resets: {r:?}");
+        assert_eq!(r.recovery_times.len() as u64, r.reconnects);
+        // Detection via reset is a network-round-trip affair, nowhere
+        // near the 2 s idle timeout.
+        let detect = r.mean_detect().expect("crash must be detected");
+        assert!(detect < Duration::from_millis(1000), "slow detection: {detect:?}");
+    }
+
+    #[test]
+    fn without_resets_detection_degrades_to_idle_timeout() {
+        let base = PopRunConfig {
+            crash: Some(CrashPlan::single(
+                Duration::from_millis(300),
+                1,
+                Some(Duration::from_millis(50)),
+            )),
+            request_bytes: 1_000_000,
+            idle_timeout: Some(Duration::from_secs(2)),
+            deadline: Duration::from_secs(40),
+            ..small()
+        };
+        let with = run_pop(&base);
+        let without = run_pop(&PopRunConfig { stateless_reset: false, ..base });
+        assert!(with.reconnects > 0 && without.reconnects > 0);
+        assert_eq!(without.resets_detected, 0, "mute PoP cannot be detected by reset");
+        let fast = with.mean_detect().expect("reset arm detects");
+        let slow = without.mean_detect().expect("idle arm detects");
+        assert!(fast < slow, "stateless reset must beat idle exhaustion: {fast:?} vs {slow:?}");
+        // Both arms still finish with every byte intact.
+        assert_eq!(without.completed, 12, "{without:?}");
+        assert!(without.bytes_ok);
     }
 }

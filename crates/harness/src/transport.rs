@@ -420,7 +420,7 @@ impl Conn {
         match err {
             ConnectionError::PeerClosed(e) => Some((e.code(), true)),
             ConnectionError::LocallyClosed(e) => Some((e.code(), false)),
-            ConnectionError::TimedOut | ConnectionError::Codec(_) => None,
+            ConnectionError::TimedOut | ConnectionError::Reset | ConnectionError::Codec(_) => None,
         }
     }
 

@@ -248,6 +248,35 @@ pub enum Event {
         /// Shard the connection landed on.
         to_shard: u16,
     },
+    /// A shard crashed: all its backend conn/demux/replay state was
+    /// destroyed atomically, with no drain window.
+    ShardCrash {
+        /// Crashed shard id.
+        shard: u16,
+        /// Live connections destroyed with the shard.
+        conns: u32,
+    },
+    /// A crashed shard rejoined placement under a fresh epoch.
+    ShardRestart {
+        /// Restarted shard id.
+        shard: u16,
+        /// The shard's new reset-secret epoch.
+        epoch: u64,
+    },
+    /// A stateless reset matched the token oracle (RFC 9000 §10.3): the
+    /// peer has lost all state for this connection.
+    StatelessReset {
+        /// Path the reset arrived on (0 for single-path connections).
+        path: u8,
+    },
+    /// A session re-admitted itself after a reset/timeout and resumed
+    /// its download at the verified byte offset.
+    SessionResumed {
+        /// Reconnection attempt number (1 = first reconnect).
+        attempt: u32,
+        /// Byte offset the download resumed from.
+        offset: u64,
+    },
 
     // ---- video (player) ----
     /// First video frame decoded (the paper's first-frame metric).
@@ -284,7 +313,8 @@ impl Event {
             | RttUpdate { .. }
             | HandshakeSent { .. }
             | HandshakeComplete { .. }
-            | ConnectionClosed { .. } => "transport",
+            | ConnectionClosed { .. }
+            | StatelessReset { .. } => "transport",
             SchedulerDecision { .. }
             | Reinjection { .. }
             | ReinjectionGate { .. }
@@ -295,9 +325,13 @@ impl Event {
             | QoeSignal { .. } => "xlink",
             SubflowEstablished { .. } | SegmentSent { .. } | SegmentLost { .. } => "mptcp",
             LinkStateChange { .. } | LinkDrop { .. } | ImpairmentHit { .. } => "netsim",
-            EdgeAdmit { .. } | EdgeReject { .. } | ShardDrain { .. } | ConnMigrated { .. } => {
-                "edge"
-            }
+            EdgeAdmit { .. }
+            | EdgeReject { .. }
+            | ShardDrain { .. }
+            | ConnMigrated { .. }
+            | ShardCrash { .. }
+            | ShardRestart { .. }
+            | SessionResumed { .. } => "edge",
             FirstFrame {}
             | PlaybackStarted {}
             | RebufferStart {}
@@ -337,6 +371,10 @@ impl Event {
             EdgeReject { .. } => "edge_reject",
             ShardDrain { .. } => "shard_drain",
             ConnMigrated { .. } => "conn_migrated",
+            ShardCrash { .. } => "shard_crash",
+            ShardRestart { .. } => "shard_restart",
+            StatelessReset { .. } => "stateless_reset",
+            SessionResumed { .. } => "session_resumed",
             FirstFrame {} => "first_frame",
             PlaybackStarted {} => "playback_started",
             RebufferStart {} => "rebuffer_start",
@@ -362,7 +400,8 @@ impl Event {
             | PathRevalidated { path, .. }
             | SubflowEstablished { path }
             | SegmentSent { path, .. }
-            | SegmentLost { path, .. } => Some(*path),
+            | SegmentLost { path, .. }
+            | StatelessReset { path } => Some(*path),
             // A failover is attributed to the path traffic left.
             PathFailover { from, .. } => Some(*from),
             _ => None,
@@ -469,6 +508,19 @@ impl Event {
             ConnMigrated { from_shard, to_shard } => {
                 w.field_u64("from_shard", u64::from(*from_shard));
                 w.field_u64("to_shard", u64::from(*to_shard));
+            }
+            ShardCrash { shard, conns } => {
+                w.field_u64("shard", u64::from(*shard));
+                w.field_u64("conns", u64::from(*conns));
+            }
+            ShardRestart { shard, epoch } => {
+                w.field_u64("shard", u64::from(*shard));
+                w.field_u64("epoch", *epoch);
+            }
+            StatelessReset { path } => w.field_u64("path", u64::from(*path)),
+            SessionResumed { attempt, offset } => {
+                w.field_u64("attempt", u64::from(*attempt));
+                w.field_u64("offset", *offset);
             }
             FirstFrame {} | PlaybackStarted {} | RebufferStart {} | PlaybackFinished {} => {}
             RebufferEnd { stall_us } => w.field_u64("stall_us", *stall_us),

@@ -66,6 +66,10 @@ pub struct IssuedCid {
     pub retire_prior_to: u64,
     /// The connection ID value.
     pub cid: ConnectionId,
+    /// RFC 9000 §19.15: the stateless reset token the issuer would use
+    /// for this CID. `None` encodes as all-zero bytes on the wire (the
+    /// all-zero token is reserved as "no token" by this deployment).
+    pub reset_token: Option<[u8; 16]>,
 }
 
 impl IssuedCid {
@@ -75,6 +79,7 @@ impl IssuedCid {
         w.varint(self.retire_prior_to);
         w.u8(CID_LEN as u8);
         w.bytes(&self.cid.0);
+        w.bytes(&self.reset_token.unwrap_or([0u8; 16]));
     }
 
     /// Decode the body written by [`IssuedCid::encode`].
@@ -93,7 +98,15 @@ impl IssuedCid {
         let raw = r.bytes(len)?;
         let mut cid = [0u8; CID_LEN];
         cid.copy_from_slice(raw);
-        Ok(IssuedCid { seq, retire_prior_to, cid: ConnectionId(cid) })
+        let tok_raw = r.bytes(16)?;
+        let reset_token = if tok_raw.iter().all(|&b| b == 0) {
+            None
+        } else {
+            let mut tok = [0u8; 16];
+            tok.copy_from_slice(tok_raw);
+            Some(tok)
+        };
+        Ok(IssuedCid { seq, retire_prior_to, cid: ConnectionId(cid), reset_token })
     }
 }
 
@@ -130,8 +143,12 @@ impl CidManager {
     pub fn issue_local(&mut self) -> IssuedCid {
         let seq = self.next_local_seq;
         self.next_local_seq += 1;
-        let issued =
-            IssuedCid { seq, retire_prior_to: 0, cid: ConnectionId::derive(self.seed, seq) };
+        let issued = IssuedCid {
+            seq,
+            retire_prior_to: 0,
+            cid: ConnectionId::derive(self.seed, seq),
+            reset_token: None,
+        };
         self.local.push(issued);
         issued
     }
@@ -141,7 +158,7 @@ impl CidManager {
     pub fn issue_local_with(&mut self, cid: ConnectionId) -> IssuedCid {
         let seq = self.next_local_seq;
         self.next_local_seq += 1;
-        let issued = IssuedCid { seq, retire_prior_to: 0, cid };
+        let issued = IssuedCid { seq, retire_prior_to: 0, cid, reset_token: None };
         self.local.push(issued);
         issued
     }
@@ -150,10 +167,14 @@ impl CidManager {
     /// every earlier CID (`retire_prior_to` = the new CID's own sequence
     /// number). Used for shard drain: the replacement CID routes to a
     /// surviving shard and the peer must stop using the old route.
-    pub fn issue_local_migration(&mut self, cid: ConnectionId) -> IssuedCid {
+    pub fn issue_local_migration(
+        &mut self,
+        cid: ConnectionId,
+        reset_token: Option<[u8; 16]>,
+    ) -> IssuedCid {
         let seq = self.next_local_seq;
         self.next_local_seq += 1;
-        let issued = IssuedCid { seq, retire_prior_to: seq, cid };
+        let issued = IssuedCid { seq, retire_prior_to: seq, cid, reset_token };
         self.local.push(issued);
         issued
     }
@@ -199,7 +220,7 @@ impl CidManager {
     pub fn bind_initial_remote(&mut self, cid: ConnectionId) {
         let known = self.remote_unused.iter().chain(self.remote_used.iter()).any(|c| c.seq == 0);
         if !known {
-            self.remote_used.push(IssuedCid { seq: 0, retire_prior_to: 0, cid });
+            self.remote_used.push(IssuedCid { seq: 0, retire_prior_to: 0, cid, reset_token: None });
         }
     }
 
@@ -268,7 +289,12 @@ mod tests {
     #[test]
     fn issued_cid_roundtrip() {
         for rpt in [0, 40, 77] {
-            let ic = IssuedCid { seq: 77, retire_prior_to: rpt, cid: ConnectionId::derive(9, 77) };
+            let ic = IssuedCid {
+                seq: 77,
+                retire_prior_to: rpt,
+                cid: ConnectionId::derive(9, 77),
+                reset_token: None,
+            };
             let mut w = Writer::new();
             ic.encode(&mut w);
             let bytes = w.into_bytes();
@@ -280,7 +306,12 @@ mod tests {
 
     #[test]
     fn decode_rejects_retire_prior_to_above_seq() {
-        let ic = IssuedCid { seq: 3, retire_prior_to: 4, cid: ConnectionId::derive(9, 3) };
+        let ic = IssuedCid {
+            seq: 3,
+            retire_prior_to: 4,
+            cid: ConnectionId::derive(9, 3),
+            reset_token: None,
+        };
         let mut w = Writer::new();
         ic.encode(&mut w);
         let bytes = w.into_bytes();
@@ -303,8 +334,18 @@ mod tests {
     #[test]
     fn remote_store_dedups_and_takes_in_order() {
         let mut m = CidManager::new(1);
-        let c1 = IssuedCid { seq: 1, retire_prior_to: 0, cid: ConnectionId::derive(5, 1) };
-        let c0 = IssuedCid { seq: 0, retire_prior_to: 0, cid: ConnectionId::derive(5, 0) };
+        let c1 = IssuedCid {
+            seq: 1,
+            retire_prior_to: 0,
+            cid: ConnectionId::derive(5, 1),
+            reset_token: None,
+        };
+        let c0 = IssuedCid {
+            seq: 0,
+            retire_prior_to: 0,
+            cid: ConnectionId::derive(5, 0),
+            reset_token: None,
+        };
         assert!(m.store_remote(c1).is_empty());
         assert!(m.store_remote(c0).is_empty());
         assert!(m.store_remote(c1).is_empty()); // duplicate
@@ -320,12 +361,27 @@ mod tests {
     #[test]
     fn store_remote_applies_retire_prior_to() {
         let mut m = CidManager::new(1);
-        let c0 = IssuedCid { seq: 0, retire_prior_to: 0, cid: ConnectionId::derive(5, 0) };
-        let c1 = IssuedCid { seq: 1, retire_prior_to: 0, cid: ConnectionId::derive(5, 1) };
+        let c0 = IssuedCid {
+            seq: 0,
+            retire_prior_to: 0,
+            cid: ConnectionId::derive(5, 0),
+            reset_token: None,
+        };
+        let c1 = IssuedCid {
+            seq: 1,
+            retire_prior_to: 0,
+            cid: ConnectionId::derive(5, 1),
+            reset_token: None,
+        };
         m.store_remote(c0);
         m.store_remote(c1);
         m.take_unused_remote(); // bind seq 0 to a path
-        let c2 = IssuedCid { seq: 2, retire_prior_to: 2, cid: ConnectionId::derive(5, 2) };
+        let c2 = IssuedCid {
+            seq: 2,
+            retire_prior_to: 2,
+            cid: ConnectionId::derive(5, 2),
+            reset_token: None,
+        };
         let retired = m.store_remote(c2);
         // Both the used seq-0 and the unused seq-1 are retired.
         assert_eq!(retired, vec![0, 1]);
@@ -338,7 +394,7 @@ mod tests {
         let mut m = CidManager::new(7);
         let a = m.issue_local();
         assert_eq!(m.next_local_seq(), 1);
-        let mig = m.issue_local_migration(ConnectionId::new([9; 8]));
+        let mig = m.issue_local_migration(ConnectionId::new([9; 8]), Some([0x7f; 16]));
         assert_eq!(mig.seq, 1);
         assert_eq!(mig.retire_prior_to, 1);
         assert_eq!(m.retire_local(a.seq), Some(a.cid));

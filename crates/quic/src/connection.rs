@@ -17,6 +17,7 @@ use crate::handshake::{Handshake, Hello};
 use crate::packet::{pn_decode, pn_encode_len, pn_truncate, Header, PacketType};
 use crate::params::TransportParams;
 use crate::recovery::{Recovery, SentPacket, TimeoutOutcome};
+use crate::reset;
 use crate::rtt::RttEstimator;
 use crate::stream::{SendRange, Side, StreamMap};
 use crate::varint::Writer;
@@ -36,6 +37,14 @@ pub struct Config {
     pub cc: CcAlgorithm,
     /// Seed for CID derivation and handshake randoms.
     pub seed: u64,
+    /// Send a keep-alive PING after this long with nothing received
+    /// (local behavior, not a transport parameter). A pure receiver
+    /// otherwise has nothing in flight when its server dies — no PTO to
+    /// fire, no ACK to send — and only notices at the idle timeout; the
+    /// keep-alive keeps an elicitable packet on the wire so a crashed
+    /// peer's stateless reset (or its silence) surfaces within ~one
+    /// keep-alive interval instead.
+    pub keepalive: Option<Duration>,
 }
 
 impl Config {
@@ -47,6 +56,7 @@ impl Config {
             params: TransportParams::default(),
             cc: CcAlgorithm::Cubic,
             seed,
+            keepalive: None,
         }
     }
 
@@ -164,8 +174,12 @@ pub struct Connection {
     app_ack_pending: bool,
     /// Time of most recent received ack-eliciting packet (for ack delay).
     last_recv_time: Instant,
-    /// Last activity for the idle timeout.
+    /// Last *receipt* — the idle timeout tracks peer liveness, so sends
+    /// never refresh it (a sender PTO-probing a dead peer must still
+    /// idle out; a live peer's ACKs refresh this constantly).
     last_activity: Instant,
+    /// Last keep-alive PING sent (see [`Config::keepalive`]).
+    last_keepalive: Instant,
     /// Pending control frames to send (flow control updates etc.).
     control_queue: Vec<Frame>,
     /// Probe requested by PTO.
@@ -212,6 +226,11 @@ pub struct Connection {
     /// Local CID values retired at the peer's request — drained by the
     /// edge router to unmap stale routing entries.
     retired_local: Vec<ConnectionId>,
+    /// The reset-token oracle (§10.3): tokens the peer told us it would
+    /// use to stateless-reset the CIDs we send to, learned from its
+    /// transport parameters and NEW_CONNECTION_ID frames. Bounded by
+    /// [`MAX_RESET_TOKENS`].
+    reset_tokens: Vec<([u8; 16], ConnectionId)>,
     tracer: Tracer,
 }
 
@@ -230,6 +249,10 @@ pub const AMP_HEADROOM: u64 = MAX_DATAGRAM_SIZE + 64;
 /// past the cap the oldest pending response is dropped — an honest peer
 /// retransmits any challenge it still cares about.
 pub const MAX_PENDING_PATH_RESPONSES: usize = 8;
+
+/// Cap on stored stateless-reset tokens (§10.3.1 says an endpoint checks
+/// tokens for recently used CIDs; a peer cannot grow this without bound).
+pub const MAX_RESET_TOKENS: usize = 8;
 
 impl std::fmt::Debug for Connection {
     fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
@@ -300,6 +323,7 @@ impl Connection {
             app_ack_pending: false,
             last_recv_time: now,
             last_activity: now,
+            last_keepalive: now,
             control_queue: Vec::new(),
             probe_pending: false,
             suspected: false,
@@ -322,6 +346,7 @@ impl Connection {
             remote_cid_seq: 0,
             initial_remote_bound: false,
             retired_local: Vec::new(),
+            reset_tokens: Vec::new(),
             tracer: Tracer::disabled(),
             cfg,
         }
@@ -564,8 +589,8 @@ impl Connection {
     /// shard). Returns the new CID's sequence number. The old CID keeps
     /// routing here until the peer's RETIRE_CONNECTION_ID lands — drain
     /// it via [`Connection::take_retired_local`].
-    pub fn issue_migration_cid(&mut self, cid: ConnectionId) -> u64 {
-        let issued = self.cids.issue_local_migration(cid);
+    pub fn issue_migration_cid(&mut self, cid: ConnectionId, reset_token: Option<[u8; 16]>) -> u64 {
+        let issued = self.cids.issue_local_migration(cid, reset_token);
         // Future §19.16 in-use checks apply to the replacement.
         self.local_cid = cid;
         self.control_queue.push(Frame::NewConnectionId(issued));
@@ -606,6 +631,50 @@ impl Connection {
     }
 
     // ------------------------------------------------------------------
+    // Stateless reset (§10.3)
+    // ------------------------------------------------------------------
+
+    /// Record a reset token the peer associated with `cid`. Bounded at
+    /// [`MAX_RESET_TOKENS`]: the oldest token is dropped first — recent
+    /// CIDs are the ones in use, so they are the ones worth matching.
+    fn remember_reset_token(&mut self, token: [u8; 16], cid: ConnectionId) {
+        if self.reset_tokens.iter().any(|(t, _)| *t == token) {
+            return;
+        }
+        if self.reset_tokens.len() >= MAX_RESET_TOKENS {
+            self.reset_tokens.remove(0);
+        }
+        self.reset_tokens.push((token, cid));
+    }
+
+    /// Number of reset tokens currently held by the oracle (tests).
+    pub fn reset_token_count(&self) -> usize {
+        self.reset_tokens.len()
+    }
+
+    /// Offer an undecryptable datagram to the reset oracle (§10.3.1): if
+    /// its trailing 16 bytes match, under a constant-time-shaped compare,
+    /// a token the peer registered for a CID we send to, the peer has
+    /// provably lost this connection's state. The connection closes as
+    /// [`ConnectionError::Reset`] immediately — no closing period, no
+    /// close frame (the peer has nothing to process it with) — instead of
+    /// idling into PTO/idle-timeout exhaustion. Returns whether it fired.
+    pub fn probe_stateless_reset(&mut self, now: Instant, datagram: &[u8]) -> bool {
+        if self.is_closed() || !reset::plausible_reset(datagram) {
+            return false;
+        }
+        let hit = self.reset_tokens.iter().any(|(token, _)| reset::token_matches(token, datagram));
+        if !hit {
+            return false;
+        }
+        self.state = State::Closed(ConnectionError::Reset);
+        self.draining = true;
+        self.free_state();
+        self.tracer.emit(now, Event::StatelessReset { path: 0 });
+        true
+    }
+
+    // ------------------------------------------------------------------
     // Receive path
     // ------------------------------------------------------------------
 
@@ -625,7 +694,9 @@ impl Connection {
             return;
         }
         let Ok((header, payload_off)) = Header::decode(datagram) else {
-            self.stats.packets_dropped += 1;
+            if !self.probe_stateless_reset(now, datagram) {
+                self.stats.packets_dropped += 1;
+            }
             return;
         };
         if header.ty == PacketType::Retry {
@@ -664,7 +735,9 @@ impl Connection {
                     }
                 }
                 None => {
-                    self.stats.packets_dropped += 1;
+                    if !self.probe_stateless_reset(now, datagram) {
+                        self.stats.packets_dropped += 1;
+                    }
                     return;
                 }
             },
@@ -672,7 +745,12 @@ impl Connection {
         let plain = match key.open(0, pn, aad, sealed) {
             Ok(p) => p,
             Err(_) => {
-                self.stats.packets_dropped += 1;
+                // A stateless reset is designed to be indistinguishable
+                // from a short-header packet we cannot decrypt (§10.3) —
+                // this AEAD failure is exactly where one would surface.
+                if !self.probe_stateless_reset(now, datagram) {
+                    self.stats.packets_dropped += 1;
+                }
                 return;
             }
         };
@@ -816,6 +894,9 @@ impl Connection {
                 }
             }
             Frame::NewConnectionId(ic) => {
+                if let Some(tok) = ic.reset_token {
+                    self.remember_reset_token(tok, ic.cid);
+                }
                 let retired = self.cids.store_remote(ic);
                 for &seq in &retired {
                     self.control_queue.push(Frame::RetireConnectionId { seq });
@@ -897,6 +978,13 @@ impl Connection {
         // Correct the peer-advertised limits now that we have them.
         if let Some(p) = self.handshake.peer_params() {
             self.streams.on_max_data(p.initial_max_data);
+            // §10.3.2: the server's handshake-CID reset token arrives in
+            // its transport parameters; bind it to the CID we send to.
+            if self.cfg.side == Side::Client {
+                if let Some(tok) = p.stateless_reset_token {
+                    self.remember_reset_token(tok, self.remote_cid);
+                }
+            }
         }
         self.state = State::Established;
         if self.cfg.side == Side::Server {
@@ -1284,7 +1372,6 @@ impl Connection {
         self.tracer.emit(now, Event::PacketSent { path: 0, pn, bytes: size as u32, ack_eliciting });
         self.stats.packets_sent += 1;
         self.stats.bytes_sent += size;
-        self.last_activity = now;
         debug_assert!(datagram.len() <= MAX_DATAGRAM_SIZE as usize + TAG_LEN + 40);
         datagram
     }
@@ -1303,6 +1390,11 @@ impl Connection {
         }
         let mad = self.cfg.params.max_ack_delay;
         let mut t = self.last_activity + self.idle_timeout; // idle
+        if let Some(k) = self.cfg.keepalive {
+            if matches!(self.state, State::Established) {
+                t = t.min(self.last_activity.max(self.last_keepalive) + k);
+            }
+        }
         if let Some(lt) = self.init_recovery.next_timeout(&self.rtt, mad) {
             t = t.min(lt);
         }
@@ -1330,6 +1422,14 @@ impl Connection {
             self.tracer.emit(now, Event::ConnectionClosed { error_code: 0, locally: true });
             self.free_state();
             return;
+        }
+        if let Some(k) = self.cfg.keepalive {
+            if matches!(self.state, State::Established)
+                && now >= self.last_activity.max(self.last_keepalive) + k
+            {
+                self.probe_pending = true;
+                self.last_keepalive = now;
+            }
         }
         let mad = self.cfg.params.max_ack_delay;
         for space in [Space::Initial, Space::App] {
@@ -1489,6 +1589,33 @@ mod tests {
         c.on_timeout(now);
         assert!(matches!(c.state(), State::Closed(ConnectionError::TimedOut)));
         let _ = s;
+    }
+
+    #[test]
+    fn keepalive_pings_keep_a_quiet_connection_elicitable() {
+        let now = Instant::ZERO;
+        let mut cc = Config::client(1);
+        cc.keepalive = Some(Duration::from_millis(200));
+        let mut c = Connection::new(cc, now);
+        let mut s = Connection::new(Config::server(2), now);
+        let mut t = now;
+        pump(&mut t, &mut c, &mut s);
+        assert!(c.is_established());
+        // Quiescent: the next client timer is the keep-alive, well
+        // before the idle deadline.
+        let ka = c.poll_timeout().expect("keep-alive armed");
+        assert!(ka <= t + Duration::from_millis(200), "{ka:?}");
+        c.on_timeout(ka);
+        let ping = c.poll_transmit(ka).expect("keep-alive PING goes out");
+        // Ack-eliciting and in flight: the silent server now causes
+        // PTO probes, so its death is detectable before the idle timer.
+        assert!(ping.len() > crate::reset::RESET_DATAGRAM_LEN);
+        assert!(c.poll_timeout().expect("PTO armed") < c.last_activity + c.idle_timeout);
+        // A server answering keeps the connection alive and re-arms.
+        s.handle_datagram(ka, &ping);
+        let mut t2 = ka;
+        pump(&mut t2, &mut c, &mut s);
+        assert!(c.is_established() && !c.is_closed());
     }
 
     #[test]
@@ -1674,6 +1801,59 @@ mod tests {
         s.handle_datagram(now, &d);
         assert_eq!(s.stats().packets_dropped, dropped_before + 1);
         assert!(!s.is_closed());
+    }
+
+    #[test]
+    fn reset_token_param_reaches_client_oracle() {
+        let now = Instant::ZERO;
+        let mut c = Connection::new(Config::client(1), now);
+        let mut sc = Config::server(2);
+        sc.params.stateless_reset_token = Some([0xd4; 16]);
+        let mut s = Connection::new(sc, now);
+        let mut t = now;
+        pump(&mut t, &mut c, &mut s);
+        assert!(c.is_established() && s.is_established());
+        assert_eq!(c.reset_token_count(), 1);
+        // A server never stores a token for the client (clients send none).
+        assert_eq!(s.reset_token_count(), 0);
+    }
+
+    #[test]
+    fn stateless_reset_closes_client_immediately() {
+        let now = Instant::ZERO;
+        let mut c = Connection::new(Config::client(1), now);
+        let mut sc = Config::server(2);
+        let secret = 0x5eed_0001u64;
+        sc.params.stateless_reset_token = None; // set below, post-CID
+        let mut s = Connection::new(sc, now);
+        // Mirror the edge tier: the server knows its routable CID up
+        // front and advertises the matching token.
+        let scid = s.local_cid();
+        let mut sc2 = Config::server(2);
+        sc2.params.stateless_reset_token = Some(reset::reset_token(secret, &scid));
+        s = Connection::new(sc2, now);
+        let mut t = now;
+        pump(&mut t, &mut c, &mut s);
+        assert!(c.is_established());
+        // The server "crashes": a stateless reset arrives instead of data.
+        let dg = reset::build_stateless_reset(secret, &scid);
+        c.handle_datagram(t, &dg);
+        assert!(c.is_closed());
+        assert_eq!(c.close_error(), Some(&ConnectionError::Reset));
+        // Silent death: a reset endpoint must not answer (§10.3.1).
+        assert!(c.poll_transmit(t).is_none());
+        // A non-matching reset never fires the oracle.
+        let mut c2 = Connection::new(Config::client(3), now);
+        let mut s2cfg = Config::server(4);
+        s2cfg.params.stateless_reset_token = Some([0x11; 16]);
+        let mut s2 = Connection::new(s2cfg, now);
+        let mut t2 = now;
+        pump(&mut t2, &mut c2, &mut s2);
+        let bogus = reset::build_stateless_reset(0xbad, &scid);
+        let dropped = c2.stats().packets_dropped;
+        c2.handle_datagram(t2, &bogus);
+        assert!(!c2.is_closed());
+        assert_eq!(c2.stats().packets_dropped, dropped + 1);
     }
 
     #[test]

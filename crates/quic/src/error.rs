@@ -110,6 +110,9 @@ pub enum ConnectionError {
     LocallyClosed(TransportError),
     /// The idle timeout fired.
     TimedOut,
+    /// A stateless reset from the peer matched the token oracle: the
+    /// peer has lost all state for this connection (RFC 9000 §10.3).
+    Reset,
     /// Wire data could not be parsed.
     Codec(CodecError),
 }
@@ -120,6 +123,7 @@ impl fmt::Display for ConnectionError {
             ConnectionError::PeerClosed(e) => write!(f, "closed by peer: {e}"),
             ConnectionError::LocallyClosed(e) => write!(f, "closed locally: {e}"),
             ConnectionError::TimedOut => write!(f, "idle timeout"),
+            ConnectionError::Reset => write!(f, "stateless reset"),
             ConnectionError::Codec(e) => write!(f, "codec error: {e}"),
         }
     }

@@ -659,8 +659,16 @@ mod tests {
             seq: 2,
             retire_prior_to: 0,
             cid: ConnectionId::derive(7, 2),
+            reset_token: None,
         });
         assert_eq!(roundtrip(&f), f);
+        let g = Frame::NewConnectionId(IssuedCid {
+            seq: 3,
+            retire_prior_to: 3,
+            cid: ConnectionId::derive(7, 3),
+            reset_token: Some([0x5a; 16]),
+        });
+        assert_eq!(roundtrip(&g), g);
     }
 
     #[test]

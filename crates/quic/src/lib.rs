@@ -10,6 +10,7 @@ pub mod handshake;
 pub mod packet;
 pub mod params;
 pub mod recovery;
+pub mod reset;
 pub mod rtt;
 pub mod stream;
 pub mod varint;

@@ -11,6 +11,7 @@ use xlink_clock::Duration;
 /// draft's provisional codepoint).
 mod id {
     pub const MAX_IDLE_TIMEOUT: u64 = 0x01;
+    pub const STATELESS_RESET_TOKEN: u64 = 0x02;
     pub const INITIAL_MAX_DATA: u64 = 0x04;
     pub const INITIAL_MAX_STREAM_DATA: u64 = 0x05;
     pub const INITIAL_MAX_STREAMS_BIDI: u64 = 0x08;
@@ -36,6 +37,11 @@ pub struct TransportParams {
     pub active_cid_limit: u64,
     /// Multipath extension negotiation flag.
     pub enable_multipath: bool,
+    /// RFC 9000 §10.3.2: a 16-byte stateless reset token for the CID the
+    /// sender chose during the handshake. Servers only (a client that
+    /// sent one would be ignored by this stack); `None` means the peer
+    /// cannot be reset-detected on its handshake CID.
+    pub stateless_reset_token: Option<[u8; 16]>,
 }
 
 impl Default for TransportParams {
@@ -48,6 +54,7 @@ impl Default for TransportParams {
             max_ack_delay: Duration::from_millis(25),
             active_cid_limit: 8,
             enable_multipath: false,
+            stateless_reset_token: None,
         }
     }
 }
@@ -70,6 +77,11 @@ impl TransportParams {
         if self.enable_multipath {
             put(id::ENABLE_MULTIPATH, 1);
         }
+        if let Some(tok) = &self.stateless_reset_token {
+            // Raw 16-byte body, not a varint (RFC 9000 §18.2).
+            w.varint(id::STATELESS_RESET_TOKEN);
+            w.varint_bytes(tok);
+        }
     }
 
     /// Decode, ignoring unknown parameter IDs (forward compatibility).
@@ -87,6 +99,14 @@ impl TransportParams {
                 id::MAX_ACK_DELAY => p.max_ack_delay = Duration::from_millis(br.varint()?),
                 id::ACTIVE_CID_LIMIT => p.active_cid_limit = br.varint()?,
                 id::ENABLE_MULTIPATH => p.enable_multipath = br.varint()? == 1,
+                id::STATELESS_RESET_TOKEN => {
+                    if body.len() != 16 {
+                        return Err(CodecError::InvalidValue);
+                    }
+                    let mut tok = [0u8; 16];
+                    tok.copy_from_slice(body);
+                    p.stateless_reset_token = Some(tok);
+                }
                 _ => {} // unknown: skip
             }
         }
@@ -116,6 +136,25 @@ mod tests {
         let bytes = w.into_bytes();
         let got = TransportParams::decode(&mut Reader::new(&bytes)).unwrap();
         assert!(got.enable_multipath);
+    }
+
+    #[test]
+    fn roundtrip_with_reset_token() {
+        let p = TransportParams { stateless_reset_token: Some([0xab; 16]), ..Default::default() };
+        let mut w = Writer::new();
+        p.encode(&mut w);
+        let bytes = w.into_bytes();
+        let got = TransportParams::decode(&mut Reader::new(&bytes)).unwrap();
+        assert_eq!(got.stateless_reset_token, Some([0xab; 16]));
+    }
+
+    #[test]
+    fn wrong_length_reset_token_rejected() {
+        let mut w = Writer::new();
+        w.varint(id::STATELESS_RESET_TOKEN);
+        w.varint_bytes(&[1u8; 15]);
+        let bytes = w.into_bytes();
+        assert!(TransportParams::decode(&mut Reader::new(&bytes)).is_err());
     }
 
     #[test]

@@ -1,5 +1,5 @@
-//! Edge-tier acceptance suite (DESIGN.md §13): the CID-routed PoP must
-//! hold its four load-bearing properties at population scale —
+//! Edge-tier acceptance suite (DESIGN.md §13–§14): the CID-routed PoP
+//! must hold its five load-bearing properties at population scale —
 //!
 //! 1. **Admission**: an honest fleet passes Retry-token validation and
 //!    completes its downloads byte-exactly.
@@ -9,15 +9,23 @@
 //!    honest population completing.
 //! 3. **Graceful drain**: draining a shard mid-video migrates every
 //!    live connection to a survivor with zero stream-byte loss.
-//! 4. **Determinism**: per seed, the client-visible traced event stream
-//!    is bit-identical across runs AND across shard counts.
+//! 4. **Crash recovery**: crash-restarting a shard mid-video destroys
+//!    its state, yet every affected client detects the death via a
+//!    §10.3 stateless reset (strictly faster than the PTO/idle
+//!    baseline), reconnects, and resumes at the verified byte offset
+//!    with zero stream-byte loss.
+//! 5. **Determinism**: per seed, the client-visible traced event stream
+//!    is bit-identical across runs AND across shard counts — even when
+//!    every shard crash-restarts mid-run.
 //!
 //! Population size scales with `XLINK_POP_USERS` (default 48 so plain
 //! debug `cargo test` stays quick); ci.sh re-runs this suite in release
 //! at 1,000 users over an 8-seed sweep.
 
 use xlink::clock::Duration;
-use xlink::harness::{run_edge_attack, run_pop, run_pop_traced, EdgeAttackKind, PopRunConfig};
+use xlink::harness::{
+    run_edge_attack, run_pop, run_pop_traced, CrashPlan, EdgeAttackKind, PopRunConfig,
+};
 use xlink::obs::TraceLog;
 
 fn sweep_seeds() -> u64 {
@@ -133,6 +141,82 @@ fn mid_video_drain_migrates_every_conn_with_zero_byte_loss() {
     assert_eq!(migrated_in, u64::from(drained.migrated_out), "{:?}", r.shard_stats);
 }
 
+/// A crash time that lands mid-fleet at any population size: half the
+/// stagger window plus enough for the early sessions to be mid-download.
+fn mid_fleet_crash(cfg: &PopRunConfig) -> Duration {
+    cfg.stagger * (cfg.users as u32 / 2) + Duration::from_millis(150)
+}
+
+/// Mid-video crash sweep: crash-restarting a shard with downloads in
+/// flight destroys every byte of its state, yet ≥95% of the population
+/// completes and *every* reconnecting session resumes at its verified
+/// offset with zero stream-byte loss — each death detected via the
+/// restarted shard's stateless resets, not idle exhaustion.
+#[test]
+fn mid_video_crash_sweep_resumes_with_zero_byte_loss() {
+    let users = users_env();
+    for seed in 0..sweep_seeds() {
+        let mut cfg = PopRunConfig {
+            request_bytes: 100_000,
+            idle_timeout: Some(Duration::from_secs(2)),
+            ..base(users, seed)
+        };
+        cfg.crash =
+            Some(CrashPlan::single(mid_fleet_crash(&cfg), 1, Some(Duration::from_millis(40))));
+        let r = run_pop(&cfg);
+        assert!(
+            r.completion() >= 0.95,
+            "seed {seed}: only {}/{} sessions survived the crash: {r:?}",
+            r.completed,
+            r.users
+        );
+        assert!(r.bytes_ok, "seed {seed}: crash resume corrupted a stream: {r:?}");
+        assert!(r.bounded.within_caps() && r.amp_ok, "seed {seed}: {r:?}");
+        assert_eq!(r.stats.shard_crashes, 1, "seed {seed}: {r:?}");
+        let crashed = r.shard_stats[&1];
+        assert!(!crashed.crashed && crashed.epoch == 1, "seed {seed}: not restarted: {crashed:?}");
+        // The crash landed on live downloads, and every one of them came
+        // back: detection via reset, reconnection, byte-exact resume.
+        assert!(r.reconnects > 0, "seed {seed}: crash hit nobody: {r:?}");
+        assert_eq!(r.resumed, r.reconnects, "seed {seed}: a reconnect failed to resume: {r:?}");
+        assert_eq!(r.resets_detected, r.reconnects, "seed {seed}: death missed by oracle: {r:?}");
+        assert_eq!(r.recovery_times.len() as u64, r.reconnects, "seed {seed}: {r:?}");
+        assert!(r.stats.resets_sent > 0, "seed {seed}: restarted shard sent no resets: {r:?}");
+    }
+}
+
+/// The detection differential the reset machinery exists for: with the
+/// PoP muted (no §10.3 resets), a client only learns its server died by
+/// idling into its own timeout; with resets on, detection is a network
+/// round-trip. Both arms still finish byte-exact — resets buy *time*,
+/// not correctness.
+#[test]
+fn crash_detection_beats_pto_idle_baseline() {
+    let users = users_env().min(24);
+    let mut cfg = PopRunConfig {
+        request_bytes: 200_000,
+        idle_timeout: Some(Duration::from_secs(2)),
+        ..base(users, 13)
+    };
+    cfg.crash = Some(CrashPlan::single(mid_fleet_crash(&cfg), 1, Some(Duration::from_millis(40))));
+    let with = run_pop(&cfg);
+    let without = run_pop(&PopRunConfig { stateless_reset: false, ..cfg });
+    for (label, r) in [("reset", &with), ("idle", &without)] {
+        assert!(r.completion() >= 0.95, "{label} arm lost sessions: {r:?}");
+        assert!(r.bytes_ok, "{label} arm corrupted a stream: {r:?}");
+        assert!(r.reconnects > 0, "{label} arm: crash hit nobody: {r:?}");
+    }
+    assert!(with.resets_detected > 0, "{with:?}");
+    assert_eq!(without.resets_detected, 0, "mute PoP cannot be reset-detected: {without:?}");
+    let fast = with.mean_detect().expect("reset arm detects");
+    let slow = without.mean_detect().expect("idle arm detects");
+    assert!(fast < slow, "reset detection must beat idle exhaustion: {fast:?} vs {slow:?}");
+    // And not marginally: resets land within a PTO or two of the
+    // restart, idle exhaustion burns the full 2 s budget.
+    assert!(fast < Duration::from_secs(1), "reset detection too slow: {fast:?}");
+    assert!(slow >= Duration::from_secs(1), "idle arm detected implausibly fast: {slow:?}");
+}
+
 /// Everything a *client* observes — handshake, packet, and stream
 /// events, with timestamps — as one comparable string per run. PoP-side
 /// events legitimately differ across shard counts (shard ids appear in
@@ -169,6 +253,42 @@ fn client_trace_is_bit_identical_across_shard_counts() {
     assert!(!runs[0].0.is_empty(), "client trace captured nothing");
     assert_eq!(runs[0].0, runs[1].0, "1-shard vs 2-shard client traces differ");
     assert_eq!(runs[0].0, runs[2].0, "1-shard vs 4-shard client traces differ");
+}
+
+/// Shard-count invariance survives a total outage: crash-restarting
+/// *every* shard mid-run (so each population experiences the identical
+/// client-visible fault) yields bit-identical client traces — including
+/// the reset detections and resume events — whether the PoP runs 1, 2,
+/// or 4 shards.
+#[test]
+fn crash_recovery_client_trace_is_bit_identical_across_shard_counts() {
+    let users = users_env().min(16);
+    let runs: Vec<String> = [vec![1], vec![1, 2], vec![1, 2, 3, 4]]
+        .into_iter()
+        .map(|shards| {
+            let mut cfg = PopRunConfig {
+                shards: shards.clone(),
+                request_bytes: 200_000,
+                idle_timeout: Some(Duration::from_secs(2)),
+                ..base(users, 5)
+            };
+            cfg.crash = Some(CrashPlan::total_outage(
+                mid_fleet_crash(&cfg),
+                &shards,
+                Duration::from_millis(40),
+            ));
+            let log = TraceLog::recording();
+            let r = run_pop_traced(&cfg, &log);
+            assert_eq!(r.completed, users, "shards {shards:?}: {r:?}");
+            assert!(r.bytes_ok, "shards {shards:?}: {r:?}");
+            assert!(r.reconnects > 0, "shards {shards:?}: outage hit nobody: {r:?}");
+            assert_eq!(r.resumed, r.reconnects, "shards {shards:?}: {r:?}");
+            client_view(&log)
+        })
+        .collect();
+    assert!(runs[0].contains("SessionResumed"), "no resume event in the client trace");
+    assert_eq!(runs[0], runs[1], "1-shard vs 2-shard crash-recovery traces differ");
+    assert_eq!(runs[0], runs[2], "1-shard vs 4-shard crash-recovery traces differ");
 }
 
 /// Repeat-run determinism over the *full* trace — edge events included:

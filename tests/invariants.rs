@@ -739,3 +739,121 @@ fn retry_token_verifies_only_in_window_and_untampered() {
         },
     );
 }
+
+/// §10.3 reset-token algebra: the token is a pure function of
+/// (secret, CID) — deterministic per incarnation — and bumping the
+/// shard-epoch secret (what a crash-restart does) yields a *disjoint*
+/// token for the same CID, so resets from the new incarnation can never
+/// be mistaken for the old one's.
+#[test]
+fn stateless_reset_tokens_are_deterministic_and_epoch_disjoint() {
+    use xlink::quic::cid::ConnectionId;
+    use xlink::quic::reset::{
+        build_stateless_reset, plausible_reset, reset_token, token_matches, RESET_DATAGRAM_LEN,
+    };
+
+    check(
+        "stateless_reset_tokens_are_deterministic_and_epoch_disjoint",
+        (0u64..u64::MAX, 0u64..u64::MAX, 0u64..1_000, 0u64..1_000),
+        |&(secret, cid_seed, cid_salt, epoch)| {
+            let cid = ConnectionId::derive(cid_seed, cid_salt);
+            let tok = reset_token(secret, &cid);
+            prop_assert_eq!(reset_token(secret, &cid), tok, "token not deterministic");
+            // A different CID under the same secret gets its own token.
+            let other = ConnectionId::derive(cid_seed, cid_salt ^ 0x5eed);
+            prop_assert_ne!(reset_token(secret, &other), tok);
+            // An epoch-bumped secret (post-restart incarnation) is
+            // disjoint for the same CID.
+            let bumped = secret.wrapping_add(1).wrapping_mul(0x9e37_79b9_7f4a_7c15) ^ epoch;
+            if bumped != secret {
+                prop_assert_ne!(reset_token(bumped, &cid), tok);
+            }
+            // The reset datagram is fixed-size, short-header-shaped, and
+            // carries the token where the oracle looks for it.
+            let dg = build_stateless_reset(secret, &cid);
+            prop_assert_eq!(dg.len(), RESET_DATAGRAM_LEN);
+            prop_assert!(plausible_reset(&dg));
+            prop_assert!(token_matches(&tok, &dg));
+            Ok(())
+        },
+    );
+}
+
+/// Oracle false-positive resistance: a datagram only reads as *this
+/// connection's* reset when its trailing 16 bytes equal the token
+/// exactly — any single bit-flip in the tail, a truncated datagram, or
+/// a long-header datagram never fires the oracle.
+#[test]
+fn reset_oracle_resists_false_positives() {
+    use xlink::quic::cid::ConnectionId;
+    use xlink::quic::reset::{
+        build_stateless_reset, plausible_reset, reset_token, token_matches, RESET_TOKEN_LEN,
+    };
+
+    check(
+        "reset_oracle_resists_false_positives",
+        (0u64..u64::MAX, 0u64..u64::MAX, 0usize..RESET_TOKEN_LEN * 8, vec_of(0u8..=255, 0..64)),
+        |&(secret, cid_seed, flip, ref noise)| {
+            let cid = ConnectionId::derive(cid_seed, 7);
+            let tok = reset_token(secret, &cid);
+            // Bit-flip anywhere in the token tail breaks the match.
+            let mut dg = build_stateless_reset(secret, &cid).to_vec();
+            let at = dg.len() - RESET_TOKEN_LEN + flip / 8;
+            dg[at] ^= 1 << (flip % 8);
+            prop_assert!(!token_matches(&tok, &dg), "tampered tail still matched");
+            // Arbitrary noise only matches if its tail IS the token.
+            let tail_is_token =
+                noise.len() >= RESET_TOKEN_LEN && noise[noise.len() - RESET_TOKEN_LEN..] == tok[..];
+            prop_assert_eq!(token_matches(&tok, noise), tail_is_token);
+            // Long-header datagrams are never plausible resets.
+            let mut long = noise.clone();
+            if long.is_empty() {
+                long.push(0);
+            }
+            long[0] |= 0x80;
+            prop_assert!(!plausible_reset(&long));
+            Ok(())
+        },
+    );
+}
+
+/// Token-epoch window: a Retry token minted under epoch `e` verifies
+/// under `e` and `e + 1` (one rotation is always safe mid-flood) and is
+/// indistinguishable from a forgery from `e + 2` on; expiry is judged
+/// before the old-key fallback, so an expired token stays `Expired`
+/// across a rotation rather than decaying to `BadMac`.
+#[test]
+fn token_epoch_window_is_exactly_two_epochs() {
+    use xlink::edge::{TokenError, TokenKey};
+
+    check(
+        "token_epoch_window_is_exactly_two_epochs",
+        (1u64..u64::MAX, 0u64..20, 0u64..1_000, 1u64..5_000),
+        |&(base, start_epoch, addr, life_ms)| {
+            let mut key = TokenKey::new(base);
+            for _ in 0..start_epoch {
+                key.rotate();
+            }
+            let minted = Instant::from_millis(17);
+            let life = Duration::from_millis(life_ms);
+            let tok = key.mint(addr, base ^ addr, minted);
+            prop_assert_eq!(key.verify(addr, minted, life, &tok), Ok(()));
+            key.rotate();
+            prop_assert_eq!(key.verify(addr, minted, life, &tok), Ok(()), "one rotation strands");
+            key.rotate();
+            prop_assert_eq!(key.verify(addr, minted, life, &tok), Err(TokenError::BadMac));
+            // Expired-under-current-epoch is final: no old-key retry.
+            let mut key2 = TokenKey::new(base);
+            let tok2 = key2.mint(addr, base, minted);
+            let stale = minted + life + Duration::from_millis(1);
+            prop_assert_eq!(key2.verify(addr, stale, life, &tok2), Err(TokenError::Expired));
+            key2.rotate();
+            prop_assert_eq!(
+                key2.verify(addr, stale, life, &tok2),
+                Err(TokenError::Expired),
+                "expiry decayed to BadMac after rotation"
+            );
+            Ok(())
+        },
+    );
+}

@@ -269,7 +269,7 @@ fn retire_connection_id_retires_replaces_and_unbinds() {
 
     let old = s.local_cid();
     let fresh = ConnectionId::derive(0xd1a1, 9);
-    s.issue_migration_cid(fresh);
+    s.issue_migration_cid(fresh, None);
     pump_quic(&mut now, &mut c, &mut s);
 
     // The client migrated onto the new CID and retired the old one.
